@@ -1,0 +1,40 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures via
+:mod:`repro.experiments`, times the regeneration once with
+pytest-benchmark (``pedantic``, single round — the interesting output is
+the table, not the wall time), prints the rendered table, and persists it
+under ``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def run_experiment(benchmark, results_dir, capsys):
+    """Run an experiment once under the benchmark timer and persist it."""
+
+    def runner(experiment_fn, filename: str, **kwargs):
+        result = benchmark.pedantic(
+            experiment_fn, kwargs=kwargs, rounds=1, iterations=1
+        )
+        rendered = result.render()
+        (results_dir / filename).write_text(rendered + "\n")
+        with capsys.disabled():
+            print("\n" + rendered)
+        benchmark.extra_info["experiment"] = result.experiment_id
+        return result
+
+    return runner

@@ -1,0 +1,56 @@
+"""Bench: design-choice ablations (DESIGN.md sensitivity studies)."""
+
+from repro.experiments import (
+    ablation_pu_scaling,
+    ablation_selection_overhead,
+    ablation_state_buffer,
+    ablation_unit_capacity,
+    ablation_window_size,
+)
+
+
+def test_ablation_window_size(run_experiment):
+    result = run_experiment(ablation_window_size, "ablation_window.txt")
+    speedups = result.column("speedup")
+    # Returns diminish: the largest window buys <5% over window=8.
+    assert speedups[-1] <= speedups[2] * 1.05
+    assert min(speedups) > 2.0
+
+
+def test_ablation_state_buffer(run_experiment):
+    result = run_experiment(ablation_state_buffer, "ablation_sb.txt")
+    cycles = result.column("cycles")
+    # Larger buffers never hurt; the knee arrives early.
+    assert cycles == sorted(cycles, reverse=True)
+    assert cycles[-1] <= cycles[0]
+
+
+def test_ablation_unit_capacity(run_experiment):
+    result = run_experiment(ablation_unit_capacity, "ablation_uc.txt")
+    speedups = result.column("speedup")
+    # Every added port helps monotonically.
+    assert speedups == sorted(speedups)
+    # Even the paper-literal single-field line beats no DB cache.
+    assert speedups[0] > 1.5
+
+
+def test_ablation_selection_overhead(run_experiment):
+    result = run_experiment(
+        ablation_selection_overhead, "ablation_so.txt"
+    )
+    speedups = result.column("speedup")
+    assert speedups == sorted(speedups, reverse=True)
+    # At the paper's O(n)-bit-logic scale (a few cycles) the cost is
+    # negligible (<3%); at 128 cycles it visibly is not.
+    assert speedups[1] > speedups[0] * 0.97
+    assert speedups[-1] < speedups[0] * 0.8
+
+
+def test_ablation_pu_scaling(run_experiment):
+    result = run_experiment(ablation_pu_scaling, "ablation_pus.txt")
+    speedups = result.column("speedup")
+    # Monotone scaling with diminishing per-PU efficiency.
+    assert speedups == sorted(speedups)
+    per_pu_4 = speedups[2] / 4
+    per_pu_16 = speedups[4] / 16
+    assert per_pu_16 < per_pu_4

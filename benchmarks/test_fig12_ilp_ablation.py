@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 12 (ILP ablation upper bounds)."""
+
+from repro.experiments import fig12_ilp_ablation
+
+
+def test_fig12_ilp_ablation(run_experiment):
+    result = run_experiment(fig12_ilp_ablation, "fig12.txt")
+    avg = result.row_by_label("Avg")
+    fd, df, all_on = avg[1], avg[2], avg[3]
+    # Each optimization adds on top of the previous one.
+    assert 1.0 < fd < df < all_on
+    # Paper: the full stack averages 1.99x (per contract 1.64x-2.40x).
+    assert 1.6 < all_on < 2.5
+    for row in result.rows:
+        if row[0] == "Avg":
+            continue
+        assert 1.4 < row[3] < 2.7

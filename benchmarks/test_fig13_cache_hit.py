@@ -1,0 +1,20 @@
+"""Bench: regenerate paper Fig. 13 (DB-cache hit ratio vs size)."""
+
+from repro.experiments import fig13_cache_hit_ratio
+
+
+def test_fig13_cache_hit(run_experiment):
+    result = run_experiment(fig13_cache_hit_ratio, "fig13.txt")
+    last = result.headers[-1]  # 2048 entries
+    assert last == "2048"
+    for row in result.rows:
+        ratios = [float(cell.rstrip("%")) for cell in row[1:]]
+        # Monotone non-decreasing in cache size; ends in the paper's
+        # 70%-95% plateau band.
+        assert all(b >= a - 0.2 for a, b in zip(ratios, ratios[1:]))
+        assert 65.0 < ratios[-1] < 95.0
+    mixed = result.row_by_label("Mixed TOP8")
+    mixed_ratios = [float(cell.rstrip("%")) for cell in mixed[1:]]
+    # The mixed workload needs the large cache (capacity-limited ramp).
+    assert mixed_ratios[0] < 20.0
+    assert mixed_ratios[-1] > 70.0

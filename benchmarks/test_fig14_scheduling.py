@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 14 (speedup vs dependency ratio)."""
+
+from repro.experiments import fig14_scheduling_speedup
+
+
+def test_fig14_scheduling(run_experiment):
+    result = run_experiment(fig14_scheduling_speedup, "fig14.txt")
+    ratios = [float(row[0]) for row in result.rows]
+    st4 = [row[result.headers.index("ST x4")] for row in result.rows]
+    sync4 = [row[result.headers.index("sync x4")] for row in result.rows]
+    # Overall falling trend (compare low- vs high-dependency endpoints).
+    assert st4[0] > st4[-1]
+    assert sync4[0] > sync4[-1]
+    # At the conflict-free end, 4 PUs deliver close-to-linear speedup.
+    assert st4[0] > 3.0
+    # At full dependency, parallelism evaporates.
+    assert st4[-1] < 1.5

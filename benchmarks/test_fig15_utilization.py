@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 15 (resource utilization)."""
+
+from repro.experiments import fig15_utilization
+
+
+def test_fig15_utilization(run_experiment):
+    result = run_experiment(fig15_utilization, "fig15.txt")
+    st = [float(row[2].rstrip("%")) for row in result.rows]
+    sync = [float(row[1].rstrip("%")) for row in result.rows]
+    # Utilization collapses toward 1/num_pus = 25% as dependencies
+    # serialize the block.
+    assert st[0] > 90.0
+    assert st[-1] < 30.0
+    assert sync[0] > sync[-1]

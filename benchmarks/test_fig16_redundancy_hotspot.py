@@ -1,0 +1,19 @@
+"""Bench: regenerate paper Fig. 16 (+redundancy, +hotspot)."""
+
+from repro.experiments import fig16_redundancy_hotspot
+
+
+def test_fig16_redundancy_hotspot(run_experiment):
+    result = run_experiment(fig16_redundancy_hotspot, "fig16.txt")
+    re1 = result.headers.index("ST+Re x1")
+    hot1 = result.headers.index("ST+Re+Hot x1")
+    re4 = result.headers.index("ST+Re x4")
+    hot4 = result.headers.index("ST+Re+Hot x4")
+    for row in result.rows:
+        # Paper 16(a): reuse helps even on a single PU.
+        assert row[re1] > 1.3
+        # Paper 16(b): hotspot optimization adds on top of reuse.
+        assert row[hot1] > row[re1]
+        assert row[hot4] > row[re4] * 0.95
+    # And 4 PUs beat 1 PU when parallelism exists.
+    assert result.rows[0][re4] > result.rows[0][re1] * 2

@@ -1,0 +1,16 @@
+"""Bench: regenerate paper Fig. 2 (block interval + consensus TPS)."""
+
+from repro.experiments import fig2_consensus
+
+
+def test_fig2_consensus(run_experiment):
+    result = run_experiment(fig2_consensus, "fig2.txt")
+    # Quarterly mean intervals must all sit near the 13s protocol target.
+    quarters = [
+        float(row[1].rstrip("s"))
+        for row in result.rows
+        if str(row[0]).startswith("interval (quarter")
+    ]
+    assert len(quarters) == 4
+    for mean in quarters:
+        assert abs(mean - 13.0) < 1.5

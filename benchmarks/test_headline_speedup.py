@@ -1,0 +1,13 @@
+"""Bench: the abstract's 3.53x-16.19x overall acceleration claim."""
+
+from repro.experiments import headline_speedup
+
+
+def test_headline_speedup(run_experiment):
+    result = run_experiment(headline_speedup, "headline.txt")
+    range_row = result.row_by_label("range")
+    low = float(range_row[1].rstrip("x"))
+    high = float(range_row[2].rstrip("x"))
+    # Paper: 3.53x-16.19x. Same order of magnitude at both ends.
+    assert 1.8 < low < 6.0
+    assert 9.0 < high < 25.0

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Table 1 (Ethereum statistics)."""
+
+from repro.experiments import table1_ethereum_stats
+
+
+def test_table1_ethereum_stats(run_experiment):
+    result = run_experiment(table1_ethereum_stats, "table1.txt")
+    # The derived overhead column must be monotone increasing, like the
+    # paper's, and within 15 percentage points of every paper value.
+    ours = [float(row[3].rstrip("%")) for row in result.rows]
+    paper = [float(row[4].rstrip("%")) for row in result.rows]
+    assert ours == sorted(ours)
+    for mine, theirs in zip(ours, paper):
+        assert abs(mine - theirs) < 15.0

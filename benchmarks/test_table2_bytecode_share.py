@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Table 2 (bytecode share of context data)."""
+
+from repro.experiments import table2_bytecode_share
+
+
+def test_table2_bytecode_share(run_experiment):
+    result = run_experiment(table2_bytecode_share, "table2.txt")
+    # Paper: bytecode dominates the loaded context (86%-95%); our
+    # smaller synthetic contracts must still show clear dominance.
+    for row in result.rows:
+        ours = float(row[4].rstrip("%"))
+        assert ours > 60.0

@@ -1,0 +1,9 @@
+"""Bench: regenerate paper Table 5 (area/power breakdown)."""
+
+from repro.experiments import table5_area
+
+
+def test_table5_area(run_experiment):
+    result = run_experiment(table5_area, "table5.txt")
+    total = float(result.row_by_label("Total")[1])
+    assert abs(total - 79.623) < 1.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate paper Table 6 (instruction breakdown of TOP8)."""
+
+from repro.experiments import table6_instruction_mix
+
+
+def test_table6_instruction_mix(run_experiment):
+    result = run_experiment(table6_instruction_mix, "table6.txt")
+    avg = result.row_by_label("Avg (ours)")
+    stack_index = result.headers.index("Stack")
+    stack_share = float(avg[stack_index].rstrip("%"))
+    # Paper: stack ops average 62.24%; ours must dominate comparably.
+    assert stack_share > 40.0
+    for row in result.rows:
+        if row[0] in ("Avg (ours)", "Avg (paper)"):
+            continue
+        assert float(row[stack_index].rstrip("%")) > 40.0

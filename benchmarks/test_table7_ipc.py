@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Table 7 (2K-entry cache vs upper limit)."""
+
+from repro.experiments import table7_ipc
+
+
+def test_table7_ipc(run_experiment):
+    result = run_experiment(table7_ipc, "table7.txt")
+    for row in result.rows:
+        if row[0] == "Avg":
+            continue
+        upper_speedup, real_speedup = row[2], row[4]
+        # The finite cache can never beat the perfect-hit upper bound,
+        # and the paper's loss is modest (avg -9.36%).
+        assert real_speedup <= upper_speedup
+        assert real_speedup > upper_speedup * 0.8
+    avg_loss = float(result.row_by_label("Avg")[6].rstrip("%"))
+    assert -15.0 < avg_loss <= 0.0

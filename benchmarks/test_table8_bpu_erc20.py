@@ -1,0 +1,20 @@
+"""Bench: regenerate paper Table 8 (BPU vs MTPU, ERC20 sweep)."""
+
+from repro.experiments import table8_bpu_erc20
+
+
+def parse(cell):
+    return float(cell.rstrip("x"))
+
+
+def test_table8_bpu_erc20(run_experiment):
+    result = run_experiment(table8_bpu_erc20, "table8.txt")
+    bpu = [parse(row[1]) for row in result.rows]
+    mtpu = [parse(row[3]) for row in result.rows]
+    # BPU collapses as the ERC20 share falls (12.82x -> 1x)...
+    assert bpu[0] > 10.0
+    assert abs(bpu[-1] - 1.0) < 0.05
+    assert bpu == sorted(bpu, reverse=True)
+    # ...while the general MTPU stays stable (paper: 2.79x -> 1.71x).
+    assert max(mtpu) / min(mtpu) < 2.5
+    assert min(mtpu) > 1.2

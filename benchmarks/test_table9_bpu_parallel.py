@@ -1,0 +1,19 @@
+"""Bench: regenerate paper Table 9 (BPU vs MTPU, quad-core)."""
+
+from repro.experiments import table9_bpu_parallel
+
+
+def parse(cell):
+    return float(cell.rstrip("x"))
+
+
+def test_table9_bpu_parallel(run_experiment):
+    result = run_experiment(table9_bpu_parallel, "table9.txt")
+    bpu = [parse(row[1]) for row in result.rows]
+    mtpu = [parse(row[3]) for row in result.rows]
+    # MTPU beats BPU at every dependency ratio (paper's headline claim
+    # for this table), and both gain as dependencies drop.
+    for b, m in zip(bpu, mtpu):
+        assert m > b
+    assert mtpu[-1] > mtpu[0]  # 0% dep (last row) beats 100% dep
+    assert bpu[-1] > bpu[0]

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: accelerate one block of smart-contract transactions.
+
+Builds the synthetic mainnet, generates a block of transactions, and
+executes it three ways — sequentially (the baseline every real node uses
+today), with barrier-round parallelism, and with the paper's
+spatio-temporal scheduler on a 4-PU MTPU — verifying along the way that
+all three agree on every receipt.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_deployment, generate_block
+from repro.chain.receipt import receipts_root
+from repro.core.mtpu import MTPUExecutor, PUConfig
+from repro.core.scheduler import (
+    run_sequential,
+    run_spatial_temporal,
+    run_synchronous,
+)
+
+
+def main() -> None:
+    print("deploying the contract suite...")
+    deployment = build_deployment()
+
+    print("generating a 60-transaction block (Zipf-skewed TOP8 mix)...")
+    block = generate_block(deployment, num_transactions=60, seed=7)
+    print(f"  contracts hit: {block.redundancy_histogram()}")
+    print(f"  dependency ratio: {block.measured_dependency_ratio:.2f}")
+    print(f"  TOP5 share: {block.top_k_share(5):.0%} "
+          "(paper observes 37% on mainnet)")
+
+    def executor(num_pus: int) -> MTPUExecutor:
+        return MTPUExecutor(
+            deployment.state.copy(), num_pus=num_pus,
+            pu_config=PUConfig(),
+        )
+
+    print("\nexecuting...")
+    seq = run_sequential(executor(1), block.transactions)
+    sync = run_synchronous(executor(4), block.transactions,
+                           block.dag_edges)
+    st = run_spatial_temporal(executor(4), block.transactions,
+                              block.dag_edges)
+
+    root = receipts_root(seq.receipts_in_block_order(block.transactions))
+    for label, result in (("synchronous x4", sync),
+                          ("spatio-temporal x4", st)):
+        assert receipts_root(
+            result.receipts_in_block_order(block.transactions)
+        ) == root, f"{label} diverged!"
+
+    print(f"  sequential 1 PU     : {seq.makespan_cycles:>8} cycles "
+          "(baseline)")
+    print(f"  synchronous 4 PUs   : {sync.makespan_cycles:>8} cycles "
+          f"({seq.makespan_cycles / sync.makespan_cycles:.2f}x)")
+    print(f"  spatio-temporal 4 PU: {st.makespan_cycles:>8} cycles "
+          f"({seq.makespan_cycles / st.makespan_cycles:.2f}x, "
+          f"utilization {st.utilization:.0%}, "
+          f"redundant picks {st.redundancy_hit_ratio:.0%})")
+    print("\nall receipts identical across schedules — serializability "
+          "holds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reference environment has setuptools but no `wheel` package, so PEP 660
+editable installs (`pip install -e .`) cannot build a wheel. This shim lets
+`python setup.py develop` provide the editable install instead; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Measurement and reporting: instruction mixes (Table 6), bytecode share
+of loaded context data (Table 2), and plain-text table rendering."""
+
+from .bytecode_share import bytecode_share_table, measure_bytecode_share
+from .instruction_mix import (
+    instruction_mix,
+    instruction_mix_table,
+    static_instruction_mix,
+)
+from .reporting import format_table
+
+__all__ = [
+    "bytecode_share_table",
+    "measure_bytecode_share",
+    "instruction_mix",
+    "instruction_mix_table",
+    "static_instruction_mix",
+    "format_table",
+]

@@ -1,0 +1,37 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a simple aligned text table."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Comparator baselines (the paper's section 4.4)."""
+
+from .bpu import BPUModel, measure_gsc_costs
+
+__all__ = ["BPUModel", "measure_gsc_costs"]

@@ -1,0 +1,34 @@
+"""Blockchain substrate: state, transactions, blocks, and the three-stage
+dissemination → consensus → execution node model (paper Fig. 4)."""
+
+from .account import Account
+from .state import AccessSet, WorldState
+from .transaction import Transaction
+from .receipt import LogEntry, Receipt
+from .block import Block, BlockHeader
+from .mempool import Mempool
+
+
+def __getattr__(name: str):
+    # Node/StageClock are imported lazily: repro.chain.node depends on
+    # repro.evm, which itself imports repro.chain.receipt — a cycle if
+    # resolved eagerly at package-init time.
+    if name in ("Node", "StageClock"):
+        from . import node
+
+        return getattr(node, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Account",
+    "AccessSet",
+    "WorldState",
+    "Transaction",
+    "LogEntry",
+    "Receipt",
+    "Block",
+    "BlockHeader",
+    "Mempool",
+    "Node",
+    "StageClock",
+]

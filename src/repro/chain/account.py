@@ -1,0 +1,42 @@
+"""Accounts: externally-owned and contract accounts (paper Table 4 "State")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto import keccak256
+
+EMPTY_CODE_HASH = keccak256(b"")
+
+
+@dataclass
+class Account:
+    """One world-state account.
+
+    Matches the paper's main-memory *State* record: address, nonce,
+    balance, code length/hash/body and the contract storage.
+    """
+
+    nonce: int = 0
+    balance: int = 0
+    code: bytes = b""
+    storage: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def code_hash(self) -> bytes:
+        """Hash of the contract code (EMPTY_CODE_HASH for EOAs)."""
+        return keccak256(self.code) if self.code else EMPTY_CODE_HASH
+
+    @property
+    def is_contract(self) -> bool:
+        """True when the account carries code."""
+        return bool(self.code)
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the canonical empty account (no nonce/balance/code)."""
+        return self.nonce == 0 and self.balance == 0 and not self.code
+
+    def copy(self) -> "Account":
+        """Deep copy (storage included)."""
+        return Account(self.nonce, self.balance, self.code, dict(self.storage))

@@ -1,0 +1,107 @@
+"""Blocks and block headers (paper Table 4 "Block Header").
+
+A block carries its transactions *and* the serialized inter-transaction
+dependency DAG: the paper (footnote 3) notes that "DAGs are serialised and
+persistently stored in blocks" by the consensus stage so every verifying
+node can schedule in parallel without re-deriving dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto import keccak256
+from . import rlp
+from .transaction import Transaction
+
+#: Number of recent block hashes reachable by BLOCKHASH (paper Table 4).
+BLOCKHASH_WINDOW = 256
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Fixed-length block metadata (paper Table 4)."""
+
+    height: int
+    timestamp: int
+    coinbase: int
+    difficulty: int
+    gas_limit: int
+    parent_hash: bytes = b"\x00" * 32
+
+    def to_rlp(self) -> bytes:
+        return rlp.encode(
+            [
+                rlp.encode_int(self.height),
+                rlp.encode_int(self.timestamp),
+                rlp.encode_int(self.coinbase),
+                rlp.encode_int(self.difficulty),
+                rlp.encode_int(self.gas_limit),
+                self.parent_hash,
+            ]
+        )
+
+    def hash(self) -> bytes:
+        return keccak256(self.to_rlp())
+
+
+@dataclass
+class Block:
+    """A block: header, transaction batch, and the serialized DAG."""
+
+    header: BlockHeader
+    transactions: list[Transaction] = field(default_factory=list)
+    #: Dependency edges as (i, j) index pairs: transaction j depends on the
+    #: execution result of transaction i (i must commit before j starts).
+    dag_edges: list[tuple[int, int]] = field(default_factory=list)
+    #: Hashes of up to the previous 256 blocks, most recent first
+    #: (services the BLOCKHASH instruction).
+    recent_hashes: list[bytes] = field(default_factory=list)
+
+    def to_rlp(self) -> bytes:
+        return rlp.encode(
+            [
+                self.header.to_rlp(),
+                [tx.to_rlp() for tx in self.transactions],
+                [
+                    [rlp.encode_int(i), rlp.encode_int(j)]
+                    for i, j in self.dag_edges
+                ],
+            ]
+        )
+
+    @classmethod
+    def from_rlp(cls, blob: bytes) -> "Block":
+        item = rlp.decode(blob)
+        if not isinstance(item, list) or len(item) != 3:
+            raise rlp.RLPDecodingError("block must be a 3-item list")
+        header_blob, tx_items, edge_items = item
+        header_fields = rlp.decode(header_blob)
+        header = BlockHeader(
+            height=rlp.decode_int(header_fields[0]),
+            timestamp=rlp.decode_int(header_fields[1]),
+            coinbase=rlp.decode_int(header_fields[2]),
+            difficulty=rlp.decode_int(header_fields[3]),
+            gas_limit=rlp.decode_int(header_fields[4]),
+            parent_hash=header_fields[5],
+        )
+        # Each transaction is embedded as its own RLP blob (a byte string
+        # item), so it decodes directly.
+        transactions = [Transaction.from_rlp(t) for t in tx_items]
+        edges = [
+            (rlp.decode_int(edge[0]), rlp.decode_int(edge[1]))
+            for edge in edge_items
+        ]
+        return cls(header=header, transactions=transactions, dag_edges=edges)
+
+    def hash(self) -> bytes:
+        return self.header.hash()
+
+    def blockhash(self, height: int) -> int:
+        """BLOCKHASH semantics: hash of one of the 256 most recent blocks."""
+        distance = self.header.height - height
+        if distance < 1 or distance > BLOCKHASH_WINDOW:
+            return 0
+        if distance - 1 < len(self.recent_hashes):
+            return int.from_bytes(self.recent_hashes[distance - 1], "big")
+        return 0

@@ -1,0 +1,68 @@
+"""Mempool: the dissemination-stage transaction pool (paper Fig. 4).
+
+The pool records *when* each transaction was first heard. The hotspot
+optimizer's pre-execution relies on the paper's observation (via
+Forerunner [12]) that 91.45%–98.15% of a block's transactions are already
+known to a node before the block arrives; :meth:`Mempool.known_before`
+exposes exactly that predicate.
+"""
+
+from __future__ import annotations
+
+from .transaction import Transaction
+
+
+class Mempool:
+    """Pending transactions, ordered by arrival."""
+
+    def __init__(self) -> None:
+        self._pool: dict[bytes, tuple[Transaction, int]] = {}
+        self._arrival_counter = 0
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def add(self, tx: Transaction, heard_at: int | None = None) -> None:
+        """Record a disseminated transaction (idempotent by hash)."""
+        tx_hash = tx.hash()
+        if tx_hash in self._pool:
+            return
+        if heard_at is None:
+            heard_at = self._arrival_counter
+        self._arrival_counter = max(self._arrival_counter, heard_at) + 1
+        self._pool[tx_hash] = (tx, heard_at)
+
+    def contains(self, tx: Transaction) -> bool:
+        return tx.hash() in self._pool
+
+    @property
+    def clock(self) -> int:
+        """The current dissemination timestamp (monotone arrival counter).
+
+        ``known_before(tx, pool.clock)`` asks: had this node already heard
+        the transaction by *now*?
+        """
+        return self._arrival_counter
+
+    def known_before(self, tx: Transaction, time: int) -> bool:
+        """Was *tx* disseminated to this node before *time*?"""
+        entry = self._pool.get(tx.hash())
+        return entry is not None and entry[1] < time
+
+    def take(self, count: int) -> list[Transaction]:
+        """Remove and return up to *count* transactions, oldest first."""
+        ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
+        taken = [tx for _, (tx, _) in ordered[:count]]
+        for tx in taken:
+            self._pool.pop(tx.hash(), None)
+        return taken
+
+    def remove(self, transactions: list[Transaction]) -> None:
+        """Drop transactions that were included in a block."""
+        for tx in transactions:
+            self._pool.pop(tx.hash(), None)
+
+    def pending(self) -> list[Transaction]:
+        """All pooled transactions, oldest first (non-destructive)."""
+        ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
+        return [tx for _, (tx, _) in ordered]

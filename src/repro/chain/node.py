@@ -1,0 +1,146 @@
+"""A blockchain node implementing the three-stage model (paper Fig. 4).
+
+* **Dissemination** — transactions arrive continuously into the mempool.
+* **Consensus** — the elected node packages transactions (plus the
+  dependency DAG and execution results) into a block.
+* **Execution** — every node executes the block's transactions against its
+  local state and verifies the results.
+
+The :class:`StageClock` models the timing structure the hotspot optimizer
+exploits: execution occupies only a slice of each block interval, leaving
+an idle budget for offline optimization (paper section 2.2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..evm.context import BlockContext
+from ..evm.interpreter import EVM
+from .block import BLOCKHASH_WINDOW, Block, BlockHeader
+from .dag import build_dag_edges, discover_access_sets, transitive_reduction
+from .mempool import Mempool
+from .receipt import Receipt, receipts_root
+from .state import WorldState
+from .transaction import Transaction
+
+
+@dataclass
+class StageClock:
+    """Timing of the three-stage model within one block interval.
+
+    Units are abstract "time" (the paper uses seconds; Ethereum's interval
+    is ~13s with execution well under a second of it).
+    """
+
+    block_interval: float = 13.0
+    execution_fraction: float = 0.05  # share of the interval spent executing
+
+    @property
+    def execution_budget(self) -> float:
+        """Time available to the execution stage per block."""
+        return self.block_interval * self.execution_fraction
+
+    @property
+    def idle_budget(self) -> float:
+        """Idle slice per block, available for hotspot optimization."""
+        return self.block_interval * (1.0 - self.execution_fraction)
+
+
+class Node:
+    """A validating node: mempool + state + chain."""
+
+    def __init__(
+        self,
+        state: WorldState | None = None,
+        clock: StageClock | None = None,
+        coinbase: int = 0xC0FFEE,
+    ) -> None:
+        self.state = state or WorldState()
+        self.mempool = Mempool()
+        self.clock = clock or StageClock()
+        self.coinbase = coinbase
+        self.chain: list[Block] = []
+        self.receipts: dict[bytes, list[Receipt]] = {}
+
+    # -- dissemination stage -------------------------------------------------
+    def hear(self, tx: Transaction, at: int | None = None) -> None:
+        """Receive a transaction from the P2P network."""
+        self.mempool.add(tx, heard_at=at)
+
+    # -- consensus stage -------------------------------------------------------
+    def block_context(self, height: int | None = None) -> BlockContext:
+        """Environment for executing the next block."""
+        if height is None:
+            height = len(self.chain) + 1
+        parent_hashes = [b.hash() for b in reversed(self.chain)]
+
+        def blockhash_fn(query_height: int, _hashes=parent_hashes,
+                         _height=height) -> int:
+            distance = _height - query_height
+            if 1 <= distance <= BLOCKHASH_WINDOW and distance <= len(_hashes):
+                return int.from_bytes(_hashes[distance - 1], "big")
+            return 0
+
+        return BlockContext(
+            height=height,
+            timestamp=1_600_000_000 + height * int(self.clock.block_interval),
+            coinbase=self.coinbase,
+            difficulty=1,
+            gas_limit=30_000_000,
+            blockhash_fn=blockhash_fn,
+        )
+
+    def propose_block(self, max_transactions: int = 200) -> Block:
+        """Package mempool transactions into a block with its DAG.
+
+        The dependency DAG is discovered by speculative execution on a
+        state copy and stored (transitively reduced) in the block, as the
+        paper's consensus-stage nodes do.
+        """
+        txs = self.mempool.take(max_transactions)
+        height = len(self.chain) + 1
+        context = self.block_context(height)
+        access_sets = discover_access_sets(txs, self.state, context)
+        edges = transitive_reduction(
+            len(txs), build_dag_edges(txs, access_sets)
+        )
+        parent_hash = self.chain[-1].hash() if self.chain else b"\x00" * 32
+        header = BlockHeader(
+            height=height,
+            timestamp=context.timestamp,
+            coinbase=self.coinbase,
+            difficulty=1,
+            gas_limit=context.gas_limit,
+            parent_hash=parent_hash,
+        )
+        recent = [b.hash() for b in reversed(self.chain)][:BLOCKHASH_WINDOW]
+        return Block(
+            header=header,
+            transactions=txs,
+            dag_edges=edges,
+            recent_hashes=recent,
+        )
+
+    # -- execution stage ----------------------------------------------------------
+    def execute_block(self, block: Block) -> list[Receipt]:
+        """Sequentially execute a block's transactions and append it.
+
+        This is the paper's baseline behaviour (Fig. 1). Parallel
+        executors (the MTPU simulator) produce the same receipts and final
+        state; tests compare against this path via
+        :func:`repro.chain.receipt.receipts_root`.
+        """
+        context = self.block_context(block.header.height)
+        evm = EVM(self.state, block=context)
+        receipts = [evm.execute_transaction(tx) for tx in block.transactions]
+        self.state.clear_journal()
+        self.chain.append(block)
+        self.receipts[block.hash()] = receipts
+        self.mempool.remove(block.transactions)
+        return receipts
+
+    def verify_block(self, block: Block, claimed_root: bytes) -> bool:
+        """Re-execute and compare the receipts digest (validator path)."""
+        receipts = self.execute_block(block)
+        return receipts_root(receipts) == claimed_root

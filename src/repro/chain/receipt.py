@@ -1,0 +1,66 @@
+"""Execution receipts and event logs.
+
+Receipts are what the MTPU's Receipt Buffer holds (paper section 3.3.6)
+and what other nodes verify during the execution stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import keccak256
+from . import rlp
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One LOG0..LOG4 event emitted during execution."""
+
+    address: int
+    topics: tuple[int, ...]
+    data: bytes
+
+    def to_rlp_item(self) -> list:
+        return [
+            rlp.encode_int(self.address),
+            [rlp.encode_int(topic) for topic in self.topics],
+            self.data,
+        ]
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """Outcome of one transaction execution."""
+
+    tx_hash: bytes
+    success: bool
+    gas_used: int
+    logs: tuple[LogEntry, ...] = ()
+    output: bytes = b""
+    contract_address: int | None = None
+    error: str = ""
+
+    def to_rlp(self) -> bytes:
+        """Canonical encoding used for receipt hashing/verification."""
+        return rlp.encode(
+            [
+                self.tx_hash,
+                rlp.encode_int(1 if self.success else 0),
+                rlp.encode_int(self.gas_used),
+                [log.to_rlp_item() for log in self.logs],
+                self.output,
+            ]
+        )
+
+    def hash(self) -> bytes:
+        return keccak256(self.to_rlp())
+
+
+def receipts_root(receipts: list[Receipt]) -> bytes:
+    """Order-sensitive digest over a block's receipts.
+
+    Two nodes that executed a block through different schedules must agree
+    on this digest — the integration tests use it to check serializability
+    end to end.
+    """
+    return keccak256(b"".join(receipt.hash() for receipt in receipts))

@@ -1,0 +1,120 @@
+"""Recursive Length Prefix (RLP) serialization.
+
+The paper (section 2.1): "Transactions are network transported and
+persisted by recursive length prefix (RLP)." This is a complete
+implementation of the Ethereum RLP wire format over the item domain
+``Item = bytes | list[Item]``.
+"""
+
+from __future__ import annotations
+
+Item = bytes | list["Item"]
+
+
+class RLPDecodingError(ValueError):
+    """Raised for malformed RLP input."""
+
+
+def encode(item: Item) -> bytes:
+    """Encode an item (bytes, or arbitrarily nested lists of bytes)."""
+    if isinstance(item, (bytes, bytearray)):
+        return _encode_bytes(bytes(item))
+    if isinstance(item, list):
+        payload = b"".join(encode(sub) for sub in item)
+        return _length_prefix(len(payload), 0xC0) + payload
+    raise TypeError(f"cannot RLP-encode {type(item).__name__}")
+
+
+def decode(data: bytes) -> Item:
+    """Decode a complete RLP blob; trailing bytes are an error."""
+    item, consumed = _decode_at(data, 0)
+    if consumed != len(data):
+        raise RLPDecodingError(
+            f"trailing bytes: consumed {consumed} of {len(data)}"
+        )
+    return item
+
+
+def encode_int(value: int) -> bytes:
+    """Encode a non-negative integer as minimal big-endian bytes."""
+    if value < 0:
+        raise ValueError("RLP integers must be non-negative")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def decode_int(data: bytes) -> int:
+    """Decode minimal big-endian bytes back to an integer."""
+    if data and data[0] == 0:
+        raise RLPDecodingError("integer encoding has leading zero byte")
+    return int.from_bytes(data, "big")
+
+
+def _encode_bytes(data: bytes) -> bytes:
+    if len(data) == 1 and data[0] < 0x80:
+        return data
+    return _length_prefix(len(data), 0x80) + data
+
+
+def _length_prefix(length: int, offset: int) -> bytes:
+    if length < 56:
+        return bytes([offset + length])
+    length_bytes = encode_int(length)
+    return bytes([offset + 55 + len(length_bytes)]) + length_bytes
+
+
+def _decode_at(data: bytes, pos: int) -> tuple[Item, int]:
+    if pos >= len(data):
+        raise RLPDecodingError("unexpected end of input")
+    prefix = data[pos]
+    if prefix < 0x80:  # single byte literal
+        return bytes([prefix]), pos + 1
+    if prefix < 0xB8:  # short string
+        length = prefix - 0x80
+        chunk = _take(data, pos + 1, length)
+        if length == 1 and chunk[0] < 0x80:
+            raise RLPDecodingError("non-canonical single byte encoding")
+        return chunk, pos + 1 + length
+    if prefix < 0xC0:  # long string
+        len_of_len = prefix - 0xB7
+        length = _read_length(data, pos + 1, len_of_len)
+        start = pos + 1 + len_of_len
+        return _take(data, start, length), start + length
+    if prefix < 0xF8:  # short list
+        length = prefix - 0xC0
+        return _decode_list(data, pos + 1, length)
+    # long list
+    len_of_len = prefix - 0xF7
+    length = _read_length(data, pos + 1, len_of_len)
+    return _decode_list(data, pos + 1 + len_of_len, length)
+
+
+def _decode_list(data: bytes, start: int, length: int) -> tuple[Item, int]:
+    end = start + length
+    if end > len(data):
+        raise RLPDecodingError("list payload exceeds input")
+    items: list[Item] = []
+    pos = start
+    while pos < end:
+        item, pos = _decode_at(data, pos)
+        if pos > end:
+            raise RLPDecodingError("list item exceeds list payload")
+        items.append(item)
+    return items, end
+
+
+def _read_length(data: bytes, pos: int, len_of_len: int) -> int:
+    raw = _take(data, pos, len_of_len)
+    if raw and raw[0] == 0:
+        raise RLPDecodingError("length encoding has leading zero byte")
+    length = int.from_bytes(raw, "big")
+    if length < 56:
+        raise RLPDecodingError("non-canonical long-form length")
+    return length
+
+
+def _take(data: bytes, pos: int, length: int) -> bytes:
+    if pos + length > len(data):
+        raise RLPDecodingError("payload exceeds input")
+    return data[pos : pos + length]

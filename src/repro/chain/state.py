@@ -1,0 +1,241 @@
+"""The world state: account store with journaling and access tracking.
+
+Two capabilities the rest of the system leans on:
+
+* **Journaling / snapshots** — transaction atomicity: a frame that runs out
+  of gas or REVERTs rolls back exactly its own writes (paper section 3.3.6:
+  "If an exception occurs, the modified state is discarded without
+  affecting the original state").
+* **Access tracking** — every storage/balance/code read and write is
+  recorded into an :class:`AccessSet`. Read/write sets are how the
+  consensus stage discovers the inter-transaction dependency DAG that the
+  spatio-temporal scheduler consumes (paper section 2.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .account import Account
+
+# Journal entries are (undo_callable) thunks; a snapshot is an index into
+# the journal list.
+_Undo = Callable[[], None]
+
+#: Sentinel slot used in access sets for balance/nonce/code-level accesses
+#: (as opposed to a concrete storage slot).
+BALANCE_KEY = "balance"
+CODE_KEY = "code"
+
+
+@dataclass
+class AccessSet:
+    """Read and write sets of one transaction execution.
+
+    Keys are ``(address, slot)`` pairs where ``slot`` is either a storage
+    slot number or one of the sentinels :data:`BALANCE_KEY` /
+    :data:`CODE_KEY`.
+    """
+
+    reads: set[tuple[int, int | str]] = field(default_factory=set)
+    writes: set[tuple[int, int | str]] = field(default_factory=set)
+
+    def conflicts_with(self, other: "AccessSet") -> bool:
+        """True when the two transactions cannot be reordered freely.
+
+        Conflict = write/write, read/write or write/read overlap — the
+        standard serializability condition used to build the paper's DAG.
+        """
+        if self.writes & other.writes:
+            return True
+        if self.writes & other.reads:
+            return True
+        if self.reads & other.writes:
+            return True
+        return False
+
+    def merge(self, other: "AccessSet") -> None:
+        """Fold another access set (e.g. a child call frame) into this one."""
+        self.reads |= other.reads
+        self.writes |= other.writes
+
+
+class WorldState:
+    """Mutable account store backing transaction execution."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[int, Account] = {}
+        self._journal: list[_Undo] = []
+        self.access: AccessSet | None = None
+
+    # -- account lifecycle -------------------------------------------------
+    def account(self, address: int) -> Account:
+        """Fetch (creating lazily) the account at *address*."""
+        acct = self._accounts.get(address)
+        if acct is None:
+            acct = Account()
+            self._accounts[address] = acct
+            self._journal.append(lambda: self._accounts.pop(address, None))
+        return acct
+
+    def account_exists(self, address: int) -> bool:
+        """True if the account exists and is non-empty."""
+        acct = self._accounts.get(address)
+        return acct is not None and not acct.is_empty
+
+    def delete_account(self, address: int) -> None:
+        """SELFDESTRUCT: remove the account entirely."""
+        acct = self._accounts.pop(address, None)
+        if acct is not None:
+            self._journal.append(
+                lambda: self._accounts.__setitem__(address, acct)
+            )
+        self._record_write(address, CODE_KEY)
+        self._record_write(address, BALANCE_KEY)
+
+    def addresses(self) -> list[int]:
+        """All known account addresses (sorted, deterministic)."""
+        return sorted(self._accounts)
+
+    # -- balances ------------------------------------------------------------
+    def get_balance(self, address: int) -> int:
+        self._record_read(address, BALANCE_KEY)
+        acct = self._accounts.get(address)
+        return acct.balance if acct else 0
+
+    def set_balance(self, address: int, value: int) -> None:
+        acct = self.account(address)
+        old = acct.balance
+        if old != value:
+            self._journal.append(lambda: setattr(acct, "balance", old))
+            acct.balance = value
+        self._record_write(address, BALANCE_KEY)
+
+    def transfer(self, sender: int, recipient: int, value: int) -> None:
+        """Move *value* tokens; raises ValueError on insufficient balance."""
+        if value == 0:
+            return
+        if self.get_balance(sender) < value:
+            raise ValueError(f"insufficient balance at {sender:#x}")
+        self.set_balance(sender, self.get_balance(sender) - value)
+        self.set_balance(recipient, self.get_balance(recipient) + value)
+
+    # -- nonces ----------------------------------------------------------------
+    def get_nonce(self, address: int) -> int:
+        acct = self._accounts.get(address)
+        return acct.nonce if acct else 0
+
+    def increment_nonce(self, address: int) -> None:
+        acct = self.account(address)
+        old = acct.nonce
+        self._journal.append(lambda: setattr(acct, "nonce", old))
+        acct.nonce = old + 1
+
+    # -- code -------------------------------------------------------------------
+    def get_code(self, address: int) -> bytes:
+        self._record_read(address, CODE_KEY)
+        acct = self._accounts.get(address)
+        return acct.code if acct else b""
+
+    def set_code(self, address: int, code: bytes) -> None:
+        acct = self.account(address)
+        old = acct.code
+        self._journal.append(lambda: setattr(acct, "code", old))
+        acct.code = code
+        self._record_write(address, CODE_KEY)
+
+    # -- storage ------------------------------------------------------------------
+    def get_storage(self, address: int, slot: int) -> int:
+        self._record_read(address, slot)
+        acct = self._accounts.get(address)
+        if acct is None:
+            return 0
+        return acct.storage.get(slot, 0)
+
+    def set_storage(self, address: int, slot: int, value: int) -> None:
+        acct = self.account(address)
+        old = acct.storage.get(slot)
+
+        def undo() -> None:
+            if old is None:
+                acct.storage.pop(slot, None)
+            else:
+                acct.storage[slot] = old
+
+        self._journal.append(undo)
+        if value == 0:
+            acct.storage.pop(slot, None)
+        else:
+            acct.storage[slot] = value
+        self._record_write(address, slot)
+
+    # -- journaling -------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Mark a rollback point; returns an opaque token for revert()."""
+        return len(self._journal)
+
+    def revert(self, token: int) -> None:
+        """Undo all writes made since snapshot *token*."""
+        while len(self._journal) > token:
+            self._journal.pop()()
+
+    def commit(self, token: int) -> None:
+        """Discard undo entries newer than *token* (writes become final
+        relative to that snapshot; outer snapshots can still revert them)."""
+        # Journal entries must be kept so outer frames can still revert;
+        # commit is a no-op by design. It exists to make call-frame intent
+        # explicit at the interpreter layer.
+        del token
+
+    def clear_journal(self) -> None:
+        """Drop all undo history (call between transactions)."""
+        self._journal.clear()
+
+    # -- access tracking -----------------------------------------------------------
+    def begin_access_tracking(self) -> AccessSet:
+        """Start recording reads/writes into a fresh access set."""
+        self.access = AccessSet()
+        return self.access
+
+    def end_access_tracking(self) -> AccessSet:
+        """Stop recording and return the collected access set."""
+        access, self.access = self.access, None
+        if access is None:
+            raise RuntimeError("access tracking was not active")
+        return access
+
+    def _record_read(self, address: int, slot: int | str) -> None:
+        if self.access is not None:
+            self.access.reads.add((address, slot))
+
+    def _record_write(self, address: int, slot: int | str) -> None:
+        if self.access is not None:
+            self.access.writes.add((address, slot))
+
+    # -- copying -------------------------------------------------------------------
+    def copy(self) -> "WorldState":
+        """Deep copy with a fresh (empty) journal."""
+        clone = WorldState()
+        clone._accounts = {
+            addr: acct.copy() for addr, acct in self._accounts.items()
+        }
+        return clone
+
+    def state_digest(self) -> tuple:
+        """A hashable, order-independent summary of the full state.
+
+        Used by tests to assert that two execution schedules produced the
+        same final state (serializability).
+        """
+        return tuple(
+            (
+                addr,
+                acct.nonce,
+                acct.balance,
+                acct.code,
+                tuple(sorted(acct.storage.items())),
+            )
+            for addr, acct in sorted(self._accounts.items())
+            if not acct.is_empty
+        )

@@ -1,0 +1,84 @@
+"""Transactions (paper Fig. 3(a) / Table 4).
+
+A transaction is either a plain token transfer or a smart-contract
+invocation (SCT). The *To* field selects the callee contract and the
+*Input* data carries the 4-byte function identifier plus ABI-encoded
+arguments — exactly the information the spatio-temporal scheduler uses for
+pre-static analysis (paper section 2.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto import keccak256
+from . import rlp
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable transaction record."""
+
+    sender: int  # From
+    to: int | None  # None => contract creation
+    nonce: int = 0
+    gas_limit: int = 10_000_000
+    gas_price: int = 1
+    value: int = 0  # CallValue
+    data: bytes = b""  # Input: selector + ABI args (or init code)
+    # Metadata attached by workload generation (not part of the wire format):
+    tags: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def is_create(self) -> bool:
+        """True for contract-creation transactions."""
+        return self.to is None
+
+    @property
+    def selector(self) -> bytes | None:
+        """The function identifier (first 4 bytes of Input), if present."""
+        if self.is_create or len(self.data) < 4:
+            return None
+        return self.data[:4]
+
+    def to_rlp(self) -> bytes:
+        """RLP wire encoding (paper: transactions are RLP transported)."""
+        # Addresses are fixed 20-byte fields (as in Ethereum): this keeps
+        # the zero address distinguishable from the empty `to` of a
+        # contract-creation transaction.
+        fields = [
+            rlp.encode_int(self.nonce),
+            rlp.encode_int(self.gas_price),
+            rlp.encode_int(self.gas_limit),
+            self.sender.to_bytes(20, "big"),
+            b"" if self.to is None else self.to.to_bytes(20, "big"),
+            rlp.encode_int(self.value),
+            self.data,
+        ]
+        return rlp.encode(fields)
+
+    @classmethod
+    def from_rlp(cls, blob: bytes) -> "Transaction":
+        """Decode a transaction from its RLP wire encoding."""
+        item = rlp.decode(blob)
+        if not isinstance(item, list) or len(item) != 7:
+            raise rlp.RLPDecodingError("transaction must be a 7-item list")
+        nonce, gas_price, gas_limit, sender, to, value, data = item
+        return cls(
+            sender=int.from_bytes(sender, "big"),
+            to=None if to == b"" else int.from_bytes(to, "big"),
+            nonce=rlp.decode_int(nonce),
+            gas_limit=rlp.decode_int(gas_limit),
+            gas_price=rlp.decode_int(gas_price),
+            value=rlp.decode_int(value),
+            data=data,
+        )
+
+    def hash(self) -> bytes:
+        """Transaction hash over the wire encoding."""
+        return keccak256(self.to_rlp())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        dest = "CREATE" if self.to is None else f"{self.to:#x}"
+        sel = self.selector.hex() if self.selector else "-"
+        return f"<Tx {self.sender:#x}->{dest} sel={sel} value={self.value}>"

@@ -1,0 +1,108 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig12 table7
+    python -m repro run all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from . import experiments
+
+#: CLI name -> experiment callable.
+EXPERIMENTS = {
+    "table1": experiments.table1_ethereum_stats,
+    "fig2": experiments.fig2_consensus,
+    "table2": experiments.table2_bytecode_share,
+    "table5": experiments.table5_area,
+    "table6": experiments.table6_instruction_mix,
+    "fig12": experiments.fig12_ilp_ablation,
+    "fig13": experiments.fig13_cache_hit_ratio,
+    "table7": experiments.table7_ipc,
+    "fig14": experiments.fig14_scheduling_speedup,
+    "fig15": experiments.fig15_utilization,
+    "fig16": experiments.fig16_redundancy_hotspot,
+    "table8": experiments.table8_bpu_erc20,
+    "table9": experiments.table9_bpu_parallel,
+    "headline": experiments.headline_speedup,
+    # Design-choice ablations beyond the paper's own figures.
+    "ablation-window": experiments.ablation_window_size,
+    "ablation-statebuffer": experiments.ablation_state_buffer,
+    "ablation-unitcap": experiments.ablation_unit_capacity,
+    "ablation-selection": experiments.ablation_selection_overhead,
+    "ablation-pus": experiments.ablation_pu_scaling,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the MTPU paper's tables and figures on "
+                    "the Python reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run experiments and print tables")
+    run.add_argument(
+        "names", nargs="+",
+        help="experiment ids (e.g. fig12 table7), or 'all'",
+    )
+    run.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write each rendered table to this directory",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="with --out, additionally write machine-readable JSON",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name, fn in EXPERIMENTS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {summary}")
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name]()
+        elapsed = time.time() - started
+        rendered = result.render()
+        print(rendered)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(rendered + "\n")
+            if args.json:
+                (args.out / f"{name}.json").write_text(
+                    json.dumps(result.to_dict(), indent=2) + "\n"
+                )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Contract substrate: assembler, compiler and the synthetic TOP8 suite."""
+
+from .asm import AssemblyError, assemble, label_addresses
+from .disasm import disassemble
+from .lang.compiler import CompiledContract, CompiledFunction, compile_contract
+from .registry import (
+    Deployment,
+    DeployedContract,
+    ERC20_NAMES,
+    TOP8_NAMES,
+    build_deployment,
+    compile_suite,
+)
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "label_addresses",
+    "disassemble",
+    "CompiledContract",
+    "CompiledFunction",
+    "compile_contract",
+    "Deployment",
+    "DeployedContract",
+    "ERC20_NAMES",
+    "TOP8_NAMES",
+    "build_deployment",
+    "compile_suite",
+]

@@ -1,0 +1,190 @@
+"""A two-pass EVM assembler.
+
+The contract suite (our stand-ins for the paper's TOP8 Ethereum contracts)
+is authored either directly in this assembly or through the
+:mod:`repro.contracts.lang` compiler, which emits it.
+
+Syntax, one statement per line::
+
+    ; comment (also //-style)
+    label:              ; defines a jump target (emits JUMPDEST)
+    PUSH 0x42           ; auto-sized push
+    PUSH4 0xcc80f6f3    ; explicitly sized push
+    PUSH @label         ; push a label address (fixed PUSH2)
+    JUMPI
+    STOP
+
+Labels always emit a JUMPDEST so every target is a valid destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..evm import opcodes
+
+#: Width used for label-address pushes (code is always < 64 KiB here).
+LABEL_PUSH_WIDTH = 2
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+@dataclass(frozen=True)
+class _Statement:
+    line_number: int
+    label: str | None = None
+    mnemonic: str | None = None
+    operand: int | None = None
+    operand_label: str | None = None
+    push_width: int | None = None
+
+
+def _parse_line(line: str, line_number: int) -> list[_Statement]:
+    code = line.split(";", 1)[0].split("//", 1)[0].strip()
+    if not code:
+        return []
+    statements: list[_Statement] = []
+    if code.endswith(":"):
+        label = code[:-1].strip()
+        if not label.isidentifier():
+            raise AssemblyError(f"line {line_number}: bad label {label!r}")
+        return [_Statement(line_number, label=label)]
+
+    parts = code.split()
+    mnemonic = parts[0].upper()
+    operand: int | None = None
+    operand_label: str | None = None
+    push_width: int | None = None
+
+    if mnemonic.startswith("PUSH"):
+        suffix = mnemonic[4:]
+        if suffix:
+            try:
+                push_width = int(suffix)
+            except ValueError as exc:
+                raise AssemblyError(
+                    f"line {line_number}: bad push width {suffix!r}"
+                ) from exc
+            if not 1 <= push_width <= 32:
+                raise AssemblyError(
+                    f"line {line_number}: push width {push_width} out of range"
+                )
+        mnemonic = "PUSH"
+        if len(parts) != 2:
+            raise AssemblyError(f"line {line_number}: PUSH needs one operand")
+        token = parts[1]
+        if token.startswith("@"):
+            operand_label = token[1:]
+            push_width = push_width or LABEL_PUSH_WIDTH
+        else:
+            operand = _parse_int(token, line_number)
+    else:
+        if len(parts) != 1:
+            raise AssemblyError(
+                f"line {line_number}: {mnemonic} takes no operand"
+            )
+        if mnemonic not in opcodes.BY_NAME:
+            raise AssemblyError(
+                f"line {line_number}: unknown mnemonic {mnemonic!r}"
+            )
+
+    statements.append(
+        _Statement(
+            line_number,
+            mnemonic=mnemonic,
+            operand=operand,
+            operand_label=operand_label,
+            push_width=push_width,
+        )
+    )
+    return statements
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(
+            f"line {line_number}: bad integer {token!r}"
+        ) from exc
+
+
+def _push_width_for(value: int) -> int:
+    if value < 0:
+        raise AssemblyError(f"negative push operand {value}")
+    return max(1, (value.bit_length() + 7) // 8)
+
+
+def _statement_size(stmt: _Statement) -> int:
+    if stmt.label is not None:
+        return 1  # JUMPDEST
+    if stmt.mnemonic == "PUSH":
+        if stmt.operand_label is not None:
+            return 1 + (stmt.push_width or LABEL_PUSH_WIDTH)
+        width = stmt.push_width or _push_width_for(stmt.operand or 0)
+        return 1 + width
+    return 1
+
+
+def assemble(source: str) -> bytes:
+    """Assemble a source string into bytecode."""
+    statements: list[_Statement] = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        statements.extend(_parse_line(line, line_number))
+
+    # Pass 1: assign byte offsets and collect label addresses.
+    labels: dict[str, int] = {}
+    offset = 0
+    for stmt in statements:
+        if stmt.label is not None:
+            if stmt.label in labels:
+                raise AssemblyError(
+                    f"line {stmt.line_number}: duplicate label {stmt.label!r}"
+                )
+            labels[stmt.label] = offset
+        offset += _statement_size(stmt)
+
+    # Pass 2: emit bytes.
+    output = bytearray()
+    for stmt in statements:
+        if stmt.label is not None:
+            output.append(opcodes.BY_NAME["JUMPDEST"].value)
+            continue
+        if stmt.mnemonic == "PUSH":
+            if stmt.operand_label is not None:
+                if stmt.operand_label not in labels:
+                    raise AssemblyError(
+                        f"line {stmt.line_number}: undefined label "
+                        f"{stmt.operand_label!r}"
+                    )
+                value = labels[stmt.operand_label]
+                width = stmt.push_width or LABEL_PUSH_WIDTH
+            else:
+                value = stmt.operand or 0
+                width = stmt.push_width or _push_width_for(value)
+            if value >= 1 << (8 * width):
+                raise AssemblyError(
+                    f"line {stmt.line_number}: operand {value:#x} does not "
+                    f"fit PUSH{width}"
+                )
+            output.append(opcodes.BY_NAME[f"PUSH{width}"].value)
+            output.extend(value.to_bytes(width, "big"))
+            continue
+        output.append(opcodes.BY_NAME[stmt.mnemonic].value)
+    return bytes(output)
+
+
+def label_addresses(source: str) -> dict[str, int]:
+    """Map label name -> byte offset (useful for chunking and tests)."""
+    statements: list[_Statement] = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        statements.extend(_parse_line(line, line_number))
+    labels: dict[str, int] = {}
+    offset = 0
+    for stmt in statements:
+        if stmt.label is not None:
+            labels[stmt.label] = offset
+        offset += _statement_size(stmt)
+    return labels

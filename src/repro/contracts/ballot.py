@@ -1,0 +1,156 @@
+"""Ballot: the Solidity-by-example voting contract (paper Table 2)."""
+
+from __future__ import annotations
+
+from .lang import (
+    Arg,
+    Assign,
+    Bin,
+    Caller,
+    Const,
+    ContractDef,
+    FunctionDef,
+    If,
+    Local,
+    MapLoad,
+    MapStore,
+    Require,
+    Return,
+    SLoad,
+    Stop,
+)
+from .lang.compiler import CompiledContract, compile_contract
+
+
+def make_ballot() -> CompiledContract:
+    """Vote for a proposal; weighted by giveRightToVote; one vote each."""
+    definition = ContractDef(
+        name="Ballot",
+        scalars=["chairperson", "proposal_count"],
+        mappings=[
+            "voter_weight",  # voter -> weight
+            "voter_voted",  # voter -> 0/1
+            "voter_choice",  # voter -> proposal voted for
+            "voter_delegate",  # voter -> delegate address
+            "vote_counts",  # proposal -> accumulated weight
+        ],
+        functions=[
+            FunctionDef(
+                "giveRightToVote(address)",
+                [
+                    Require(Caller().eq(SLoad("chairperson"))),
+                    Require(MapLoad("voter_voted", Arg(0)).eq(0)),
+                    MapStore("voter_weight", Arg(0), Const(1)),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "vote(uint256)",
+                [
+                    Assign("weight", MapLoad("voter_weight", Caller())),
+                    Require(Local("weight").gt(0)),
+                    Require(MapLoad("voter_voted", Caller()).eq(0)),
+                    Require(Arg(0).lt(SLoad("proposal_count"))),
+                    MapStore("voter_voted", Caller(), Const(1)),
+                    MapStore("voter_choice", Caller(), Arg(0)),
+                    MapStore(
+                        "vote_counts",
+                        Arg(0),
+                        MapLoad("vote_counts", Arg(0)) + Local("weight"),
+                    ),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "delegate(address)",
+                # Follow the delegation chain (bounded walk), then move
+                # this voter's weight to the final delegate — the real
+                # Ballot's recursive delegation, iteratively.
+                [
+                    Assign("weight", MapLoad("voter_weight", Caller())),
+                    Require(Local("weight").gt(0)),
+                    Require(MapLoad("voter_voted", Caller()).eq(0)),
+                    Require(Arg(0).ne(Caller())),
+                    Assign("target", Arg(0)),
+                    Assign("hops", Const(0)),
+                    _follow_delegation_loop(),
+                    Require(Local("target").ne(Caller())),
+                    MapStore("voter_voted", Caller(), Const(1)),
+                    MapStore("voter_delegate", Caller(), Local("target")),
+                    If(
+                        MapLoad("voter_voted", Local("target")).eq(1),
+                        # Delegate already voted: add weight to their
+                        # chosen proposal.
+                        [
+                            MapStore(
+                                "vote_counts",
+                                MapLoad("voter_choice", Local("target")),
+                                MapLoad(
+                                    "vote_counts",
+                                    MapLoad("voter_choice",
+                                            Local("target")),
+                                )
+                                + Local("weight"),
+                            ),
+                        ],
+                        [
+                            MapStore(
+                                "voter_weight",
+                                Local("target"),
+                                MapLoad("voter_weight", Local("target"))
+                                + Local("weight"),
+                            ),
+                        ],
+                    ),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "winningProposal()",
+                [
+                    Assign("winner", Const(0)),
+                    Assign("best", MapLoad("vote_counts", Const(0))),
+                    Assign("i", Const(1)),
+                    # Linear scan — the rare loop in the suite, exercising
+                    # backward branches in the DB cache.
+                    _scan_loop(),
+                    Return(Local("winner")),
+                ],
+            ),
+        ],
+    )
+    return compile_contract(definition)
+
+
+def _follow_delegation_loop():
+    from .lang import If, While
+
+    return While(
+        Bin("&",
+            MapLoad("voter_delegate", Local("target")).ne(0),
+            Local("hops").lt(8)),
+        [
+            Assign("target",
+                   MapLoad("voter_delegate", Local("target"))),
+            Assign("hops", Local("hops") + 1),
+        ],
+    )
+
+
+def _scan_loop():
+    from .lang import If, While
+
+    return While(
+        Local("i").lt(SLoad("proposal_count")),
+        [
+            Assign("count", MapLoad("vote_counts", Local("i"))),
+            If(
+                Local("count").gt(Local("best")),
+                [
+                    Assign("best", Local("count")),
+                    Assign("winner", Local("i")),
+                ],
+            ),
+            Assign("i", Local("i") + 1),
+        ],
+    )

@@ -1,0 +1,275 @@
+"""CryptoCat: a CryptoKitties-style collectible with sale auctions.
+
+The paper's motivation section uses CryptoCat as the canonical
+once-hot-now-cold contract (peak 14% of all transactions); Table 2 uses
+its ``createSaleAuction``. We implement breeding-free collectibles with a
+declining-price ("Dutch") sale auction.
+"""
+
+from __future__ import annotations
+
+from .lang import (
+    Arg,
+    Assign,
+    Bin,
+    CallValue,
+    Caller,
+    Const,
+    ContractDef,
+    Emit,
+    FunctionDef,
+    If,
+    Local,
+    MapLoad,
+    MapStore,
+    Require,
+    Return,
+    SLoad,
+    SStore,
+    Sha3,
+    Stop,
+    Timestamp,
+    TransferNative,
+)
+from .lang.compiler import CompiledContract, compile_contract
+
+AUCTION_CREATED_EVENT = "AuctionCreated(uint256,uint256,uint256)"
+AUCTION_SUCCESSFUL_EVENT = "AuctionSuccessful(uint256,uint256,address)"
+
+#: Gene layout: eight 32-bit segments per 256-bit genome.
+GENE_SEGMENTS = 8
+SEGMENT_BITS = 32
+SEGMENT_MASK = (1 << SEGMENT_BITS) - 1
+
+
+def _gene_mixing_loop():
+    """Per-segment crossover: each 32-bit segment comes from the matron
+    or the sire depending on one entropy bit, with a small mutation term
+    — dense MUL/DIV/MOD/AND work, like the real mixGenes."""
+    from .lang import Bin, If, While
+
+    def segment_of(source):
+        # (source / 2^(32*i)) % 2^32
+        return Bin("%", Bin("/", source, Local("shift")),
+                   Const(1 << SEGMENT_BITS))
+
+    return While(
+        Local("i").lt(GENE_SEGMENTS),
+        [
+            # shift = 2^(32*i), maintained multiplicatively.
+            If(
+                Local("i").eq(0),
+                [Assign("shift", Const(1))],
+                [Assign("shift",
+                        Local("shift") * (1 << SEGMENT_BITS))],
+            ),
+            Assign("coin",
+                   Bin("%", Bin("/", Local("entropy"), Local("shift")),
+                       Const(2))),
+            If(
+                Local("coin").eq(0),
+                [Assign("segment", segment_of(Local("matron_genes")))],
+                [Assign("segment", segment_of(Local("sire_genes")))],
+            ),
+            # Rare mutation: perturb the segment from the entropy word.
+            If(
+                Bin("%", Bin("/", Local("entropy"), Local("shift")),
+                    Const(16)).eq(7),
+                [
+                    Assign(
+                        "segment",
+                        Bin("%",
+                            Local("segment")
+                            + Bin("%", Local("entropy"), Const(251)),
+                            Const(1 << SEGMENT_BITS)),
+                    )
+                ],
+            ),
+            Assign("child_genes",
+                   Local("child_genes")
+                   + Local("segment") * Local("shift")),
+            Assign("i", Local("i") + 1),
+        ],
+    )
+
+
+def make_cryptocat() -> CompiledContract:
+    """Collectible registry + Dutch-auction marketplace in one contract."""
+    definition = ContractDef(
+        name="CryptoCat",
+        scalars=["next_cat_id", "auction_duration"],
+        mappings=[
+            "cat_owner",  # catId -> owner
+            "cat_genes",  # catId -> genes word
+            "auction_start_price",  # catId -> starting price
+            "auction_end_price",  # catId -> floor price
+            "auction_started_at",  # catId -> timestamp (0 = none)
+            "auction_seller",  # catId -> seller
+        ],
+        functions=[
+            FunctionDef(
+                "createCat(uint256)",
+                # createCat(genes) -> catId
+                [
+                    Assign("cat_id", SLoad("next_cat_id")),
+                    MapStore("cat_owner", Local("cat_id"), Caller()),
+                    MapStore("cat_genes", Local("cat_id"), Arg(0)),
+                    SStore("next_cat_id", Local("cat_id") + 1),
+                    Return(Local("cat_id")),
+                ],
+            ),
+            FunctionDef(
+                "createSaleAuction(uint256,uint256,uint256)",
+                # createSaleAuction(catId, startPrice, endPrice)
+                [
+                    Require(MapLoad("cat_owner", Arg(0)).eq(Caller())),
+                    Require(MapLoad("auction_started_at", Arg(0)).eq(0)),
+                    Require(Arg(1).ge(Arg(2))),
+                    MapStore("auction_start_price", Arg(0), Arg(1)),
+                    MapStore("auction_end_price", Arg(0), Arg(2)),
+                    MapStore("auction_started_at", Arg(0), Timestamp()),
+                    MapStore("auction_seller", Arg(0), Caller()),
+                    # Escrow the cat with the contract itself.
+                    MapStore("cat_owner", Arg(0), Const(0)),
+                    Emit(AUCTION_CREATED_EVENT, data=[Arg(0), Arg(1)]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "bid(uint256)",
+                # bid(catId) payable — price declines linearly to the floor.
+                [
+                    Assign("started", MapLoad("auction_started_at", Arg(0))),
+                    Require(Local("started").gt(0)),
+                    Assign("elapsed", Timestamp() - Local("started")),
+                    Assign("start_price",
+                           MapLoad("auction_start_price", Arg(0))),
+                    Assign("end_price", MapLoad("auction_end_price", Arg(0))),
+                    Assign("duration", SLoad("auction_duration")),
+                    If(
+                        Local("elapsed").ge(Local("duration")),
+                        [Assign("price", Local("end_price"))],
+                        [
+                            Assign(
+                                "price",
+                                Local("start_price")
+                                - (
+                                    (Local("start_price")
+                                     - Local("end_price"))
+                                    * Local("elapsed")
+                                )
+                                // Local("duration"),
+                            )
+                        ],
+                    ),
+                    Require(CallValue().ge(Local("price"))),
+                    Assign("seller", MapLoad("auction_seller", Arg(0))),
+                    MapStore("auction_started_at", Arg(0), Const(0)),
+                    MapStore("cat_owner", Arg(0), Caller()),
+                    TransferNative(Local("seller"), Local("price")),
+                    Emit(
+                        AUCTION_SUCCESSFUL_EVENT,
+                        topics=[Caller()],
+                        data=[Arg(0), Local("price")],
+                    ),
+                    Stop(),
+                ],
+                payable=True,
+            ),
+            FunctionDef(
+                "giveBirth(uint256,uint256)",
+                # giveBirth(matronId, sireId): mix the parents' genes —
+                # the arithmetic-heavy core of the real CryptoKitties.
+                [
+                    Require(MapLoad("cat_owner", Arg(0)).eq(Caller())),
+                    Require(MapLoad("cat_owner", Arg(1)).ne(0)),
+                    Require(Arg(0).ne(Arg(1))),
+                    Assign("matron_genes", MapLoad("cat_genes", Arg(0))),
+                    Assign("sire_genes", MapLoad("cat_genes", Arg(1))),
+                    Assign("entropy",
+                           Sha3(Local("matron_genes"),
+                                Local("sire_genes") + Timestamp())),
+                    Assign("child_genes", Const(0)),
+                    Assign("i", Const(0)),
+                    _gene_mixing_loop(),
+                    Assign("kitten_id", SLoad("next_cat_id")),
+                    MapStore("cat_owner", Local("kitten_id"), Caller()),
+                    MapStore("cat_genes", Local("kitten_id"),
+                             Local("child_genes")),
+                    SStore("next_cat_id", Local("kitten_id") + 1),
+                    Emit("Birth(address,uint256,uint256,uint256)",
+                         topics=[Caller()],
+                         data=[Local("kitten_id"), Arg(0), Arg(1)]),
+                    Return(Local("kitten_id")),
+                ],
+            ),
+            FunctionDef(
+                "cancelAuction(uint256)",
+                [
+                    Require(MapLoad("auction_started_at", Arg(0)).gt(0)),
+                    Require(
+                        MapLoad("auction_seller", Arg(0)).eq(Caller())
+                    ),
+                    MapStore("auction_started_at", Arg(0), Const(0)),
+                    MapStore("cat_owner", Arg(0), Caller()),
+                    Emit("AuctionCancelled(uint256)", data=[Arg(0)]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "transfer(address,uint256)",
+                # transfer(to, catId): plain collectible transfer.
+                [
+                    Require(MapLoad("cat_owner", Arg(1)).eq(Caller())),
+                    Require(Arg(0).ne(0)),
+                    MapStore("cat_owner", Arg(1), Arg(0)),
+                    Emit("Transfer(address,address,uint256)",
+                         topics=[Caller(), Arg(0)], data=[Arg(1)]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "getAuction(uint256)",
+                # Returns the current computed price of a live auction.
+                [
+                    Assign("started", MapLoad("auction_started_at",
+                                              Arg(0))),
+                    Require(Local("started").gt(0)),
+                    Assign("elapsed", Timestamp() - Local("started")),
+                    Assign("start_price",
+                           MapLoad("auction_start_price", Arg(0))),
+                    Assign("end_price",
+                           MapLoad("auction_end_price", Arg(0))),
+                    Assign("duration", SLoad("auction_duration")),
+                    If(
+                        Local("elapsed").ge(Local("duration")),
+                        [Return(Local("end_price"))],
+                        [
+                            Return(
+                                Local("start_price")
+                                - (
+                                    (Local("start_price")
+                                     - Local("end_price"))
+                                    * Local("elapsed")
+                                )
+                                // Local("duration")
+                            )
+                        ],
+                    ),
+                ],
+            ),
+            FunctionDef(
+                "ownerOf(uint256)",
+                [Return(MapLoad("cat_owner", Arg(0)))],
+            ),
+            FunctionDef(
+                "getGenes(uint256)",
+                [Return(MapLoad("cat_genes", Arg(0)))],
+            ),
+            FunctionDef(
+                "totalSupply()",
+                [Return(SLoad("next_cat_id"))],
+            ),
+        ],
+    )
+    return compile_contract(definition)

@@ -1,0 +1,190 @@
+"""AMM routers: stand-ins for UniswapV2Router02 and SwapRouter.
+
+A router keeps constant-product reserves per (tokenIn, tokenOut) direction
+in nested mappings and moves tokens by calling into the ERC20 contracts —
+the paper's heaviest context-switching workloads (Table 6 shows these two
+contracts with the highest Context switching share).
+
+``UniswapV2Router02`` uses the classic 0.3% fee math; ``SwapRouter``
+(Uniswap V3-flavored) uses 0.05% and adds an exact-output entry point.
+"""
+
+from __future__ import annotations
+
+from .lang import (
+    Arg,
+    Assign,
+    Caller,
+    ContractDef,
+    Emit,
+    ExtCall,
+    FunctionDef,
+    Local,
+    Map2Load,
+    Map2Store,
+    Require,
+    Return,
+    SelfAddress,
+    Stop,
+)
+from .lang.compiler import CompiledContract, compile_contract
+
+SWAP_EVENT = "Swap(address,address,uint256)"
+SYNC_EVENT = "Sync(uint256,uint256)"
+
+
+def _swap_exact_in_body(fee_numerator: int, fee_denominator: int) -> list:
+    """Exact-input swap body: (amountIn, amountOutMin, tokenIn, tokenOut).
+
+    out = (in * fee * R_out) / (R_in * D + in * fee) — Uniswap
+    constant-product math with fee ratio ``fee_numerator/fee_denominator``.
+    """
+    return [
+        Assign("reserve_in", Map2Load("reserves", Arg(2), Arg(3))),
+        Assign("reserve_out", Map2Load("reserves", Arg(3), Arg(2))),
+        Require(Local("reserve_in").gt(0)),
+        Require(Local("reserve_out").gt(0)),
+        Assign("amount_in_with_fee", Arg(0) * fee_numerator),
+        Assign(
+            "amount_out",
+            (Local("amount_in_with_fee") * Local("reserve_out"))
+            // (Local("reserve_in") * fee_denominator
+                + Local("amount_in_with_fee")),
+        ),
+        Require(Local("amount_out").ge(Arg(1))),
+        # Pull the input leg, push the output leg.
+        ExtCall(
+            target=Arg(2),
+            signature="transferFrom(address,address,uint256)",
+            args=[Caller(), SelfAddress(), Arg(0)],
+        ),
+        ExtCall(
+            target=Arg(3),
+            signature="transfer(address,uint256)",
+            args=[Caller(), Local("amount_out")],
+        ),
+        Map2Store("reserves", Arg(2), Arg(3),
+                  Local("reserve_in") + Arg(0)),
+        Map2Store("reserves", Arg(3), Arg(2),
+                  Local("reserve_out") - Local("amount_out")),
+        Emit(SWAP_EVENT, topics=[Caller(), Arg(2)],
+             data=[Local("amount_out")]),
+        Emit(SYNC_EVENT, data=[Local("reserve_in") + Arg(0),
+                               Local("reserve_out") - Local("amount_out")]),
+        Return(Local("amount_out")),
+    ]
+
+
+def _add_liquidity_function() -> FunctionDef:
+    """addLiquidity(tokenA, tokenB, amountA, amountB)."""
+    return FunctionDef(
+        "addLiquidity(address,address,uint256,uint256)",
+        [
+            ExtCall(
+                target=Arg(0),
+                signature="transferFrom(address,address,uint256)",
+                args=[Caller(), SelfAddress(), Arg(2)],
+            ),
+            ExtCall(
+                target=Arg(1),
+                signature="transferFrom(address,address,uint256)",
+                args=[Caller(), SelfAddress(), Arg(3)],
+            ),
+            Map2Store("reserves", Arg(0), Arg(1),
+                      Map2Load("reserves", Arg(0), Arg(1)) + Arg(2)),
+            Map2Store("reserves", Arg(1), Arg(0),
+                      Map2Load("reserves", Arg(1), Arg(0)) + Arg(3)),
+            Emit(SYNC_EVENT, data=[Map2Load("reserves", Arg(0), Arg(1)),
+                                   Map2Load("reserves", Arg(1), Arg(0))]),
+            Stop(),
+        ],
+    )
+
+
+def _get_amount_out_function(
+    fee_numerator: int, fee_denominator: int
+) -> FunctionDef:
+    """getAmountOut(amountIn, tokenIn, tokenOut) — view quote."""
+    return FunctionDef(
+        "getAmountOut(uint256,address,address)",
+        [
+            Assign("reserve_in", Map2Load("reserves", Arg(1), Arg(2))),
+            Assign("reserve_out", Map2Load("reserves", Arg(2), Arg(1))),
+            Require(Local("reserve_in").gt(0)),
+            Assign("amount_in_with_fee", Arg(0) * fee_numerator),
+            Return(
+                (Local("amount_in_with_fee") * Local("reserve_out"))
+                // (Local("reserve_in") * fee_denominator
+                    + Local("amount_in_with_fee"))
+            ),
+        ],
+    )
+
+
+def make_uniswap_router() -> CompiledContract:
+    """UniswapV2Router02-style router (0.3% fee)."""
+    definition = ContractDef(
+        name="UniswapV2Router02",
+        scalars=["factory"],
+        mappings=["reserves"],
+        functions=[
+            FunctionDef(
+                "swapExactTokensForTokens(uint256,uint256,address,address)",
+                _swap_exact_in_body(997, 1000),
+            ),
+            _add_liquidity_function(),
+            _get_amount_out_function(997, 1000),
+        ],
+    )
+    return compile_contract(definition)
+
+
+def make_swap_router() -> CompiledContract:
+    """SwapRouter-style router (0.05% fee tier, plus exact-output)."""
+    definition = ContractDef(
+        name="SwapRouter",
+        scalars=["factory"],
+        mappings=["reserves"],
+        functions=[
+            FunctionDef(
+                "exactInputSingle(uint256,uint256,address,address)",
+                _swap_exact_in_body(9995, 10000),
+            ),
+            FunctionDef(
+                "exactOutputSingle(uint256,uint256,address,address)",
+                # exactOutputSingle(amountOut, amountInMax, tokenIn, tokenOut)
+                [
+                    Assign("reserve_in", Map2Load("reserves", Arg(2), Arg(3))),
+                    Assign("reserve_out",
+                           Map2Load("reserves", Arg(3), Arg(2))),
+                    Require(Local("reserve_out").gt(Arg(0))),
+                    Assign(
+                        "amount_in",
+                        (Local("reserve_in") * Arg(0) * 10000)
+                        // ((Local("reserve_out") - Arg(0)) * 9995)
+                        + 1,
+                    ),
+                    Require(Local("amount_in").le(Arg(1))),
+                    ExtCall(
+                        target=Arg(2),
+                        signature="transferFrom(address,address,uint256)",
+                        args=[Caller(), SelfAddress(), Local("amount_in")],
+                    ),
+                    ExtCall(
+                        target=Arg(3),
+                        signature="transfer(address,uint256)",
+                        args=[Caller(), Arg(0)],
+                    ),
+                    Map2Store("reserves", Arg(2), Arg(3),
+                              Local("reserve_in") + Local("amount_in")),
+                    Map2Store("reserves", Arg(3), Arg(2),
+                              Local("reserve_out") - Arg(0)),
+                    Emit(SWAP_EVENT, topics=[Caller(), Arg(2)],
+                         data=[Arg(0)]),
+                    Return(Local("amount_in")),
+                ],
+            ),
+            _add_liquidity_function(),
+        ],
+    )
+    return compile_contract(definition)

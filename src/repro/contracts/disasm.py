@@ -1,0 +1,16 @@
+"""Disassembler: bytecode back to readable assembly."""
+
+from __future__ import annotations
+
+from ..evm.code import decode
+
+
+def disassemble(code: bytes) -> str:
+    """Human-readable listing, one instruction per line."""
+    lines = []
+    for instr in decode(code):
+        if instr.immediate is not None:
+            lines.append(f"{instr.pc:#06x}: {instr.op.name} {instr.immediate:#x}")
+        else:
+            lines.append(f"{instr.pc:#06x}: {instr.op.name}")
+    return "\n".join(lines)

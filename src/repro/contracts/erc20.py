@@ -1,0 +1,401 @@
+"""ERC20-style token contracts.
+
+Stand-ins for the paper's Tether USD, Dai and LinkToken workloads. The
+core transfer/approve/transferFrom logic is shared; flavors differ the way
+the real contracts do:
+
+* **Tether** charges a basis-point fee routed to the owner and supports
+  owner-gated issue/redeem.
+* **Dai** supports open mint (gated by a wards mapping) and burn.
+* **LinkToken** adds ``transferAndCall``, which invokes a callback on the
+  recipient contract (ERC677) — this exercises the context-switching
+  functional unit.
+"""
+
+from __future__ import annotations
+
+from .lang import (
+    Arg,
+    Assign,
+    Caller,
+    Const,
+    ContractDef,
+    Emit,
+    ExtCall,
+    FunctionDef,
+    If,
+    Local,
+    MapLoad,
+    Map2Load,
+    MapStore,
+    Map2Store,
+    Require,
+    Return,
+    SLoad,
+    SStore,
+    Stop,
+)
+from .lang.compiler import CompiledContract, compile_contract
+
+TRANSFER_EVENT = "Transfer(address,address,uint256)"
+APPROVAL_EVENT = "Approval(address,address,uint256)"
+
+
+def _view_functions() -> list[FunctionDef]:
+    return [
+        FunctionDef(
+            "balanceOf(address)",
+            [Return(MapLoad("balances", Arg(0)))],
+        ),
+        FunctionDef(
+            "allowance(address,address)",
+            [Return(Map2Load("allowances", Arg(0), Arg(1)))],
+        ),
+        FunctionDef("totalSupply()", [Return(SLoad("total_supply"))]),
+    ]
+
+
+def _approve_function() -> FunctionDef:
+    return FunctionDef(
+        "approve(address,uint256)",
+        [
+            Map2Store("allowances", Caller(), Arg(0), Arg(1)),
+            Emit(APPROVAL_EVENT, topics=[Caller(), Arg(0)], data=[Arg(1)]),
+            Return(Const(1)),
+        ],
+    )
+
+
+def _transfer_body(fee_basis_points: bool) -> list:
+    """transfer(to, value) with optional Tether-style owner fee."""
+    statements = [
+        Assign("sender_balance", MapLoad("balances", Caller())),
+        Require(Local("sender_balance").ge(Arg(1))),
+    ]
+    if fee_basis_points:
+        statements += [
+            Assign("fee", (Arg(1) * SLoad("fee_rate")) // 10_000),
+            Assign("send_amount", Arg(1) - Local("fee")),
+            MapStore(
+                "balances", Caller(), Local("sender_balance") - Arg(1)
+            ),
+            Assign("recipient_balance", MapLoad("balances", Arg(0))),
+            Assign("new_recipient_balance",
+                   Local("recipient_balance") + Local("send_amount")),
+            Require(
+                Local("new_recipient_balance").ge(
+                    Local("recipient_balance")
+                )
+            ),
+            MapStore("balances", Arg(0), Local("new_recipient_balance")),
+            If(
+                Local("fee").gt(0),
+                [
+                    MapStore(
+                        "balances",
+                        SLoad("owner"),
+                        MapLoad("balances", SLoad("owner")) + Local("fee"),
+                    ),
+                ],
+            ),
+            Emit(
+                TRANSFER_EVENT,
+                topics=[Caller(), Arg(0)],
+                data=[Local("send_amount")],
+            ),
+            Return(Const(1)),
+        ]
+    else:
+        statements += [
+            MapStore(
+                "balances", Caller(), Local("sender_balance") - Arg(1)
+            ),
+            # Checked addition (SafeMath / Solidity >=0.8 overflow guard).
+            Assign("recipient_balance", MapLoad("balances", Arg(0))),
+            Assign("new_recipient_balance",
+                   Local("recipient_balance") + Arg(1)),
+            Require(
+                Local("new_recipient_balance").ge(
+                    Local("recipient_balance")
+                )
+            ),
+            MapStore("balances", Arg(0), Local("new_recipient_balance")),
+            Emit(TRANSFER_EVENT, topics=[Caller(), Arg(0)], data=[Arg(1)]),
+            Return(Const(1)),
+        ]
+    return statements
+
+
+def _transfer_from_function() -> FunctionDef:
+    return FunctionDef(
+        "transferFrom(address,address,uint256)",
+        [
+            Assign("allowed", Map2Load("allowances", Arg(0), Caller())),
+            Require(Local("allowed").ge(Arg(2))),
+            Assign("from_balance", MapLoad("balances", Arg(0))),
+            Require(Local("from_balance").ge(Arg(2))),
+            Map2Store(
+                "allowances", Arg(0), Caller(), Local("allowed") - Arg(2)
+            ),
+            MapStore("balances", Arg(0), Local("from_balance") - Arg(2)),
+            MapStore(
+                "balances", Arg(1), MapLoad("balances", Arg(1)) + Arg(2)
+            ),
+            Emit(TRANSFER_EVENT, topics=[Arg(0), Arg(1)], data=[Arg(2)]),
+            Return(Const(1)),
+        ],
+    )
+
+
+def make_tether() -> CompiledContract:
+    """Tether USD: fee-charging ERC20 with owner-gated issuance."""
+    definition = ContractDef(
+        name="TetherToken",
+        scalars=["total_supply", "owner", "fee_rate", "paused"],
+        mappings=["balances", "allowances", "blacklist"],
+        functions=[
+            FunctionDef(
+                "transfer(address,uint256)",
+                [
+                    Require(SLoad("paused").eq(0)),
+                    Require(MapLoad("blacklist", Caller()).eq(0)),
+                ]
+                + _transfer_body(fee_basis_points=True),
+            ),
+            _transfer_from_function(),
+            _approve_function(),
+            *_view_functions(),
+            FunctionDef(
+                "issue(uint256)",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    SStore("total_supply", SLoad("total_supply") + Arg(0)),
+                    MapStore(
+                        "balances",
+                        SLoad("owner"),
+                        MapLoad("balances", SLoad("owner")) + Arg(0),
+                    ),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "setParams(uint256)",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    Require(Arg(0).lt(20)),
+                    SStore("fee_rate", Arg(0)),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "redeem(uint256)",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    Assign("owner_balance",
+                           MapLoad("balances", SLoad("owner"))),
+                    Require(Local("owner_balance").ge(Arg(0))),
+                    MapStore("balances", SLoad("owner"),
+                             Local("owner_balance") - Arg(0)),
+                    SStore("total_supply", SLoad("total_supply") - Arg(0)),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "addBlackList(address)",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    MapStore("blacklist", Arg(0), Const(1)),
+                    Emit("AddedBlackList(address)", topics=[Arg(0)]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "removeBlackList(address)",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    MapStore("blacklist", Arg(0), Const(0)),
+                    Emit("RemovedBlackList(address)", topics=[Arg(0)]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "destroyBlackFunds(address)",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    Require(MapLoad("blacklist", Arg(0)).eq(1)),
+                    Assign("funds", MapLoad("balances", Arg(0))),
+                    MapStore("balances", Arg(0), Const(0)),
+                    SStore("total_supply",
+                           SLoad("total_supply") - Local("funds")),
+                    Emit("DestroyedBlackFunds(address,uint256)",
+                         topics=[Arg(0)], data=[Local("funds")]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "isBlackListed(address)",
+                [Return(MapLoad("blacklist", Arg(0)))],
+            ),
+            FunctionDef(
+                "transferOwnership(address)",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    Require(Arg(0).ne(0)),
+                    SStore("owner", Arg(0)),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "pause()",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    SStore("paused", Const(1)),
+                    Emit("Pause()"),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "unpause()",
+                [
+                    Require(Caller().eq(SLoad("owner"))),
+                    SStore("paused", Const(0)),
+                    Emit("Unpause()"),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "getOwner()",
+                [Return(SLoad("owner"))],
+            ),
+        ],
+    )
+    return compile_contract(definition)
+
+
+def make_dai() -> CompiledContract:
+    """Dai stablecoin: ERC20 with wards-gated mint and open burn."""
+    definition = ContractDef(
+        name="Dai",
+        scalars=["total_supply"],
+        mappings=["balances", "allowances", "wards"],
+        functions=[
+            FunctionDef(
+                "transfer(address,uint256)",
+                _transfer_body(fee_basis_points=False),
+            ),
+            _transfer_from_function(),
+            _approve_function(),
+            *_view_functions(),
+            FunctionDef(
+                "mint(address,uint256)",
+                [
+                    Require(MapLoad("wards", Caller()).eq(1)),
+                    MapStore(
+                        "balances",
+                        Arg(0),
+                        MapLoad("balances", Arg(0)) + Arg(1),
+                    ),
+                    SStore("total_supply", SLoad("total_supply") + Arg(1)),
+                    Emit(TRANSFER_EVENT, topics=[Const(0), Arg(0)],
+                         data=[Arg(1)]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "burn(address,uint256)",
+                [
+                    Assign("balance", MapLoad("balances", Arg(0))),
+                    Require(Local("balance").ge(Arg(1))),
+                    Require(Caller().eq(Arg(0))),
+                    MapStore("balances", Arg(0), Local("balance") - Arg(1)),
+                    SStore("total_supply", SLoad("total_supply") - Arg(1)),
+                    Emit(TRANSFER_EVENT, topics=[Arg(0), Const(0)],
+                         data=[Arg(1)]),
+                    Stop(),
+                ],
+            ),
+        ],
+    )
+    return compile_contract(definition)
+
+
+def make_link_token() -> CompiledContract:
+    """LinkToken: ERC20 + ERC677 transferAndCall into the recipient."""
+    definition = ContractDef(
+        name="LinkToken",
+        scalars=["total_supply"],
+        mappings=["balances", "allowances"],
+        functions=[
+            FunctionDef(
+                "transfer(address,uint256)",
+                _transfer_body(fee_basis_points=False),
+            ),
+            _transfer_from_function(),
+            _approve_function(),
+            *_view_functions(),
+            FunctionDef(
+                "transferAndCall(address,uint256,uint256)",
+                [
+                    Assign("sender_balance", MapLoad("balances", Caller())),
+                    Require(Local("sender_balance").ge(Arg(1))),
+                    MapStore(
+                        "balances", Caller(), Local("sender_balance") - Arg(1)
+                    ),
+                    MapStore(
+                        "balances",
+                        Arg(0),
+                        MapLoad("balances", Arg(0)) + Arg(1),
+                    ),
+                    Emit(TRANSFER_EVENT, topics=[Caller(), Arg(0)],
+                         data=[Arg(1)]),
+                    ExtCall(
+                        target=Arg(0),
+                        signature="onTokenTransfer(address,uint256,uint256)",
+                        args=[Caller(), Arg(1), Arg(2)],
+                    ),
+                    Return(Const(1)),
+                ],
+            ),
+        ],
+    )
+    return compile_contract(definition)
+
+
+def make_plain_erc20(name: str) -> CompiledContract:
+    """A minimal ERC20 (used for DEX pair legs and generic tokens)."""
+    definition = ContractDef(
+        name=name,
+        scalars=["total_supply"],
+        mappings=["balances", "allowances"],
+        functions=[
+            FunctionDef(
+                "transfer(address,uint256)",
+                _transfer_body(fee_basis_points=False),
+            ),
+            _transfer_from_function(),
+            _approve_function(),
+            *_view_functions(),
+        ],
+    )
+    return compile_contract(definition)
+
+
+def make_oracle_receiver() -> CompiledContract:
+    """ERC677 receiver used as LinkToken's callback target."""
+    definition = ContractDef(
+        name="OracleReceiver",
+        scalars=["request_count"],
+        mappings=["requests"],
+        functions=[
+            FunctionDef(
+                "onTokenTransfer(address,uint256,uint256)",
+                [
+                    Assign("count", SLoad("request_count")),
+                    MapStore("requests", Local("count"), Arg(2)),
+                    SStore("request_count", Local("count") + 1),
+                    Return(Const(1)),
+                ],
+            ),
+        ],
+    )
+    return compile_contract(definition)

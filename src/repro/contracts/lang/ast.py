@@ -1,0 +1,318 @@
+"""AST for the contract language.
+
+Expressions evaluate to one 256-bit word on the EVM stack; statements
+manage storage, locals (compiled to fixed memory slots), control flow,
+events and external calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Expr:
+    """Base class for expressions (one stack word)."""
+
+    # Operator sugar so contract bodies read naturally.
+    def __add__(self, other: "Expr | int") -> "Bin":
+        return Bin("+", self, _wrap(other))
+
+    def __sub__(self, other: "Expr | int") -> "Bin":
+        return Bin("-", self, _wrap(other))
+
+    def __mul__(self, other: "Expr | int") -> "Bin":
+        return Bin("*", self, _wrap(other))
+
+    def __floordiv__(self, other: "Expr | int") -> "Bin":
+        return Bin("/", self, _wrap(other))
+
+    def __mod__(self, other: "Expr | int") -> "Bin":
+        return Bin("%", self, _wrap(other))
+
+    def __and__(self, other: "Expr | int") -> "Bin":
+        return Bin("&", self, _wrap(other))
+
+    def __or__(self, other: "Expr | int") -> "Bin":
+        return Bin("|", self, _wrap(other))
+
+    def lt(self, other: "Expr | int") -> "Bin":
+        return Bin("<", self, _wrap(other))
+
+    def gt(self, other: "Expr | int") -> "Bin":
+        return Bin(">", self, _wrap(other))
+
+    def le(self, other: "Expr | int") -> "Bin":
+        return Bin("<=", self, _wrap(other))
+
+    def ge(self, other: "Expr | int") -> "Bin":
+        return Bin(">=", self, _wrap(other))
+
+    def eq(self, other: "Expr | int") -> "Bin":
+        return Bin("==", self, _wrap(other))
+
+    def ne(self, other: "Expr | int") -> "Bin":
+        return Bin("!=", self, _wrap(other))
+
+
+def _wrap(value: "Expr | int") -> "Expr":
+    return value if isinstance(value, Expr) else Const(value)
+
+
+@dataclass
+class Const(Expr):
+    """A literal 256-bit constant."""
+
+    value: int
+
+
+@dataclass
+class Arg(Expr):
+    """The i-th calldata argument (CALLDATALOAD at 4 + 32*i)."""
+
+    index: int
+
+
+@dataclass
+class Local(Expr):
+    """A named local variable (compiled to an MLOAD of its memory slot)."""
+
+    name: str
+
+
+@dataclass
+class EnvValue(Expr):
+    """A transaction/block attribute (fixed-access instruction)."""
+
+    opcode: str  # e.g. "CALLER", "CALLVALUE", "TIMESTAMP"
+
+
+def Caller() -> EnvValue:
+    """msg.sender."""
+    return EnvValue("CALLER")
+
+
+def CallValue() -> EnvValue:
+    """msg.value."""
+    return EnvValue("CALLVALUE")
+
+
+def Timestamp() -> EnvValue:
+    """block.timestamp."""
+    return EnvValue("TIMESTAMP")
+
+
+def SelfAddress() -> EnvValue:
+    """address(this)."""
+    return EnvValue("ADDRESS")
+
+
+def env(opcode: str) -> EnvValue:
+    """Any zero-operand fixed-access attribute by opcode name."""
+    return EnvValue(opcode)
+
+
+@dataclass
+class SLoad(Expr):
+    """Read a named scalar storage variable."""
+
+    name: str
+
+
+@dataclass
+class MapLoad(Expr):
+    """Read ``mapping[key]`` (slot = keccak(key ‖ map_slot))."""
+
+    map_name: str
+    key: Expr
+
+
+@dataclass
+class Map2Load(Expr):
+    """Read ``mapping[k1][k2]`` (nested Solidity layout)."""
+
+    map_name: str
+    key1: Expr
+    key2: Expr
+
+
+@dataclass
+class BalanceOf(Expr):
+    """Native token balance of an address (BALANCE)."""
+
+    address: Expr
+
+
+@dataclass
+class Bin(Expr):
+    """Binary operation over two expressions."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Not(Expr):
+    """Logical negation (ISZERO)."""
+
+    operand: Expr
+
+
+@dataclass
+class Sha3(Expr):
+    """Hash of two words (SHA3 over a 64-byte scratch region)."""
+
+    first: Expr
+    second: Expr
+
+
+class Statement:
+    """Base class for statements."""
+
+
+@dataclass
+class Assign(Statement):
+    """``local = expr`` (locals live in fixed memory slots)."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class SStore(Statement):
+    """Write a named scalar storage variable."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class MapStore(Statement):
+    """``mapping[key] = value``."""
+
+    map_name: str
+    key: Expr
+    value: Expr
+
+
+@dataclass
+class Map2Store(Statement):
+    """``mapping[k1][k2] = value``."""
+
+    map_name: str
+    key1: Expr
+    key2: Expr
+    value: Expr
+
+
+@dataclass
+class Require(Statement):
+    """Revert the transaction unless the condition is non-zero."""
+
+    condition: Expr
+
+
+@dataclass
+class If(Statement):
+    """Two-armed conditional."""
+
+    condition: Expr
+    then_body: list[Statement]
+    else_body: list[Statement] = field(default_factory=list)
+
+
+@dataclass
+class While(Statement):
+    """Loop while the condition is non-zero."""
+
+    condition: Expr
+    body: list[Statement]
+
+
+@dataclass
+class Return(Statement):
+    """Return a single word (or nothing when value is None)."""
+
+    value: Expr | None = None
+
+
+@dataclass
+class Stop(Statement):
+    """Halt without returning data."""
+
+
+@dataclass
+class Emit(Statement):
+    """Emit an event: LOG(1 + len(topics)) with word-encoded data."""
+
+    event: str  # event signature, e.g. "Transfer(address,address,uint256)"
+    topics: list[Expr] = field(default_factory=list)
+    data: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ExtCall(Statement):
+    """External message call ``target.sig(args)`` with optional result.
+
+    ``result`` names a local that receives the first return word;
+    ``value`` attaches native tokens. Unless ``require_success`` is False,
+    a failed call reverts the caller.
+    """
+
+    target: Expr
+    signature: str
+    args: list[Expr] = field(default_factory=list)
+    value: Expr | None = None
+    result: str | None = None
+    require_success: bool = True
+    static: bool = False
+
+
+@dataclass
+class TransferNative(Statement):
+    """Send native tokens with empty calldata (WETH9-style withdraw)."""
+
+    to: Expr
+    amount: Expr
+
+
+@dataclass
+class DelegateAll(Statement):
+    """Proxy pattern: DELEGATECALL the full calldata to *target* and
+    return/revert with whatever it produced."""
+
+    target: Expr
+
+
+@dataclass
+class FunctionDef:
+    """One externally callable function."""
+
+    signature: str  # canonical, e.g. "transfer(address,uint256)"
+    body: list[Statement]
+    payable: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.signature.split("(", 1)[0]
+
+    @property
+    def arg_count(self) -> int:
+        params = self.signature.split("(", 1)[1].rstrip(")")
+        return 0 if not params else params.count(",") + 1
+
+
+@dataclass
+class ContractDef:
+    """A contract: storage layout plus functions.
+
+    ``scalars`` get storage slots 0..n-1 in order; ``mappings`` get the
+    following slots (their data lives at hashed offsets). ``fallback``
+    statements run when no selector matches (used by proxy contracts).
+    """
+
+    name: str
+    scalars: list[str] = field(default_factory=list)
+    mappings: list[str] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)
+    fallback: list[Statement] | None = None

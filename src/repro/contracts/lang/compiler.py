@@ -1,0 +1,483 @@
+"""Compiler: contract AST → EVM assembly → bytecode.
+
+The emitted code follows the canonical layout the paper's hotspot chunker
+expects (Fig. 10b):
+
+* **Compare chunk** — selector extraction and the PUSH4/EQ/PUSH2/JUMPI
+  dispatch ladder (this is exactly the folding example of section 3.3.4).
+* **Check chunk** — per-function CALLVALUE check for non-payable entries.
+* **Execute chunks** — the function bodies.
+* **End** — RETURN/STOP/REVERT terminators.
+
+Memory map of compiled frames::
+
+    0x000-0x03f   hash scratch (mapping-slot computation, Sha3)
+    0x040-0x05f   return-value scratch
+    0x080-0x3ff   named locals (32 bytes each)
+    0x400-0x7df   external-call calldata / event-data build area
+    0x7e0-0x7ff   external-call return buffer
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...crypto import keccak256_int, selector, selector_int
+from ..asm import assemble, label_addresses
+from . import ast
+
+HASH_SCRATCH = 0x00
+RETURN_SCRATCH = 0x40
+LOCALS_BASE = 0x80
+LOCALS_LIMIT = 0x400
+CALL_AREA = 0x400
+RETURN_BUFFER = 0x7E0
+
+
+class CompileError(ValueError):
+    """Raised for malformed contract definitions."""
+
+
+@dataclass(frozen=True)
+class CompiledFunction:
+    """Metadata for one dispatched entry function."""
+
+    name: str
+    signature: str
+    selector: bytes
+    arg_count: int
+    payable: bool
+    entry_label: str  # start of the Check chunk (or body when payable)
+    body_label: str  # start of the Execute chunk
+
+
+@dataclass
+class CompiledContract:
+    """Compilation result: bytecode plus structural metadata."""
+
+    name: str
+    bytecode: bytes
+    asm_source: str
+    labels: dict[str, int]
+    functions: list[CompiledFunction]
+    scalar_slots: dict[str, int]
+    mapping_slots: dict[str, int]
+
+    def function(self, name: str) -> CompiledFunction:
+        """Look up a function's metadata by short name."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"{self.name} has no function {name!r}")
+
+    def selectors(self) -> list[bytes]:
+        """All dispatchable selectors."""
+        return [fn.selector for fn in self.functions]
+
+    @property
+    def compare_chunk_end(self) -> int:
+        """Byte offset where the Compare chunk (dispatch ladder) ends."""
+        starts = [
+            self.labels[fn.entry_label] for fn in self.functions
+        ] or [len(self.bytecode)]
+        fallback = self.labels.get("__fallback")
+        if fallback is not None:
+            starts.append(fallback)
+        return min(starts)
+
+    def deploy(self, state, address: int) -> None:
+        """Install the runtime bytecode directly at *address*."""
+        state.set_code(address, self.bytecode)
+
+    def mapping_value_slot(self, map_name: str, key: int) -> int:
+        """Storage slot of ``mapping[key]`` (Solidity layout)."""
+        slot = self.mapping_slots[map_name]
+        return keccak256_int(
+            key.to_bytes(32, "big") + slot.to_bytes(32, "big")
+        )
+
+    def mapping2_value_slot(self, map_name: str, key1: int, key2: int) -> int:
+        """Storage slot of ``mapping[key1][key2]``."""
+        inner = self.mapping_value_slot(map_name, key1)
+        return keccak256_int(
+            key2.to_bytes(32, "big") + inner.to_bytes(32, "big")
+        )
+
+
+class _Emitter:
+    """Accumulates assembly lines with fresh-label generation."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._label_counter = 0
+
+    def emit(self, *instructions: str) -> None:
+        self.lines.extend(instructions)
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def fresh(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"__{hint}_{self._label_counter}"
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+_BIN_SIMPLE = {
+    "+": "ADD",
+    "-": "SUB",
+    "*": "MUL",
+    "/": "DIV",
+    "%": "MOD",
+    "&": "AND",
+    "|": "OR",
+    "^": "XOR",
+    "<": "LT",
+    ">": "GT",
+    "==": "EQ",
+}
+
+_BIN_NEGATED = {"<=": "GT", ">=": "LT", "!=": "EQ"}
+
+
+class _FunctionCompiler:
+    """Compiles one function body within a contract's storage layout."""
+
+    def __init__(
+        self,
+        contract: "_ContractLayout",
+        emitter: _Emitter,
+        arg_types: tuple[str, ...] = (),
+    ) -> None:
+        self.layout = contract
+        self.out = emitter
+        self.arg_types = arg_types
+        self.locals: dict[str, int] = {}
+
+    # -- locals ------------------------------------------------------------
+    def local_offset(self, name: str, create: bool = False) -> int:
+        if name not in self.locals:
+            if not create:
+                raise CompileError(f"undefined local {name!r}")
+            offset = LOCALS_BASE + 32 * len(self.locals)
+            if offset >= LOCALS_LIMIT:
+                raise CompileError("too many locals")
+            self.locals[name] = offset
+        return self.locals[name]
+
+    # -- expressions ----------------------------------------------------------
+    def expr(self, node: ast.Expr) -> None:
+        """Emit code leaving the expression value on the stack top."""
+        out = self.out
+        if isinstance(node, ast.Const):
+            out.emit(f"PUSH {node.value:#x}")
+        elif isinstance(node, ast.Arg):
+            out.emit(f"PUSH {4 + 32 * node.index:#x}", "CALLDATALOAD")
+            if self.arg_types and node.index < len(self.arg_types):
+                # Solidity cleans address-typed arguments with an AND
+                # mask; emitting it keeps the instruction mix realistic
+                # (paper Table 6).
+                if self.arg_types[node.index] == "address":
+                    out.emit(f"PUSH20 {(1 << 160) - 1:#x}", "AND")
+                elif self.arg_types[node.index] == "bool":
+                    out.emit("PUSH 0x1", "AND")
+        elif isinstance(node, ast.Local):
+            out.emit(f"PUSH {self.local_offset(node.name):#x}", "MLOAD")
+        elif isinstance(node, ast.EnvValue):
+            out.emit(node.opcode)
+        elif isinstance(node, ast.SLoad):
+            out.emit(f"PUSH {self.layout.scalar_slot(node.name):#x}", "SLOAD")
+        elif isinstance(node, ast.MapLoad):
+            self._mapping_slot(node.map_name, node.key)
+            out.emit("SLOAD")
+        elif isinstance(node, ast.Map2Load):
+            self._mapping2_slot(node.map_name, node.key1, node.key2)
+            out.emit("SLOAD")
+        elif isinstance(node, ast.BalanceOf):
+            self.expr(node.address)
+            out.emit("BALANCE")
+        elif isinstance(node, ast.Bin):
+            self._binary(node)
+        elif isinstance(node, ast.Not):
+            self.expr(node.operand)
+            out.emit("ISZERO")
+        elif isinstance(node, ast.Sha3):
+            self.expr(node.first)
+            out.emit(f"PUSH {HASH_SCRATCH:#x}", "MSTORE")
+            self.expr(node.second)
+            out.emit(f"PUSH {HASH_SCRATCH + 32:#x}", "MSTORE")
+            out.emit("PUSH 0x40", f"PUSH {HASH_SCRATCH:#x}", "SHA3")
+        else:
+            raise CompileError(f"unsupported expression {node!r}")
+
+    def _binary(self, node: ast.Bin) -> None:
+        # Binary opcodes consume the stack *top* as their first operand, so
+        # emit the right operand first, then the left.
+        self.expr(node.right)
+        self.expr(node.left)
+        if node.op in _BIN_SIMPLE:
+            self.out.emit(_BIN_SIMPLE[node.op])
+        elif node.op in _BIN_NEGATED:
+            self.out.emit(_BIN_NEGATED[node.op], "ISZERO")
+        else:
+            raise CompileError(f"unsupported operator {node.op!r}")
+
+    def _mapping_slot(self, map_name: str, key: ast.Expr) -> None:
+        """Leave keccak(key ‖ slot) on the stack."""
+        slot = self.layout.mapping_slot(map_name)
+        self.expr(key)
+        self.out.emit(f"PUSH {HASH_SCRATCH:#x}", "MSTORE")
+        self.out.emit(f"PUSH {slot:#x}", f"PUSH {HASH_SCRATCH + 32:#x}",
+                      "MSTORE")
+        self.out.emit("PUSH 0x40", f"PUSH {HASH_SCRATCH:#x}", "SHA3")
+
+    def _mapping2_slot(
+        self, map_name: str, key1: ast.Expr, key2: ast.Expr
+    ) -> None:
+        """Leave keccak(key2 ‖ keccak(key1 ‖ slot)) on the stack."""
+        self._mapping_slot(map_name, key1)  # inner slot on stack
+        self.expr(key2)
+        self.out.emit(f"PUSH {HASH_SCRATCH:#x}", "MSTORE")  # mem[0] = key2
+        self.out.emit(f"PUSH {HASH_SCRATCH + 32:#x}", "MSTORE")  # mem[32] = inner
+        self.out.emit("PUSH 0x40", f"PUSH {HASH_SCRATCH:#x}", "SHA3")
+
+    # -- statements ----------------------------------------------------------------
+    def block(self, statements: list[ast.Statement]) -> None:
+        for statement in statements:
+            self.statement(statement)
+
+    def statement(self, node: ast.Statement) -> None:
+        out = self.out
+        if isinstance(node, ast.Assign):
+            self.expr(node.value)
+            offset = self.local_offset(node.name, create=True)
+            out.emit(f"PUSH {offset:#x}", "MSTORE")
+        elif isinstance(node, ast.SStore):
+            self.expr(node.value)
+            out.emit(f"PUSH {self.layout.scalar_slot(node.name):#x}", "SSTORE")
+        elif isinstance(node, ast.MapStore):
+            self.expr(node.value)
+            self._mapping_slot(node.map_name, node.key)
+            out.emit("SSTORE")
+        elif isinstance(node, ast.Map2Store):
+            self.expr(node.value)
+            self._mapping2_slot(node.map_name, node.key1, node.key2)
+            out.emit("SSTORE")
+        elif isinstance(node, ast.Require):
+            self.expr(node.condition)
+            out.emit("ISZERO", "PUSH @__revert", "JUMPI")
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.Return):
+            if node.value is None:
+                out.emit("PUSH 0x0", "PUSH 0x0", "RETURN")
+            else:
+                self.expr(node.value)
+                out.emit(f"PUSH {RETURN_SCRATCH:#x}", "MSTORE")
+                out.emit("PUSH 0x20", f"PUSH {RETURN_SCRATCH:#x}", "RETURN")
+        elif isinstance(node, ast.Stop):
+            out.emit("STOP")
+        elif isinstance(node, ast.Emit):
+            self._emit_event(node)
+        elif isinstance(node, ast.ExtCall):
+            self._ext_call(node)
+        elif isinstance(node, ast.TransferNative):
+            # CALL pops gas, to, value, in_off, in_len, out_off, out_len.
+            out.emit("PUSH 0x0", "PUSH 0x0", "PUSH 0x0", "PUSH 0x0")
+            self.expr(node.amount)
+            self.expr(node.to)
+            out.emit("GAS", "CALL", "ISZERO", "PUSH @__revert", "JUMPI")
+        elif isinstance(node, ast.DelegateAll):
+            self._delegate_all(node)
+        else:
+            raise CompileError(f"unsupported statement {node!r}")
+
+    def _if(self, node: ast.If) -> None:
+        out = self.out
+        if node.else_body:
+            else_label = out.fresh("else")
+            end_label = out.fresh("endif")
+            self.expr(node.condition)
+            out.emit("ISZERO", f"PUSH @{else_label}", "JUMPI")
+            self.block(node.then_body)
+            out.emit(f"PUSH @{end_label}", "JUMP")
+            out.label(else_label)
+            self.block(node.else_body)
+            out.label(end_label)
+        else:
+            end_label = out.fresh("endif")
+            self.expr(node.condition)
+            out.emit("ISZERO", f"PUSH @{end_label}", "JUMPI")
+            self.block(node.then_body)
+            out.label(end_label)
+
+    def _while(self, node: ast.While) -> None:
+        out = self.out
+        head = out.fresh("while")
+        end = out.fresh("wend")
+        out.label(head)
+        self.expr(node.condition)
+        out.emit("ISZERO", f"PUSH @{end}", "JUMPI")
+        self.block(node.body)
+        out.emit(f"PUSH @{head}", "JUMP")
+        out.label(end)
+
+    def _emit_event(self, node: ast.Emit) -> None:
+        out = self.out
+        if len(node.topics) > 3:
+            raise CompileError("at most 3 indexed topics")
+        for i, value in enumerate(node.data):
+            self.expr(value)
+            out.emit(f"PUSH {CALL_AREA + 32 * i:#x}", "MSTORE")
+        # LOGn pops offset, length, topic1..topicn — build bottom-up.
+        event_topic = keccak256_int(node.event.encode("ascii"))
+        for topic in reversed(node.topics):
+            self.expr(topic)
+        out.emit(f"PUSH32 {event_topic:#x}")
+        out.emit(f"PUSH {32 * len(node.data):#x}")
+        out.emit(f"PUSH {CALL_AREA:#x}")
+        out.emit(f"LOG{1 + len(node.topics)}")
+
+    def _ext_call(self, node: ast.ExtCall) -> None:
+        out = self.out
+        sel = selector_int(node.signature)
+        # Build calldata: selector word then 32-byte args.
+        out.emit(f"PUSH4 {sel:#010x}", "PUSH 0xe0", "SHL",
+                 f"PUSH {CALL_AREA:#x}", "MSTORE")
+        for i, arg in enumerate(node.args):
+            self.expr(arg)
+            out.emit(f"PUSH {CALL_AREA + 4 + 32 * i:#x}", "MSTORE")
+        args_length = 4 + 32 * len(node.args)
+        # CALL pops gas, to, value, in_off, in_len, out_off, out_len.
+        out.emit("PUSH 0x20", f"PUSH {RETURN_BUFFER:#x}")
+        out.emit(f"PUSH {args_length:#x}", f"PUSH {CALL_AREA:#x}")
+        if node.static:
+            self.expr(node.target)
+            out.emit("GAS", "STATICCALL")
+        else:
+            if node.value is None:
+                out.emit("PUSH 0x0")
+            else:
+                self.expr(node.value)
+            self.expr(node.target)
+            out.emit("GAS", "CALL")
+        if node.require_success:
+            out.emit("ISZERO", "PUSH @__revert", "JUMPI")
+            if node.result is not None:
+                offset = self.local_offset(node.result, create=True)
+                out.emit(f"PUSH {RETURN_BUFFER:#x}", "MLOAD",
+                         f"PUSH {offset:#x}", "MSTORE")
+        else:
+            if node.result is not None:
+                offset = self.local_offset(node.result, create=True)
+                out.emit(f"PUSH {offset:#x}", "MSTORE")
+            else:
+                out.emit("POP")
+
+    def _delegate_all(self, node: ast.DelegateAll) -> None:
+        out = self.out
+        ok = out.fresh("dok")
+        # Copy the entire calldata to memory 0.
+        out.emit("CALLDATASIZE", "PUSH 0x0", "PUSH 0x0", "CALLDATACOPY")
+        # DELEGATECALL pops gas, to, in_off, in_len, out_off, out_len.
+        out.emit("PUSH 0x0", "PUSH 0x0", "CALLDATASIZE", "PUSH 0x0")
+        self.expr(node.target)
+        out.emit("GAS", "DELEGATECALL")
+        # Copy whatever came back and propagate success/revert.
+        out.emit("RETURNDATASIZE", "PUSH 0x0", "PUSH 0x0", "RETURNDATACOPY")
+        out.emit(f"PUSH @{ok}", "JUMPI")
+        out.emit("RETURNDATASIZE", "PUSH 0x0", "REVERT")
+        out.label(ok)
+        out.emit("RETURNDATASIZE", "PUSH 0x0", "RETURN")
+
+
+class _ContractLayout:
+    """Storage-slot assignment for a contract definition."""
+
+    def __init__(self, definition: ast.ContractDef) -> None:
+        self.definition = definition
+        self.scalars = {name: i for i, name in enumerate(definition.scalars)}
+        base = len(definition.scalars)
+        self.mappings = {
+            name: base + i for i, name in enumerate(definition.mappings)
+        }
+
+    def scalar_slot(self, name: str) -> int:
+        if name not in self.scalars:
+            raise CompileError(f"undefined storage scalar {name!r}")
+        return self.scalars[name]
+
+    def mapping_slot(self, name: str) -> int:
+        if name not in self.mappings:
+            raise CompileError(f"undefined mapping {name!r}")
+        return self.mappings[name]
+
+
+def compile_contract(definition: ast.ContractDef) -> CompiledContract:
+    """Compile a contract definition to runtime bytecode."""
+    layout = _ContractLayout(definition)
+    out = _Emitter()
+    functions_meta: list[CompiledFunction] = []
+
+    # --- Compare chunk: selector dispatch ladder (paper Fig. 10b) --------
+    out.emit("PUSH 0x0", "CALLDATALOAD", "PUSH 0xe0", "SHR")
+    for fn in definition.functions:
+        sel = selector_int(fn.signature)
+        out.emit("DUP1", f"PUSH4 {sel:#010x}", "EQ",
+                 f"PUSH @__fn_{fn.name}", "JUMPI")
+
+    # --- Fallback --------------------------------------------------------
+    out.label("__fallback")
+    if definition.fallback is not None:
+        fallback_compiler = _FunctionCompiler(layout, out)
+        fallback_compiler.block(definition.fallback)
+    out.emit("PUSH 0x0", "PUSH 0x0", "REVERT")
+
+    # --- Shared revert target (Require / failed calls) ---------------------
+    out.label("__revert")
+    out.emit("PUSH 0x0", "PUSH 0x0", "REVERT")
+
+    # --- Per-function Check + Execute chunks ------------------------------
+    for fn in definition.functions:
+        entry_label = f"__fn_{fn.name}"
+        body_label = f"__fnbody_{fn.name}"
+        out.label(entry_label)
+        if not fn.payable:
+            # Check chunk: non-payable functions reject attached value.
+            out.emit("CALLVALUE", "ISZERO", f"PUSH @{body_label}", "JUMPI")
+            out.emit("PUSH 0x0", "PUSH 0x0", "REVERT")
+        out.label(body_label)
+        params = fn.signature.split("(", 1)[1].rstrip(")")
+        arg_types = tuple(params.split(",")) if params else ()
+        compiler = _FunctionCompiler(layout, out, arg_types=arg_types)
+        compiler.block(fn.body)
+        # Implicit STOP when the body can fall through.
+        out.emit("STOP")
+        functions_meta.append(
+            CompiledFunction(
+                name=fn.name,
+                signature=fn.signature,
+                selector=selector(fn.signature),
+                arg_count=fn.arg_count,
+                payable=fn.payable,
+                entry_label=entry_label,
+                body_label=body_label,
+            )
+        )
+
+    source = out.source()
+    bytecode = assemble(source)
+    labels = label_addresses(source)
+    return CompiledContract(
+        name=definition.name,
+        bytecode=bytecode,
+        asm_source=source,
+        labels=labels,
+        functions=functions_meta,
+        scalar_slots=dict(layout.scalars),
+        mapping_slots=dict(layout.mappings),
+    )

@@ -1,0 +1,126 @@
+"""OpenSea-style NFT marketplace.
+
+Fixed-price sell orders over an internal token-ownership registry, with a
+payable purchase path (value forwarding to the seller) and order
+management — an arithmetic-heavy workload like the paper's OpenSea
+(Wyvern) contract (Table 6: highest Arithmetic share of the TOP8).
+"""
+
+from __future__ import annotations
+
+from .lang import (
+    Arg,
+    Assign,
+    CallValue,
+    Caller,
+    Const,
+    ContractDef,
+    Emit,
+    FunctionDef,
+    Local,
+    MapLoad,
+    MapStore,
+    Require,
+    Return,
+    SLoad,
+    SStore,
+    Stop,
+    TransferNative,
+)
+from .lang.compiler import CompiledContract, compile_contract
+
+ORDER_CREATED_EVENT = "OrderCreated(address,uint256,uint256)"
+ORDER_CANCELLED_EVENT = "OrderCancelled(uint256)"
+ORDER_MATCHED_EVENT = "OrdersMatched(address,address,uint256)"
+
+
+def make_marketplace() -> CompiledContract:
+    """OpenSea-style exchange over an internal NFT registry."""
+    definition = ContractDef(
+        name="OpenSea",
+        scalars=["next_order_id", "protocol_fee_bp", "fee_recipient"],
+        mappings=[
+            "token_owner",  # tokenId -> owner
+            "order_token",  # orderId -> tokenId
+            "order_price",  # orderId -> asking price
+            "order_seller",  # orderId -> seller (0 = inactive)
+        ],
+        functions=[
+            FunctionDef(
+                "mintToken(uint256)",
+                [
+                    Require(MapLoad("token_owner", Arg(0)).eq(0)),
+                    MapStore("token_owner", Arg(0), Caller()),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "createOrder(uint256,uint256)",
+                # createOrder(tokenId, price)
+                [
+                    Require(MapLoad("token_owner", Arg(0)).eq(Caller())),
+                    Require(Arg(1).gt(0)),
+                    Assign("order_id", SLoad("next_order_id")),
+                    MapStore("order_token", Local("order_id"), Arg(0)),
+                    MapStore("order_price", Local("order_id"), Arg(1)),
+                    MapStore("order_seller", Local("order_id"), Caller()),
+                    SStore("next_order_id", Local("order_id") + 1),
+                    Emit(
+                        ORDER_CREATED_EVENT,
+                        topics=[Caller()],
+                        data=[Arg(0), Arg(1)],
+                    ),
+                    Return(Local("order_id")),
+                ],
+            ),
+            FunctionDef(
+                "cancelOrder(uint256)",
+                [
+                    Require(MapLoad("order_seller", Arg(0)).eq(Caller())),
+                    MapStore("order_seller", Arg(0), Const(0)),
+                    Emit(ORDER_CANCELLED_EVENT, data=[Arg(0)]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "atomicMatch(uint256)",
+                # Buy order Arg(0) at its asking price (attached as value).
+                [
+                    Assign("seller", MapLoad("order_seller", Arg(0))),
+                    Require(Local("seller").ne(0)),
+                    Assign("price", MapLoad("order_price", Arg(0))),
+                    Require(CallValue().ge(Local("price"))),
+                    Assign(
+                        "fee",
+                        (Local("price") * SLoad("protocol_fee_bp")) // 10_000,
+                    ),
+                    Assign("payout", Local("price") - Local("fee")),
+                    # Settle: NFT to buyer, funds to seller and fee sink.
+                    MapStore(
+                        "token_owner",
+                        MapLoad("order_token", Arg(0)),
+                        Caller(),
+                    ),
+                    MapStore("order_seller", Arg(0), Const(0)),
+                    TransferNative(Local("seller"), Local("payout")),
+                    TransferNative(SLoad("fee_recipient"), Local("fee")),
+                    Emit(
+                        ORDER_MATCHED_EVENT,
+                        topics=[Local("seller"), Caller()],
+                        data=[Local("price")],
+                    ),
+                    Stop(),
+                ],
+                payable=True,
+            ),
+            FunctionDef(
+                "ownerOf(uint256)",
+                [Return(MapLoad("token_owner", Arg(0)))],
+            ),
+            FunctionDef(
+                "orderPrice(uint256)",
+                [Return(MapLoad("order_price", Arg(0)))],
+            ),
+        ],
+    )
+    return compile_contract(definition)

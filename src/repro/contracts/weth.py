@@ -1,0 +1,137 @@
+"""WETH9: wrapped native token (paper Table 2's WETH9.Withdraw workload)."""
+
+from __future__ import annotations
+
+from .lang import (
+    Arg,
+    Assign,
+    BalanceOf,
+    CallValue,
+    Caller,
+    Const,
+    ContractDef,
+    Emit,
+    FunctionDef,
+    If,
+    Local,
+    MapLoad,
+    Map2Load,
+    MapStore,
+    Map2Store,
+    Require,
+    Return,
+    SelfAddress,
+    Stop,
+    TransferNative,
+)
+from .lang.compiler import CompiledContract, compile_contract
+
+DEPOSIT_EVENT = "Deposit(address,uint256)"
+WITHDRAWAL_EVENT = "Withdrawal(address,uint256)"
+TRANSFER_EVENT = "Transfer(address,address,uint256)"
+APPROVAL_EVENT = "Approval(address,address,uint256)"
+
+
+def make_weth() -> CompiledContract:
+    """WETH9: the real contract's full surface — deposit (payable),
+    withdraw, ERC20 transfer/approve/transferFrom and views."""
+    definition = ContractDef(
+        name="WETH9",
+        scalars=[],
+        mappings=["balances", "allowances"],
+        functions=[
+            FunctionDef(
+                "deposit()",
+                [
+                    MapStore(
+                        "balances",
+                        Caller(),
+                        MapLoad("balances", Caller()) + CallValue(),
+                    ),
+                    Emit(DEPOSIT_EVENT, topics=[Caller()],
+                         data=[CallValue()]),
+                    Stop(),
+                ],
+                payable=True,
+            ),
+            FunctionDef(
+                "withdraw(uint256)",
+                [
+                    Assign("balance", MapLoad("balances", Caller())),
+                    Require(Local("balance").ge(Arg(0))),
+                    MapStore("balances", Caller(), Local("balance") - Arg(0)),
+                    TransferNative(Caller(), Arg(0)),
+                    Emit(WITHDRAWAL_EVENT, topics=[Caller()], data=[Arg(0)]),
+                    Stop(),
+                ],
+            ),
+            FunctionDef(
+                "transfer(address,uint256)",
+                [
+                    Assign("balance", MapLoad("balances", Caller())),
+                    Require(Local("balance").ge(Arg(1))),
+                    MapStore("balances", Caller(), Local("balance") - Arg(1)),
+                    MapStore(
+                        "balances",
+                        Arg(0),
+                        MapLoad("balances", Arg(0)) + Arg(1),
+                    ),
+                    Return(Const(1)),
+                ],
+            ),
+            FunctionDef(
+                "balanceOf(address)",
+                [Return(MapLoad("balances", Arg(0)))],
+            ),
+            FunctionDef(
+                "approve(address,uint256)",
+                [
+                    Map2Store("allowances", Caller(), Arg(0), Arg(1)),
+                    Emit(APPROVAL_EVENT, topics=[Caller(), Arg(0)],
+                         data=[Arg(1)]),
+                    Return(Const(1)),
+                ],
+            ),
+            FunctionDef(
+                "transferFrom(address,address,uint256)",
+                [
+                    Assign("from_balance", MapLoad("balances", Arg(0))),
+                    Require(Local("from_balance").ge(Arg(2))),
+                    # WETH9 semantics: the owner moving their own funds
+                    # skips the allowance check.
+                    If(
+                        Caller().ne(Arg(0)),
+                        [
+                            Assign(
+                                "allowed",
+                                Map2Load("allowances", Arg(0), Caller()),
+                            ),
+                            Require(Local("allowed").ge(Arg(2))),
+                            Map2Store(
+                                "allowances", Arg(0), Caller(),
+                                Local("allowed") - Arg(2),
+                            ),
+                        ],
+                    ),
+                    MapStore("balances", Arg(0),
+                             Local("from_balance") - Arg(2)),
+                    MapStore("balances", Arg(1),
+                             MapLoad("balances", Arg(1)) + Arg(2)),
+                    Emit(TRANSFER_EVENT, topics=[Arg(0), Arg(1)],
+                         data=[Arg(2)]),
+                    Return(Const(1)),
+                ],
+            ),
+            FunctionDef(
+                "allowance(address,address)",
+                [Return(Map2Load("allowances", Arg(0), Arg(1)))],
+            ),
+            FunctionDef(
+                "totalSupply()",
+                # Real WETH9: total supply is the contract's native
+                # balance (all wrapped ether is escrowed here).
+                [Return(BalanceOf(SelfAddress()))],
+            ),
+        ],
+    )
+    return compile_contract(definition)

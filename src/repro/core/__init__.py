@@ -1,0 +1,6 @@
+"""The paper's contribution: MTPU microarchitecture, spatio-temporal
+scheduling, and hotspot contract optimization."""
+
+from .validator import AcceleratedValidator, ValidationOutcome
+
+__all__ = ["AcceleratedValidator", "ValidationOutcome"]

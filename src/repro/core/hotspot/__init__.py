@@ -1,0 +1,23 @@
+"""Hotspot contract optimization (paper section 3.4): execution-info
+collection, bytecode chunking with pre-execution, constant-instruction
+elimination, and data prefetching."""
+
+from .chunking import ChunkSpans, find_chunks, on_path_fraction
+from .constants import FrameAnalysis, analyze_frame, analyze_trace
+from .optimizer import HotspotOptimizer, HotspotPlan
+from .profiler import ContractTable, ExecutionProfile
+from .tracker import HotspotTracker
+
+__all__ = [
+    "ChunkSpans",
+    "find_chunks",
+    "on_path_fraction",
+    "FrameAnalysis",
+    "analyze_frame",
+    "analyze_trace",
+    "HotspotOptimizer",
+    "HotspotPlan",
+    "ContractTable",
+    "ExecutionProfile",
+    "HotspotTracker",
+]

@@ -1,0 +1,212 @@
+"""Constant-instruction detection and prefetch analysis by backtracking
+(paper sections 3.4.3–3.4.4).
+
+Two dataflow lattices are propagated forward over a frame's trace using
+the tracer's producer links (which implement the paper's "backtracking"
+in reverse):
+
+* **CONST** — the value is a compile-time constant (PUSH immediates and
+  pure functions of them, including hashes of constant memory). Stack
+  instructions producing CONST values are *eliminated*: their operands
+  move to the Constants Table and the consumers fetch from there
+  (section 3.4.3's ``0xb3 MSTORE`` / ``0xb7 SHA3`` example).
+* **FIXED** — the value is invariant during execution: CONST values plus
+  transaction/block attributes (CALLER, CALLVALUE, calldata, ...). A
+  dynamic-access instruction (SLOAD, BALANCE, ...) whose key is FIXED is
+  *prefetchable*: the access key is computable before execution, so the
+  data waits in the data cache (section 3.4.4's three-steps-back SLOAD
+  example: hash of a constant and the caller's address).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...evm import opcodes
+from ...evm.opcodes import Category
+from ...evm.tracer import EXTERNAL_PRODUCER, TraceStep
+
+#: Fixed-access results known before execution (paper Table 3 + Table 4:
+#: transaction attributes and block-header fields are all disseminated
+#: ahead of the execution stage).
+_FIXED_ENV_OPS = frozenset(
+    {
+        "ADDRESS", "ORIGIN", "CALLER", "CALLVALUE", "CALLDATASIZE",
+        "CODESIZE", "GASPRICE", "COINBASE", "TIMESTAMP", "NUMBER",
+        "DIFFICULTY", "GASLIMIT", "PC", "BLOCKHASH",
+    }
+)
+
+_PURE_CATEGORIES = frozenset({Category.ARITHMETIC, Category.LOGIC})
+
+
+@dataclass
+class FrameAnalysis:
+    """Analysis result for one call frame's steps."""
+
+    const_steps: set[int] = field(default_factory=set)
+    fixed_steps: set[int] = field(default_factory=set)
+    #: (code_address, pc) of eliminable stack instructions.
+    eliminable_pcs: set[tuple[int, int]] = field(default_factory=set)
+    #: (code_address, pc) of stack instructions seen but NOT eliminable —
+    #: needed to keep per-contract merges consistent.
+    blocked_pcs: set[tuple[int, int]] = field(default_factory=set)
+    #: (code_address, pc) of prefetchable dynamic accesses.
+    prefetch_pcs: set[tuple[int, int]] = field(default_factory=set)
+    #: (code_address, pc) of dynamic accesses that are NOT prefetchable.
+    unprefetchable_pcs: set[tuple[int, int]] = field(default_factory=set)
+    #: Constants Table contents: values separated from the stack.
+    constants: list[int] = field(default_factory=list)
+
+
+def analyze_frame(steps: list[TraceStep], frame_steps: list[int]) -> FrameAnalysis:
+    """Propagate CONST/FIXED over the steps of one frame.
+
+    *frame_steps* are global trace indices belonging to the frame, in
+    order. Producer links never cross frames (each frame has its own
+    operand stack), so the analysis is self-contained.
+    """
+    result = FrameAnalysis()
+    const: dict[int, bool] = {}
+    fixed: dict[int, bool] = {}
+    # Per-frame memory fixedness at 32-byte word granularity.
+    const_mem: dict[int, bool] = {}
+    fixed_mem: dict[int, bool] = {}
+
+    def producer_const(p: int) -> bool:
+        return p != EXTERNAL_PRODUCER and const.get(p, False)
+
+    def producer_fixed(p: int) -> bool:
+        return p != EXTERNAL_PRODUCER and fixed.get(p, False)
+
+    for index in frame_steps:
+        step = steps[index]
+        op = step.op
+        name = op.name
+        key = (step.code_address, step.pc)
+        is_const = False
+        is_fixed = False
+
+        if name.startswith("PUSH"):
+            is_const = True
+        elif opcodes.is_dup(op):
+            is_const = all(producer_const(p) for p in step.producers)
+            is_fixed = all(producer_fixed(p) for p in step.producers)
+        elif opcodes.is_swap(op) or name == "POP":
+            pass  # no value produced
+        elif name == "CALLDATALOAD":
+            # Calldata is a transaction attribute: fixed when the offset
+            # is fixed.
+            is_fixed = all(producer_fixed(p) for p in step.producers)
+        elif name in _FIXED_ENV_OPS:
+            is_fixed = True
+        elif op.category in _PURE_CATEGORIES:
+            is_const = bool(step.producers) and all(
+                producer_const(p) for p in step.producers
+            )
+            is_fixed = bool(step.producers) and all(
+                producer_fixed(p) for p in step.producers
+            )
+        elif name == "SHA3":
+            offset, length = step.operands[0], step.operands[1]
+            inputs_const = all(producer_const(p) for p in step.producers)
+            inputs_fixed = all(producer_fixed(p) for p in step.producers)
+            words = range(offset, offset + length, 32)
+            is_const = inputs_const and all(
+                const_mem.get(w, False) for w in words
+            )
+            is_fixed = inputs_fixed and all(
+                fixed_mem.get(w, False) for w in words
+            )
+        elif name == "MSTORE":
+            offset = step.operands[0]
+            const_mem[offset] = all(
+                producer_const(p) for p in step.producers
+            )
+            fixed_mem[offset] = all(
+                producer_fixed(p) for p in step.producers
+            )
+        elif name == "MSTORE8":
+            offset = step.operands[0]
+            const_mem[offset - offset % 32] = False
+            fixed_mem[offset - offset % 32] = False
+        elif name == "MLOAD":
+            offset = step.operands[0]
+            offset_const = all(producer_const(p) for p in step.producers)
+            offset_fixed = all(producer_fixed(p) for p in step.producers)
+            is_const = offset_const and const_mem.get(offset, False)
+            is_fixed = offset_fixed and fixed_mem.get(offset, False)
+        elif name == "SLOAD" or op.category is Category.STATE_QUERY:
+            # The *value* is never fixed (state mutates), but a fixed key
+            # means the access is prefetchable.
+            if step.producers and all(
+                producer_fixed(p) for p in step.producers
+            ):
+                result.prefetch_pcs.add(key)
+            else:
+                result.unprefetchable_pcs.add(key)
+
+        is_fixed = is_fixed or is_const
+        const[index] = is_const
+        fixed[index] = is_fixed
+        if is_const:
+            result.const_steps.add(index)
+        if is_fixed:
+            result.fixed_steps.add(index)
+
+        # Elimination: stack instructions producing constants move their
+        # operand to the Constants Table.
+        if name.startswith("PUSH") or opcodes.is_dup(op):
+            if is_const:
+                result.eliminable_pcs.add(key)
+                if step.results:
+                    result.constants.append(step.results[0])
+            else:
+                result.blocked_pcs.add(key)
+    return result
+
+
+def frame_step_groups(steps: list[TraceStep]) -> list[list[int]]:
+    """Group trace indices by call frame (depth + contiguous span).
+
+    A frame's steps are those at its depth between entering and leaving
+    it; nested calls interleave deeper steps, which belong to their own
+    groups.
+    """
+    groups: list[list[int]] = []
+    stack: list[list[int]] = []
+    current_depth = -1
+    for i, step in enumerate(steps):
+        depth = step.depth
+        if depth > current_depth:
+            for _ in range(depth - current_depth):
+                stack.append([])
+                groups.append(stack[-1])
+            current_depth = depth
+        elif depth < current_depth:
+            for _ in range(current_depth - depth):
+                stack.pop()
+            current_depth = depth
+            if not stack:  # defensive: malformed depth sequence
+                stack.append([])
+                groups.append(stack[-1])
+        stack[-1].append(i)
+    return [g for g in groups if g]
+
+
+def analyze_trace(steps: list[TraceStep]) -> FrameAnalysis:
+    """Analyze every frame of a transaction trace and merge results."""
+    merged = FrameAnalysis()
+    for group in frame_step_groups(steps):
+        frame_result = analyze_frame(steps, group)
+        merged.const_steps |= frame_result.const_steps
+        merged.fixed_steps |= frame_result.fixed_steps
+        merged.eliminable_pcs |= frame_result.eliminable_pcs
+        merged.blocked_pcs |= frame_result.blocked_pcs
+        merged.prefetch_pcs |= frame_result.prefetch_pcs
+        merged.unprefetchable_pcs |= frame_result.unprefetchable_pcs
+        merged.constants.extend(frame_result.constants)
+    # A pc blocked in any frame is not eliminable anywhere.
+    merged.eliminable_pcs -= merged.blocked_pcs
+    merged.prefetch_pcs -= merged.unprefetchable_pcs
+    return merged

@@ -1,0 +1,130 @@
+"""Pattern recognition and instruction folding (paper section 3.3.4).
+
+"We perform pattern recognition and instruction folding on the decoded
+instructions to eliminate some redundant operations. When a foldable
+pattern occurs, the fill unit fills the synthesized instruction directly
+into the cache line."
+
+The implemented pattern family is the one the paper illustrates
+(``PUSH4 0xCC80F6F3; EQ`` → a synthetic compare-against-immediate): one or
+two PUSH instructions immediately feeding a consumer become immediates of
+a synthesized instruction. This simultaneously
+
+* removes the PUSHes from the issue stream (they no longer occupy a Stack
+  functional-unit field), and
+* eliminates the RAW dependency between the PUSH and its consumer.
+
+Gas correctness is preserved: the synthesized instruction carries the
+summed static gas of all constituent instructions (the line's G field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...evm.code import Instruction
+from ...evm.opcodes import is_push
+
+#: Consumers whose top stack operand(s) may be replaced by PUSH immediates.
+#: Maps op name -> max number of leading operands foldable.
+FOLDABLE_CONSUMERS: dict[str, int] = {
+    # logic / compare
+    "EQ": 2, "LT": 2, "GT": 2, "SLT": 2, "SGT": 2,
+    "AND": 2, "OR": 2, "XOR": 2, "SHL": 1, "SHR": 1, "SAR": 1,
+    # arithmetic
+    "ADD": 2, "SUB": 2, "MUL": 2, "DIV": 2, "MOD": 2,
+    # memory / storage addressing
+    "MLOAD": 1, "MSTORE": 1, "MSTORE8": 1, "SLOAD": 1, "SSTORE": 1,
+    # control transfer targets (the dispatch-ladder pattern)
+    "JUMP": 1, "JUMPI": 1,
+    # environment
+    "CALLDATALOAD": 1,
+}
+
+
+@dataclass(frozen=True)
+class FoldedOp:
+    """A synthesized instruction: consumer + absorbed PUSH immediates."""
+
+    primary: Instruction
+    absorbed: tuple[Instruction, ...] = ()
+
+    @property
+    def pc(self) -> int:
+        """Address of the first constituent instruction."""
+        return self.absorbed[0].pc if self.absorbed else self.primary.pc
+
+    @property
+    def pcs(self) -> tuple[int, ...]:
+        """All constituent pcs in original program order."""
+        return tuple(instr.pc for instr in self.absorbed) + (
+            self.primary.pc,
+        )
+
+    @property
+    def orig_count(self) -> int:
+        """How many original instructions this op stands for."""
+        return 1 + len(self.absorbed)
+
+    @property
+    def static_gas(self) -> int:
+        """Summed static gas of every constituent (keeps G correct)."""
+        return self.primary.op.gas + sum(
+            instr.op.gas for instr in self.absorbed
+        )
+
+    @property
+    def stack_inputs(self) -> int:
+        """Operands still taken from the stack after folding."""
+        return self.primary.op.pops - len(self.absorbed)
+
+    @property
+    def end_pc(self) -> int:
+        """PC just past the last constituent byte."""
+        return self.primary.next_pc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        if not self.absorbed:
+            return f"<{self.primary.op.name}@{self.primary.pc:#x}>"
+        imms = ",".join(f"{a.immediate:#x}" for a in self.absorbed)
+        return (
+            f"<{self.primary.op.name}({imms})@{self.pc:#x}"
+            f" x{self.orig_count}>"
+        )
+
+
+def try_fold(
+    instructions: list[Instruction], index: int, enabled: bool = True
+) -> tuple[FoldedOp, int]:
+    """Fold the pattern starting at *index*; returns (op, next index).
+
+    When *enabled* is False (or no pattern matches), the instruction is
+    wrapped unfolded.
+    """
+    instr = instructions[index]
+    if not enabled or not is_push(instr.op):
+        return FoldedOp(primary=instr), index + 1
+
+    # Try PUSH [PUSH] consumer.
+    if index + 2 < len(instructions) and is_push(
+        instructions[index + 1].op
+    ):
+        consumer = instructions[index + 2]
+        limit = FOLDABLE_CONSUMERS.get(consumer.op.name, 0)
+        if limit >= 2:
+            return (
+                FoldedOp(
+                    primary=consumer,
+                    absorbed=(instr, instructions[index + 1]),
+                ),
+                index + 3,
+            )
+    if index + 1 < len(instructions):
+        consumer = instructions[index + 1]
+        limit = FOLDABLE_CONSUMERS.get(consumer.op.name, 0)
+        if limit >= 1:
+            return (
+                FoldedOp(primary=consumer, absorbed=(instr,)),
+                index + 2,
+            )
+    return FoldedOp(primary=instr), index + 1

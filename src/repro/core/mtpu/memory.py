@@ -1,0 +1,129 @@
+"""The three-level memory hierarchy (paper section 3.3.6).
+
+* **In-core** — instruction/data caches, MEM, stack, constants table.
+  These are implicit in the pipeline's per-op latencies.
+* **Execution-environment buffer** — the shared :class:`StateBuffer`
+  (warm state, parallel read/write, written back after commit) and the
+  per-PU :class:`CallContractStack` (contract bytecode + invocation data;
+  the bytecode dominates load overhead and is reused across redundant
+  transactions).
+* **Main memory** — cold storage; modeled as a flat latency plus a bus
+  bandwidth for context streaming (the Ramulator substitution, see
+  DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .timing import TimingConfig
+
+
+class CallContractStack:
+    """Per-PU contract context store, LRU by bytecode bytes.
+
+    Redundant transactions scheduled to the same PU hit here and skip
+    reloading their contract's bytecode (the dominant share of context
+    data, paper Table 2).
+    """
+
+    def __init__(self, capacity_bytes: int = 417 * 1024) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._resident: OrderedDict[int, int] = OrderedDict()  # addr->bytes
+        self._used = 0
+        self.bytecode_loads = 0
+        self.bytecode_reuses = 0
+        self.bytes_loaded = 0
+
+    def load(self, code_address: int, code_size: int) -> int:
+        """Bring a contract's bytecode in; returns bytes actually loaded
+        (0 on reuse)."""
+        if code_address in self._resident:
+            self._resident.move_to_end(code_address)
+            self.bytecode_reuses += 1
+            return 0
+        while self._used + code_size > self.capacity_bytes and self._resident:
+            _, evicted = self._resident.popitem(last=False)
+            self._used -= evicted
+        self._resident[code_address] = code_size
+        self._used += code_size
+        self.bytecode_loads += 1
+        self.bytes_loaded += code_size
+        return code_size
+
+    def resident(self, code_address: int) -> bool:
+        return code_address in self._resident
+
+    def clear(self) -> None:
+        self._resident.clear()
+        self._used = 0
+
+
+class StateBuffer:
+    """Shared warm-state buffer: (address, slot) entries with LRU capacity.
+
+    "Reuse of the latest state in the State Buffer effectively reduces
+    redundant accesses to off-chip memory. ... the state of dependent
+    transactions is kept for a period of time so that subsequent
+    transactions are able to access it directly."
+    """
+
+    def __init__(self, entries: int = 4096) -> None:
+        self.entries = entries
+        self._warm: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int, slot: int) -> bool:
+        """Touch an entry; True when it was already warm."""
+        key = (address, slot)
+        if key in self._warm:
+            self._warm.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._warm[key] = None
+        if len(self._warm) > self.entries:
+            self._warm.popitem(last=False)
+        return False
+
+    def warm(self, address: int, slot: int) -> None:
+        """Install an entry without counting an access (e.g. a write)."""
+        key = (address, slot)
+        self._warm[key] = None
+        self._warm.move_to_end(key)
+        if len(self._warm) > self.entries:
+            self._warm.popitem(last=False)
+
+    def clear(self) -> None:
+        self._warm.clear()
+
+
+@dataclass
+class ContextLoadModel:
+    """Cycle cost of constructing a transaction's execution context.
+
+    Fixed-length fields (block header + transaction record, paper
+    Table 4) stream in a constant number of cycles because they are stored
+    contiguously; variable-length parts (calldata, bytecode) pay bus
+    cycles. Bytecode loads are skipped when the Call_Contract Stack
+    already holds the contract, and scaled down to the on-path fraction
+    under hotspot chunk-loading optimization (paper section 3.4.2).
+    """
+
+    timing: TimingConfig = field(default_factory=TimingConfig)
+
+    def cycles(
+        self,
+        calldata_bytes: int,
+        bytecode_bytes: int,
+        bytecode_resident: bool,
+        on_path_fraction: float = 1.0,
+    ) -> int:
+        cost = self.timing.context_fixed_cycles
+        cost += self.timing.context_load_cycles(calldata_bytes)
+        if not bytecode_resident:
+            effective = int(bytecode_bytes * on_path_fraction)
+            cost += self.timing.context_load_cycles(effective)
+        return cost

@@ -1,0 +1,146 @@
+"""MTPU top level: functional execution fused with PU timing.
+
+The :class:`MTPUExecutor` is what schedulers drive: it executes a
+transaction *functionally* (reference EVM, producing the receipt and the
+dataflow trace) and *temporally* (replaying the trace through a PU's
+pipeline/DB-cache model), returning both. The shared state buffer and the
+per-PU DB caches / Call_Contract stacks persist across transactions, so
+redundancy scheduled onto one PU compounds exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...chain.receipt import Receipt
+from ...chain.state import WorldState
+from ...chain.transaction import Transaction
+from ...evm.context import BlockContext
+from ...evm.interpreter import EVM
+from ...evm.tracer import Tracer
+from .memory import StateBuffer
+from .pu import PU, PUConfig, TraceTiming
+
+
+@dataclass
+class TxExecution:
+    """Result of one transaction on one PU."""
+
+    tx: Transaction
+    receipt: Receipt
+    pu_id: int
+    context_cycles: int
+    timing: TraceTiming
+    hotspot_applied: bool = False
+
+    @property
+    def cycles(self) -> int:
+        return self.context_cycles + self.timing.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.timing.instructions
+
+
+class MTPUExecutor:
+    """A k-PU MTPU over one world state."""
+
+    def __init__(
+        self,
+        state: WorldState,
+        block: BlockContext | None = None,
+        num_pus: int = 4,
+        pu_config: PUConfig | None = None,
+        hotspot_optimizer=None,
+    ) -> None:
+        self.state = state
+        self.block = block or BlockContext()
+        self.pu_config = pu_config or PUConfig()
+        self.state_buffer = StateBuffer(
+            self.pu_config.timing.state_buffer_entries
+        )
+        self.hotspot_optimizer = hotspot_optimizer
+        self.pus = [
+            PU(
+                pu_id=i,
+                config=self.pu_config,
+                state_buffer=self.state_buffer,
+                code_lookup=self._code_lookup,
+            )
+            for i in range(num_pus)
+        ]
+        self.executions: list[TxExecution] = []
+
+    def _code_lookup(self, address: int) -> bytes:
+        # Bypass access tracking: timing-model code fetches must not
+        # pollute the dependency analysis.
+        saved = self.state.access
+        self.state.access = None
+        try:
+            return self.state.get_code(address)
+        finally:
+            self.state.access = saved
+
+    def execute_on(self, pu: PU, tx: Transaction) -> TxExecution:
+        """Run one transaction functionally and time it on *pu*."""
+        if not self.pu_config.redundancy_reuse:
+            # Without the redundancy optimization, every transaction
+            # rebuilds its context and decoded-bytecode state from scratch.
+            pu.db_cache.invalidate()
+            pu.call_stack.clear()
+        tracer = Tracer()
+        evm = EVM(self.state, block=self.block, tracer=tracer)
+        receipt = evm.execute_transaction(tx)
+        self.state.clear_journal()
+
+        skip: set[int] | None = None
+        prefetched = None
+        on_path_fraction = 1.0
+        hotspot_applied = False
+        if self.hotspot_optimizer is not None and tx.to is not None:
+            plan = self.hotspot_optimizer.plan_for(tx)
+            if plan is not None:
+                skip = plan.skip_indices(tracer.steps)
+                prefetched = plan.prefetched_predicate()
+                on_path_fraction = plan.on_path_fraction
+                hotspot_applied = True
+                # Give the PU the constant-eliminated decode views so the
+                # fill unit packs the optimized instruction stream.
+                for code_address in {
+                    s.code_address for s in tracer.steps
+                }:
+                    view = self.hotspot_optimizer.code_view(code_address)
+                    if view is not None:
+                        pu.install_code_view(code_address, view)
+
+        context_cycles = 0
+        if tx.to is not None:
+            context_cycles = pu.context_setup_cycles(
+                tx.to, len(tx.data), on_path_fraction
+            )
+        timing = pu.time_trace(tracer.steps, prefetched, skip)
+
+        pu.current_contract = tx.to
+        pu.busy_cycles += context_cycles + timing.cycles
+        pu.transactions_executed += 1
+        execution = TxExecution(
+            tx=tx,
+            receipt=receipt,
+            pu_id=pu.pu_id,
+            context_cycles=context_cycles,
+            timing=timing,
+            hotspot_applied=hotspot_applied,
+        )
+        self.executions.append(execution)
+        return execution
+
+    # -- aggregate metrics ------------------------------------------------
+    def total_instructions(self) -> int:
+        return sum(e.instructions for e in self.executions)
+
+    def total_cycles_sequentialized(self) -> int:
+        """Sum of per-transaction cycles (single-PU equivalent)."""
+        return sum(e.cycles for e in self.executions)
+
+    def receipts(self) -> list[Receipt]:
+        return [e.receipt for e in self.executions]

@@ -1,0 +1,106 @@
+"""The MTPU cost model.
+
+Substitution note (DESIGN.md): the paper measures cycles on synthesized
+45nm RTL with Ramulator DRAM; we use a parameterized functional-timing
+model. All coefficients live in :class:`TimingConfig` so ablations and
+sensitivity studies can sweep them. Defaults are chosen so the *baseline*
+single-PU machine lands near the paper's implied ~1.9 cycles/instruction
+(Table 7: IPC ≈ 1.9 × speedup), and slow operations (storage, hashing,
+context switches) carry realistic relative weight.
+
+Baseline per-instruction cost (in-order, no DB cache, paper Fig. 8a):
+
+    issue(1) + operand_fetch(1 if the op pops) + unit_latency + mem_stall
+
+The stack architecture serializes back-to-back instructions (every
+instruction depends on its predecessor through the stack top), so there is
+no overlap credit in the baseline.
+
+DB-cache line cost (paper section 3.3.3): all instructions in a hit line
+issue together::
+
+    1 + max(unit_latency over the line) + max(mem_stall over the line)
+
+with the line's summed gas deducted once (the G field), no per-instruction
+operand-fetch penalty (R/W sequence numbers feed operands directly), and
+forwarding hiding one RAW inside the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...evm.opcodes import Category
+
+#: Default extra execute latency per functional unit (beyond the 1-cycle
+#: issue slot). Reconfigurable units (arith/logic/stack) complete in the
+#: half cycle — zero extra.
+DEFAULT_UNIT_LATENCY: dict[Category, int] = {
+    Category.ARITHMETIC: 0,
+    Category.LOGIC: 0,
+    Category.STACK: 0,
+    Category.BRANCH: 0,
+    Category.CONTROL: 0,
+    Category.FIXED_ACCESS: 0,
+    Category.MEMORY: 1,  # in-core MEM port
+    Category.SHA: 0,  # dynamic part charged per word below
+    Category.STORAGE: 0,  # dynamic part charged via memory hierarchy
+    Category.STATE_QUERY: 0,  # dynamic part charged via memory hierarchy
+    Category.CONTEXT: 0,  # dynamic part charged via call overhead
+}
+
+
+@dataclass
+class TimingConfig:
+    """All cycle-cost coefficients of the MTPU model."""
+
+    # -- core pipeline -----------------------------------------------------
+    issue_cycles: int = 1  # one issue slot per instruction / per line
+    operand_fetch_cycles: int = 1  # baseline stack read (hidden in lines)
+    unit_latency: dict[Category, int] = field(
+        default_factory=lambda: dict(DEFAULT_UNIT_LATENCY)
+    )
+    # Heavy arithmetic surcharges.
+    mul_div_extra: int = 2
+    exp_extra: int = 4
+
+    # -- hashing --------------------------------------------------------------
+    sha3_base: int = 4
+    sha3_per_word: int = 1
+
+    # -- memory hierarchy (paper section 3.3.6) ---------------------------------
+    state_buffer_latency: int = 4  # warm state in the env buffer
+    main_memory_latency: int = 20  # cold state from main memory
+    prefetched_latency: int = 0  # hotspot-prefetched, already in dcache
+    sstore_latency: int = 4  # write into the state buffer
+    log_latency: int = 3  # receipt-buffer append
+
+    # -- context switching ----------------------------------------------------
+    call_overhead: int = 24  # frame setup/teardown
+    context_load_bus_bytes: int = 32  # main-memory bus width per cycle
+    context_fixed_cycles: int = 6  # fixed-length context fields (Table 4)
+
+    # -- DB cache / fill unit ------------------------------------------------
+    db_cache_entries: int = 2048  # paper settles at 2K entries
+    fill_extra_per_line: int = 0  # fill runs off the critical path
+    state_buffer_entries: int = 4096  # warm (address,slot) capacity
+    call_contract_stack_bytes: int = 417 * 1024  # paper Table 5
+
+    def unit_extra(self, category: Category, op_name: str) -> int:
+        """Execute-stage latency beyond the issue slot for one op."""
+        extra = self.unit_latency.get(category, 0)
+        if op_name in ("MUL", "DIV", "SDIV", "MOD", "SMOD", "MULMOD",
+                       "ADDMOD"):
+            extra += self.mul_div_extra
+        elif op_name == "EXP":
+            extra += self.exp_extra
+        return extra
+
+    def context_load_cycles(self, byte_count: int) -> int:
+        """Cycles to stream *byte_count* bytes over the main-memory bus."""
+        if byte_count <= 0:
+            return 0
+        return -(-byte_count // self.context_load_bus_bytes)  # ceil
+
+
+DEFAULT_TIMING = TimingConfig()

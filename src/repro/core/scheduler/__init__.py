@@ -1,0 +1,30 @@
+"""Spatio-temporal transaction scheduling (paper section 3.2)."""
+
+from .composite_dag import CompositeDAG
+from .simulator import (
+    ScheduleResult,
+    run_sequential,
+    run_spatial_temporal,
+    run_synchronous,
+)
+from .spatial_temporal import SelectionOutcome, SpatialTemporalScheduler
+from .tables import (
+    SchedulingEntry,
+    SchedulingTable,
+    TransactionEntry,
+    TransactionTable,
+)
+
+__all__ = [
+    "CompositeDAG",
+    "ScheduleResult",
+    "run_sequential",
+    "run_spatial_temporal",
+    "run_synchronous",
+    "SelectionOutcome",
+    "SpatialTemporalScheduler",
+    "SchedulingEntry",
+    "SchedulingTable",
+    "TransactionEntry",
+    "TransactionTable",
+]

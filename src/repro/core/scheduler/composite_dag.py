@@ -1,0 +1,114 @@
+"""The composite DAG (paper Fig. 6).
+
+Nodes are a block's transactions; directed edges are execution-order
+dependencies; each node carries *contract invocation information* (the To
+address + function identifier) and a redundancy value V — how many more
+times the same contract will be invoked by remaining transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...chain.transaction import Transaction
+
+
+@dataclass
+class CompositeDAG:
+    """Dependency + redundancy structure over one block's transactions."""
+
+    transactions: list[Transaction]
+    edges: list[tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        n = len(self.transactions)
+        self.successors: list[list[int]] = [[] for _ in range(n)]
+        self.predecessors: list[list[int]] = [[] for _ in range(n)]
+        for i, j in self.edges:
+            if not (0 <= i < n and 0 <= j < n):
+                raise ValueError(f"edge ({i},{j}) out of range")
+            if i >= j:
+                raise ValueError(
+                    f"edge ({i},{j}) must point forward in block order"
+                )
+            self.successors[i].append(j)
+            self.predecessors[j].append(i)
+        self._remaining_indegree = [len(p) for p in self.predecessors]
+        self.completed: set[int] = set()
+        self.started: set[int] = set()
+        # Redundancy values: V(i) = remaining future invocations of the
+        # same contract (paper: "the value of the T0 node indicates that
+        # the SC1 invoked by T0 will be executed three more times").
+        self._remaining_per_contract: dict[int | None, int] = {}
+        for tx in self.transactions:
+            key = tx.to
+            self._remaining_per_contract[key] = (
+                self._remaining_per_contract.get(key, 0) + 1
+            )
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def contract_of(self, index: int) -> int | None:
+        return self.transactions[index].to
+
+    def value(self, index: int) -> int:
+        """Current V for a node: future same-contract invocations."""
+        remaining = self._remaining_per_contract.get(
+            self.contract_of(index), 0
+        )
+        return max(0, remaining - 1)
+
+    def is_ready(self, index: int) -> bool:
+        """All predecessors completed."""
+        return (
+            index not in self.started
+            and self._remaining_indegree[index] == 0
+        )
+
+    def is_admissible(self, index: int) -> bool:
+        """All predecessors completed *or running* — the window-admission
+        rule: such transactions may sit in main memory as candidates while
+        their last dependency is still executing."""
+        if index in self.started:
+            return False
+        return all(
+            p in self.completed or p in self.started
+            for p in self.predecessors[index]
+        )
+
+    def blocked_by_running(self, index: int, running: set[int]) -> bool:
+        """Does the candidate depend on a transaction still executing?"""
+        return any(
+            p in running and p not in self.completed
+            for p in self.predecessors[index]
+        )
+
+    def ready_transactions(self) -> list[int]:
+        return [
+            i
+            for i in range(len(self.transactions))
+            if self.is_ready(i)
+        ]
+
+    # -- state transitions -----------------------------------------------------
+    def start(self, index: int) -> None:
+        if index in self.started:
+            raise ValueError(f"transaction {index} already started")
+        self.started.add(index)
+        key = self.contract_of(index)
+        self._remaining_per_contract[key] -= 1
+
+    def complete(self, index: int) -> None:
+        if index not in self.started:
+            raise ValueError(f"transaction {index} never started")
+        if index in self.completed:
+            raise ValueError(f"transaction {index} already completed")
+        self.completed.add(index)
+        for successor in self.successors[index]:
+            self._remaining_indegree[successor] -= 1
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) == len(self.transactions)

@@ -1,0 +1,191 @@
+"""Event-driven execution of a block on a multi-PU MTPU.
+
+Three drivers, matching the paper's evaluation configurations:
+
+* :func:`run_sequential` — one PU, block order (the Fig. 14 baseline).
+* :func:`run_synchronous` — k PUs with barrier rounds: each round takes a
+  set of pairwise-independent ready transactions, executes them in
+  parallel, and waits for the slowest ("synchronous execution of
+  transactions", Fig. 14a).
+* :func:`run_spatial_temporal` — the paper's asynchronous scheduler
+  (Fig. 14b): PUs pick work the moment they go idle, guided by the
+  Scheduling/Transaction tables.
+
+All drivers execute transactions *functionally* in an order that is a
+linear extension of the dependency DAG, so the final state and receipts
+equal sequential execution — asserted by the integration tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ...chain.receipt import Receipt
+from ...chain.transaction import Transaction
+from ..mtpu.processor import MTPUExecutor, TxExecution
+from .composite_dag import CompositeDAG
+from .spatial_temporal import SpatialTemporalScheduler
+
+#: Cycles charged for one table-consultation selection step — the paper
+#: bounds it to O(n) bit operations off the main execution path.
+SELECTION_OVERHEAD_CYCLES = 2
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome and metrics of one scheduled block execution."""
+
+    makespan_cycles: int
+    executions: list[TxExecution]
+    num_pus: int
+    pu_busy_cycles: list[int] = field(default_factory=list)
+    redundancy_hit_ratio: float = 0.0
+    rounds: int = 0  # synchronous driver only
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across PUs (paper Fig. 15)."""
+        if not self.makespan_cycles or not self.num_pus:
+            return 0.0
+        busy = sum(self.pu_busy_cycles)
+        return busy / (self.makespan_cycles * self.num_pus)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(e.instructions for e in self.executions)
+
+    def receipts_in_block_order(
+        self, transactions: list[Transaction]
+    ) -> list[Receipt]:
+        by_hash = {e.tx.hash(): e.receipt for e in self.executions}
+        return [by_hash[tx.hash()] for tx in transactions]
+
+    def speedup_over(self, baseline: "ScheduleResult") -> float:
+        if self.makespan_cycles == 0:
+            return float("inf")
+        return baseline.makespan_cycles / self.makespan_cycles
+
+
+def run_sequential(
+    executor: MTPUExecutor, transactions: list[Transaction]
+) -> ScheduleResult:
+    """Block-order execution on PU0 — the paper's 1× reference."""
+    pu = executor.pus[0]
+    makespan = 0
+    for tx in transactions:
+        execution = executor.execute_on(pu, tx)
+        makespan += execution.cycles
+    return ScheduleResult(
+        makespan_cycles=makespan,
+        executions=list(executor.executions),
+        num_pus=1,
+        pu_busy_cycles=[makespan],
+    )
+
+
+def run_synchronous(
+    executor: MTPUExecutor,
+    transactions: list[Transaction],
+    edges: list[tuple[int, int]],
+) -> ScheduleResult:
+    """Barrier-round parallel execution.
+
+    Each round grabs up to k ready transactions in block order and
+    barriers on the slowest — the classic concurrency-control execution
+    model the paper compares against.
+    """
+    dag = CompositeDAG(transactions, edges)
+    pus = executor.pus
+    makespan = 0
+    rounds = 0
+    busy = [0] * len(pus)
+    while not dag.done:
+        ready = dag.ready_transactions()[: len(pus)]
+        if not ready:
+            raise RuntimeError("synchronous driver stalled (cyclic DAG?)")
+        round_cycles = 0
+        for pu, tx_index in zip(pus, ready):
+            dag.start(tx_index)
+            execution = executor.execute_on(
+                pu, transactions[tx_index]
+            )
+            busy[pu.pu_id] += execution.cycles
+            round_cycles = max(round_cycles, execution.cycles)
+        for tx_index in ready:
+            dag.complete(tx_index)
+        makespan += round_cycles
+        rounds += 1
+    return ScheduleResult(
+        makespan_cycles=makespan,
+        executions=list(executor.executions),
+        num_pus=len(pus),
+        pu_busy_cycles=busy,
+        rounds=rounds,
+    )
+
+
+def run_spatial_temporal(
+    executor: MTPUExecutor,
+    transactions: list[Transaction],
+    edges: list[tuple[int, int]],
+    window_size: int | None = None,
+    selection_overhead: int = SELECTION_OVERHEAD_CYCLES,
+) -> ScheduleResult:
+    """Asynchronous execution under the spatio-temporal scheduler."""
+    dag = CompositeDAG(transactions, edges)
+    scheduler = SpatialTemporalScheduler(
+        dag, num_pus=len(executor.pus), window_size=window_size
+    )
+    pus = executor.pus
+    busy = [0] * len(pus)
+
+    #: (end_time, sequence, pu_id, tx_index) completion events.
+    events: list[tuple[int, int, int, int]] = []
+    sequence = 0
+    now = 0
+    idle = set(range(len(pus)))
+    makespan = 0
+
+    while not dag.done:
+        progressed = True
+        while progressed:
+            progressed = False
+            for pu_id in sorted(idle):
+                outcome = scheduler.select(pu_id)
+                if outcome is None:
+                    continue
+                scheduler.on_start(pu_id, outcome)
+                execution = executor.execute_on(
+                    pus[pu_id], transactions[outcome.tx_index]
+                )
+                duration = execution.cycles + selection_overhead
+                busy[pu_id] += duration
+                sequence += 1
+                heapq.heappush(
+                    events,
+                    (now + duration, sequence, pu_id, outcome.tx_index),
+                )
+                idle.discard(pu_id)
+                progressed = True
+
+        if not events:
+            if not dag.done:
+                raise RuntimeError(
+                    "spatial-temporal driver stalled "
+                    f"({len(dag.completed)}/{len(dag)} done)"
+                )
+            break
+        end_time, _, pu_id, tx_index = heapq.heappop(events)
+        now = end_time
+        makespan = max(makespan, now)
+        scheduler.on_complete(pu_id, tx_index)
+        idle.add(pu_id)
+
+    return ScheduleResult(
+        makespan_cycles=makespan,
+        executions=list(executor.executions),
+        num_pus=len(pus),
+        pu_busy_cycles=busy,
+        redundancy_hit_ratio=scheduler.redundancy_hit_ratio,
+    )

@@ -1,0 +1,192 @@
+"""The spatio-temporal scheduling algorithm (paper section 3.2).
+
+Decoupled roles:
+
+* **CPU (write path)** — keeps the m-slot candidate window filled with
+  admissible transactions (all predecessors completed *or running*),
+  prioritizing candidates redundant with currently-executing contracts,
+  then larger V; refreshes every PU's De/Re bit vectors.
+* **PU (read path)** — on becoming free: mask out candidates that depend
+  on any running transaction (①), prefer candidates redundant with its own
+  last contract (②), otherwise take the largest V; lock the slot, read the
+  transaction (③–⑤ happen on the CPU side afterwards).
+
+Spatial dimension: conflict-free candidates run asynchronously in
+parallel. Temporal dimension: redundant transactions land back-to-back on
+the same PU, compounding DB-cache and context reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .composite_dag import CompositeDAG
+from .tables import SchedulingTable, TransactionTable
+
+
+@dataclass
+class SelectionOutcome:
+    """What a PU's selection step produced (for metrics/tests)."""
+
+    tx_index: int
+    slot_index: int
+    redundant: bool  # chosen via the Re mask
+    value: int
+
+
+class SpatialTemporalScheduler:
+    """The paper's scheduler over a composite DAG."""
+
+    def __init__(
+        self,
+        dag: CompositeDAG,
+        num_pus: int,
+        window_size: int | None = None,
+    ) -> None:
+        self.dag = dag
+        self.num_pus = num_pus
+        self.window_size = window_size or max(8, 2 * num_pus)
+        self.scheduling_table = SchedulingTable(num_pus, self.window_size)
+        self.transaction_table = TransactionTable(self.window_size)
+        #: tx index currently running on each PU (None = idle).
+        self.running: list[int | None] = [None] * num_pus
+        #: last contract each PU executed (for Re computation).
+        self.last_contract: list[int | None] = [None] * num_pus
+        self._queued: set[int] = set()
+        self.redundant_selections = 0
+        self.total_selections = 0
+        self.refill()
+
+    # ------------------------------------------------------------------
+    # CPU write path
+    # ------------------------------------------------------------------
+    def refill(self) -> None:
+        """Fill free window slots with the best admissible transactions."""
+        free = self.transaction_table.free_slots()
+        if not free:
+            self._refresh_masks()
+            return
+        candidates = [
+            i
+            for i in range(len(self.dag))
+            if i not in self._queued and self.dag.is_admissible(i)
+        ]
+        running_contracts = {
+            self.dag.contract_of(tx)
+            for tx in self.running
+            if tx is not None
+        }
+
+        def priority(index: int) -> tuple:
+            # Prefer candidates redundant with running contracts, then
+            # larger V, then block order.
+            redundant = self.dag.contract_of(index) in running_contracts
+            return (not redundant, -self.dag.value(index), index)
+
+        candidates.sort(key=priority)
+        for slot, tx_index in zip(free, candidates):
+            self.transaction_table.write(
+                slot, tx_index, self.dag.value(tx_index)
+            )
+            self._queued.add(tx_index)
+        self._refresh_masks()
+
+    def _refresh_masks(self) -> None:
+        """Recompute every PU's De/Re bits over the current window."""
+        for pu_id in range(self.num_pus):
+            running_tx = self.running[pu_id]
+            de = 0
+            re = 0
+            reference_contract = (
+                self.dag.contract_of(running_tx)
+                if running_tx is not None
+                else self.last_contract[pu_id]
+            )
+            for slot_index, slot in enumerate(
+                self.transaction_table.slots
+            ):
+                if not slot.occupied:
+                    continue
+                candidate = slot.tx_index
+                if running_tx is not None and self.dag.blocked_by_running(
+                    candidate, {running_tx}
+                ):
+                    de |= 1 << slot_index
+                if (
+                    reference_contract is not None
+                    and self.dag.contract_of(candidate)
+                    == reference_contract
+                ):
+                    re |= 1 << slot_index
+            if running_tx is None:
+                # Invalid (idle) entries read as all-zero dependencies.
+                self.scheduling_table.set_masks(pu_id, de, re)
+                self.scheduling_table.invalidate(pu_id)
+                self.scheduling_table.entries[pu_id].redundancy_bits = re
+            else:
+                self.scheduling_table.set_masks(pu_id, de, re)
+
+    # ------------------------------------------------------------------
+    # PU read path
+    # ------------------------------------------------------------------
+    def select(self, pu_id: int) -> SelectionOutcome | None:
+        """One PU's transaction selection (steps ① and ② of Fig. 6)."""
+        available = self.transaction_table.occupied_mask()
+        blocked = self.scheduling_table.blocked_mask(exclude_pu=pu_id)
+        allowed = available & ~blocked
+        if not allowed:
+            return None
+
+        self.total_selections += 1
+        re_mask = self.scheduling_table.redundancy_mask(pu_id)
+        preferred = allowed & re_mask
+        redundant = bool(preferred)
+        pick_mask = preferred if preferred else allowed
+
+        # Among the picked mask: redundant hit takes the lowest slot;
+        # otherwise the largest V wins.
+        best_slot = None
+        best_value = -1
+        for slot_index in range(self.window_size):
+            if not (pick_mask >> slot_index) & 1:
+                continue
+            if redundant:
+                best_slot = slot_index
+                break
+            value = self.transaction_table.slots[slot_index].value
+            if value > best_value:
+                best_value = value
+                best_slot = slot_index
+        assert best_slot is not None
+        tx_index = self.transaction_table.lock(best_slot)
+        if redundant:
+            self.redundant_selections += 1
+        return SelectionOutcome(
+            tx_index=tx_index,
+            slot_index=best_slot,
+            redundant=redundant,
+            value=self.transaction_table.slots[best_slot].value,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle notifications from the simulator
+    # ------------------------------------------------------------------
+    def on_start(self, pu_id: int, outcome: SelectionOutcome) -> None:
+        self.dag.start(outcome.tx_index)
+        self.running[pu_id] = outcome.tx_index
+        self.last_contract[pu_id] = self.dag.contract_of(outcome.tx_index)
+        self.transaction_table.release(outcome.slot_index)
+        self._queued.discard(outcome.tx_index)
+        self.refill()
+
+    def on_complete(self, pu_id: int, tx_index: int) -> None:
+        self.dag.complete(tx_index)
+        self.running[pu_id] = None
+        self.scheduling_table.invalidate(pu_id)
+        self.refill()
+
+    @property
+    def redundancy_hit_ratio(self) -> float:
+        if not self.total_selections:
+            return 0.0
+        return self.redundant_selections / self.total_selections

@@ -1,0 +1,121 @@
+"""The Scheduling Table and Transaction Table (paper section 3.2).
+
+These model the hardware structures literally: the candidate window holds
+m transactions in main memory; per-PU De/Re entries are m-bit vectors; the
+Transaction Table carries a lock bit and the priority value V. A valid
+bit per dependency entry avoids dirty reads during the CPU's asynchronous
+updates ("Invalid dependencies are treated as all zeros because the
+completed transaction no longer affects the execution of other
+transactions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SchedulingEntry:
+    """One PU's row: De and Re bit vectors over the candidate window."""
+
+    dependency_bits: int = 0  # De: bit i => candidate i depends on my tx
+    redundancy_bits: int = 0  # Re: bit i => candidate i is redundant w/ mine
+    valid: bool = True  # guards against dirty reads
+
+    def effective_dependency(self) -> int:
+        """De as seen by readers: invalid entries read as all-zeros."""
+        return self.dependency_bits if self.valid else 0
+
+
+@dataclass
+class TransactionEntry:
+    """One candidate slot: the transaction index, lock, and V priority."""
+
+    tx_index: int = -1  # -1 = empty slot
+    locked: bool = False
+    value: int = 0  # V: redundancy priority
+
+    @property
+    def occupied(self) -> bool:
+        return self.tx_index >= 0
+
+
+class SchedulingTable:
+    """Per-PU De/Re vectors over an m-slot candidate window."""
+
+    def __init__(self, num_pus: int, window_size: int) -> None:
+        self.window_size = window_size
+        self.entries = [SchedulingEntry() for _ in range(num_pus)]
+
+    def set_masks(
+        self, pu_id: int, dependency_bits: int, redundancy_bits: int
+    ) -> None:
+        entry = self.entries[pu_id]
+        entry.valid = False  # CPU begins its update
+        entry.dependency_bits = dependency_bits
+        entry.redundancy_bits = redundancy_bits
+        entry.valid = True
+
+    def invalidate(self, pu_id: int) -> None:
+        """PU finished its transaction: its De no longer binds anyone."""
+        self.entries[pu_id].valid = False
+
+    def blocked_mask(self, exclude_pu: int | None = None) -> int:
+        """OR of all (valid) dependency vectors: candidates that must not
+        be selected because they depend on a running transaction."""
+        mask = 0
+        for pu_id, entry in enumerate(self.entries):
+            if pu_id == exclude_pu:
+                continue
+            mask |= entry.effective_dependency()
+        return mask
+
+    def redundancy_mask(self, pu_id: int) -> int:
+        return self.entries[pu_id].redundancy_bits
+
+
+class TransactionTable:
+    """The m candidate slots with lock bits and V priorities."""
+
+    def __init__(self, window_size: int) -> None:
+        self.window_size = window_size
+        self.slots = [TransactionEntry() for _ in range(window_size)]
+
+    def free_slots(self) -> list[int]:
+        return [i for i, slot in enumerate(self.slots) if not slot.occupied]
+
+    def occupied_mask(self) -> int:
+        mask = 0
+        for i, slot in enumerate(self.slots):
+            if slot.occupied and not slot.locked:
+                mask |= 1 << i
+        return mask
+
+    def write(self, slot_index: int, tx_index: int, value: int) -> None:
+        slot = self.slots[slot_index]
+        if slot.occupied:
+            raise ValueError(f"slot {slot_index} still occupied")
+        slot.tx_index = tx_index
+        slot.locked = False
+        slot.value = value
+
+    def lock(self, slot_index: int) -> int:
+        """PU takes a candidate: lock it and return the tx index."""
+        slot = self.slots[slot_index]
+        if not slot.occupied or slot.locked:
+            raise ValueError(f"slot {slot_index} not available")
+        slot.locked = True
+        return slot.tx_index
+
+    def release(self, slot_index: int) -> None:
+        """CPU clears a consumed slot after the PU's read completes."""
+        slot = self.slots[slot_index]
+        slot.tx_index = -1
+        slot.locked = False
+        slot.value = 0
+
+    def slot_of(self, tx_index: int) -> int | None:
+        for i, slot in enumerate(self.slots):
+            if slot.tx_index == tx_index:
+                return i
+        return None

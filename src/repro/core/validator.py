@@ -1,0 +1,169 @@
+"""An accelerated validator: the full co-design in one adoptable object.
+
+Wires every subsystem into the node lifecycle the paper describes:
+
+* transactions arrive into the mempool (**dissemination**);
+* between blocks, the :class:`~repro.core.hotspot.tracker.HotspotTracker`
+  picks the current hotspots and the optimizer (re)profiles them within
+  the :class:`~repro.chain.node.StageClock`'s idle budget (**the idle
+  time slice**, paper section 2.2.4);
+* incoming blocks execute on a k-PU MTPU under spatio-temporal
+  scheduling, with pre-execution eligibility decided by the mempool's
+  actual dissemination history (**execution**), and the result is
+  verified against the block's claimed receipts digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.block import Block
+from ..chain.node import Node, StageClock
+from ..chain.receipt import Receipt, receipts_root
+from ..chain.state import WorldState
+from ..chain.transaction import Transaction
+from .hotspot import HotspotOptimizer
+from .hotspot.tracker import HotspotTracker
+from .mtpu import MTPUExecutor, PUConfig
+from .scheduler import ScheduleResult, run_spatial_temporal
+
+#: Abstract profiling cost per sample transaction, in the StageClock's
+#: time units — used to stay within the idle budget.
+PROFILE_COST_PER_SAMPLE = 0.01
+
+
+@dataclass
+class ValidationOutcome:
+    """Result of validating one block on the accelerated path."""
+
+    block: Block
+    receipts: list[Receipt]
+    schedule: ScheduleResult
+    verified: bool | None  # None when no claimed root was provided
+    hotspots_optimized: list[int] = field(default_factory=list)
+
+    @property
+    def makespan_cycles(self) -> int:
+        return self.schedule.makespan_cycles
+
+
+class AcceleratedValidator:
+    """A validating node whose execution stage runs on the MTPU."""
+
+    def __init__(
+        self,
+        state: WorldState,
+        num_pus: int = 4,
+        pu_config: PUConfig | None = None,
+        clock: StageClock | None = None,
+        hotspot_top_k: int = 8,
+        deployment=None,
+    ) -> None:
+        self.node = Node(state=state, clock=clock or StageClock())
+        self.num_pus = num_pus
+        self.pu_config = pu_config or PUConfig()
+        self.hotspot_top_k = hotspot_top_k
+        self.tracker = HotspotTracker()
+        self.optimizer = HotspotOptimizer(
+            self.node.state, mempool=self.node.mempool,
+            dissemination_cutoff=0,
+        )
+        #: Deployment handle for sampling hotspot contracts offline; when
+        #: absent, profiling uses recently seen mempool transactions.
+        self.deployment = deployment
+        self._optimized: set[int] = set()
+        self._recent_by_contract: dict[int, list[Transaction]] = {}
+
+    # -- dissemination stage -------------------------------------------------
+    def hear(self, tx: Transaction, at: int | None = None) -> None:
+        self.node.hear(tx, at=at)
+        if tx.to is not None and tx.selector is not None:
+            bucket = self._recent_by_contract.setdefault(tx.to, [])
+            bucket.append(tx)
+            del bucket[:-32]  # keep a bounded sample window
+
+    # -- idle slice -----------------------------------------------------------
+    def idle_slice(self) -> list[int]:
+        """Run hotspot optimization within the clock's idle budget.
+
+        Returns the contract addresses (re)profiled this interval.
+        """
+        budget = self.node.clock.idle_budget
+        optimized: list[int] = []
+        for address in self.tracker.current_hotspots(self.hotspot_top_k):
+            if address in self._optimized:
+                continue
+            samples = self._samples_for(address)
+            if not samples:
+                continue
+            cost = PROFILE_COST_PER_SAMPLE * len(samples)
+            if cost > budget:
+                break  # the slice is over; resume next interval
+            budget -= cost
+            self.optimizer.optimize_contract(address, samples)
+            self._optimized.add(address)
+            optimized.append(address)
+        return optimized
+
+    def _samples_for(self, address: int) -> list[Transaction]:
+        if self.deployment is not None:
+            deployed = self.deployment.by_address(address)
+            if deployed is not None:
+                from ..workload import all_entry_function_calls
+
+                return all_entry_function_calls(
+                    self.deployment, deployed.name, seed=address & 0xFFFF
+                )
+        return list(self._recent_by_contract.get(address, []))
+
+    # -- consensus + execution stages ---------------------------------------------
+    def propose_block(self, max_transactions: int = 200) -> Block:
+        return self.node.propose_block(max_transactions)
+
+    def execute_block(
+        self, block: Block, claimed_root: bytes | None = None
+    ) -> ValidationOutcome:
+        """Execute a block on the MTPU and advance the chain."""
+        # Everything heard before "now" was disseminated early enough to
+        # pre-execute; the block's own arrival is the cutoff. Block
+        # transactions the node never heard (the paper's 2-9% tail) are
+        # simply absent from the mempool and not pre-executed.
+        self.optimizer.dissemination_cutoff = self.node.mempool.clock
+        context = self.node.block_context(block.header.height)
+        self.optimizer.block = context
+        executor = MTPUExecutor(
+            self.node.state, block=context, num_pus=self.num_pus,
+            pu_config=self.pu_config,
+            hotspot_optimizer=self.optimizer,
+        )
+        schedule = run_spatial_temporal(
+            executor, block.transactions, block.dag_edges
+        )
+        receipts = schedule.receipts_in_block_order(block.transactions)
+
+        verified: bool | None = None
+        if claimed_root is not None:
+            verified = receipts_root(receipts) == claimed_root
+
+        self.node.state.clear_journal()
+        self.node.chain.append(block)
+        self.node.receipts[block.hash()] = receipts
+        self.node.mempool.remove(block.transactions)
+        self.tracker.observe_block(block.transactions)
+        hotspots = self.idle_slice()
+        return ValidationOutcome(
+            block=block,
+            receipts=receipts,
+            schedule=schedule,
+            verified=verified,
+            hotspots_optimized=hotspots,
+        )
+
+    # -- passthroughs --------------------------------------------------------------
+    @property
+    def state(self) -> WorldState:
+        return self.node.state
+
+    @property
+    def chain(self) -> list[Block]:
+        return self.node.chain

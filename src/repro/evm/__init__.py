@@ -1,0 +1,54 @@
+"""EVM substrate: the smart-contract instruction set and a reference
+sequential interpreter with dataflow tracing."""
+
+from . import abi, opcodes
+from .code import Instruction, decode, valid_jumpdests
+from .context import BlockContext, CallKind, CallResult, Message
+from .errors import (
+    EVMError,
+    ExceptionalHalt,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    Revert,
+    StackOverflow,
+    StackUnderflow,
+)
+from .gas import DEFAULT_SCHEDULE, GasMeter, GasSchedule
+from .interpreter import EVM
+from .memory import Memory
+from .opcodes import Category, OpcodeInfo
+from .stack import Stack
+from .tracer import CallRecord, NullTracer, Tracer, TraceStep
+
+__all__ = [
+    "abi",
+    "opcodes",
+    "Instruction",
+    "decode",
+    "valid_jumpdests",
+    "BlockContext",
+    "CallKind",
+    "CallResult",
+    "Message",
+    "EVMError",
+    "ExceptionalHalt",
+    "InvalidJump",
+    "InvalidOpcode",
+    "OutOfGas",
+    "Revert",
+    "StackOverflow",
+    "StackUnderflow",
+    "DEFAULT_SCHEDULE",
+    "GasMeter",
+    "GasSchedule",
+    "EVM",
+    "Memory",
+    "Category",
+    "OpcodeInfo",
+    "Stack",
+    "CallRecord",
+    "NullTracer",
+    "Tracer",
+    "TraceStep",
+]

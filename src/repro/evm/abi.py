@@ -1,0 +1,41 @@
+"""Minimal ABI: calldata encoding for the contract suite.
+
+Covers the static types our contracts use (``address``, ``uint256``,
+``bool``, ``bytes32``) with the standard head-only layout: 4-byte selector
+followed by 32-byte words. This is the *Input* field of the paper's
+transaction format (Fig. 3a): function identifier + incoming parameters.
+"""
+
+from __future__ import annotations
+
+from ..crypto import selector
+
+WORD = 32
+
+
+def encode_uint(value: int) -> bytes:
+    """One 32-byte big-endian word."""
+    if value < 0 or value >= 1 << 256:
+        raise ValueError(f"uint256 out of range: {value}")
+    return value.to_bytes(WORD, "big")
+
+
+def encode_call(signature: str, *args: int) -> bytes:
+    """Selector + word-encoded static arguments."""
+    return selector(signature) + b"".join(encode_uint(arg) for arg in args)
+
+
+def decode_words(data: bytes) -> list[int]:
+    """Split return data into 32-byte words."""
+    if len(data) % WORD:
+        data = data + b"\x00" * (WORD - len(data) % WORD)
+    return [
+        int.from_bytes(data[i : i + WORD], "big")
+        for i in range(0, len(data), WORD)
+    ]
+
+
+def decode_uint(data: bytes) -> int:
+    """Interpret return data as a single uint256."""
+    words = decode_words(data)
+    return words[0] if words else 0

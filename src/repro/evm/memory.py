@@ -1,0 +1,61 @@
+"""Byte-addressed EVM memory (the in-core MEM of paper section 3.3.6).
+
+Memory grows in 32-byte words; expansion is charged quadratically by
+:mod:`repro.evm.gas`. This module only tracks contents and the
+high-water mark.
+"""
+
+from __future__ import annotations
+
+
+class Memory:
+    """Transaction-frame scratch memory."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def size_words(self) -> int:
+        """Current size in 32-byte words."""
+        return (len(self._data) + 31) // 32
+
+    def extend(self, offset: int, length: int) -> None:
+        """Grow memory (zero-filled) to cover ``[offset, offset+length)``."""
+        if length == 0:
+            return
+        new_size = ((offset + length + 31) // 32) * 32
+        if new_size > len(self._data):
+            self._data.extend(b"\x00" * (new_size - len(self._data)))
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read *length* bytes, implicitly extending memory first."""
+        self.extend(offset, length)
+        return bytes(self._data[offset : offset + length])
+
+    def read_word(self, offset: int) -> int:
+        """MLOAD: read a 256-bit big-endian word."""
+        return int.from_bytes(self.read(offset, 32), "big")
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write raw bytes, implicitly extending memory first."""
+        if not data:
+            return
+        self.extend(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+
+    def write_word(self, offset: int, value: int) -> None:
+        """MSTORE: write a 256-bit big-endian word."""
+        self.write(offset, (value & ((1 << 256) - 1)).to_bytes(32, "big"))
+
+    def write_byte(self, offset: int, value: int) -> None:
+        """MSTORE8: write the low byte of *value*."""
+        self.write(offset, bytes([value & 0xFF]))
+
+    def snapshot(self) -> bytes:
+        """A copy of the full memory contents (for tests/inspection)."""
+        return bytes(self._data)

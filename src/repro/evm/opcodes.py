@@ -1,0 +1,246 @@
+"""The smart-contract instruction set (paper Table 3).
+
+Every opcode carries the metadata the rest of the system needs:
+
+* ``pops`` / ``pushes`` — stack arity, used by the interpreter, by the fill
+  unit's symbolic-stack dependency analysis (RAW/WAR/WAW detection), and by
+  the hotspot backtracker.
+* ``gas`` — the static gas charge. Dynamic components (memory expansion,
+  per-word SHA3 cost, SSTORE set/reset, ...) live in
+  :mod:`repro.evm.gas`.
+* ``category`` — the functional unit that executes the opcode in the MTPU
+  (paper Table 3 groups the ISA into eleven functional units). A DB-cache
+  line holds at most one instruction per functional-unit field.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Category(enum.Enum):
+    """Functional-unit categories from paper Table 3."""
+
+    ARITHMETIC = "Arithmetic"
+    LOGIC = "Logic"
+    SHA = "SHA"
+    FIXED_ACCESS = "Fixed access"
+    STATE_QUERY = "State query"
+    MEMORY = "Memory"
+    STORAGE = "Storage"
+    BRANCH = "Branch"
+    STACK = "Stack"
+    CONTROL = "Control"
+    CONTEXT = "Context switching"
+
+
+#: Categories whose functional units the paper classifies as
+#: *reconfigurable*: simple single-result logic that completes in half a
+#: cycle, so one RAW dependency between two such units can be hidden by
+#: data forwarding inside a DB-cache line (paper section 3.3.4).
+RECONFIGURABLE_CATEGORIES = frozenset(
+    {Category.ARITHMETIC, Category.LOGIC, Category.STACK}
+)
+
+#: Units that may *receive* a forwarded result. The branch unit is
+#: included: the paper's dispatch example places the folded EQ and the
+#: folded JUMPI in one line, "eliminating the RAW dependency between them
+#: through forwarding technology" (section 3.3.4).
+FORWARD_CONSUMER_CATEGORIES = RECONFIGURABLE_CATEGORIES | {Category.BRANCH}
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one opcode."""
+
+    value: int
+    name: str
+    pops: int
+    pushes: int
+    gas: int
+    category: Category
+    immediate_size: int = 0  # bytes of inline immediate (PUSH1..PUSH32)
+    is_terminator: bool = False  # ends the current execution frame
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{self.name} 0x{self.value:02x}>"
+
+
+# Static gas charges, loosely following the Ethereum yellow-paper schedule.
+# They are plain module constants (not per-instance config) because the ISA
+# definition is fixed; the *dynamic* schedule is configurable in
+# repro.evm.gas.GasSchedule.
+G_ZERO = 0
+G_BASE = 2
+G_VERYLOW = 3
+G_LOW = 5
+G_MID = 8
+G_HIGH = 10
+G_JUMPDEST = 1
+G_SHA3 = 30
+G_SLOAD = 200
+G_SSTORE_BASE = 5000
+G_BALANCE = 400
+G_EXTCODE = 700
+G_EXTCODEHASH = 400
+G_BLOCKHASH = 20
+G_LOG = 375
+G_CALL = 700
+G_CREATE = 32000
+G_SELFDESTRUCT = 5000
+G_EXP = 10
+
+_TABLE: dict[int, OpcodeInfo] = {}
+
+
+def _op(
+    value: int,
+    name: str,
+    pops: int,
+    pushes: int,
+    gas: int,
+    category: Category,
+    immediate_size: int = 0,
+    is_terminator: bool = False,
+) -> None:
+    if value in _TABLE:
+        raise ValueError(f"duplicate opcode 0x{value:02x}")
+    _TABLE[value] = OpcodeInfo(
+        value, name, pops, pushes, gas, category, immediate_size, is_terminator
+    )
+
+
+# --- Control (0x00, 0xf3, 0xfd) ------------------------------------------
+_op(0x00, "STOP", 0, 0, G_ZERO, Category.CONTROL, is_terminator=True)
+
+# --- Arithmetic (0x01-0x0b) ----------------------------------------------
+_op(0x01, "ADD", 2, 1, G_VERYLOW, Category.ARITHMETIC)
+_op(0x02, "MUL", 2, 1, G_LOW, Category.ARITHMETIC)
+_op(0x03, "SUB", 2, 1, G_VERYLOW, Category.ARITHMETIC)
+_op(0x04, "DIV", 2, 1, G_LOW, Category.ARITHMETIC)
+_op(0x05, "SDIV", 2, 1, G_LOW, Category.ARITHMETIC)
+_op(0x06, "MOD", 2, 1, G_LOW, Category.ARITHMETIC)
+_op(0x07, "SMOD", 2, 1, G_LOW, Category.ARITHMETIC)
+_op(0x08, "ADDMOD", 3, 1, G_MID, Category.ARITHMETIC)
+_op(0x09, "MULMOD", 3, 1, G_MID, Category.ARITHMETIC)
+_op(0x0A, "EXP", 2, 1, G_EXP, Category.ARITHMETIC)
+_op(0x0B, "SIGNEXTEND", 2, 1, G_LOW, Category.ARITHMETIC)
+
+# --- Logic (0x10-0x1d) ----------------------------------------------------
+_op(0x10, "LT", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x11, "GT", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x12, "SLT", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x13, "SGT", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x14, "EQ", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x15, "ISZERO", 1, 1, G_VERYLOW, Category.LOGIC)
+_op(0x16, "AND", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x17, "OR", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x18, "XOR", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x19, "NOT", 1, 1, G_VERYLOW, Category.LOGIC)
+_op(0x1A, "BYTE", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x1B, "SHL", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x1C, "SHR", 2, 1, G_VERYLOW, Category.LOGIC)
+_op(0x1D, "SAR", 2, 1, G_VERYLOW, Category.LOGIC)
+
+# --- SHA (0x20) -----------------------------------------------------------
+_op(0x20, "SHA3", 2, 1, G_SHA3, Category.SHA)
+
+# --- Fixed access / state query (0x30-0x45, 0x58, 0x5a) --------------------
+_op(0x30, "ADDRESS", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x31, "BALANCE", 1, 1, G_BALANCE, Category.STATE_QUERY)
+_op(0x32, "ORIGIN", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x33, "CALLER", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x34, "CALLVALUE", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x35, "CALLDATALOAD", 1, 1, G_VERYLOW, Category.FIXED_ACCESS)
+_op(0x36, "CALLDATASIZE", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x37, "CALLDATACOPY", 3, 0, G_VERYLOW, Category.FIXED_ACCESS)
+_op(0x38, "CODESIZE", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x39, "CODECOPY", 3, 0, G_VERYLOW, Category.FIXED_ACCESS)
+_op(0x3A, "GASPRICE", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x3B, "EXTCODESIZE", 1, 1, G_EXTCODE, Category.STATE_QUERY)
+_op(0x3C, "EXTCODECOPY", 4, 0, G_EXTCODE, Category.STATE_QUERY)
+_op(0x3D, "RETURNDATASIZE", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x3E, "RETURNDATACOPY", 3, 0, G_VERYLOW, Category.FIXED_ACCESS)
+_op(0x3F, "EXTCODEHASH", 1, 1, G_EXTCODEHASH, Category.STATE_QUERY)
+_op(0x40, "BLOCKHASH", 1, 1, G_BLOCKHASH, Category.FIXED_ACCESS)
+_op(0x41, "COINBASE", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x42, "TIMESTAMP", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x43, "NUMBER", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x44, "DIFFICULTY", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x45, "GASLIMIT", 0, 1, G_BASE, Category.FIXED_ACCESS)
+
+# --- Stack / memory / storage / branch (0x50-0x5b) --------------------------
+_op(0x50, "POP", 1, 0, G_BASE, Category.STACK)
+_op(0x51, "MLOAD", 1, 1, G_VERYLOW, Category.MEMORY)
+_op(0x52, "MSTORE", 2, 0, G_VERYLOW, Category.MEMORY)
+_op(0x53, "MSTORE8", 2, 0, G_VERYLOW, Category.MEMORY)
+_op(0x54, "SLOAD", 1, 1, G_SLOAD, Category.STORAGE)
+_op(0x55, "SSTORE", 2, 0, G_SSTORE_BASE, Category.STORAGE)
+_op(0x56, "JUMP", 1, 0, G_MID, Category.BRANCH)
+_op(0x57, "JUMPI", 2, 0, G_HIGH, Category.BRANCH)
+_op(0x58, "PC", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x59, "MSIZE", 0, 1, G_BASE, Category.MEMORY)
+_op(0x5A, "GAS", 0, 1, G_BASE, Category.FIXED_ACCESS)
+_op(0x5B, "JUMPDEST", 0, 0, G_JUMPDEST, Category.BRANCH)
+
+# --- PUSH1..PUSH32 (0x60-0x7f) ---------------------------------------------
+for _n in range(1, 33):
+    _op(0x60 + _n - 1, f"PUSH{_n}", 0, 1, G_VERYLOW, Category.STACK,
+        immediate_size=_n)
+
+# --- DUP1..DUP16 (0x80-0x8f) -------------------------------------------------
+for _n in range(1, 17):
+    _op(0x80 + _n - 1, f"DUP{_n}", _n, _n + 1, G_VERYLOW, Category.STACK)
+
+# --- SWAP1..SWAP16 (0x90-0x9f) -----------------------------------------------
+for _n in range(1, 17):
+    _op(0x90 + _n - 1, f"SWAP{_n}", _n + 1, _n + 1, G_VERYLOW, Category.STACK)
+
+# --- LOG0..LOG4 (0xa0-0xa4) --------------------------------------------------
+for _n in range(0, 5):
+    _op(0xA0 + _n, f"LOG{_n}", 2 + _n, 0, G_LOG, Category.MEMORY)
+
+# --- Context switching (0xf0-0xf5, 0xfa) -------------------------------------
+_op(0xF0, "CREATE", 3, 1, G_CREATE, Category.CONTEXT)
+_op(0xF1, "CALL", 7, 1, G_CALL, Category.CONTEXT)
+_op(0xF2, "CALLCODE", 7, 1, G_CALL, Category.CONTEXT)
+_op(0xF3, "RETURN", 2, 0, G_ZERO, Category.CONTROL, is_terminator=True)
+_op(0xF4, "DELEGATECALL", 6, 1, G_CALL, Category.CONTEXT)
+_op(0xF5, "CREATE2", 4, 1, G_CREATE, Category.CONTEXT)
+_op(0xFA, "STATICCALL", 6, 1, G_CALL, Category.CONTEXT)
+_op(0xFD, "REVERT", 2, 0, G_ZERO, Category.CONTROL, is_terminator=True)
+_op(0xFE, "INVALID", 0, 0, G_ZERO, Category.CONTROL, is_terminator=True)
+_op(0xFF, "SELFDESTRUCT", 1, 0, G_SELFDESTRUCT, Category.CONTEXT,
+    is_terminator=True)
+
+#: Opcode table indexed by byte value.
+OPCODES: dict[int, OpcodeInfo] = dict(_TABLE)
+
+#: Opcode table indexed by mnemonic.
+BY_NAME: dict[str, OpcodeInfo] = {info.name: info for info in OPCODES.values()}
+
+
+def info(value: int) -> OpcodeInfo | None:
+    """Return the :class:`OpcodeInfo` for a byte value, or None if undefined."""
+    return OPCODES.get(value)
+
+
+def is_push(opcode: OpcodeInfo) -> bool:
+    """True for PUSH1..PUSH32."""
+    return 0x60 <= opcode.value <= 0x7F
+
+
+def is_dup(opcode: OpcodeInfo) -> bool:
+    """True for DUP1..DUP16."""
+    return 0x80 <= opcode.value <= 0x8F
+
+
+def is_swap(opcode: OpcodeInfo) -> bool:
+    """True for SWAP1..SWAP16."""
+    return 0x90 <= opcode.value <= 0x9F
+
+
+def is_branch(opcode: OpcodeInfo) -> bool:
+    """True for instructions that redirect control flow (JUMP/JUMPI)."""
+    return opcode.value in (0x56, 0x57)

@@ -1,0 +1,73 @@
+"""The EVM operand stack.
+
+Depth is capped at 1024 entries of 256-bit words (paper section 3.3.6: "The
+maximum depth of the operand stack is 1024, and each element is 256 bits").
+"""
+
+from __future__ import annotations
+
+from .errors import StackOverflow, StackUnderflow
+
+MAX_DEPTH = 1024
+WORD_MASK = (1 << 256) - 1
+
+
+class Stack:
+    """A bounded LIFO stack of 256-bit unsigned words."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: list[int] | None = None) -> None:
+        self._items: list[int] = list(items or [])
+        if len(self._items) > MAX_DEPTH:
+            raise StackOverflow(f"initial depth {len(self._items)} > {MAX_DEPTH}")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Stack({self._items!r})"
+
+    def push(self, value: int) -> None:
+        """Push a word, masking to 256 bits."""
+        if len(self._items) >= MAX_DEPTH:
+            raise StackOverflow(f"stack depth would exceed {MAX_DEPTH}")
+        self._items.append(value & WORD_MASK)
+
+    def pop(self) -> int:
+        """Pop and return the top word."""
+        if not self._items:
+            raise StackUnderflow("pop from empty stack")
+        return self._items.pop()
+
+    def pop_n(self, n: int) -> list[int]:
+        """Pop *n* words; index 0 of the result is the old stack top."""
+        if n > len(self._items):
+            raise StackUnderflow(f"pop {n} from stack of depth {len(self._items)}")
+        if n == 0:
+            return []
+        popped = self._items[-n:][::-1]
+        del self._items[-n:]
+        return popped
+
+    def peek(self, depth: int = 0) -> int:
+        """Return the word *depth* positions below the top without popping."""
+        if depth >= len(self._items):
+            raise StackUnderflow(f"peek depth {depth} on stack of {len(self._items)}")
+        return self._items[-1 - depth]
+
+    def dup(self, n: int) -> None:
+        """DUPn: duplicate the n-th word from the top (1-based)."""
+        if n > len(self._items):
+            raise StackUnderflow(f"DUP{n} on stack of depth {len(self._items)}")
+        self.push(self._items[-n])
+
+    def swap(self, n: int) -> None:
+        """SWAPn: swap the top word with the (n+1)-th word (1-based)."""
+        if n + 1 > len(self._items):
+            raise StackUnderflow(f"SWAP{n} on stack of depth {len(self._items)}")
+        self._items[-1], self._items[-1 - n] = self._items[-1 - n], self._items[-1]
+
+    def as_list(self) -> list[int]:
+        """A copy of the stack contents, bottom first."""
+        return list(self._items)

@@ -1,0 +1,24 @@
+"""Workload substrate: block generation with controlled redundancy,
+dependency ratio and ERC20 proportion, plus Ethereum statistics models."""
+
+from .actions import ActionLibrary, PlannedCall, planned_call_to_transaction
+from .generator import (
+    GeneratedBlock,
+    all_entry_function_calls,
+    generate_block,
+    generate_dependency_block,
+    generate_erc20_block,
+)
+from .zipf import ZipfSampler
+
+__all__ = [
+    "ActionLibrary",
+    "PlannedCall",
+    "planned_call_to_transaction",
+    "GeneratedBlock",
+    "all_entry_function_calls",
+    "generate_block",
+    "generate_dependency_block",
+    "generate_erc20_block",
+    "ZipfSampler",
+]

@@ -1,0 +1,533 @@
+"""Stateful action builders: realistic calls into the contract suite.
+
+An :class:`ActionLibrary` tracks enough world knowledge (minted NFT ids,
+open orders, live auctions, unvoted voters, withdrawal counters) to emit
+transactions that *succeed* when executed in block order — matching the
+paper's real-block workloads, where the overwhelming majority of
+transactions commit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..chain.transaction import Transaction
+from ..contracts.registry import Deployment
+from ..evm import abi
+
+
+@dataclass
+class PlannedCall:
+    """A contract invocation before it becomes a Transaction."""
+
+    contract: str
+    sender: int
+    signature: str
+    args: tuple[int, ...]
+    value: int = 0
+
+
+class ActionLibrary:
+    """Generates plausible, success-biased calls per contract."""
+
+    def __init__(self, deployment: Deployment, rng: random.Random) -> None:
+        self.deployment = deployment
+        self.rng = rng
+        accounts = deployment.accounts
+        self.accounts = accounts
+
+        # OpenSea/CryptoCat bookkeeping mirrors the registry's genesis
+        # inventory (seeded once in build_deployment — the library must
+        # never mutate a state that other components may already have
+        # copied).
+        from ..contracts.registry import (
+            cryptocat_genesis,
+            marketplace_genesis,
+        )
+
+        tokens, orders, self._next_nft = marketplace_genesis(accounts)
+        self._owned_tokens: list[tuple[int, int]] = list(tokens)
+        self._open_orders: list[tuple[int, int, int]] = [
+            (order_id, seller, price)
+            for order_id, seller, price, _token in orders
+        ]
+
+        cats, auctions, self._next_cat = cryptocat_genesis(accounts)
+        self._owned_cats: list[tuple[int, int]] = [
+            (owner, cat_id) for owner, cat_id, _genes in cats
+        ]
+        self._open_auctions: list[tuple[int, int]] = [
+            (cat_id, start_price)
+            for cat_id, _seller, start_price, _end in auctions
+        ]
+
+        # Ballot: each account votes at most once.
+        self._unvoted = list(accounts)
+        rng.shuffle(self._unvoted)
+
+        # Gateway withdrawal ids must be fresh.
+        self._next_withdrawal = 0
+
+    # ------------------------------------------------------------------
+    # Per-contract action pickers
+    # ------------------------------------------------------------------
+    def plan(self, contract: str, sender: int | None = None) -> PlannedCall:
+        """Plan one realistic call to *contract*."""
+        maker = getattr(self, f"_plan_{contract.lower()}", None)
+        if maker is None:
+            raise KeyError(f"no actions registered for {contract!r}")
+        return maker(sender)
+
+    def _pick_sender(self, sender: int | None) -> int:
+        return sender if sender is not None else self.rng.choice(self.accounts)
+
+    def _pick_other(self, not_this: int) -> int:
+        other = self.rng.choice(self.accounts)
+        while other == not_this and len(self.accounts) > 1:
+            other = self.rng.choice(self.accounts)
+        return other
+
+    def _plan_token_transfer(
+        self, contract: str, sender: int | None
+    ) -> PlannedCall:
+        sender = self._pick_sender(sender)
+        recipient = self._pick_other(sender)
+        amount = self.rng.randint(1, 10**6)
+        return PlannedCall(
+            contract, sender, "transfer(address,uint256)",
+            (recipient, amount),
+        )
+
+    def _erc20_mix(
+        self, contract: str, sender: int | None,
+        extra: list[tuple[float, str]] | None = None,
+    ) -> PlannedCall:
+        """Weighted mix of standard ERC20 actions."""
+        sender = self._pick_sender(sender)
+        roll = self.rng.random()
+        if roll < 0.70:
+            return self._plan_token_transfer(contract, sender)
+        if roll < 0.80:
+            spender = self._pick_other(sender)
+            return PlannedCall(
+                contract, sender, "approve(address,uint256)",
+                (spender, 10**9),
+            )
+        if roll < 0.90:
+            # transferFrom relies on the ring allowance set in genesis:
+            # account[i] may spend from account[i-1].
+            idx = self.accounts.index(sender)
+            owner = self.accounts[(idx - 1) % len(self.accounts)]
+            recipient = self._pick_other(sender)
+            return PlannedCall(
+                contract, sender,
+                "transferFrom(address,address,uint256)",
+                (owner, recipient, self.rng.randint(1, 10**4)),
+            )
+        return PlannedCall(
+            contract, sender, "balanceOf(address)",
+            (self._pick_other(sender),),
+        )
+
+    def _plan_tethertoken(self, sender: int | None) -> PlannedCall:
+        return self._erc20_mix("TetherToken", sender)
+
+    def _plan_dai(self, sender: int | None) -> PlannedCall:
+        roll = self.rng.random()
+        if roll < 0.85:
+            return self._erc20_mix("Dai", sender)
+        if roll < 0.93:
+            target = self.rng.choice(self.accounts)
+            return PlannedCall(
+                "Dai", self.deployment.admin, "mint(address,uint256)",
+                (target, self.rng.randint(1, 10**6)),
+            )
+        burner = self._pick_sender(sender)
+        return PlannedCall(
+            "Dai", burner, "burn(address,uint256)",
+            (burner, self.rng.randint(1, 10**3)),
+        )
+
+    def _plan_linktoken(self, sender: int | None) -> PlannedCall:
+        roll = self.rng.random()
+        if roll < 0.75:
+            return self._erc20_mix("LinkToken", sender)
+        sender = self._pick_sender(sender)
+        receiver = self.deployment.address_of("OracleReceiver")
+        return PlannedCall(
+            "LinkToken", sender,
+            "transferAndCall(address,uint256,uint256)",
+            (receiver, self.rng.randint(1, 10**4),
+             self.rng.randint(0, 2**64)),
+        )
+
+    def _plan_fiattokenproxy(self, sender: int | None) -> PlannedCall:
+        return self._erc20_mix("FiatTokenProxy", sender)
+
+    def _plan_weth9(self, sender: int | None) -> PlannedCall:
+        sender = self._pick_sender(sender)
+        roll = self.rng.random()
+        if roll < 0.4:
+            amount = self.rng.randint(1, 10**6)
+            return PlannedCall("WETH9", sender, "deposit()", (), value=amount)
+        if roll < 0.8:
+            return PlannedCall(
+                "WETH9", sender, "withdraw(uint256)",
+                (self.rng.randint(1, 10**4),),
+            )
+        return self._plan_token_transfer("WETH9", sender)
+
+    def _plan_router(self, name: str, swap_sig: str,
+                     sender: int | None) -> PlannedCall:
+        from ..contracts import registry
+
+        sender = self._pick_sender(sender)
+        pairs = [
+            (registry.TOKEN_A, registry.TOKEN_B),
+            (registry.TETHER, registry.DAI),
+            (registry.TOKEN_A, registry.TETHER),
+            (registry.TOKEN_B, registry.DAI),
+        ]
+        token_in, token_out = self.rng.choice(pairs)
+        if self.rng.random() < 0.5:
+            token_in, token_out = token_out, token_in
+        amount_in = self.rng.randint(10**3, 10**6)
+        roll = self.rng.random()
+        if roll < 0.8:
+            return PlannedCall(
+                name, sender, swap_sig,
+                (amount_in, 0, token_in, token_out),
+            )
+        return PlannedCall(
+            name, sender, "addLiquidity(address,address,uint256,uint256)",
+            (token_in, token_out, amount_in, amount_in),
+        )
+
+    def _plan_uniswapv2router02(self, sender: int | None) -> PlannedCall:
+        return self._plan_router(
+            "UniswapV2Router02",
+            "swapExactTokensForTokens(uint256,uint256,address,address)",
+            sender,
+        )
+
+    def _plan_swaprouter(self, sender: int | None) -> PlannedCall:
+        return self._plan_router(
+            "SwapRouter",
+            "exactInputSingle(uint256,uint256,address,address)",
+            sender,
+        )
+
+    def _plan_opensea(self, sender: int | None) -> PlannedCall:
+        roll = self.rng.random()
+        if roll < 0.30 and self._open_orders:
+            order_id, seller, price = self._open_orders.pop(
+                self.rng.randrange(len(self._open_orders))
+            )
+            buyer = self._pick_other(seller)
+            return PlannedCall(
+                "OpenSea", buyer, "atomicMatch(uint256)",
+                (order_id,), value=price,
+            )
+        if roll < 0.55 and self._owned_tokens:
+            owner, token_id = self._owned_tokens.pop(
+                self.rng.randrange(len(self._owned_tokens))
+            )
+            price = 10**9 * self.rng.randint(1, 10)
+            # The new order id is next_order_id at execution time; we track
+            # it optimistically for later matches.
+            return PlannedCall(
+                "OpenSea", owner, "createOrder(uint256,uint256)",
+                (token_id, price),
+            )
+        if roll < 0.75:
+            sender = self._pick_sender(sender)
+            token_id = self._next_nft
+            self._next_nft += 1
+            self._owned_tokens.append((sender, token_id))
+            return PlannedCall(
+                "OpenSea", sender, "mintToken(uint256)", (token_id,)
+            )
+        return PlannedCall(
+            "OpenSea", self._pick_sender(sender), "ownerOf(uint256)",
+            (self.rng.randrange(10_000, self._next_nft),),
+        )
+
+    def _plan_cryptocat(self, sender: int | None) -> PlannedCall:
+        roll = self.rng.random()
+        if roll < 0.35 and self._open_auctions:
+            cat_id, start_price = self._open_auctions.pop(
+                self.rng.randrange(len(self._open_auctions))
+            )
+            bidder = self._pick_sender(sender)
+            return PlannedCall(
+                "CryptoCat", bidder, "bid(uint256)",
+                (cat_id,), value=start_price,
+            )
+        if roll < 0.60 and self._owned_cats:
+            owner, cat_id = self._owned_cats.pop(
+                self.rng.randrange(len(self._owned_cats))
+            )
+            return PlannedCall(
+                "CryptoCat", owner,
+                "createSaleAuction(uint256,uint256,uint256)",
+                (cat_id, 10**10, 10**8),
+            )
+        if roll < 0.85:
+            sender = self._pick_sender(sender)
+            genes = self.rng.getrandbits(256)
+            cat_id = self._next_cat  # optimistic id for bookkeeping only
+            self._next_cat += 1
+            return PlannedCall(
+                "CryptoCat", sender, "createCat(uint256)", (genes,)
+            )
+        return PlannedCall(
+            "CryptoCat", self._pick_sender(sender), "getGenes(uint256)",
+            (self.rng.randrange(0, 64),),
+        )
+
+    def _plan_mainchaingatewayproxy(self, sender: int | None) -> PlannedCall:
+        from ..contracts import registry
+
+        sender = self._pick_sender(sender)
+        token = self.rng.choice(
+            [registry.TETHER, registry.DAI, registry.TOKEN_A]
+        )
+        if self.rng.random() < 0.6:
+            return PlannedCall(
+                "MainchainGatewayProxy", sender,
+                "depositERC20(address,uint256)",
+                (token, self.rng.randint(1, 10**5)),
+            )
+        withdrawal_id = self._next_withdrawal
+        self._next_withdrawal += 1
+        return PlannedCall(
+            "MainchainGatewayProxy", sender,
+            "withdrawERC20(uint256,address,uint256)",
+            (withdrawal_id, token, self.rng.randint(1, 10**5)),
+        )
+
+    def _plan_ballot(self, sender: int | None) -> PlannedCall:
+        if self._unvoted and self.rng.random() < 0.8:
+            voter = self._unvoted.pop()
+            return PlannedCall(
+                "Ballot", voter, "vote(uint256)",
+                (self.rng.randrange(10),),
+            )
+        return PlannedCall(
+            "Ballot", self._pick_sender(sender), "winningProposal()", ()
+        )
+
+    # ------------------------------------------------------------------
+    # Deterministic per-signature exemplars (Fig. 12 methodology: cover
+    # every entry function of a contract)
+    # ------------------------------------------------------------------
+    def plan_signature(self, contract: str, signature: str) -> PlannedCall:
+        """A call guaranteed to exercise *signature* successfully."""
+        rng = self.rng
+        d = self.deployment
+        sender = rng.choice(self.accounts)
+        other = self._pick_other(sender)
+        idx = self.accounts.index(sender)
+        approved_owner = self.accounts[(idx - 1) % len(self.accounts)]
+
+        def plain(sig: str, *args: int, value: int = 0,
+                  use_sender: int | None = None) -> PlannedCall:
+            return PlannedCall(
+                contract, use_sender if use_sender is not None else sender,
+                sig, tuple(args), value=value,
+            )
+
+        name = signature.split("(", 1)[0]
+        if name == "transfer" and contract == "CryptoCat":
+            owner, cat_id = self._owned_cats.pop()
+            self._owned_cats.append((other, cat_id))
+            return plain(signature, other, cat_id, use_sender=owner)
+        if name in ("transfer",):
+            return plain(signature, other, rng.randint(1, 10**4))
+        if name == "approve":
+            return plain(signature, other, 10**9)
+        if name == "transferFrom":
+            return plain(signature, approved_owner, other,
+                         rng.randint(1, 10**3))
+        if name == "balanceOf":
+            return plain(signature, other)
+        if name == "allowance":
+            return plain(signature, approved_owner, sender)
+        if name in ("totalSupply", "implementation", "depositCount",
+                    "winningProposal", "getOwner"):
+            return plain(signature)
+        if name == "redeem":
+            return plain(signature, rng.randint(1, 100), use_sender=d.admin)
+        if name in ("addBlackList", "removeBlackList"):
+            victim = 0x800000 + rng.getrandbits(16)
+            return plain(signature, victim, use_sender=d.admin)
+        if name == "destroyBlackFunds":
+            # Genesis blacklists a sacrificial account for this exemplar.
+            return plain(signature, 0xBADD1E, use_sender=d.admin)
+        if name == "isBlackListed":
+            return plain(signature, other)
+        if name == "transferOwnership":
+            # Hand ownership back to the admin (a self-transfer), keeping
+            # later owner-gated exemplars working.
+            return plain(signature, d.admin, use_sender=d.admin)
+        if name in ("pause", "unpause"):
+            return plain(signature, use_sender=d.admin)
+        if name == "issue":
+            return plain(signature, rng.randint(1, 10**6),
+                         use_sender=d.admin)
+        if name == "setParams":
+            return plain(signature, rng.randint(0, 19), use_sender=d.admin)
+        if name == "mint":
+            return plain(signature, other, rng.randint(1, 10**6),
+                         use_sender=d.admin)
+        if name == "burn":
+            return plain(signature, sender, rng.randint(1, 10**3))
+        if name == "transferAndCall":
+            return plain(signature, d.address_of("OracleReceiver"),
+                         rng.randint(1, 10**4), rng.getrandbits(64))
+        if name in ("swapExactTokensForTokens", "exactInputSingle"):
+            from ..contracts import registry
+
+            return plain(signature, rng.randint(10**3, 10**6), 0,
+                         registry.TOKEN_A, registry.TOKEN_B)
+        if name == "exactOutputSingle":
+            from ..contracts import registry
+
+            return plain(signature, rng.randint(10**3, 10**6), 10**30,
+                         registry.TOKEN_A, registry.TOKEN_B)
+        if name == "getAmountOut":
+            from ..contracts import registry
+
+            return plain(signature, rng.randint(10**3, 10**6),
+                         registry.TOKEN_A, registry.TOKEN_B)
+        if name == "addLiquidity":
+            from ..contracts import registry
+
+            amount = rng.randint(10**3, 10**6)
+            return plain(signature, registry.TOKEN_A, registry.TOKEN_B,
+                         amount, amount)
+        if name == "mintToken":
+            token_id = self._next_nft
+            self._next_nft += 1
+            self._owned_tokens.append((sender, token_id))
+            return plain(signature, token_id)
+        if name == "createOrder":
+            owner, token_id = self._owned_tokens.pop()
+            return plain(signature, token_id, 10**9, use_sender=owner)
+        if name == "cancelOrder":
+            order_id, seller, _price = self._open_orders.pop()
+            return plain(signature, order_id, use_sender=seller)
+        if name == "atomicMatch":
+            order_id, seller, price = self._open_orders.pop()
+            return plain(signature, order_id, value=price,
+                         use_sender=self._pick_other(seller))
+        if name == "ownerOf":
+            return plain(signature, rng.randrange(10_000, self._next_nft)
+                         if contract == "OpenSea" else rng.randrange(64))
+        if name == "orderPrice":
+            return plain(signature, rng.randrange(32))
+        if name == "createCat":
+            self._next_cat += 1
+            return plain(signature, rng.getrandbits(256))
+        if name == "cancelAuction":
+            cat_id, _price = self._open_auctions.pop()
+            seller_slot = self.deployment.contracts[
+                "CryptoCat"
+            ].artifact.mapping_value_slot("auction_seller", cat_id)
+            seller = self.deployment.state.get_storage(
+                self.deployment.address_of("CryptoCat"), seller_slot
+            )
+            return plain(signature, cat_id, use_sender=seller)
+        if name == "getAuction":
+            cat_id, _price = self._open_auctions[-1]
+            return plain(signature, cat_id)
+        if name == "delegate":
+            voter = self._unvoted.pop()
+            delegate_to = self._unvoted[0] if self._unvoted else other
+            return plain(signature, delegate_to, use_sender=voter)
+        if name == "giveBirth":
+            # Find two cats with a common owner in the genesis pool.
+            by_owner: dict[int, list[int]] = {}
+            for owner_value, cat in self._owned_cats:
+                by_owner.setdefault(owner_value, []).append(cat)
+            for owner_value, cats in by_owner.items():
+                if len(cats) >= 2:
+                    return plain(signature, cats[0], cats[1],
+                                 use_sender=owner_value)
+            raise KeyError("no owner holds two cats for giveBirth")
+        if name == "createSaleAuction":
+            owner, cat_id = self._owned_cats.pop()
+            return plain(signature, cat_id, 10**10, 10**8,
+                         use_sender=owner)
+        if name == "bid":
+            cat_id, start_price = self._open_auctions.pop()
+            return plain(signature, cat_id, value=start_price)
+        if name == "getGenes":
+            return plain(signature, rng.randrange(64))
+        if name == "depositERC20":
+            from ..contracts import registry
+
+            return plain(signature, registry.TETHER,
+                         rng.randint(1, 10**5))
+        if name == "withdrawERC20":
+            from ..contracts import registry
+
+            withdrawal_id = self._next_withdrawal
+            self._next_withdrawal += 1
+            return plain(signature, withdrawal_id, registry.DAI,
+                         rng.randint(1, 10**5))
+        if name == "giveRightToVote":
+            # A brand-new voter address keeps the call idempotent-safe.
+            fresh = 0x900000 + rng.getrandbits(16)
+            return plain(signature, fresh, use_sender=d.admin)
+        if name == "vote":
+            voter = self._unvoted.pop()
+            return plain(signature, rng.randrange(10), use_sender=voter)
+        if name == "deposit":
+            return plain(signature, value=rng.randint(1, 10**6))
+        if name == "withdraw":
+            return plain(signature, rng.randint(1, 10**4))
+        if name == "upgradeTo":
+            current = d.state.get_storage(
+                d.address_of(contract),
+                d.contract(contract).artifact.scalar_slots["implementation"],
+            )
+            return plain(signature, current, use_sender=d.admin)
+        if name == "onTokenTransfer":
+            return plain(signature, sender, rng.randint(1, 10**4),
+                         rng.getrandbits(64))
+        raise KeyError(
+            f"no exemplar for {contract}.{signature}"
+        )
+
+    # ------------------------------------------------------------------
+    # Transaction materialization
+    # ------------------------------------------------------------------
+    def to_transaction(
+        self, call: PlannedCall, gas_limit: int = 5_000_000
+    ) -> Transaction:
+        """Turn a planned call into a concrete transaction."""
+        return planned_call_to_transaction(
+            self.deployment, call, gas_limit=gas_limit
+        )
+
+
+def planned_call_to_transaction(
+    deployment: Deployment, call: PlannedCall, gas_limit: int = 5_000_000
+) -> Transaction:
+    """Materialize a planned call as a concrete transaction."""
+    address = deployment.address_of(call.contract)
+    data = abi.encode_call(call.signature, *call.args)
+    return Transaction(
+        sender=call.sender,
+        to=address,
+        value=call.value,
+        data=data,
+        gas_limit=gas_limit,
+        tags={
+            "contract": call.contract,
+            "signature": call.signature,
+            "is_erc20": deployment.contracts[call.contract].is_erc20,
+        },
+    )

@@ -1,0 +1,109 @@
+"""Ethereum statistics models (paper Table 1 and Fig. 2).
+
+Table 1's first two rows (daily transactions, SCT proportion) are
+observations from Etherscan; we treat them as workload inputs. The third
+row — "execution overhead of SCTs" — is *derivable*: given the per-class
+execution cost measured on our substrate, the SCT share of total
+execution work is ``p·C_sct / (p·C_sct + (1-p)·C_transfer)``. The
+benchmark compares that derived column against the paper's.
+
+Fig. 2(a) (stable block interval) is reproduced by a difficulty-retarget
+simulation; Fig. 2(b) (consensus-algorithm throughput) is survey data
+from the paper's references [18, 20], kept as constants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Paper Table 1 (Etherscan): year -> (daily txs, SCT proportion, SCT
+#: execution-overhead share).
+PAPER_TABLE1 = {
+    2017: (282_000, 0.3723, 0.7244),
+    2018: (688_000, 0.5057, 0.8183),
+    2019: (665_000, 0.6352, 0.8797),
+    2020: (932_000, 0.6794, 0.9043),
+    2021: (1_265_000, 0.6840, 0.9081),
+}
+
+#: Fig. 2(b): representative throughput (TPS) per consensus algorithm,
+#: from the surveys the paper cites [18, 20].
+CONSENSUS_THROUGHPUT_TPS = {
+    "PoW (Bitcoin)": 7,
+    "PoW (Ethereum)": 30,
+    "PoS": 100,
+    "DPoS (EOS)": 3_000,
+    "PBFT (Hyperledger)": 3_500,
+    "HotStuff": 6_000,
+    "Raft (permissioned)": 10_000,
+}
+
+
+def sct_execution_overhead(
+    sct_fraction: float, sct_cost: float, transfer_cost: float
+) -> float:
+    """Share of execution work spent on smart-contract transactions."""
+    sct_work = sct_fraction * sct_cost
+    transfer_work = (1.0 - sct_fraction) * transfer_cost
+    total = sct_work + transfer_work
+    return sct_work / total if total else 0.0
+
+
+def derive_table1(
+    sct_cost: float, transfer_cost: float
+) -> dict[int, tuple[int, float, float]]:
+    """Table 1 with the overhead column derived from measured costs."""
+    derived = {}
+    for year, (daily, sct_fraction, _paper) in PAPER_TABLE1.items():
+        overhead = sct_execution_overhead(
+            sct_fraction, sct_cost, transfer_cost
+        )
+        derived[year] = (daily, sct_fraction, overhead)
+    return derived
+
+
+@dataclass
+class BlockIntervalModel:
+    """Difficulty-retargeted block production (paper Fig. 2a).
+
+    Block arrival is exponential with rate hashrate/difficulty; the
+    protocol retargets difficulty toward ``target_interval``, so the
+    realized interval stays flat even as hashrate drifts — the paper's
+    point that the interval is a protocol constant, leaving transaction
+    execution as the only throughput lever.
+    """
+
+    target_interval: float = 13.0
+    retarget_gain: float = 0.1
+    hashrate_drift: float = 0.002  # per-block multiplicative drift
+
+    def simulate(
+        self, blocks: int, seed: int = 0
+    ) -> list[float]:
+        """Per-block realized intervals."""
+        rng = random.Random(seed)
+        hashrate = 1.0
+        difficulty = self.target_interval  # so interval starts on target
+        ema_interval = self.target_interval
+        intervals = []
+        for _ in range(blocks):
+            expected = difficulty / hashrate
+            interval = rng.expovariate(1.0 / expected)
+            intervals.append(interval)
+            # Retarget toward the constant protocol interval, smoothing
+            # the heavy-tailed per-block noise with an EMA, and bounding
+            # each step (real retarget rules clamp adjustments too).
+            ema_interval += 0.2 * (interval - ema_interval)
+            error_ratio = ema_interval / self.target_interval
+            adjust = 1.0 - self.retarget_gain * (error_ratio - 1.0)
+            difficulty *= min(2.0, max(0.5, adjust))
+            # Exogenous hashrate drift (miners joining/leaving).
+            hashrate *= 1.0 + rng.uniform(
+                -self.hashrate_drift, self.hashrate_drift
+            )
+        return intervals
+
+    def mean_interval(self, blocks: int = 2000, seed: int = 0) -> float:
+        intervals = self.simulate(blocks, seed)
+        return sum(intervals) / len(intervals)

@@ -1,0 +1,49 @@
+"""Zipf-distributed contract popularity.
+
+The paper's motivation rests on hotspot skew: 37% of sampled transactions
+invoke the TOP5 contracts, and CryptoCat alone peaked at 14%. A Zipf
+distribution over the contract registry reproduces that head weight.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s."""
+
+    def __init__(self, n: int, exponent: float = 1.0) -> None:
+        if n <= 0:
+            raise ValueError("need at least one item")
+        self.n = n
+        self.exponent = exponent
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+        total = sum(weights)
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0  # guard against float drift
+
+    def probability(self, rank: int) -> float:
+        """P(rank)."""
+        prev = self._cumulative[rank - 1] if rank > 0 else 0.0
+        return self._cumulative[rank] - prev
+
+    def head_mass(self, k: int) -> float:
+        """Total probability of the top-k ranks."""
+        return self._cumulative[min(k, self.n) - 1]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank."""
+        u = rng.random()
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

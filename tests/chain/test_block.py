@@ -1,0 +1,55 @@
+"""Blocks: serialization (with the embedded DAG) and BLOCKHASH service."""
+
+from repro.chain import Block, BlockHeader, Transaction
+
+
+def make_block(height=1, txs=None, edges=None):
+    header = BlockHeader(
+        height=height, timestamp=1000, coinbase=0xC0, difficulty=1,
+        gas_limit=30_000_000,
+    )
+    return Block(
+        header=header,
+        transactions=txs or [],
+        dag_edges=edges or [],
+    )
+
+
+class TestSerialization:
+    def test_roundtrip_empty(self):
+        block = make_block()
+        decoded = Block.from_rlp(block.to_rlp())
+        assert decoded.header == block.header
+
+    def test_roundtrip_with_txs_and_dag(self):
+        txs = [
+            Transaction(sender=1, to=2, nonce=i, data=bytes([i]))
+            for i in range(3)
+        ]
+        block = make_block(txs=txs, edges=[(0, 1), (1, 2)])
+        decoded = Block.from_rlp(block.to_rlp())
+        assert decoded.transactions == txs
+        assert decoded.dag_edges == [(0, 1), (1, 2)]
+
+    def test_hash_depends_on_parent(self):
+        a = make_block()
+        b = make_block()
+        object.__setattr__(b.header, "parent_hash", b"\x01" * 32)
+        assert a.hash() != b.hash()
+
+
+class TestBlockhash:
+    def test_recent_hash_window(self):
+        parents = [bytes([i]) * 32 for i in range(5)]
+        block = make_block(height=10)
+        block.recent_hashes = parents
+        # height 9 is distance 1 -> parents[0]
+        assert block.blockhash(9) == int.from_bytes(parents[0], "big")
+        assert block.blockhash(6) == int.from_bytes(parents[3], "big")
+
+    def test_out_of_window_is_zero(self):
+        block = make_block(height=500)
+        block.recent_hashes = [b"\x01" * 32]
+        assert block.blockhash(500) == 0  # self
+        assert block.blockhash(600) == 0  # future
+        assert block.blockhash(1) == 0  # too old (and not stored)

@@ -1,0 +1,64 @@
+"""Receipts, logs, and the mempool."""
+
+from repro.chain import LogEntry, Mempool, Receipt, Transaction
+from repro.chain.receipt import receipts_root
+
+
+def make_receipt(i=0, success=True):
+    return Receipt(
+        tx_hash=bytes([i]) * 32,
+        success=success,
+        gas_used=21000 + i,
+        logs=(LogEntry(address=1, topics=(i,), data=bytes([i])),),
+        output=bytes([i]),
+    )
+
+
+class TestReceipts:
+    def test_hash_is_stable(self):
+        assert make_receipt(1).hash() == make_receipt(1).hash()
+
+    def test_hash_reflects_success(self):
+        assert make_receipt(1).hash() != make_receipt(
+            1, success=False
+        ).hash()
+
+    def test_root_is_order_sensitive(self):
+        a, b = make_receipt(1), make_receipt(2)
+        assert receipts_root([a, b]) != receipts_root([b, a])
+
+    def test_root_empty(self):
+        assert isinstance(receipts_root([]), bytes)
+
+
+class TestMempool:
+    def tx(self, i):
+        return Transaction(sender=1, to=2, nonce=i)
+
+    def test_take_is_fifo(self):
+        pool = Mempool()
+        for i in range(5):
+            pool.add(self.tx(i))
+        taken = pool.take(3)
+        assert [t.nonce for t in taken] == [0, 1, 2]
+        assert len(pool) == 2
+
+    def test_explicit_heard_at_orders(self):
+        pool = Mempool()
+        pool.add(self.tx(0), heard_at=10)
+        pool.add(self.tx(1), heard_at=5)
+        assert [t.nonce for t in pool.pending()] == [1, 0]
+
+    def test_remove(self):
+        pool = Mempool()
+        txs = [self.tx(i) for i in range(3)]
+        for tx in txs:
+            pool.add(tx)
+        pool.remove(txs[:2])
+        assert len(pool) == 1
+        assert not pool.contains(txs[0])
+
+    def test_take_more_than_available(self):
+        pool = Mempool()
+        pool.add(self.tx(0))
+        assert len(pool.take(10)) == 1

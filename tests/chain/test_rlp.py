@@ -1,0 +1,114 @@
+"""RLP wire format: canonical vectors and roundtrip properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain import rlp
+
+# Recursive item strategy: bytes or nested lists of items.
+items = st.recursive(
+    st.binary(max_size=80),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=30,
+)
+
+
+class TestKnownVectors:
+    """The canonical test vectors from the Ethereum wiki."""
+
+    def test_empty_string(self):
+        assert rlp.encode(b"") == b"\x80"
+
+    def test_single_low_byte_is_itself(self):
+        assert rlp.encode(b"\x0f") == b"\x0f"
+        assert rlp.encode(b"\x7f") == b"\x7f"
+
+    def test_single_high_byte_gets_prefix(self):
+        assert rlp.encode(b"\x80") == b"\x81\x80"
+
+    def test_short_string(self):
+        assert rlp.encode(b"dog") == b"\x83dog"
+
+    def test_long_string(self):
+        data = b"a" * 56
+        assert rlp.encode(data) == b"\xb8\x38" + data
+
+    def test_empty_list(self):
+        assert rlp.encode([]) == b"\xc0"
+
+    def test_cat_dog_list(self):
+        assert rlp.encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+    def test_set_theoretic_nesting(self):
+        # [ [], [[]], [ [], [[]] ] ]
+        item = [[], [[]], [[], [[]]]]
+        assert rlp.encode(item) == bytes.fromhex("c7c0c1c0c3c0c1c0")
+
+    def test_long_list(self):
+        payload = [b"aaaa"] * 20  # 100 payload bytes -> long form
+        encoded = rlp.encode(payload)
+        assert encoded[0] == 0xF8
+        assert rlp.decode(encoded) == payload
+
+
+class TestDecodeErrors:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(rlp.RLPDecodingError):
+            rlp.decode(b"\x83dogX")
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(rlp.RLPDecodingError):
+            rlp.decode(b"\x83do")
+
+    def test_non_canonical_single_byte_rejected(self):
+        # 0x81 0x05 should have been encoded as plain 0x05.
+        with pytest.raises(rlp.RLPDecodingError):
+            rlp.decode(b"\x81\x05")
+
+    def test_non_canonical_long_length_rejected(self):
+        # Long form used for a length < 56.
+        with pytest.raises(rlp.RLPDecodingError):
+            rlp.decode(b"\xb8\x01a")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(rlp.RLPDecodingError):
+            rlp.decode(b"")
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(TypeError):
+            rlp.encode("not bytes")  # type: ignore[arg-type]
+
+
+class TestIntegers:
+    def test_zero_is_empty(self):
+        assert rlp.encode_int(0) == b""
+
+    def test_minimal_big_endian(self):
+        assert rlp.encode_int(1024) == b"\x04\x00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rlp.encode_int(-1)
+
+    def test_leading_zero_rejected_on_decode(self):
+        with pytest.raises(rlp.RLPDecodingError):
+            rlp.decode_int(b"\x00\x01")
+
+    @given(st.integers(min_value=0, max_value=1 << 256))
+    def test_int_roundtrip(self, value):
+        assert rlp.decode_int(rlp.encode_int(value)) == value
+
+
+class TestRoundtrip:
+    @given(items)
+    def test_decode_encode_identity(self, item):
+        assert rlp.decode(rlp.encode(item)) == item
+
+    @given(st.binary(max_size=300))
+    def test_bytes_roundtrip(self, data):
+        assert rlp.decode(rlp.encode(data)) == data
+
+    @given(items)
+    def test_encoding_is_deterministic(self, item):
+        assert rlp.encode(item) == rlp.encode(item)

@@ -1,0 +1,198 @@
+"""World state: journaling atomicity and access tracking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.state import AccessSet, WorldState
+
+
+class TestBasics:
+    def test_fresh_account_defaults(self):
+        state = WorldState()
+        assert state.get_balance(1) == 0
+        assert state.get_nonce(1) == 0
+        assert state.get_code(1) == b""
+        assert state.get_storage(1, 0) == 0
+
+    def test_balance_set_get(self):
+        state = WorldState()
+        state.set_balance(1, 100)
+        assert state.get_balance(1) == 100
+
+    def test_transfer(self):
+        state = WorldState()
+        state.set_balance(1, 100)
+        state.transfer(1, 2, 30)
+        assert state.get_balance(1) == 70
+        assert state.get_balance(2) == 30
+
+    def test_transfer_insufficient_raises(self):
+        state = WorldState()
+        with pytest.raises(ValueError):
+            state.transfer(1, 2, 1)
+
+    def test_transfer_zero_is_noop(self):
+        state = WorldState()
+        state.transfer(1, 2, 0)
+        assert not state.account_exists(1)
+
+    def test_storage_zero_delete(self):
+        state = WorldState()
+        state.set_storage(1, 5, 9)
+        state.set_storage(1, 5, 0)
+        assert state.get_storage(1, 5) == 0
+        assert 5 not in state.account(1).storage
+
+    def test_delete_account(self):
+        state = WorldState()
+        state.set_code(1, b"\x01")
+        state.delete_account(1)
+        assert not state.account_exists(1)
+
+
+class TestJournal:
+    def test_revert_storage(self):
+        state = WorldState()
+        state.set_storage(1, 0, 10)
+        token = state.snapshot()
+        state.set_storage(1, 0, 20)
+        state.set_storage(1, 1, 30)
+        state.revert(token)
+        assert state.get_storage(1, 0) == 10
+        assert state.get_storage(1, 1) == 0
+
+    def test_revert_balance_and_nonce(self):
+        state = WorldState()
+        state.set_balance(1, 5)
+        token = state.snapshot()
+        state.set_balance(1, 50)
+        state.increment_nonce(1)
+        state.revert(token)
+        assert state.get_balance(1) == 5
+        assert state.get_nonce(1) == 0
+
+    def test_revert_account_creation(self):
+        state = WorldState()
+        token = state.snapshot()
+        state.set_balance(42, 1)
+        state.revert(token)
+        assert not state.account_exists(42)
+
+    def test_nested_snapshots(self):
+        state = WorldState()
+        outer = state.snapshot()
+        state.set_storage(1, 0, 1)
+        inner = state.snapshot()
+        state.set_storage(1, 0, 2)
+        state.revert(inner)
+        assert state.get_storage(1, 0) == 1
+        state.revert(outer)
+        assert state.get_storage(1, 0) == 0
+
+    def test_revert_code_and_delete(self):
+        state = WorldState()
+        state.set_code(1, b"\xaa")
+        token = state.snapshot()
+        state.delete_account(1)
+        state.revert(token)
+        assert state.get_code(1) == b"\xaa"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3), st.integers(0, 3), st.integers(0, 100)
+            ),
+            max_size=30,
+        )
+    )
+    def test_revert_restores_digest(self, writes):
+        state = WorldState()
+        state.set_balance(0, 1000)
+        state.clear_journal()
+        digest_before = state.state_digest()
+        token = state.snapshot()
+        for address, slot, value in writes:
+            state.set_storage(address, slot, value)
+        state.revert(token)
+        assert state.state_digest() == digest_before
+
+
+class TestAccessTracking:
+    def test_reads_and_writes_recorded(self):
+        state = WorldState()
+        access = state.begin_access_tracking()
+        state.get_storage(1, 7)
+        state.set_storage(2, 8, 1)
+        result = state.end_access_tracking()
+        assert result is access
+        assert (1, 7) in result.reads
+        assert (2, 8) in result.writes
+
+    def test_balance_uses_sentinel_key(self):
+        state = WorldState()
+        state.begin_access_tracking()
+        state.get_balance(3)
+        access = state.end_access_tracking()
+        assert (3, "balance") in access.reads
+
+    def test_tracking_off_by_default(self):
+        state = WorldState()
+        state.get_storage(1, 1)  # must not raise
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            WorldState().end_access_tracking()
+
+
+class TestAccessSetConflicts:
+    def test_write_write_conflict(self):
+        a = AccessSet(writes={(1, 0)})
+        b = AccessSet(writes={(1, 0)})
+        assert a.conflicts_with(b)
+
+    def test_read_write_conflict_symmetric(self):
+        a = AccessSet(reads={(1, 0)})
+        b = AccessSet(writes={(1, 0)})
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_read_read_no_conflict(self):
+        a = AccessSet(reads={(1, 0)})
+        b = AccessSet(reads={(1, 0)})
+        assert not a.conflicts_with(b)
+
+    def test_disjoint_no_conflict(self):
+        a = AccessSet(reads={(1, 0)}, writes={(1, 1)})
+        b = AccessSet(reads={(2, 0)}, writes={(2, 1)})
+        assert not a.conflicts_with(b)
+
+    def test_merge(self):
+        a = AccessSet(reads={(1, 0)})
+        b = AccessSet(writes={(2, 0)})
+        a.merge(b)
+        assert (2, 0) in a.writes
+
+
+class TestCopyAndDigest:
+    def test_copy_is_deep(self):
+        state = WorldState()
+        state.set_storage(1, 0, 5)
+        clone = state.copy()
+        clone.set_storage(1, 0, 9)
+        assert state.get_storage(1, 0) == 5
+
+    def test_digest_ignores_empty_accounts(self):
+        a = WorldState()
+        b = WorldState()
+        b.account(5)  # empty account created lazily
+        assert a.state_digest() == b.state_digest()
+
+    def test_digest_order_independent(self):
+        a = WorldState()
+        a.set_balance(1, 10)
+        a.set_balance(2, 20)
+        b = WorldState()
+        b.set_balance(2, 20)
+        b.set_balance(1, 10)
+        assert a.state_digest() == b.state_digest()

@@ -1,0 +1,57 @@
+"""Transaction wire format and accessors (paper Fig. 3a)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain import Transaction
+from repro.crypto import selector
+
+
+class TestAccessors:
+    def test_selector_extraction(self):
+        data = selector("transfer(address,uint256)") + b"\x00" * 64
+        tx = Transaction(sender=1, to=2, data=data)
+        assert tx.selector == selector("transfer(address,uint256)")
+
+    def test_short_data_has_no_selector(self):
+        assert Transaction(sender=1, to=2, data=b"\x01").selector is None
+
+    def test_create_has_no_selector(self):
+        tx = Transaction(sender=1, to=None, data=b"\x01" * 10)
+        assert tx.is_create
+        assert tx.selector is None
+
+    def test_tags_do_not_affect_identity(self):
+        a = Transaction(sender=1, to=2, tags={"x": 1})
+        b = Transaction(sender=1, to=2, tags={"y": 2})
+        assert a == b
+        assert a.hash() == b.hash()
+
+
+class TestWireFormat:
+    def test_rlp_roundtrip_simple(self):
+        tx = Transaction(sender=0xA, to=0xB, nonce=3, gas_limit=90_000,
+                         gas_price=7, value=123, data=b"\xde\xad")
+        assert Transaction.from_rlp(tx.to_rlp()) == tx
+
+    def test_create_roundtrip(self):
+        tx = Transaction(sender=0xA, to=None, data=b"\x60\x00")
+        decoded = Transaction.from_rlp(tx.to_rlp())
+        assert decoded.to is None
+
+    def test_hash_changes_with_nonce(self):
+        a = Transaction(sender=1, to=2, nonce=0)
+        b = Transaction(sender=1, to=2, nonce=1)
+        assert a.hash() != b.hash()
+
+    @given(
+        st.integers(0, (1 << 160) - 1),
+        st.one_of(st.none(), st.integers(0, (1 << 160) - 1)),
+        st.integers(0, 1 << 32),
+        st.integers(0, 1 << 62),
+        st.binary(max_size=100),
+    )
+    def test_rlp_roundtrip_property(self, sender, to, nonce, value, data):
+        tx = Transaction(sender=sender, to=to, nonce=nonce, value=value,
+                         data=data)
+        assert Transaction.from_rlp(tx.to_rlp()) == tx

@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+The full deployment is expensive (compiles the contract suite and seeds
+genesis), so it is built once per session; tests that mutate state copy
+it first (``deployment.state.copy()``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic property tests: a released reproduction must not flake on
+# fresh machines without a hypothesis example database.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.chain import Transaction, WorldState
+from repro.contracts import build_deployment
+from repro.contracts.asm import assemble
+from repro.evm import EVM, Tracer
+
+ALICE = 0xA11CE
+BOB = 0xB0B
+CONTRACT = 0xC0DE
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    """The genesis deployment (shared, treat as read-only)."""
+    return build_deployment()
+
+
+@pytest.fixture()
+def state():
+    """A fresh world state with two funded accounts."""
+    world = WorldState()
+    world.set_balance(ALICE, 10**21)
+    world.set_balance(BOB, 10**21)
+    world.clear_journal()
+    return world
+
+
+def run_code(state, source: str, data: bytes = b"", value: int = 0,
+             sender: int = ALICE, address: int = CONTRACT,
+             gas_limit: int = 5_000_000):
+    """Assemble, deploy and execute a program; return (receipt, tracer)."""
+    state.set_code(address, assemble(source))
+    tracer = Tracer()
+    evm = EVM(state, tracer=tracer)
+    tx = Transaction(sender=sender, to=address, data=data, value=value,
+                     gas_limit=gas_limit)
+    receipt = evm.execute_transaction(tx)
+    return receipt, tracer
+
+
+@pytest.fixture()
+def run():
+    """The run_code helper as a fixture."""
+    return run_code

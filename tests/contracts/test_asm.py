@@ -1,0 +1,108 @@
+"""Assembler: syntax, label resolution, roundtrip with the disassembler."""
+
+import pytest
+
+from repro.contracts.asm import AssemblyError, assemble, label_addresses
+from repro.contracts.disasm import disassemble
+from repro.evm.code import decode
+
+
+class TestBasics:
+    def test_single_ops(self):
+        assert assemble("STOP") == b"\x00"
+        assert assemble("ADD\nMUL") == b"\x01\x02"
+
+    def test_comments_and_blank_lines(self):
+        source = """
+        ; a comment
+        ADD  ; trailing
+        // c++ style
+
+        MUL
+        """
+        assert assemble(source) == b"\x01\x02"
+
+    def test_push_auto_width(self):
+        assert assemble("PUSH 0") == b"\x60\x00"
+        assert assemble("PUSH 255") == b"\x60\xff"
+        assert assemble("PUSH 256") == b"\x61\x01\x00"
+
+    def test_push_explicit_width(self):
+        assert assemble("PUSH4 0xcc80f6f3") == b"\x63\xcc\x80\xf6\xf3"
+        assert assemble("PUSH4 1") == b"\x63\x00\x00\x00\x01"
+
+    def test_push32(self):
+        code = assemble(f"PUSH32 {(1 << 255):#x}")
+        assert code[0] == 0x7F
+        assert len(code) == 33
+
+    def test_hex_and_decimal_operands(self):
+        assert assemble("PUSH 0x10") == assemble("PUSH 16")
+
+
+class TestLabels:
+    def test_label_emits_jumpdest(self):
+        code = assemble("here:\nSTOP")
+        assert code == b"\x5b\x00"
+
+    def test_label_reference_resolves(self):
+        code = assemble("PUSH @end\nJUMP\nend:\nSTOP")
+        # PUSH2 0x0004, JUMP, JUMPDEST, STOP
+        assert code == b"\x61\x00\x04\x56\x5b\x00"
+
+    def test_forward_and_backward_references(self):
+        source = "top:\nPUSH @top\nPUSH @bottom\nJUMP\nbottom:\nSTOP"
+        addresses = label_addresses(source)
+        assert addresses["top"] == 0
+        code = assemble(source)
+        assert code[addresses["bottom"]] == 0x5B
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\na:\nSTOP")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("PUSH @nowhere")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("FROBNICATE")
+
+    def test_push_without_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("PUSH")
+
+    def test_operand_on_plain_op(self):
+        with pytest.raises(AssemblyError):
+            assemble("ADD 1")
+
+    def test_operand_too_wide(self):
+        with pytest.raises(AssemblyError):
+            assemble("PUSH1 0x100")
+
+    def test_bad_push_width(self):
+        with pytest.raises(AssemblyError):
+            assemble("PUSH33 0x0")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblyError):
+            assemble("PUSH zz")
+
+
+class TestRoundtrip:
+    def test_disassemble_readable(self):
+        listing = disassemble(assemble("PUSH 5\nADD\nSTOP"))
+        assert "PUSH1 0x5" in listing
+        assert "ADD" in listing
+
+    def test_reassemble_disassembly(self):
+        source = "PUSH 1\nPUSH 2\nADD\nlab:\nPUSH @lab\nJUMP"
+        code = assemble(source)
+        # Disassembly mnemonics re-decode to the same instruction stream.
+        names = [i.op.name for i in decode(code)]
+        listing = disassemble(code)
+        for name in names:
+            assert name in listing

@@ -1,0 +1,413 @@
+"""The contract-language compiler: dispatch, control flow, storage
+layout, events, external calls."""
+
+import pytest
+
+from repro.chain import Transaction, WorldState
+from repro.contracts.lang import (
+    Arg,
+    Assign,
+    Caller,
+    Const,
+    ContractDef,
+    DelegateAll,
+    Emit,
+    ExtCall,
+    FunctionDef,
+    If,
+    Local,
+    MapLoad,
+    MapStore,
+    Require,
+    Return,
+    SLoad,
+    SStore,
+    Stop,
+    While,
+    compile_contract,
+)
+from repro.contracts.lang.compiler import CompileError
+from repro.crypto import keccak256_int, selector
+from repro.evm import EVM, abi
+
+ALICE = 0xA1
+ADDRESS = 0xC0
+
+
+def deploy_and_call(definition, signature, *args, value=0, sender=ALICE,
+                    state=None, address=ADDRESS):
+    compiled = (
+        definition
+        if hasattr(definition, "bytecode")
+        else compile_contract(definition)
+    )
+    if state is None:
+        state = WorldState()
+        state.set_balance(sender, 10**20)
+    compiled.deploy(state, address)
+    evm = EVM(state)
+    receipt = evm.execute_transaction(
+        Transaction(sender=sender, to=address, value=value,
+                    data=abi.encode_call(signature, *args),
+                    gas_limit=5_000_000)
+    )
+    return compiled, state, receipt
+
+
+def single_fn(name, body, payable=False, scalars=None, mappings=None):
+    return ContractDef(
+        name="T",
+        scalars=scalars or [],
+        mappings=mappings or [],
+        functions=[FunctionDef(name, body, payable=payable)],
+    )
+
+
+class TestDispatch:
+    def test_selector_routes_to_function(self):
+        definition = ContractDef(
+            name="T",
+            functions=[
+                FunctionDef("one()", [Return(Const(1))]),
+                FunctionDef("two()", [Return(Const(2))]),
+            ],
+        )
+        _, _, r1 = deploy_and_call(definition, "one()")
+        _, _, r2 = deploy_and_call(definition, "two()")
+        assert abi.decode_uint(r1.output) == 1
+        assert abi.decode_uint(r2.output) == 2
+
+    def test_unknown_selector_reverts(self):
+        definition = single_fn("f()", [Return(Const(1))])
+        _, _, receipt = deploy_and_call(definition, "nope()")
+        assert not receipt.success
+
+    def test_nonpayable_rejects_value(self):
+        definition = single_fn("f()", [Return(Const(1))])
+        _, _, receipt = deploy_and_call(definition, "f()", value=5)
+        assert not receipt.success
+
+    def test_payable_accepts_value(self):
+        from repro.contracts.lang import CallValue
+
+        definition = single_fn("f()", [Return(CallValue())], payable=True)
+        _, _, receipt = deploy_and_call(definition, "f()", value=5)
+        assert abi.decode_uint(receipt.output) == 5
+
+    def test_compiled_metadata(self):
+        definition = single_fn("f(uint256,uint256)", [Stop()])
+        compiled = compile_contract(definition)
+        fn = compiled.function("f")
+        assert fn.selector == selector("f(uint256,uint256)")
+        assert fn.arg_count == 2
+        assert compiled.labels[fn.entry_label] < len(compiled.bytecode)
+        assert compiled.compare_chunk_end > 0
+
+
+class TestStorageLayout:
+    def test_scalar_slots_in_declaration_order(self):
+        definition = ContractDef(
+            name="T", scalars=["a", "b"], mappings=["m"],
+            functions=[FunctionDef("f()", [
+                SStore("a", Const(1)),
+                SStore("b", Const(2)),
+                MapStore("m", Const(5), Const(3)),
+                Stop(),
+            ])],
+        )
+        compiled, state, receipt = deploy_and_call(definition, "f()")
+        assert receipt.success
+        assert state.get_storage(ADDRESS, 0) == 1
+        assert state.get_storage(ADDRESS, 1) == 2
+
+    def test_mapping_uses_solidity_layout(self):
+        definition = ContractDef(
+            name="T", mappings=["m"],
+            functions=[FunctionDef(
+                "set(uint256,uint256)",
+                [MapStore("m", Arg(0), Arg(1)), Stop()],
+            )],
+        )
+        compiled, state, receipt = deploy_and_call(
+            definition, "set(uint256,uint256)", 77, 99
+        )
+        assert receipt.success
+        expected_slot = keccak256_int(
+            (77).to_bytes(32, "big") + (0).to_bytes(32, "big")
+        )
+        assert state.get_storage(ADDRESS, expected_slot) == 99
+        assert compiled.mapping_value_slot("m", 77) == expected_slot
+
+    def test_nested_mapping_layout(self):
+        from repro.contracts.lang import Map2Store
+
+        definition = ContractDef(
+            name="T", mappings=["m"],
+            functions=[FunctionDef(
+                "set(uint256,uint256,uint256)",
+                [Map2Store("m", Arg(0), Arg(1), Arg(2)), Stop()],
+            )],
+        )
+        compiled, state, receipt = deploy_and_call(
+            definition, "set(uint256,uint256,uint256)", 7, 8, 55
+        )
+        assert receipt.success
+        slot = compiled.mapping2_value_slot("m", 7, 8)
+        assert state.get_storage(ADDRESS, slot) == 55
+
+    def test_undefined_scalar_rejected(self):
+        definition = single_fn("f()", [SStore("ghost", Const(1))])
+        with pytest.raises(CompileError):
+            compile_contract(definition)
+
+
+class TestControlFlow:
+    def test_require_passing(self):
+        definition = single_fn(
+            "f(uint256)", [Require(Arg(0).gt(5)), Return(Const(1))]
+        )
+        _, _, ok = deploy_and_call(definition, "f(uint256)", 6)
+        assert ok.success
+        _, _, bad = deploy_and_call(definition, "f(uint256)", 5)
+        assert not bad.success
+
+    def test_if_else(self):
+        definition = single_fn(
+            "f(uint256)",
+            [
+                If(
+                    Arg(0).ge(10),
+                    [Return(Const(100))],
+                    [Return(Const(200))],
+                )
+            ],
+        )
+        _, _, hi = deploy_and_call(definition, "f(uint256)", 15)
+        _, _, lo = deploy_and_call(definition, "f(uint256)", 5)
+        assert abi.decode_uint(hi.output) == 100
+        assert abi.decode_uint(lo.output) == 200
+
+    def test_if_without_else(self):
+        definition = single_fn(
+            "f(uint256)",
+            [
+                Assign("x", Const(1)),
+                If(Arg(0).gt(0), [Assign("x", Const(2))]),
+                Return(Local("x")),
+            ],
+        )
+        _, _, receipt = deploy_and_call(definition, "f(uint256)", 0)
+        assert abi.decode_uint(receipt.output) == 1
+
+    def test_while_loop_sums(self):
+        definition = single_fn(
+            "f(uint256)",
+            [
+                Assign("total", Const(0)),
+                Assign("i", Const(0)),
+                While(
+                    Local("i").lt(Arg(0)),
+                    [
+                        Assign("total", Local("total") + Local("i")),
+                        Assign("i", Local("i") + 1),
+                    ],
+                ),
+                Return(Local("total")),
+            ],
+        )
+        _, _, receipt = deploy_and_call(definition, "f(uint256)", 10)
+        assert abi.decode_uint(receipt.output) == 45
+
+    def test_implicit_stop_falls_through(self):
+        definition = single_fn("f()", [Assign("x", Const(1))])
+        _, _, receipt = deploy_and_call(definition, "f()")
+        assert receipt.success
+        assert receipt.output == b""
+
+
+class TestExpressions:
+    def test_arithmetic_chain(self):
+        definition = single_fn(
+            "f(uint256,uint256)",
+            [Return((Arg(0) + Arg(1)) * 3 - 1)],
+        )
+        _, _, receipt = deploy_and_call(definition, "f(uint256,uint256)", 4, 5)
+        assert abi.decode_uint(receipt.output) == 26
+
+    def test_comparison_operators(self):
+        definition = single_fn(
+            "f(uint256,uint256)",
+            [Return(Arg(0).le(Arg(1)))],
+        )
+        _, _, r1 = deploy_and_call(definition, "f(uint256,uint256)", 3, 3)
+        _, _, r2 = deploy_and_call(definition, "f(uint256,uint256)", 4, 3)
+        assert abi.decode_uint(r1.output) == 1
+        assert abi.decode_uint(r2.output) == 0
+
+    def test_caller_expression(self):
+        definition = single_fn("f()", [Return(Caller())])
+        _, _, receipt = deploy_and_call(definition, "f()")
+        assert abi.decode_uint(receipt.output) == ALICE
+
+    def test_sload_expression(self):
+        definition = single_fn(
+            "f()", [Return(SLoad("x") + 1)], scalars=["x"]
+        )
+        compiled = compile_contract(definition)
+        state = WorldState()
+        state.set_balance(ALICE, 10**20)
+        state.set_storage(ADDRESS, 0, 41)
+        _, _, receipt = deploy_and_call(
+            compiled, "f()", state=state
+        )
+        assert abi.decode_uint(receipt.output) == 42
+
+
+class TestEventsAndCalls:
+    def test_emit_event(self):
+        definition = single_fn(
+            "f()",
+            [Emit("Ping(uint256)", topics=[Const(7)], data=[Const(9)]),
+             Stop()],
+        )
+        _, _, receipt = deploy_and_call(definition, "f()")
+        assert len(receipt.logs) == 1
+        log = receipt.logs[0]
+        assert log.topics[0] == keccak256_int(b"Ping(uint256)")
+        assert log.topics[1] == 7
+        assert abi.decode_uint(log.data) == 9
+
+    def test_ext_call_roundtrip(self):
+        callee_def = single_fn("double(uint256)", [Return(Arg(0) * 2)])
+        callee = compile_contract(callee_def)
+        state = WorldState()
+        state.set_balance(ALICE, 10**20)
+        callee.deploy(state, 0xCA11)
+
+        caller_def = single_fn(
+            "f(uint256)",
+            [
+                ExtCall(
+                    target=Const(0xCA11),
+                    signature="double(uint256)",
+                    args=[Arg(0)],
+                    result="doubled",
+                ),
+                Return(Local("doubled") + 1),
+            ],
+        )
+        _, _, receipt = deploy_and_call(
+            caller_def, "f(uint256)", 21, state=state
+        )
+        assert abi.decode_uint(receipt.output) == 43
+
+    def test_failed_ext_call_reverts_caller(self):
+        callee = compile_contract(
+            single_fn("boom()", [Require(Const(0))])
+        )
+        state = WorldState()
+        state.set_balance(ALICE, 10**20)
+        callee.deploy(state, 0xCA11)
+        caller_def = single_fn(
+            "f()",
+            [
+                SStore("x", Const(9)),
+                ExtCall(target=Const(0xCA11), signature="boom()"),
+                Stop(),
+            ],
+        )
+        caller_def.scalars = ["x"]
+        _, state, receipt = deploy_and_call(caller_def, "f()", state=state)
+        assert not receipt.success
+        assert state.get_storage(ADDRESS, 0) == 0
+
+    def test_delegate_all_fallback(self):
+        impl = compile_contract(
+            single_fn("g()", [SStore("v", Const(123)), Return(Const(1))],
+                      scalars=["v"])
+        )
+        state = WorldState()
+        state.set_balance(ALICE, 10**20)
+        impl.deploy(state, 0x1234)
+        proxy_def = ContractDef(
+            name="P", scalars=["v"],
+            functions=[],
+            fallback=[DelegateAll(Const(0x1234))],
+        )
+        _, state, receipt = deploy_and_call(proxy_def, "g()", state=state)
+        assert receipt.success
+        assert abi.decode_uint(receipt.output) == 1
+        # Storage lands in the proxy, not the implementation.
+        assert state.get_storage(ADDRESS, 0) == 123
+        assert state.get_storage(0x1234, 0) == 0
+
+
+class TestCompilerErrors:
+    def test_too_many_locals(self):
+        body = [Assign(f"v{i}", Const(i)) for i in range(40)]
+        definition = single_fn("f()", body)
+        with pytest.raises(CompileError):
+            compile_contract(definition)
+
+    def test_too_many_topics(self):
+        definition = single_fn(
+            "f()",
+            [Emit("E(uint256,uint256,uint256,uint256)",
+                  topics=[Const(1), Const(2), Const(3), Const(4)])],
+        )
+        with pytest.raises(CompileError):
+            compile_contract(definition)
+
+    def test_undefined_local_read(self):
+        definition = single_fn("f()", [Return(Local("ghost"))])
+        with pytest.raises(CompileError):
+            compile_contract(definition)
+
+    def test_undefined_mapping(self):
+        from repro.contracts.lang import MapStore
+
+        definition = single_fn(
+            "f()", [MapStore("ghost", Const(1), Const(2))]
+        )
+        with pytest.raises(CompileError):
+            compile_contract(definition)
+
+    def test_unsupported_operator(self):
+        from repro.contracts.lang import Bin
+
+        definition = single_fn(
+            "f()", [Return(Bin("<<", Const(1), Const(2)))]
+        )
+        with pytest.raises(CompileError):
+            compile_contract(definition)
+
+
+class TestArgumentMasking:
+    def test_address_args_masked(self):
+        # A dirty high-bit address argument is cleaned before use, like
+        # solc's calldata sanitization.
+        definition = single_fn(
+            "f(address)", [Return(Arg(0))]
+        )
+        compiled = compile_contract(definition)
+        state = WorldState()
+        state.set_balance(ALICE, 10**20)
+        compiled.deploy(state, ADDRESS)
+        from repro.chain import Transaction
+        from repro.crypto import selector
+
+        dirty = ((0xFF << 160) | 0x1234).to_bytes(32, "big")
+        evm = EVM(state)
+        receipt = evm.execute_transaction(
+            Transaction(sender=ALICE, to=ADDRESS,
+                        data=selector("f(address)") + dirty,
+                        gas_limit=1_000_000)
+        )
+        assert abi.decode_uint(receipt.output) == 0x1234
+
+    def test_uint_args_not_masked(self):
+        definition = single_fn("f(uint256)", [Return(Arg(0))])
+        _, _, receipt = deploy_and_call(
+            definition, "f(uint256)", (1 << 255) + 7
+        )
+        assert abi.decode_uint(receipt.output) == (1 << 255) + 7

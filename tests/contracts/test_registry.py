@@ -1,0 +1,82 @@
+"""Deployment/registry invariants."""
+
+from repro.contracts import TOP8_NAMES, compile_suite, registry
+
+
+class TestSuiteCompilation:
+    def test_all_contracts_compile(self):
+        artifacts = compile_suite()
+        assert len(artifacts) == 16
+        for artifact in artifacts.values():
+            assert len(artifact.bytecode) > 0
+
+    def test_top8_matches_paper_order(self):
+        assert TOP8_NAMES == [
+            "TetherToken", "UniswapV2Router02", "FiatTokenProxy",
+            "OpenSea", "LinkToken", "SwapRouter", "Dai",
+            "MainchainGatewayProxy",
+        ]
+
+    def test_selectors_unique_within_contract(self):
+        for artifact in compile_suite().values():
+            selectors = artifact.selectors()
+            assert len(set(selectors)) == len(selectors)
+
+
+class TestGenesis:
+    def test_contracts_deployed(self, deployment):
+        for name in TOP8_NAMES:
+            deployed = deployment.contracts[name]
+            assert deployment.state.get_code(deployed.address) != b""
+
+    def test_accounts_funded(self, deployment):
+        for account in deployment.accounts:
+            assert deployment.state.get_balance(account) > 0
+            assert deployment.token_balance("Dai", account) > 0
+
+    def test_proxy_wiring(self, deployment):
+        impl_slot = deployment.contracts[
+            "FiatTokenProxy"
+        ].artifact.scalar_slots["implementation"]
+        assert (
+            deployment.state.get_storage(
+                registry.FIAT_TOKEN_PROXY, impl_slot
+            )
+            == registry.FIAT_TOKEN_IMPL
+        )
+
+    def test_proxy_storage_artifact_is_impl(self, deployment):
+        proxy = deployment.contracts["FiatTokenProxy"]
+        assert proxy.storage_artifact.name == "FiatTokenV2"
+
+    def test_router_reserves_seeded(self, deployment):
+        router = deployment.contracts["UniswapV2Router02"]
+        slot = router.artifact.mapping2_value_slot(
+            "reserves", registry.TOKEN_A, registry.TOKEN_B
+        )
+        assert deployment.state.get_storage(
+            registry.UNISWAP_ROUTER, slot
+        ) == 10**13
+
+    def test_erc20_classification(self, deployment):
+        assert deployment.contracts["TetherToken"].is_erc20
+        assert deployment.contracts["Dai"].is_erc20
+        assert not deployment.contracts["UniswapV2Router02"].is_erc20
+        assert not deployment.contracts["OpenSea"].is_erc20
+
+    def test_by_address_lookup(self, deployment):
+        assert deployment.by_address(registry.TETHER).name == "TetherToken"
+        assert deployment.by_address(0xDEADBEEF) is None
+
+    def test_unique_addresses(self, deployment):
+        addresses = [c.address for c in deployment.contracts.values()]
+        assert len(set(addresses)) == len(addresses)
+
+    def test_bytecode_sizes_realistic(self, deployment):
+        # Paper Table 2 has WETH9 ~1.6KB, Tether ~5.7KB, CryptoCat 12.5KB;
+        # our archetypes should land within an order of magnitude.
+        for name in TOP8_NAMES:
+            size = len(
+                deployment.state.get_code(deployment.address_of(name))
+            )
+            assert 100 < size < 20_000

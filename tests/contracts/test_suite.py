@@ -1,0 +1,338 @@
+"""Semantics of the TOP8 contract suite against the genesis deployment."""
+
+import pytest
+
+from repro.chain import Transaction
+from repro.contracts import registry
+from repro.evm import EVM, abi
+
+
+@pytest.fixture()
+def world(deployment):
+    """A mutable copy of the genesis deployment."""
+    state = deployment.state.copy()
+    return deployment, state
+
+
+def call(state, sender, to, signature, *args, value=0):
+    evm = EVM(state)
+    receipt = evm.execute_transaction(
+        Transaction(sender=sender, to=to, value=value,
+                    data=abi.encode_call(signature, *args),
+                    gas_limit=5_000_000)
+    )
+    state.clear_journal()
+    return receipt
+
+
+def balance_of(deployment, state, token_name, holder):
+    deployed = deployment.contracts[token_name]
+    slot = deployed.storage_artifact.mapping_value_slot("balances", holder)
+    return state.get_storage(deployed.address, slot)
+
+
+class TestTether:
+    def test_transfer_charges_fee_to_owner(self, world):
+        d, state = world
+        alice, bob = d.accounts[0], d.accounts[1]
+        before = balance_of(d, state, "TetherToken", bob)
+        receipt = call(
+            state, alice, registry.TETHER,
+            "transfer(address,uint256)", bob, 10_000,
+        )
+        assert receipt.success
+        # 10 basis points fee -> 10 units to the owner.
+        assert balance_of(d, state, "TetherToken", bob) == before + 9_990
+        assert balance_of(d, state, "TetherToken", d.admin) >= 10
+
+    def test_transfer_insufficient_reverts(self, world):
+        d, state = world
+        poor = 0xFFFF17  # unfunded account
+        state.set_balance(poor, 10**18)
+        receipt = call(
+            state, poor, registry.TETHER,
+            "transfer(address,uint256)", d.accounts[0], 1,
+        )
+        assert not receipt.success
+
+    def test_issue_owner_only(self, world):
+        d, state = world
+        receipt = call(state, d.accounts[0], registry.TETHER,
+                       "issue(uint256)", 100)
+        assert not receipt.success
+        receipt = call(state, d.admin, registry.TETHER,
+                       "issue(uint256)", 100)
+        assert receipt.success
+
+    def test_paused_blocks_transfers(self, world):
+        d, state = world
+        paused_slot = d.contracts["TetherToken"].artifact.scalar_slots[
+            "paused"
+        ]
+        state.set_storage(registry.TETHER, paused_slot, 1)
+        receipt = call(
+            state, d.accounts[0], registry.TETHER,
+            "transfer(address,uint256)", d.accounts[1], 1,
+        )
+        assert not receipt.success
+
+
+class TestDai:
+    def test_transfer_no_fee(self, world):
+        d, state = world
+        alice, bob = d.accounts[0], d.accounts[1]
+        before = balance_of(d, state, "Dai", bob)
+        receipt = call(state, alice, registry.DAI,
+                       "transfer(address,uint256)", bob, 5_000)
+        assert receipt.success
+        assert balance_of(d, state, "Dai", bob) == before + 5_000
+
+    def test_mint_requires_ward(self, world):
+        d, state = world
+        receipt = call(state, d.accounts[0], registry.DAI,
+                       "mint(address,uint256)", d.accounts[1], 10)
+        assert not receipt.success
+        receipt = call(state, d.admin, registry.DAI,
+                       "mint(address,uint256)", d.accounts[1], 10)
+        assert receipt.success
+
+    def test_burn_only_own_balance(self, world):
+        d, state = world
+        alice, bob = d.accounts[0], d.accounts[1]
+        receipt = call(state, alice, registry.DAI,
+                       "burn(address,uint256)", bob, 1)
+        assert not receipt.success
+
+    def test_transfer_from_spends_allowance(self, world):
+        d, state = world
+        owner, spender, dest = d.accounts[0], d.accounts[1], d.accounts[2]
+        assert call(state, owner, registry.DAI,
+                    "approve(address,uint256)", spender, 500).success
+        receipt = call(state, spender, registry.DAI,
+                       "transferFrom(address,address,uint256)",
+                       owner, dest, 400)
+        assert receipt.success
+        receipt = call(state, spender, registry.DAI,
+                       "transferFrom(address,address,uint256)",
+                       owner, dest, 400)
+        assert not receipt.success  # allowance exhausted
+
+
+class TestLinkToken:
+    def test_transfer_and_call_notifies_receiver(self, world):
+        d, state = world
+        alice = d.accounts[0]
+        receipt = call(
+            state, alice, registry.LINK_TOKEN,
+            "transferAndCall(address,uint256,uint256)",
+            registry.ORACLE_RECEIVER, 100, 42,
+        )
+        assert receipt.success
+        receiver = d.contracts["OracleReceiver"]
+        count_slot = receiver.artifact.scalar_slots["request_count"]
+        assert state.get_storage(registry.ORACLE_RECEIVER, count_slot) == 1
+
+
+class TestWETH:
+    def test_deposit_withdraw_roundtrip(self, world):
+        d, state = world
+        alice = d.accounts[0]
+        wrapped_before = balance_of(d, state, "WETH9", alice)
+        assert call(state, alice, registry.WETH, "deposit()",
+                    value=1_000).success
+        assert balance_of(d, state, "WETH9", alice) == wrapped_before + 1_000
+        native_before = state.get_balance(alice)
+        receipt = call(state, alice, registry.WETH, "withdraw(uint256)",
+                       500)
+        assert receipt.success
+        assert balance_of(d, state, "WETH9", alice) == wrapped_before + 500
+        # Got the 500 native back, minus the gas fee (gas price 1).
+        assert state.get_balance(alice) == (
+            native_before + 500 - receipt.gas_used
+        )
+
+    def test_withdraw_beyond_balance_reverts(self, world):
+        d, state = world
+        receipt = call(state, d.accounts[0], registry.WETH,
+                       "withdraw(uint256)", 10**30)
+        assert not receipt.success
+
+
+class TestRouters:
+    def test_swap_moves_both_legs(self, world):
+        d, state = world
+        alice = d.accounts[0]
+        a_before = balance_of(d, state, "TokenA", alice)
+        b_before = balance_of(d, state, "TokenB", alice)
+        receipt = call(
+            state, alice, registry.UNISWAP_ROUTER,
+            "swapExactTokensForTokens(uint256,uint256,address,address)",
+            10_000, 1, registry.TOKEN_A, registry.TOKEN_B,
+        )
+        assert receipt.success
+        out = abi.decode_uint(receipt.output)
+        assert out > 0
+        assert balance_of(d, state, "TokenA", alice) == a_before - 10_000
+        assert balance_of(d, state, "TokenB", alice) == b_before + out
+
+    def test_swap_respects_min_out(self, world):
+        d, state = world
+        receipt = call(
+            state, d.accounts[0], registry.UNISWAP_ROUTER,
+            "swapExactTokensForTokens(uint256,uint256,address,address)",
+            10_000, 10**18, registry.TOKEN_A, registry.TOKEN_B,
+        )
+        assert not receipt.success
+
+    def test_constant_product_math(self, world):
+        d, state = world
+        receipt = call(
+            state, d.accounts[0], registry.UNISWAP_ROUTER,
+            "getAmountOut(uint256,address,address)",
+            10_000, registry.TOKEN_A, registry.TOKEN_B,
+        )
+        out = abi.decode_uint(receipt.output)
+        reserve = 10**13
+        fee_in = 10_000 * 997
+        expected = fee_in * reserve // (reserve * 1000 + fee_in)
+        assert out == expected
+
+    def test_exact_output_single(self, world):
+        d, state = world
+        alice = d.accounts[0]
+        b_before = balance_of(d, state, "TokenB", alice)
+        receipt = call(
+            state, alice, registry.SWAP_ROUTER,
+            "exactOutputSingle(uint256,uint256,address,address)",
+            5_000, 10**18, registry.TOKEN_A, registry.TOKEN_B,
+        )
+        assert receipt.success
+        assert balance_of(d, state, "TokenB", alice) == b_before + 5_000
+
+
+class TestMarketplace:
+    def test_full_order_lifecycle(self, world):
+        d, state = world
+        seller, buyer = d.accounts[0], d.accounts[1]
+        token_id = 999_999
+        assert call(state, seller, registry.OPENSEA,
+                    "mintToken(uint256)", token_id).success
+        receipt = call(state, seller, registry.OPENSEA,
+                       "createOrder(uint256,uint256)", token_id, 10**9)
+        assert receipt.success
+        order_id = abi.decode_uint(receipt.output)
+        seller_native = state.get_balance(seller)
+        assert call(state, buyer, registry.OPENSEA,
+                    "atomicMatch(uint256)", order_id,
+                    value=10**9).success
+        # NFT changed hands; seller got paid (minus 2.5% protocol fee).
+        owner = call(state, buyer, registry.OPENSEA,
+                     "ownerOf(uint256)", token_id)
+        assert abi.decode_uint(owner.output) == buyer
+        assert state.get_balance(seller) > seller_native
+
+    def test_match_cancelled_order_fails(self, world):
+        d, state = world
+        seller, buyer = d.accounts[0], d.accounts[1]
+        token_id = 888_888
+        call(state, seller, registry.OPENSEA, "mintToken(uint256)",
+             token_id)
+        receipt = call(state, seller, registry.OPENSEA,
+                       "createOrder(uint256,uint256)", token_id, 100)
+        order_id = abi.decode_uint(receipt.output)
+        assert call(state, seller, registry.OPENSEA,
+                    "cancelOrder(uint256)", order_id).success
+        receipt = call(state, buyer, registry.OPENSEA,
+                       "atomicMatch(uint256)", order_id, value=100)
+        assert not receipt.success
+
+    def test_create_order_requires_ownership(self, world):
+        d, state = world
+        receipt = call(state, d.accounts[0], registry.OPENSEA,
+                       "createOrder(uint256,uint256)", 123456789, 100)
+        assert not receipt.success
+
+
+class TestProxies:
+    def test_fiat_token_transfer_through_proxy(self, world):
+        d, state = world
+        alice, bob = d.accounts[0], d.accounts[1]
+        before = balance_of(d, state, "FiatTokenProxy", bob)
+        receipt = call(state, alice, registry.FIAT_TOKEN_PROXY,
+                       "transfer(address,uint256)", bob, 777)
+        assert receipt.success
+        assert balance_of(d, state, "FiatTokenProxy", bob) == before + 777
+        # Implementation's own storage is untouched.
+        impl = d.contracts["FiatTokenV2"].artifact
+        slot = impl.mapping_value_slot("balances", bob)
+        assert state.get_storage(registry.FIAT_TOKEN_IMPL, slot) == 0
+
+    def test_upgrade_to_admin_only(self, world):
+        d, state = world
+        receipt = call(state, d.accounts[0], registry.FIAT_TOKEN_PROXY,
+                       "upgradeTo(address)", 0xDEAD)
+        assert not receipt.success
+        receipt = call(state, d.admin, registry.FIAT_TOKEN_PROXY,
+                       "upgradeTo(address)", registry.FIAT_TOKEN_IMPL)
+        assert receipt.success
+
+    def test_gateway_deposit_withdraw(self, world):
+        d, state = world
+        alice = d.accounts[0]
+        receipt = call(state, alice, registry.GATEWAY_PROXY,
+                       "depositERC20(address,uint256)",
+                       registry.TETHER, 5_000)
+        assert receipt.success
+        deposit_id = abi.decode_uint(receipt.output)
+        assert deposit_id == 0
+        # Gateway now holds the tokens.
+        assert balance_of(d, state, "TetherToken", registry.GATEWAY_PROXY) > 0
+        receipt = call(state, alice, registry.GATEWAY_PROXY,
+                       "withdrawERC20(uint256,address,uint256)",
+                       7, registry.DAI, 1_000)
+        assert receipt.success
+        # Replay of the same withdrawal id must fail.
+        receipt = call(state, alice, registry.GATEWAY_PROXY,
+                       "withdrawERC20(uint256,address,uint256)",
+                       7, registry.DAI, 1_000)
+        assert not receipt.success
+
+
+class TestBallotAndCryptoCat:
+    def test_vote_once(self, world):
+        d, state = world
+        voter = d.accounts[0]
+        assert call(state, voter, registry.BALLOT, "vote(uint256)",
+                    3).success
+        receipt = call(state, voter, registry.BALLOT, "vote(uint256)", 3)
+        assert not receipt.success  # already voted
+
+    def test_winning_proposal_scan(self, world):
+        d, state = world
+        for i, voter in enumerate(d.accounts[:5]):
+            call(state, voter, registry.BALLOT, "vote(uint256)",
+                 7 if i < 4 else 2)
+        receipt = call(state, d.accounts[10], registry.BALLOT,
+                       "winningProposal()")
+        assert abi.decode_uint(receipt.output) == 7
+
+    def test_cryptocat_auction_lifecycle(self, world):
+        d, state = world
+        seller, buyer = d.accounts[0], d.accounts[1]
+        receipt = call(state, seller, registry.CRYPTOCAT,
+                       "createCat(uint256)", 0xFEED)
+        cat_id = abi.decode_uint(receipt.output)
+        assert call(state, seller, registry.CRYPTOCAT,
+                    "createSaleAuction(uint256,uint256,uint256)",
+                    cat_id, 10**10, 10**8).success
+        assert call(state, buyer, registry.CRYPTOCAT, "bid(uint256)",
+                    cat_id, value=10**10).success
+        owner = call(state, buyer, registry.CRYPTOCAT,
+                     "ownerOf(uint256)", cat_id)
+        assert abi.decode_uint(owner.output) == buyer
+
+    def test_bid_without_auction_fails(self, world):
+        d, state = world
+        receipt = call(state, d.accounts[0], registry.CRYPTOCAT,
+                       "bid(uint256)", 10**7, value=10**12)
+        assert not receipt.success

@@ -1,0 +1,306 @@
+"""Semantics of the enriched contract surfaces: Tether administration,
+WETH9 ERC20 paths, Ballot delegation, CryptoCat breeding."""
+
+import pytest
+
+from repro.chain import Transaction
+from repro.contracts import registry
+from repro.evm import EVM, abi
+
+
+@pytest.fixture()
+def world(deployment):
+    return deployment, deployment.state.copy()
+
+
+def call(state, sender, to, signature, *args, value=0):
+    evm = EVM(state)
+    receipt = evm.execute_transaction(
+        Transaction(sender=sender, to=to, value=value,
+                    data=abi.encode_call(signature, *args),
+                    gas_limit=5_000_000)
+    )
+    state.clear_journal()
+    return receipt
+
+
+def token_balance(d, state, name, holder):
+    deployed = d.contracts[name]
+    slot = deployed.storage_artifact.mapping_value_slot("balances", holder)
+    return state.get_storage(deployed.address, slot)
+
+
+class TestTetherAdministration:
+    def test_blacklist_blocks_transfers(self, world):
+        d, state = world
+        victim = d.accounts[5]
+        assert call(state, d.admin, registry.TETHER,
+                    "addBlackList(address)", victim).success
+        receipt = call(state, victim, registry.TETHER,
+                       "transfer(address,uint256)", d.accounts[0], 1)
+        assert not receipt.success
+        assert call(state, d.admin, registry.TETHER,
+                    "removeBlackList(address)", victim).success
+        receipt = call(state, victim, registry.TETHER,
+                       "transfer(address,uint256)", d.accounts[0], 1)
+        assert receipt.success
+
+    def test_destroy_black_funds(self, world):
+        d, state = world
+        victim = d.accounts[6]
+        before_supply = state.get_storage(
+            registry.TETHER,
+            d.contracts["TetherToken"].artifact.scalar_slots[
+                "total_supply"
+            ],
+        )
+        victim_funds = token_balance(d, state, "TetherToken", victim)
+        assert victim_funds > 0
+        call(state, d.admin, registry.TETHER,
+             "addBlackList(address)", victim)
+        assert call(state, d.admin, registry.TETHER,
+                    "destroyBlackFunds(address)", victim).success
+        assert token_balance(d, state, "TetherToken", victim) == 0
+        after_supply = state.get_storage(
+            registry.TETHER,
+            d.contracts["TetherToken"].artifact.scalar_slots[
+                "total_supply"
+            ],
+        )
+        assert after_supply == before_supply - victim_funds
+
+    def test_destroy_requires_blacklisting(self, world):
+        d, state = world
+        receipt = call(state, d.admin, registry.TETHER,
+                       "destroyBlackFunds(address)", d.accounts[7])
+        assert not receipt.success
+
+    def test_pause_unpause_cycle(self, world):
+        d, state = world
+        assert call(state, d.admin, registry.TETHER, "pause()").success
+        assert not call(state, d.accounts[0], registry.TETHER,
+                        "transfer(address,uint256)",
+                        d.accounts[1], 1).success
+        assert call(state, d.admin, registry.TETHER, "unpause()").success
+        assert call(state, d.accounts[0], registry.TETHER,
+                    "transfer(address,uint256)",
+                    d.accounts[1], 1).success
+
+    def test_redeem_burns_owner_balance(self, world):
+        d, state = world
+        call(state, d.admin, registry.TETHER, "issue(uint256)", 1000)
+        owner_before = token_balance(d, state, "TetherToken", d.admin)
+        assert call(state, d.admin, registry.TETHER,
+                    "redeem(uint256)", 400).success
+        assert token_balance(
+            d, state, "TetherToken", d.admin
+        ) == owner_before - 400
+
+    def test_ownership_transfer_gates_admin(self, world):
+        d, state = world
+        new_owner = d.accounts[8]
+        assert call(state, d.admin, registry.TETHER,
+                    "transferOwnership(address)", new_owner).success
+        # Old owner lost admin powers; new owner has them.
+        assert not call(state, d.admin, registry.TETHER,
+                        "pause()").success
+        assert call(state, new_owner, registry.TETHER, "pause()").success
+
+    def test_admin_functions_gated(self, world):
+        d, state = world
+        outsider = d.accounts[9]
+        for signature, args in (
+            ("addBlackList(address)", (d.accounts[1],)),
+            ("redeem(uint256)", (1,)),
+            ("pause()", ()),
+        ):
+            assert not call(state, outsider, registry.TETHER,
+                            signature, *args).success
+
+
+class TestWETHExtendedSurface:
+    def test_owner_transfer_from_skips_allowance(self, world):
+        d, state = world
+        alice, bob = d.accounts[0], d.accounts[1]
+        # Alice moving her own wrapped funds needs no allowance.
+        receipt = call(state, alice, registry.WETH,
+                       "transferFrom(address,address,uint256)",
+                       alice, bob, 100)
+        assert receipt.success
+
+    def test_third_party_needs_allowance(self, world):
+        d, state = world
+        owner, spender, dest = d.accounts[2], d.accounts[10], d.accounts[3]
+        receipt = call(state, spender, registry.WETH,
+                       "transferFrom(address,address,uint256)",
+                       owner, dest, 100)
+        assert not receipt.success
+        assert call(state, owner, registry.WETH,
+                    "approve(address,uint256)", spender, 100).success
+        assert call(state, spender, registry.WETH,
+                    "transferFrom(address,address,uint256)",
+                    owner, dest, 100).success
+
+    def test_total_supply_is_native_escrow(self, world):
+        d, state = world
+        escrow = state.get_balance(registry.WETH)
+        receipt = call(state, d.accounts[0], registry.WETH,
+                       "totalSupply()")
+        assert abi.decode_uint(receipt.output) == escrow
+        call(state, d.accounts[0], registry.WETH, "deposit()", value=500)
+        receipt = call(state, d.accounts[0], registry.WETH,
+                       "totalSupply()")
+        assert abi.decode_uint(receipt.output) == escrow + 500
+
+
+class TestBallotDelegation:
+    def test_delegate_to_voted_adds_to_choice(self, world):
+        d, state = world
+        voter, delegate = d.accounts[0], d.accounts[1]
+        assert call(state, delegate, registry.BALLOT,
+                    "vote(uint256)", 4).success
+        assert call(state, voter, registry.BALLOT,
+                    "delegate(address)", delegate).success
+        counts_slot = d.contracts["Ballot"].artifact.mapping_value_slot(
+            "vote_counts", 4
+        )
+        assert state.get_storage(registry.BALLOT, counts_slot) == 2
+
+    def test_delegate_to_unvoted_moves_weight(self, world):
+        d, state = world
+        voter, delegate = d.accounts[2], d.accounts[3]
+        assert call(state, voter, registry.BALLOT,
+                    "delegate(address)", delegate).success
+        weight_slot = d.contracts["Ballot"].artifact.mapping_value_slot(
+            "voter_weight", delegate
+        )
+        assert state.get_storage(registry.BALLOT, weight_slot) == 2
+        # When the delegate votes, both weights count.
+        assert call(state, delegate, registry.BALLOT,
+                    "vote(uint256)", 6).success
+        counts_slot = d.contracts["Ballot"].artifact.mapping_value_slot(
+            "vote_counts", 6
+        )
+        assert state.get_storage(registry.BALLOT, counts_slot) == 2
+
+    def test_delegation_chain_followed(self, world):
+        d, state = world
+        a, b, c = d.accounts[4], d.accounts[5], d.accounts[6]
+        assert call(state, b, registry.BALLOT,
+                    "delegate(address)", c).success
+        assert call(state, a, registry.BALLOT,
+                    "delegate(address)", b).success
+        # A's weight must land with C, the end of the chain.
+        weight_slot = d.contracts["Ballot"].artifact.mapping_value_slot(
+            "voter_weight", c
+        )
+        assert state.get_storage(registry.BALLOT, weight_slot) == 3
+
+    def test_self_delegation_rejected(self, world):
+        d, state = world
+        voter = d.accounts[7]
+        assert not call(state, voter, registry.BALLOT,
+                        "delegate(address)", voter).success
+
+    def test_voted_cannot_delegate(self, world):
+        d, state = world
+        voter = d.accounts[8]
+        call(state, voter, registry.BALLOT, "vote(uint256)", 1)
+        assert not call(state, voter, registry.BALLOT,
+                        "delegate(address)", d.accounts[9]).success
+
+
+class TestCryptoCatBreeding:
+    def make_parents(self, d, state, owner):
+        matron = abi.decode_uint(
+            call(state, owner, registry.CRYPTOCAT, "createCat(uint256)",
+                 0xAAAA_BBBB_CCCC_DDDD).output
+        )
+        sire = abi.decode_uint(
+            call(state, owner, registry.CRYPTOCAT, "createCat(uint256)",
+                 0x1111_2222_3333_4444).output
+        )
+        return matron, sire
+
+    def test_give_birth_creates_owned_kitten(self, world):
+        d, state = world
+        owner = d.accounts[0]
+        matron, sire = self.make_parents(d, state, owner)
+        receipt = call(state, owner, registry.CRYPTOCAT,
+                       "giveBirth(uint256,uint256)", matron, sire)
+        assert receipt.success
+        kitten = abi.decode_uint(receipt.output)
+        owner_receipt = call(state, owner, registry.CRYPTOCAT,
+                             "ownerOf(uint256)", kitten)
+        assert abi.decode_uint(owner_receipt.output) == owner
+
+    def test_child_genes_are_mixed(self, world):
+        d, state = world
+        owner = d.accounts[1]
+        matron, sire = self.make_parents(d, state, owner)
+        receipt = call(state, owner, registry.CRYPTOCAT,
+                       "giveBirth(uint256,uint256)", matron, sire)
+        kitten = abi.decode_uint(receipt.output)
+        genes = abi.decode_uint(
+            call(state, owner, registry.CRYPTOCAT,
+                 "getGenes(uint256)", kitten).output
+        )
+        matron_genes = abi.decode_uint(
+            call(state, owner, registry.CRYPTOCAT,
+                 "getGenes(uint256)", matron).output
+        )
+        sire_genes = abi.decode_uint(
+            call(state, owner, registry.CRYPTOCAT,
+                 "getGenes(uint256)", sire).output
+        )
+        assert genes not in (0, matron_genes, sire_genes)
+        # Every 32-bit segment comes from a parent or a mutation; at
+        # least one must match a parent outright.
+        matches = 0
+        for i in range(8):
+            segment = (genes >> (32 * i)) & 0xFFFFFFFF
+            if segment in (
+                (matron_genes >> (32 * i)) & 0xFFFFFFFF,
+                (sire_genes >> (32 * i)) & 0xFFFFFFFF,
+            ):
+                matches += 1
+        assert matches >= 4
+
+    def test_breeding_requires_matron_ownership(self, world):
+        d, state = world
+        owner, stranger = d.accounts[2], d.accounts[3]
+        matron, sire = self.make_parents(d, state, owner)
+        receipt = call(state, stranger, registry.CRYPTOCAT,
+                       "giveBirth(uint256,uint256)", matron, sire)
+        assert not receipt.success
+
+    def test_cannot_breed_cat_with_itself(self, world):
+        d, state = world
+        owner = d.accounts[4]
+        matron, _ = self.make_parents(d, state, owner)
+        receipt = call(state, owner, registry.CRYPTOCAT,
+                       "giveBirth(uint256,uint256)", matron, matron)
+        assert not receipt.success
+
+    def test_cancel_auction_returns_cat(self, world):
+        d, state = world
+        owner = d.accounts[5]
+        cat, _ = self.make_parents(d, state, owner)
+        assert call(state, owner, registry.CRYPTOCAT,
+                    "createSaleAuction(uint256,uint256,uint256)",
+                    cat, 100, 10).success
+        assert call(state, owner, registry.CRYPTOCAT,
+                    "cancelAuction(uint256)", cat).success
+        receipt = call(state, owner, registry.CRYPTOCAT,
+                       "ownerOf(uint256)", cat)
+        assert abi.decode_uint(receipt.output) == owner
+
+    def test_collectible_transfer(self, world):
+        d, state = world
+        owner, friend = d.accounts[6], d.accounts[7]
+        cat, _ = self.make_parents(d, state, owner)
+        assert call(state, owner, registry.CRYPTOCAT,
+                    "transfer(address,uint256)", friend, cat).success
+        receipt = call(state, friend, registry.CRYPTOCAT,
+                       "ownerOf(uint256)", cat)
+        assert abi.decode_uint(receipt.output) == friend

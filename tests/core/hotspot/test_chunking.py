@@ -1,0 +1,115 @@
+"""Bytecode chunking: Compare/Check boundaries, on-path fractions."""
+
+import random
+
+import pytest
+
+from repro.contracts import registry
+from repro.core.hotspot.chunking import (
+    find_chunks,
+    on_path_fraction,
+    visited_code_bytes,
+)
+from repro.evm import EVM, Tracer
+from repro.workload import ActionLibrary
+
+
+def traced(deployment, contract, signature=None, seed=0):
+    library = ActionLibrary(deployment, random.Random(seed))
+    if signature is None:
+        call = library.plan(contract)
+    else:
+        call = library.plan_signature(contract, signature)
+    tx = library.to_transaction(call)
+    state = deployment.state.copy()
+    tracer = Tracer()
+    receipt = EVM(state, tracer=tracer).execute_transaction(tx)
+    assert receipt.success, receipt.error
+    return tx, tracer.steps
+
+
+class TestFindChunks:
+    def test_nonpayable_has_compare_and_check(self, deployment):
+        tx, steps = traced(
+            deployment, "Dai", "transfer(address,uint256)"
+        )
+        spans = find_chunks(steps, tx.to)
+        assert spans.compare_end >= 0
+        assert spans.check_end > spans.compare_end
+        # The compare chunk ends at a taken dispatch JUMPI.
+        dispatch = steps[spans.compare_end]
+        assert dispatch.op.name == "JUMPI"
+        assert dispatch.extra["taken"]
+        # The check chunk ends at the taken CALLVALUE-guard JUMPI.
+        guard = steps[spans.check_end]
+        assert guard.op.name == "JUMPI"
+        assert guard.extra["taken"]
+        assert any(
+            steps[i].op.name == "CALLVALUE"
+            for i in range(spans.compare_end, spans.check_end)
+        )
+
+    def test_payable_has_no_check_chunk(self, deployment):
+        tx, steps = traced(deployment, "WETH9", "deposit()")
+        spans = find_chunks(steps, tx.to)
+        assert spans.compare_end >= 0
+        assert spans.check_end == -1
+        assert spans.preexec_end == spans.compare_end
+
+    def test_proxy_fallback_compare_only(self, deployment):
+        # A FiatTokenProxy call misses the proxy's own ladder and falls
+        # through; only the ladder's (not-taken) JUMPIs are pre-executable.
+        tx, steps = traced(
+            deployment, "FiatTokenProxy", "transfer(address,uint256)"
+        )
+        spans = find_chunks(steps, tx.to)
+        assert spans.check_end == -1
+        if spans.compare_end >= 0:
+            dispatch = steps[spans.compare_end]
+            assert dispatch.op.name == "JUMPI"
+            assert not dispatch.extra["taken"]
+
+    def test_preexec_prefix_is_attribute_only(self, deployment):
+        # Every pre-executed step must depend only on transaction
+        # attributes — no storage or external state reads.
+        forbidden = {"SLOAD", "SSTORE", "BALANCE", "CALL", "DELEGATECALL"}
+        for contract in ("Dai", "TetherToken", "OpenSea", "CryptoCat"):
+            tx, steps = traced(deployment, contract, seed=5)
+            spans = find_chunks(steps, tx.to)
+            for step in steps[: spans.preexec_end + 1]:
+                assert step.op.name not in forbidden
+
+    def test_empty_trace(self):
+        spans = find_chunks([], 0x1)
+        assert spans.compare_end == -1
+        assert spans.preexec_end == -1
+
+
+class TestOnPathFraction:
+    def test_visited_bytes_per_code(self, deployment):
+        tx, steps = traced(deployment, "Dai", "transfer(address,uint256)")
+        visited = visited_code_bytes(steps, tx.to)
+        assert visited
+        assert all(isinstance(pc, int) for pc in visited)
+
+    def test_fraction_bounds(self):
+        sizes = {0: 2, 2: 2, 4: 1}
+        assert on_path_fraction(set(), sizes, 100) == 0.0
+        assert on_path_fraction({0, 2, 4}, sizes, 5) == 1.0
+        assert on_path_fraction({0}, sizes, 10) == 0.2
+
+    def test_single_function_loads_small_fraction(self, deployment):
+        # Paper: Tether.transfer loads only 8.2% after chunking; a single
+        # entry function of a multi-function contract should load well
+        # under half the bytecode.
+        tx, steps = traced(
+            deployment, "TetherToken", "transfer(address,uint256)"
+        )
+        code = deployment.state.get_code(tx.to)
+        from repro.evm.code import decode
+
+        sizes = {i.pc: i.size for i in decode(code)}
+        fraction = on_path_fraction(
+            visited_code_bytes(steps, tx.to), sizes, len(code)
+        )
+        assert fraction < 0.5

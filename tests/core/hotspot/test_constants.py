@@ -1,0 +1,156 @@
+"""Constant-instruction detection and prefetch analysis backtracking."""
+
+from repro.core.hotspot.constants import analyze_trace, frame_step_groups
+from tests.conftest import CONTRACT, run_code
+
+
+def analyzed(state, source, **kwargs):
+    receipt, tracer = run_code(state, source, **kwargs)
+    assert receipt.success, receipt.error
+    return tracer.steps, analyze_trace(tracer.steps)
+
+
+class TestConstPropagation:
+    def test_push_is_const(self, state):
+        steps, result = analyzed(state, "PUSH 5\nPOP\nSTOP")
+        assert steps[0].index in result.const_steps
+        assert (CONTRACT, 0) in result.eliminable_pcs
+
+    def test_arithmetic_over_consts_is_const(self, state):
+        steps, result = analyzed(state, "PUSH 2\nPUSH 3\nADD\nPOP\nSTOP")
+        add = [s for s in steps if s.op.name == "ADD"][0]
+        assert add.index in result.const_steps
+
+    def test_caller_is_fixed_not_const(self, state):
+        steps, result = analyzed(state, "CALLER\nPOP\nSTOP")
+        caller = steps[0]
+        assert caller.index in result.fixed_steps
+        assert caller.index not in result.const_steps
+        # Fixed-but-not-const values are not eliminated (the Constants
+        # Table holds compile-time constants only).
+        assert (CONTRACT, 0) not in result.eliminable_pcs
+
+    def test_mix_of_const_and_fixed_is_fixed(self, state):
+        steps, result = analyzed(state, "CALLER\nPUSH 1\nADD\nPOP\nSTOP")
+        add = [s for s in steps if s.op.name == "ADD"][0]
+        assert add.index in result.fixed_steps
+        assert add.index not in result.const_steps
+
+    def test_sload_result_is_not_fixed(self, state):
+        steps, result = analyzed(
+            state, "PUSH 0\nSLOAD\nPUSH 1\nADD\nPOP\nSTOP"
+        )
+        add = [s for s in steps if s.op.name == "ADD"][0]
+        assert add.index not in result.fixed_steps
+
+    def test_dup_of_const_is_const_and_eliminable(self, state):
+        steps, result = analyzed(state, "PUSH 7\nDUP1\nPOP\nPOP\nSTOP")
+        dup = [s for s in steps if s.op.name == "DUP1"][0]
+        assert dup.index in result.const_steps
+        assert (CONTRACT, dup.pc) in result.eliminable_pcs
+
+    def test_constants_table_collects_values(self, state):
+        _, result = analyzed(state, "PUSH 123\nPOP\nSTOP")
+        assert 123 in result.constants
+
+
+class TestMemoryTracking:
+    def test_sha3_of_const_memory_is_const(self, state):
+        # The mapping-slot idiom: keccak(const ‖ const).
+        source = (
+            "PUSH 5\nPUSH 0\nMSTORE\n"
+            "PUSH 1\nPUSH 32\nMSTORE\n"
+            "PUSH 64\nPUSH 0\nSHA3\nPOP\nSTOP"
+        )
+        steps, result = analyzed(state, source)
+        sha = [s for s in steps if s.op.name == "SHA3"][0]
+        assert sha.index in result.const_steps
+
+    def test_sha3_of_caller_memory_is_fixed_only(self, state):
+        # Paper Fig. 11: hash of a constant and the caller's address —
+        # fixed (prefetchable) but not a compile-time constant.
+        source = (
+            "CALLER\nPUSH 0\nMSTORE\n"
+            "PUSH 1\nPUSH 32\nMSTORE\n"
+            "PUSH 64\nPUSH 0\nSHA3\nPOP\nSTOP"
+        )
+        steps, result = analyzed(state, source)
+        sha = [s for s in steps if s.op.name == "SHA3"][0]
+        assert sha.index in result.fixed_steps
+        assert sha.index not in result.const_steps
+
+    def test_mload_of_tracked_word(self, state):
+        source = (
+            "PUSH 9\nPUSH 0\nMSTORE\nPUSH 0\nMLOAD\nPOP\nSTOP"
+        )
+        steps, result = analyzed(state, source)
+        mload = [s for s in steps if s.op.name == "MLOAD"][0]
+        assert mload.index in result.const_steps
+
+    def test_overwritten_word_loses_fixedness(self, state):
+        source = (
+            "PUSH 9\nPUSH 0\nMSTORE\n"
+            "PUSH 0\nSLOAD\nPUSH 0\nMSTORE\n"  # overwrite with state value
+            "PUSH 0\nMLOAD\nPOP\nSTOP"
+        )
+        steps, result = analyzed(state, source)
+        mload = [s for s in steps if s.op.name == "MLOAD"][-1]
+        assert mload.index not in result.fixed_steps
+
+
+class TestPrefetch:
+    def test_const_key_sload_prefetchable(self, state):
+        steps, result = analyzed(state, "PUSH 3\nSLOAD\nPOP\nSTOP")
+        sload = [s for s in steps if s.op.name == "SLOAD"][0]
+        assert (CONTRACT, sload.pc) in result.prefetch_pcs
+
+    def test_caller_derived_key_prefetchable(self, state):
+        # The paper's three-steps-back example: SLOAD key = hash of a
+        # constant and CALLER.
+        source = (
+            "CALLER\nPUSH 0\nMSTORE\n"
+            "PUSH 1\nPUSH 32\nMSTORE\n"
+            "PUSH 64\nPUSH 0\nSHA3\nSLOAD\nPOP\nSTOP"
+        )
+        steps, result = analyzed(state, source)
+        sload = [s for s in steps if s.op.name == "SLOAD"][0]
+        assert (CONTRACT, sload.pc) in result.prefetch_pcs
+
+    def test_state_derived_key_not_prefetchable(self, state):
+        source = "PUSH 0\nSLOAD\nSLOAD\nPOP\nSTOP"
+        steps, result = analyzed(state, source)
+        second = [s for s in steps if s.op.name == "SLOAD"][1]
+        assert (CONTRACT, second.pc) not in result.prefetch_pcs
+        assert (CONTRACT, second.pc) in result.unprefetchable_pcs
+
+    def test_balance_of_fixed_address_prefetchable(self, state):
+        steps, result = analyzed(
+            state, "PUSH 0x1234\nBALANCE\nPOP\nSTOP"
+        )
+        balance = [s for s in steps if s.op.name == "BALANCE"][0]
+        assert (CONTRACT, balance.pc) in result.prefetch_pcs
+
+
+class TestFrameGrouping:
+    def test_single_frame(self, state):
+        receipt, tracer = run_code(state, "PUSH 1\nPOP\nSTOP")
+        groups = frame_step_groups(tracer.steps)
+        assert len(groups) == 1
+        assert groups[0] == [0, 1, 2]
+
+    def test_nested_frames_partition_indices(self, state):
+        from repro.contracts.asm import assemble
+
+        state.set_code(0xCA11, assemble("PUSH 1\nPOP\nSTOP"))
+        source = (
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            "PUSH 0xCA11\nGAS\nCALL\nPOP\nSTOP"
+        )
+        receipt, tracer = run_code(state, source)
+        groups = frame_step_groups(tracer.steps)
+        assert len(groups) == 2
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(len(tracer.steps)))
+        # Child group steps are all at depth 1.
+        child = groups[1]
+        assert all(tracer.steps[i].depth == 1 for i in child)

@@ -1,0 +1,80 @@
+"""Dynamic hotspot tracking (paper section 2.2.3)."""
+
+from repro.chain import Transaction
+from repro.core.hotspot.tracker import HotspotTracker
+from repro.crypto import selector
+
+
+def txs_for(address, count):
+    data = selector("f()")
+    return [
+        Transaction(sender=100 + i, to=address, nonce=i, data=data)
+        for i in range(count)
+    ]
+
+
+class TestScoring:
+    def test_observation_accumulates(self):
+        tracker = HotspotTracker()
+        tracker.observe_block(txs_for(0xA, 5))
+        assert tracker.score(0xA) == 5.0
+
+    def test_decay_across_blocks(self):
+        tracker = HotspotTracker(decay=0.5)
+        tracker.observe_block(txs_for(0xA, 8))
+        tracker.observe_block([])
+        assert tracker.score(0xA) == 4.0
+
+    def test_plain_transfers_ignored(self):
+        tracker = HotspotTracker()
+        tracker.observe_block(
+            [Transaction(sender=1, to=0xB, nonce=0)]  # no selector
+        )
+        assert tracker.score(0xB) == 0.0
+
+    def test_creations_ignored(self):
+        tracker = HotspotTracker()
+        tracker.observe_block(
+            [Transaction(sender=1, to=None, data=b"\x01" * 8)]
+        )
+        assert tracker.scores == {}
+
+
+class TestHotspotSelection:
+    def test_top_k_ordering(self):
+        tracker = HotspotTracker(min_score=0.5)
+        tracker.observe_block(
+            txs_for(0xA, 10) + txs_for(0xB, 5) + txs_for(0xC, 1)
+        )
+        assert tracker.current_hotspots(2) == [0xA, 0xB]
+        assert tracker.is_hotspot(0xA)
+        assert not tracker.is_hotspot(0xC, k=2)
+
+    def test_min_score_gate(self):
+        tracker = HotspotTracker(min_score=3.0)
+        tracker.observe_block(txs_for(0xA, 2))
+        assert tracker.current_hotspots() == []
+
+    def test_cryptocat_effect(self):
+        """A once-hot contract falls out as traffic moves elsewhere."""
+        tracker = HotspotTracker(decay=0.6, min_score=1.0)
+        tracker.observe_block(txs_for(0xCA7, 20))  # CryptoCat at its peak
+        assert tracker.current_hotspots(1) == [0xCA7]
+        for _ in range(8):  # fashion moves on to DeFi
+            tracker.observe_block(txs_for(0xDEF1, 10))
+        assert tracker.current_hotspots(1) == [0xDEF1]
+        assert not tracker.is_hotspot(0xCA7, k=1)
+
+    def test_head_share_statistic(self):
+        tracker = HotspotTracker()
+        tracker.observe_block(txs_for(0xA, 37) + txs_for(0xB, 63))
+        assert abs(tracker.head_share(1) - 0.63) < 1e-9
+        assert tracker.head_share(2) == 1.0
+        assert HotspotTracker().head_share() == 0.0
+
+    def test_stale_scores_garbage_collected(self):
+        tracker = HotspotTracker(decay=0.01)
+        tracker.observe_block(txs_for(0xA, 1))
+        for _ in range(5):
+            tracker.observe_block([])
+        assert 0xA not in tracker.scores

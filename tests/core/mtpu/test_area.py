@@ -1,0 +1,82 @@
+"""Analytical area/power model vs paper Table 5."""
+
+import pytest
+
+from repro.core.mtpu.area import MTPUAreaConfig, estimate_area
+
+#: Paper Table 5 rows (component -> mm^2).
+PAPER_TABLE5 = {
+    "icache": 0.227,
+    "dcache": 0.547,
+    "mem": 2.238,
+    "stack": 0.337,
+    "gas": 0.013,
+    "db_cache": 3.006,
+    "execution_unit": 0.916,
+    "else": 0.097,
+}
+PAPER_CORE_TOTAL = 7.381
+PAPER_TOTAL = 79.623
+PAPER_POWER = 8.648
+
+
+class TestDesignPoint:
+    def test_core_components_match(self):
+        report = estimate_area()
+        for name, expected in PAPER_TABLE5.items():
+            assert report.core_components[name] == pytest.approx(
+                expected, rel=0.01
+            )
+
+    def test_core_total(self):
+        assert estimate_area().core_total == pytest.approx(
+            PAPER_CORE_TOTAL, rel=0.01
+        )
+
+    def test_processor_total(self):
+        assert estimate_area().total == pytest.approx(
+            PAPER_TOTAL, rel=0.01
+        )
+
+    def test_power_at_300mhz(self):
+        report = estimate_area()
+        assert report.power_watts == pytest.approx(PAPER_POWER, rel=0.01)
+        assert report.clock_mhz == 300
+
+    def test_pu_area_breakdown(self):
+        report = estimate_area()
+        # 4 PUs at (core + call-contract stack) each.
+        per_pu = report.pu_total / 4
+        assert per_pu == pytest.approx(7.381 + 4.785, rel=0.01)
+
+
+class TestScaling:
+    def test_area_scales_with_pus(self):
+        quad = estimate_area(MTPUAreaConfig(num_pus=4))
+        octo = estimate_area(MTPUAreaConfig(num_pus=8))
+        assert octo.total > quad.total
+        # Shared buffers don't double.
+        assert octo.total < 2 * quad.total
+
+    def test_db_cache_entries_sizing(self):
+        small = estimate_area(MTPUAreaConfig.from_cache_entries(512))
+        big = estimate_area(MTPUAreaConfig.from_cache_entries(4096))
+        assert small.total < big.total
+        default = MTPUAreaConfig.from_cache_entries(2048)
+        assert default.db_cache_kb == pytest.approx(234, rel=0.01)
+
+    def test_rows_render(self):
+        rows = estimate_area().rows()
+        assert rows[-1][0] == "Total"
+        assert rows[-1][1] == pytest.approx(PAPER_TOTAL, rel=0.01)
+
+
+class TestBPUComparison:
+    def test_paper_overhead_ratios(self):
+        from repro.core.mtpu.area import bpu_equivalents
+
+        report = estimate_area()
+        bpu_area, bpu_power = bpu_equivalents(report)
+        # Paper section 4.4: +17% area, +10% energy vs BPU.
+        assert report.total / bpu_area == pytest.approx(1.17)
+        assert report.power_watts / bpu_power == pytest.approx(1.10)

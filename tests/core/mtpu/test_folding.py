@@ -1,0 +1,89 @@
+"""Instruction folding: patterns, gas preservation, bookkeeping."""
+
+from repro.contracts.asm import assemble
+from repro.core.mtpu.folding import FOLDABLE_CONSUMERS, FoldedOp, try_fold
+from repro.evm.code import decode
+
+
+def fold_all(source, enabled=True):
+    instructions = decode(assemble(source))
+    ops = []
+    index = 0
+    while index < len(instructions):
+        op, index = try_fold(instructions, index, enabled)
+        ops.append(op)
+    return ops
+
+
+class TestPatterns:
+    def test_papers_dispatch_example(self):
+        # PUSH4 0xCC80F6F3; EQ -> one synthetic compare (paper 3.3.4).
+        ops = fold_all("PUSH4 0xcc80f6f3\nEQ")
+        assert len(ops) == 1
+        assert ops[0].primary.op.name == "EQ"
+        assert ops[0].absorbed[0].immediate == 0xCC80F6F3
+
+    def test_push_jumpi_folds(self):
+        ops = fold_all("PUSH2 0xb6\nJUMPI")
+        assert len(ops) == 1
+        assert ops[0].primary.op.name == "JUMPI"
+
+    def test_double_push_binary_folds(self):
+        ops = fold_all("PUSH 3\nPUSH 4\nADD")
+        assert len(ops) == 1
+        assert ops[0].orig_count == 3
+        assert ops[0].stack_inputs == 0
+
+    def test_push_push_mstore_folds_offset_only(self):
+        # MSTORE folds one operand; the value PUSH stays separate.
+        ops = fold_all("PUSH 5\nPUSH 0\nMSTORE")
+        assert len(ops) == 2
+        assert ops[0].primary.op.name == "PUSH1"
+        assert ops[1].primary.op.name == "MSTORE"
+        assert ops[1].orig_count == 2
+
+    def test_non_foldable_consumer(self):
+        ops = fold_all("PUSH 1\nPOP")
+        assert len(ops) == 2
+        assert all(not op.absorbed for op in ops)
+
+    def test_disabled_folding(self):
+        ops = fold_all("PUSH 3\nPUSH 4\nADD", enabled=False)
+        assert len(ops) == 3
+
+    def test_lone_push_at_end(self):
+        ops = fold_all("PUSH 9")
+        assert len(ops) == 1
+        assert ops[0].primary.op.name == "PUSH1"
+
+
+class TestBookkeeping:
+    def test_gas_preserved(self):
+        source = "PUSH 3\nPUSH 4\nADD"
+        folded = fold_all(source)
+        unfolded = fold_all(source, enabled=False)
+        assert sum(op.static_gas for op in folded) == sum(
+            op.static_gas for op in unfolded
+        )
+
+    def test_pcs_in_program_order(self):
+        op = fold_all("PUSH 3\nPUSH 4\nADD")[0]
+        assert op.pcs == (0, 2, 4)
+        assert op.pc == 0
+        assert op.end_pc == 5
+
+    def test_orig_count_sums(self):
+        ops = fold_all("PUSH 1\nPUSH 2\nADD\nPUSH 0\nMSTORE")
+        assert sum(op.orig_count for op in ops) == 5
+
+    def test_foldable_table_sanity(self):
+        assert FOLDABLE_CONSUMERS["EQ"] == 2
+        assert FOLDABLE_CONSUMERS["MSTORE"] == 1
+        assert "CALL" not in FOLDABLE_CONSUMERS
+
+    def test_stack_inputs_after_partial_fold(self):
+        # EQ with one absorbed PUSH still reads one stack operand.
+        ops = fold_all("DUP1\nPUSH4 0x01020304\nEQ")
+        eq = ops[-1]
+        assert eq.primary.op.name == "EQ"
+        assert eq.stack_inputs == 1

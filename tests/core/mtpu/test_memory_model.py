@@ -1,0 +1,112 @@
+"""Memory hierarchy models: Call_Contract Stack, State Buffer, context
+loads."""
+
+from repro.core.mtpu.memory import (
+    CallContractStack,
+    ContextLoadModel,
+    StateBuffer,
+)
+from repro.core.mtpu.timing import TimingConfig
+
+
+class TestCallContractStack:
+    def test_first_load_counts(self):
+        stack = CallContractStack(capacity_bytes=1000)
+        assert stack.load(1, 400) == 400
+        assert stack.bytecode_loads == 1
+
+    def test_reuse_is_free(self):
+        stack = CallContractStack(capacity_bytes=1000)
+        stack.load(1, 400)
+        assert stack.load(1, 400) == 0
+        assert stack.bytecode_reuses == 1
+
+    def test_lru_eviction_by_bytes(self):
+        stack = CallContractStack(capacity_bytes=1000)
+        stack.load(1, 600)
+        stack.load(2, 300)
+        stack.load(3, 600)  # evicts 1 (and 2 if needed)
+        assert not stack.resident(1)
+        assert stack.resident(3)
+
+    def test_touch_refreshes(self):
+        stack = CallContractStack(capacity_bytes=1000)
+        stack.load(1, 400)
+        stack.load(2, 400)
+        stack.load(1, 400)  # refresh
+        stack.load(3, 400)  # evicts 2
+        assert stack.resident(1)
+        assert not stack.resident(2)
+
+    def test_clear(self):
+        stack = CallContractStack()
+        stack.load(1, 100)
+        stack.clear()
+        assert not stack.resident(1)
+
+
+class TestStateBuffer:
+    def test_cold_then_warm(self):
+        buffer = StateBuffer(entries=8)
+        assert buffer.access(1, 0) is False
+        assert buffer.access(1, 0) is True
+        assert buffer.hits == 1 and buffer.misses == 1
+
+    def test_capacity_eviction(self):
+        buffer = StateBuffer(entries=2)
+        buffer.access(1, 0)
+        buffer.access(1, 1)
+        buffer.access(1, 2)
+        assert buffer.access(1, 0) is False  # evicted
+
+    def test_warm_installs_without_counting(self):
+        buffer = StateBuffer(entries=4)
+        buffer.warm(1, 0)
+        assert buffer.hits == 0 and buffer.misses == 0
+        assert buffer.access(1, 0) is True
+
+    def test_distinct_addresses_distinct_entries(self):
+        buffer = StateBuffer(entries=8)
+        buffer.access(1, 0)
+        assert buffer.access(2, 0) is False
+
+
+class TestContextLoad:
+    def test_bytecode_dominates_cost(self):
+        # Paper Table 2: bytecode is ~86-95% of loaded context data.
+        model = ContextLoadModel(TimingConfig())
+        with_code = model.cycles(
+            calldata_bytes=68, bytecode_bytes=5759, bytecode_resident=False
+        )
+        without_code = model.cycles(
+            calldata_bytes=68, bytecode_bytes=5759, bytecode_resident=True
+        )
+        assert without_code < with_code * 0.15
+
+    def test_on_path_fraction_scales_bytecode(self):
+        model = ContextLoadModel(TimingConfig())
+        full = model.cycles(0, 6400, False, on_path_fraction=1.0)
+        chunked = model.cycles(0, 6400, False, on_path_fraction=0.082)
+        assert chunked < full * 0.2
+
+    def test_fixed_fields_always_charged(self):
+        model = ContextLoadModel(TimingConfig())
+        assert model.cycles(0, 0, True) == TimingConfig().context_fixed_cycles
+
+
+class TestTimingConfig:
+    def test_unit_extra_surcharges(self):
+        from repro.evm.opcodes import Category
+
+        config = TimingConfig()
+        assert config.unit_extra(Category.ARITHMETIC, "ADD") == 0
+        assert config.unit_extra(Category.ARITHMETIC, "MUL") == 2
+        assert config.unit_extra(Category.ARITHMETIC, "EXP") == 4
+        assert config.unit_extra(Category.MEMORY, "MLOAD") == 1
+
+    def test_context_load_cycles_ceil(self):
+        config = TimingConfig(context_load_bus_bytes=32)
+        assert config.context_load_cycles(0) == 0
+        assert config.context_load_cycles(1) == 1
+        assert config.context_load_cycles(32) == 1
+        assert config.context_load_cycles(33) == 2

@@ -1,0 +1,95 @@
+"""Composite DAG: readiness, admission, redundancy values."""
+
+import pytest
+
+from repro.chain import Transaction
+from repro.core.scheduler import CompositeDAG
+
+
+def make_dag(contracts, edges=()):
+    txs = [Transaction(sender=100 + i, to=c, nonce=i)
+           for i, c in enumerate(contracts)]
+    return CompositeDAG(txs, list(edges))
+
+
+class TestConstruction:
+    def test_rejects_backward_edges(self):
+        with pytest.raises(ValueError):
+            make_dag([1, 1], edges=[(1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_dag([1], edges=[(0, 5)])
+
+    def test_redundancy_values(self):
+        # Paper Fig. 6: V = future invocations of the same contract.
+        dag = make_dag([7, 7, 7, 8])
+        assert dag.value(0) == 2
+        assert dag.value(3) == 0
+
+    def test_values_decay_as_txs_start(self):
+        dag = make_dag([7, 7, 7])
+        dag.start(0)
+        assert dag.value(1) == 1
+
+
+class TestReadiness:
+    def test_roots_ready(self):
+        dag = make_dag([1, 2, 3], edges=[(0, 2)])
+        assert dag.ready_transactions() == [0, 1]
+
+    def test_completion_unblocks(self):
+        dag = make_dag([1, 2], edges=[(0, 1)])
+        dag.start(0)
+        assert not dag.is_ready(1)
+        dag.complete(0)
+        assert dag.is_ready(1)
+
+    def test_admissible_while_dep_running(self):
+        # Window admission: deps may be running (paper's De mechanism
+        # handles the rest).
+        dag = make_dag([1, 2], edges=[(0, 1)])
+        assert not dag.is_admissible(1)
+        dag.start(0)
+        assert dag.is_admissible(1)
+        assert dag.blocked_by_running(1, {0})
+        dag.complete(0)
+        assert not dag.blocked_by_running(1, set())
+
+    def test_started_not_ready_again(self):
+        dag = make_dag([1])
+        dag.start(0)
+        assert not dag.is_ready(0)
+        assert not dag.is_admissible(0)
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        dag = make_dag([1])
+        dag.start(0)
+        with pytest.raises(ValueError):
+            dag.start(0)
+
+    def test_complete_without_start_rejected(self):
+        dag = make_dag([1])
+        with pytest.raises(ValueError):
+            dag.complete(0)
+
+    def test_done(self):
+        dag = make_dag([1, 2])
+        assert not dag.done
+        for i in (0, 1):
+            dag.start(i)
+            dag.complete(i)
+        assert dag.done
+
+    def test_diamond_dependencies(self):
+        dag = make_dag([1, 2, 3, 4],
+                       edges=[(0, 1), (0, 2), (1, 3), (2, 3)])
+        dag.start(0)
+        dag.complete(0)
+        assert set(dag.ready_transactions()) == {1, 2}
+        for i in (1, 2):
+            dag.start(i)
+            dag.complete(i)
+        assert dag.ready_transactions() == [3]

@@ -1,0 +1,107 @@
+"""The spatio-temporal scheduler's selection rules (paper Fig. 6)."""
+
+import pytest
+
+from repro.chain import Transaction
+from repro.core.scheduler import CompositeDAG, SpatialTemporalScheduler
+
+
+def make_scheduler(contracts, edges=(), num_pus=2, window=None):
+    txs = [Transaction(sender=100 + i, to=c, nonce=i)
+           for i, c in enumerate(contracts)]
+    dag = CompositeDAG(txs, list(edges))
+    return SpatialTemporalScheduler(dag, num_pus=num_pus,
+                                    window_size=window)
+
+
+class TestSelection:
+    def test_selects_from_window(self):
+        scheduler = make_scheduler([1, 2, 3])
+        outcome = scheduler.select(0)
+        assert outcome is not None
+        assert outcome.tx_index in (0, 1, 2)
+
+    def test_dependency_on_running_excluded(self):
+        # T1 depends on T0; while T0 runs on PU0, PU1 must not take T1.
+        scheduler = make_scheduler([1, 1, 2], edges=[(0, 1)])
+        first = scheduler.select(0)
+        assert first.tx_index == 0  # highest V (contract 1 appears twice)
+        scheduler.on_start(0, first)
+        second = scheduler.select(1)
+        assert second.tx_index == 2  # T1 blocked by running T0
+
+    def test_redundancy_preferred_after_completion(self):
+        # After PU0 runs a contract-7 tx, it prefers another contract-7 tx
+        # over a higher-V alternative.
+        scheduler = make_scheduler([7, 8, 8, 8, 7])
+        first = scheduler.select(0)
+        scheduler.on_start(0, first)
+        scheduler.on_complete(0, first.tx_index)
+        second = scheduler.select(0)
+        assert second.redundant
+        first_contract = scheduler.dag.contract_of(first.tx_index)
+        assert scheduler.dag.contract_of(second.tx_index) == first_contract
+
+    def test_max_value_without_redundancy(self):
+        # Fresh PU with no history picks the largest V.
+        scheduler = make_scheduler([5, 6, 6, 6])
+        outcome = scheduler.select(0)
+        assert scheduler.dag.contract_of(outcome.tx_index) == 6
+
+    def test_no_candidates_returns_none(self):
+        scheduler = make_scheduler([1, 2], edges=[(0, 1)])
+        first = scheduler.select(0)
+        scheduler.on_start(0, first)
+        # PU1 sees only T1, which depends on the running T0.
+        second = scheduler.select(1)
+        assert second is None
+
+    def test_selected_tx_locked_from_others(self):
+        scheduler = make_scheduler([1, 1])
+        a = scheduler.select(0)
+        b = scheduler.select(1)
+        assert a.tx_index != b.tx_index
+
+
+class TestLifecycle:
+    def test_full_drain(self):
+        scheduler = make_scheduler([1, 2, 3, 1, 2], edges=[(0, 3), (1, 4)])
+        executed = []
+        running = {}
+        while not scheduler.dag.done:
+            progressed = False
+            for pu in range(2):
+                if pu in running:
+                    continue
+                outcome = scheduler.select(pu)
+                if outcome:
+                    scheduler.on_start(pu, outcome)
+                    running[pu] = outcome.tx_index
+                    progressed = True
+            if running:
+                pu, tx = next(iter(running.items()))
+                del running[pu]
+                executed.append(tx)
+                scheduler.on_complete(pu, tx)
+            elif not progressed:
+                pytest.fail("scheduler deadlocked")
+        assert sorted(executed) == [0, 1, 2, 3, 4]
+
+    def test_execution_respects_dag_order(self):
+        scheduler = make_scheduler([1, 1, 1], edges=[(0, 1), (1, 2)])
+        order = []
+        while not scheduler.dag.done:
+            outcome = scheduler.select(0)
+            assert outcome is not None
+            scheduler.on_start(0, outcome)
+            scheduler.on_complete(0, outcome.tx_index)
+            order.append(outcome.tx_index)
+        assert order == [0, 1, 2]
+
+    def test_redundancy_hit_ratio_tracked(self):
+        scheduler = make_scheduler([7] * 6)
+        for _ in range(6):
+            outcome = scheduler.select(0)
+            scheduler.on_start(0, outcome)
+            scheduler.on_complete(0, outcome.tx_index)
+        assert scheduler.redundancy_hit_ratio > 0.5

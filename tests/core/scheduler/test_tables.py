@@ -1,0 +1,76 @@
+"""Scheduling Table and Transaction Table bit-level behavior."""
+
+import pytest
+
+from repro.core.scheduler import SchedulingTable, TransactionTable
+
+
+class TestSchedulingTable:
+    def test_blocked_mask_ors_dependencies(self):
+        table = SchedulingTable(num_pus=3, window_size=5)
+        table.set_masks(0, 0b00100, 0)
+        table.set_masks(1, 0b00001, 0)
+        assert table.blocked_mask() == 0b00101
+
+    def test_exclude_pu(self):
+        # Paper Fig. 6: PU0 computes allowed candidates from the OTHER
+        # PUs' De entries.
+        table = SchedulingTable(num_pus=2, window_size=5)
+        table.set_masks(0, 0b11100, 0)
+        table.set_masks(1, 0b00001, 0)
+        assert table.blocked_mask(exclude_pu=0) == 0b00001
+
+    def test_invalid_entry_reads_as_zero(self):
+        # The dirty-read guard: invalid dependencies are all-zeros.
+        table = SchedulingTable(num_pus=1, window_size=5)
+        table.set_masks(0, 0b11111, 0)
+        table.invalidate(0)
+        assert table.blocked_mask() == 0
+
+    def test_redundancy_mask_per_pu(self):
+        table = SchedulingTable(num_pus=2, window_size=5)
+        table.set_masks(0, 0, 0b10100)
+        assert table.redundancy_mask(0) == 0b10100
+        assert table.redundancy_mask(1) == 0
+
+
+class TestTransactionTable:
+    def test_write_and_lock(self):
+        table = TransactionTable(window_size=4)
+        table.write(0, tx_index=7, value=3)
+        assert table.occupied_mask() == 0b0001
+        assert table.lock(0) == 7
+        # Locked slots are unavailable to other PUs.
+        assert table.occupied_mask() == 0
+
+    def test_write_to_occupied_slot_rejected(self):
+        table = TransactionTable(window_size=2)
+        table.write(0, 1, 0)
+        with pytest.raises(ValueError):
+            table.write(0, 2, 0)
+
+    def test_double_lock_rejected(self):
+        table = TransactionTable(window_size=2)
+        table.write(0, 1, 0)
+        table.lock(0)
+        with pytest.raises(ValueError):
+            table.lock(0)
+
+    def test_release_frees_slot(self):
+        table = TransactionTable(window_size=2)
+        table.write(0, 1, 0)
+        table.lock(0)
+        table.release(0)
+        assert table.free_slots() == [0, 1]
+        table.write(0, 9, 1)  # reusable
+
+    def test_slot_of(self):
+        table = TransactionTable(window_size=3)
+        table.write(1, tx_index=42, value=0)
+        assert table.slot_of(42) == 1
+        assert table.slot_of(43) is None
+
+    def test_lock_empty_rejected(self):
+        table = TransactionTable(window_size=2)
+        with pytest.raises(ValueError):
+            table.lock(0)

@@ -1,0 +1,167 @@
+"""The accelerated validator: full lifecycle with dynamic hotspots."""
+
+import random
+
+import pytest
+
+from repro.chain.node import Node
+from repro.chain.receipt import receipts_root
+from repro.core.validator import AcceleratedValidator
+from repro.workload import ActionLibrary
+
+
+@pytest.fixture()
+def validator(deployment):
+    return AcceleratedValidator(
+        state=deployment.state.copy(), num_pus=4, deployment=deployment
+    )
+
+
+def feed(validator, deployment, contracts, count, seed=0):
+    library = ActionLibrary(deployment, random.Random(seed))
+    for i in range(count):
+        contract = contracts[i % len(contracts)]
+        validator.hear(library.to_transaction(library.plan(contract)))
+
+
+class TestLifecycle:
+    def test_block_executes_and_chain_advances(self, validator,
+                                               deployment):
+        feed(validator, deployment, ["Dai"], 12)
+        block = validator.propose_block()
+        outcome = validator.execute_block(block)
+        assert len(validator.chain) == 1
+        assert all(r.success for r in outcome.receipts)
+        assert outcome.makespan_cycles > 0
+
+    def test_matches_plain_node(self, validator, deployment):
+        feed(validator, deployment, ["Dai", "TetherToken"], 16, seed=3)
+        block = validator.propose_block()
+
+        reference_node = Node(state=deployment.state.copy())
+        reference = reference_node.execute_block(block)
+        outcome = validator.execute_block(
+            block, claimed_root=receipts_root(reference)
+        )
+        assert outcome.verified is True
+        assert (
+            validator.state.state_digest()
+            == reference_node.state.state_digest()
+        )
+
+    def test_wrong_claimed_root_rejected(self, validator, deployment):
+        feed(validator, deployment, ["Dai"], 6, seed=4)
+        block = validator.propose_block()
+        outcome = validator.execute_block(block, claimed_root=b"\x00" * 32)
+        assert outcome.verified is False
+
+    def test_no_claimed_root_unverified(self, validator, deployment):
+        feed(validator, deployment, ["Dai"], 4, seed=5)
+        outcome = validator.execute_block(validator.propose_block())
+        assert outcome.verified is None
+
+
+class TestDynamicHotspots:
+    def test_hotspots_emerge_from_traffic(self, validator, deployment):
+        # Block 1: heavy Dai traffic -> Dai becomes a hotspot and gets
+        # optimized in the following idle slice.
+        feed(validator, deployment, ["Dai"], 16, seed=6)
+        outcome = validator.execute_block(validator.propose_block())
+        assert deployment.address_of("Dai") in outcome.hotspots_optimized
+
+        # Block 2: Dai transactions now carry hotspot plans.
+        feed(validator, deployment, ["Dai"], 10, seed=7)
+        outcome2 = validator.execute_block(validator.propose_block())
+        applied = [
+            e for e in outcome2.schedule.executions if e.hotspot_applied
+        ]
+        assert applied
+
+    def test_hotspot_reoptimization_is_idempotent(self, validator,
+                                                  deployment):
+        feed(validator, deployment, ["Dai"], 12, seed=8)
+        first = validator.execute_block(validator.propose_block())
+        feed(validator, deployment, ["Dai"], 12, seed=9)
+        second = validator.execute_block(validator.propose_block())
+        # Already-optimized contracts are not re-profiled.
+        assert deployment.address_of("Dai") in first.hotspots_optimized
+        assert (
+            deployment.address_of("Dai")
+            not in second.hotspots_optimized
+        )
+
+    def test_traffic_shift_retargets_optimizer(self, validator,
+                                               deployment):
+        feed(validator, deployment, ["Dai"], 12, seed=10)
+        validator.execute_block(validator.propose_block())
+        # Traffic moves to WETH9 for several blocks.
+        optimized = []
+        for i in range(3):
+            feed(validator, deployment, ["WETH9"], 12, seed=11 + i)
+            outcome = validator.execute_block(validator.propose_block())
+            optimized.extend(outcome.hotspots_optimized)
+        assert deployment.address_of("WETH9") in optimized
+
+    def test_hotspot_acceleration_measurable(self, deployment):
+        # The same traffic on a hotspot-optimizing validator beats a
+        # cold one (second block, after the optimizer has warmed up).
+        results = {}
+        for label, top_k in (("hot", 8), ("cold", 0)):
+            validator = AcceleratedValidator(
+                state=deployment.state.copy(), num_pus=4,
+                deployment=deployment, hotspot_top_k=top_k,
+            )
+            feed(validator, deployment, ["Dai"], 14, seed=20)
+            validator.execute_block(validator.propose_block())
+            feed(validator, deployment, ["Dai"], 14, seed=21)
+            outcome = validator.execute_block(validator.propose_block())
+            results[label] = outcome.makespan_cycles
+        assert results["hot"] < results["cold"]
+
+
+class TestMempoolIntegration:
+    def test_unheard_transactions_not_preexecuted(self, validator,
+                                                  deployment):
+        """Transactions arriving only inside the block (never
+        disseminated) skip pre-execution but still execute correctly."""
+        feed(validator, deployment, ["Dai"], 10, seed=30)
+        block = validator.propose_block()
+        # Warm up the optimizer on Dai first.
+        validator.execute_block(block)
+
+        # Build a block containing a transaction this node never heard.
+        library = ActionLibrary(deployment, random.Random(31))
+        stranger_tx = library.to_transaction(library.plan("Dai"))
+        feed(validator, deployment, ["Dai"], 5, seed=32)
+        block2 = validator.propose_block()
+        block2.transactions.append(stranger_tx)
+        # Re-derive the DAG for the amended block.
+        from repro.chain.dag import (
+            build_dag_edges,
+            discover_access_sets,
+            transitive_reduction,
+        )
+
+        access = discover_access_sets(
+            block2.transactions, validator.state
+        )
+        block2.dag_edges = transitive_reduction(
+            len(block2.transactions),
+            build_dag_edges(block2.transactions, access),
+        )
+        outcome = validator.execute_block(block2)
+        assert all(r.success for r in outcome.receipts)
+        by_hash = {
+            e.tx.hash(): e for e in outcome.schedule.executions
+        }
+        stranger = by_hash[stranger_tx.hash()]
+        heard = [
+            e for e in outcome.schedule.executions
+            if e.tx.hash() != stranger_tx.hash() and e.hotspot_applied
+        ]
+        # The stranger got a plan (it is a hotspot contract) but its plan
+        # could not pre-execute; heard transactions could.
+        assert heard
+        plan = validator.optimizer.plan_for(stranger_tx)
+        assert plan is not None
+        assert plan.preexecute is False

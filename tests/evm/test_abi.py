@@ -1,0 +1,47 @@
+"""ABI encoding: selectors and word layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import selector, selector_int
+from repro.evm import abi
+
+
+class TestEncoding:
+    def test_selector_is_4_bytes(self):
+        assert len(selector("transfer(address,uint256)")) == 4
+
+    def test_selector_differs_by_signature(self):
+        assert selector("transfer(address,uint256)") != selector(
+            "approve(address,uint256)"
+        )
+
+    def test_encode_call_layout(self):
+        data = abi.encode_call("f(uint256,uint256)", 1, 2)
+        assert len(data) == 4 + 64
+        assert data[:4] == selector("f(uint256,uint256)")
+        assert int.from_bytes(data[4:36], "big") == 1
+        assert int.from_bytes(data[36:68], "big") == 2
+
+    def test_encode_uint_range(self):
+        with pytest.raises(ValueError):
+            abi.encode_uint(-1)
+        with pytest.raises(ValueError):
+            abi.encode_uint(1 << 256)
+
+    def test_decode_uint_empty(self):
+        assert abi.decode_uint(b"") == 0
+
+    def test_decode_words_pads_tail(self):
+        words = abi.decode_words(b"\x01")
+        assert words == [1 << (8 * 31)]
+
+    @given(st.lists(st.integers(0, (1 << 256) - 1), max_size=8))
+    def test_words_roundtrip(self, values):
+        data = b"".join(abi.encode_uint(v) for v in values)
+        assert abi.decode_words(data) == values
+
+    def test_selector_int_matches_bytes(self):
+        sig = "balanceOf(address)"
+        assert selector_int(sig) == int.from_bytes(selector(sig), "big")

@@ -1,0 +1,280 @@
+"""Interpreter semantics: control flow, storage, environment, failures,
+and the deterministic-gas invariant."""
+
+import pytest
+
+from repro.chain import Transaction, WorldState
+from repro.evm import EVM, abi
+from repro.evm.context import BlockContext
+from tests.conftest import ALICE, BOB, CONTRACT, run_code
+
+RETURN_TOP = "PUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nRETURN"
+
+
+def returned(receipt) -> int:
+    return abi.decode_uint(receipt.output)
+
+
+class TestBasicExecution:
+    def test_empty_code_succeeds(self, state):
+        receipt, _ = run_code(state, "STOP")
+        assert receipt.success
+
+    def test_implicit_stop_at_code_end(self, state):
+        receipt, _ = run_code(state, "PUSH 1\nPUSH 2\nADD")
+        assert receipt.success
+
+    def test_return_value(self, state):
+        receipt, _ = run_code(state, f"PUSH 2\nPUSH 40\nMUL\n{RETURN_TOP}")
+        assert returned(receipt) == 80
+
+    def test_sload_sstore(self, state):
+        receipt, _ = run_code(
+            state, f"PUSH 0xAB\nPUSH 7\nSSTORE\nPUSH 7\nSLOAD\n{RETURN_TOP}"
+        )
+        assert returned(receipt) == 0xAB
+        assert state.get_storage(CONTRACT, 7) == 0xAB
+
+    def test_mstore8(self, state):
+        receipt, _ = run_code(
+            state,
+            f"PUSH 0x1234\nPUSH 31\nMSTORE8\nPUSH 0\nMLOAD\n{RETURN_TOP}",
+        )
+        assert returned(receipt) == 0x34
+
+    def test_msize_tracks_high_water(self, state):
+        receipt, _ = run_code(
+            state, f"PUSH 1\nPUSH 100\nMSTORE\nMSIZE\n{RETURN_TOP}"
+        )
+        assert returned(receipt) == 160  # ceil(132/32)*32
+
+
+class TestControlFlow:
+    def test_jump(self, state):
+        source = """
+        PUSH @target
+        JUMP
+        PUSH 0xBAD
+        target:
+        PUSH 0x60D
+        """ + RETURN_TOP
+        receipt, _ = run_code(state, source)
+        assert returned(receipt) == 0x60D
+
+    def test_jumpi_taken(self, state):
+        source = """
+        PUSH 1
+        PUSH @yes
+        JUMPI
+        PUSH 0
+        """ + RETURN_TOP + """
+        yes:
+        PUSH 1
+        """ + RETURN_TOP
+        receipt, _ = run_code(state, source.replace("        ", ""))
+        assert returned(receipt) == 1
+
+    def test_jumpi_not_taken(self, state):
+        source = (
+            "PUSH 0\nPUSH @yes\nJUMPI\nPUSH 7\n" + RETURN_TOP
+            + "\nyes:\nPUSH 9\n" + RETURN_TOP
+        )
+        receipt, _ = run_code(state, source)
+        assert returned(receipt) == 7
+
+    def test_jump_to_non_jumpdest_halts(self, state):
+        receipt, _ = run_code(state, "PUSH 3\nJUMP\nSTOP")
+        assert not receipt.success
+        assert receipt.error == "InvalidJump"
+
+    def test_jump_into_push_immediate_halts(self, state):
+        # The 0x5b inside the PUSH2 immediate is not a valid target.
+        receipt, _ = run_code(state, "PUSH2 0x5b5b\nPUSH 1\nJUMP")
+        assert not receipt.success
+
+    def test_loop_runs_out_of_gas_eventually(self, state):
+        receipt, _ = run_code(
+            state, "top:\nPUSH @top\nJUMP", gas_limit=100_000
+        )
+        assert not receipt.success
+        assert receipt.error == "OutOfGas"
+        assert receipt.gas_used == 100_000  # everything burned
+
+
+class TestEnvironment:
+    def test_caller_and_address(self, state):
+        receipt, _ = run_code(state, f"CALLER\n{RETURN_TOP}")
+        assert returned(receipt) == ALICE
+        receipt, _ = run_code(state, f"ADDRESS\n{RETURN_TOP}")
+        assert returned(receipt) == CONTRACT
+
+    def test_callvalue(self, state):
+        receipt, _ = run_code(state, f"CALLVALUE\n{RETURN_TOP}", value=55)
+        assert receipt.success
+        assert returned(receipt) == 55
+
+    def test_calldataload_and_size(self, state):
+        data = (7).to_bytes(32, "big") + (9).to_bytes(32, "big")
+        receipt, _ = run_code(
+            state, f"PUSH 32\nCALLDATALOAD\n{RETURN_TOP}", data=data
+        )
+        assert returned(receipt) == 9
+        receipt, _ = run_code(state, f"CALLDATASIZE\n{RETURN_TOP}", data=data)
+        assert returned(receipt) == 64
+
+    def test_calldataload_past_end_zero_pads(self, state):
+        receipt, _ = run_code(
+            state, f"PUSH 100\nCALLDATALOAD\n{RETURN_TOP}", data=b"\x01"
+        )
+        assert returned(receipt) == 0
+
+    def test_block_attributes(self, state):
+        from repro.contracts.asm import assemble
+
+        state.set_code(CONTRACT, assemble(f"NUMBER\n{RETURN_TOP}"))
+        block = BlockContext(height=123, timestamp=999, coinbase=0xC0)
+        evm = EVM(state, block=block)
+        receipt = evm.execute_transaction(
+            Transaction(sender=ALICE, to=CONTRACT, gas_limit=100_000)
+        )
+        assert returned(receipt) == 123
+
+    def test_balance_query(self, state):
+        receipt, _ = run_code(
+            state, f"PUSH {BOB:#x}\nBALANCE\n{RETURN_TOP}"
+        )
+        assert returned(receipt) == 10**21
+
+    def test_codesize(self, state):
+        from repro.contracts.asm import assemble
+
+        source = f"CODESIZE\n{RETURN_TOP}"
+        receipt, _ = run_code(state, source)
+        assert returned(receipt) == len(assemble(source))
+
+    def test_sha3_matches_crypto(self, state):
+        from repro.crypto import keccak256_int
+
+        receipt, _ = run_code(
+            state,
+            f"PUSH 0xAA\nPUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nSHA3\n{RETURN_TOP}",
+        )
+        assert returned(receipt) == keccak256_int(
+            (0xAA).to_bytes(32, "big")
+        )
+
+
+class TestFailureAtomicity:
+    def test_revert_rolls_back_storage(self, state):
+        source = (
+            "PUSH 1\nPUSH 0\nSSTORE\nPUSH 0\nPUSH 0\nREVERT"
+        )
+        receipt, _ = run_code(state, source)
+        assert not receipt.success
+        assert receipt.error == "revert"
+        assert state.get_storage(CONTRACT, 0) == 0
+
+    def test_out_of_gas_rolls_back_storage(self, state):
+        source = "PUSH 1\nPUSH 0\nSSTORE\ntop:\nPUSH @top\nJUMP"
+        receipt, _ = run_code(state, source, gas_limit=80_000)
+        assert not receipt.success
+        assert state.get_storage(CONTRACT, 0) == 0
+
+    def test_stack_underflow_halts(self, state):
+        receipt, _ = run_code(state, "ADD")
+        assert not receipt.success
+        assert receipt.error == "StackUnderflow"
+
+    def test_invalid_opcode_halts(self, state):
+        state.set_code(CONTRACT, bytes([0x0C]))
+        evm = EVM(state)
+        receipt = evm.execute_transaction(
+            Transaction(sender=ALICE, to=CONTRACT, gas_limit=100_000)
+        )
+        assert not receipt.success
+        assert receipt.error == "InvalidOpcode"
+
+    def test_failed_tx_still_increments_nonce_and_pays_fee(self, state):
+        balance_before = state.get_balance(ALICE)
+        receipt, _ = run_code(state, "ADD")  # underflow
+        assert state.get_nonce(ALICE) == 1
+        assert state.get_balance(ALICE) < balance_before
+
+    def test_insufficient_value_fails_fast(self, state):
+        state.set_code(CONTRACT, b"\x00")
+        evm = EVM(state)
+        receipt = evm.execute_transaction(
+            Transaction(sender=ALICE, to=CONTRACT, value=10**30,
+                        gas_limit=100_000)
+        )
+        assert not receipt.success
+        assert "balance" in receipt.error
+
+
+class TestGasDeterminism:
+    def test_same_tx_same_gas(self, state):
+        source = (
+            "PUSH 5\nPUSH 0\nSSTORE\nPUSH 0\nSLOAD\nPUSH 1\nADD\n"
+            "PUSH 0\nSSTORE"
+        )
+        r1, _ = run_code(state, source)
+        fresh = WorldState()
+        fresh.set_balance(ALICE, 10**21)
+        r2, _ = run_code(fresh, source)
+        assert r1.success and r2.success
+        assert r1.gas_used == r2.gas_used
+
+    def test_gas_used_includes_intrinsic(self, state):
+        receipt, _ = run_code(state, "STOP")
+        assert receipt.gas_used == 21000
+
+    def test_value_transfer_moves_balance(self, state):
+        state.set_code(CONTRACT, b"\x00")  # STOP
+        evm = EVM(state)
+        evm.execute_transaction(
+            Transaction(sender=ALICE, to=CONTRACT, value=500,
+                        gas_limit=100_000)
+        )
+        assert state.get_balance(CONTRACT) == 500
+
+    def test_fee_goes_to_coinbase(self, state):
+        state.set_code(CONTRACT, b"\x00")
+        block = BlockContext(coinbase=0xFEE)
+        evm = EVM(state, block=block)
+        receipt = evm.execute_transaction(
+            Transaction(sender=ALICE, to=CONTRACT, gas_limit=100_000,
+                        gas_price=2)
+        )
+        assert state.get_balance(0xFEE) == receipt.gas_used * 2
+
+    def test_sstore_clear_refund_capped(self, state):
+        state.set_storage(CONTRACT, 0, 1)
+        state.clear_journal()
+        receipt, _ = run_code(state, "PUSH 0\nPUSH 0\nSSTORE")
+        # Clearing refunds at most half the gas used.
+        no_refund_receipt, _ = run_code(state, "PUSH 1\nPUSH 0\nSSTORE")
+        assert receipt.gas_used < no_refund_receipt.gas_used
+
+
+class TestLogs:
+    def test_log_topics_and_data(self, state):
+        source = (
+            "PUSH 0xDD\nPUSH 0\nMSTORE\n"  # data word
+            "PUSH 0x77\n"  # topic
+            "PUSH 32\nPUSH 0\nLOG1"
+        )
+        receipt, _ = run_code(state, source)
+        assert receipt.success
+        assert len(receipt.logs) == 1
+        log = receipt.logs[0]
+        assert log.address == CONTRACT
+        assert log.topics == (0x77,)
+        assert log.data == (0xDD).to_bytes(32, "big")
+
+    def test_reverted_tx_emits_no_logs(self, state):
+        source = (
+            "PUSH 0\nPUSH 0\nLOG0\nPUSH 0\nPUSH 0\nREVERT"
+        )
+        receipt, _ = run_code(state, source)
+        assert not receipt.success
+        assert receipt.logs == ()

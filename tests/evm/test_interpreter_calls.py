@@ -1,0 +1,197 @@
+"""Message-call machinery: CALL family, CREATE, static contexts, depth."""
+
+from repro.chain import Transaction, WorldState
+from repro.evm import EVM, abi
+from repro.evm.context import CallKind, Message
+from repro.contracts.asm import assemble
+from tests.conftest import ALICE, CONTRACT, run_code
+
+CALLEE = 0xCA11EE
+RETURN_TOP = "PUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nRETURN"
+
+#: Callee: returns 42 and writes 1 to its storage slot 0.
+CALLEE_SRC = f"PUSH 1\nPUSH 0\nSSTORE\nPUSH 42\n{RETURN_TOP}"
+
+#: Caller: CALL the callee with no data, forward its return word.
+def call_and_return(kind: str = "CALL") -> str:
+    value_push = "PUSH 0\n" if kind in ("CALL", "CALLCODE") else ""
+    return (
+        "PUSH 32\nPUSH 0\n"  # out
+        "PUSH 0\nPUSH 0\n"  # in
+        + value_push
+        + f"PUSH {CALLEE:#x}\nGAS\n{kind}\nPOP\n"
+        "PUSH 0\nMLOAD\n" + RETURN_TOP
+    )
+
+
+class TestCall:
+    def test_call_returns_callee_output(self, state):
+        state.set_code(CALLEE, assemble(CALLEE_SRC))
+        receipt, _ = run_code(state, call_and_return("CALL"))
+        assert receipt.success
+        assert abi.decode_uint(receipt.output) == 42
+
+    def test_call_writes_callee_storage(self, state):
+        state.set_code(CALLEE, assemble(CALLEE_SRC))
+        run_code(state, call_and_return("CALL"))
+        assert state.get_storage(CALLEE, 0) == 1
+        assert state.get_storage(CONTRACT, 0) == 0
+
+    def test_callcode_writes_caller_storage(self, state):
+        state.set_code(CALLEE, assemble(CALLEE_SRC))
+        run_code(state, call_and_return("CALLCODE"))
+        assert state.get_storage(CONTRACT, 0) == 1
+        assert state.get_storage(CALLEE, 0) == 0
+
+    def test_delegatecall_preserves_caller_and_storage(self, state):
+        # Callee stores CALLER; under DELEGATECALL that is the original
+        # transaction sender, and storage goes to the proxy.
+        src = f"CALLER\nPUSH 0\nSSTORE\nPUSH 1\n{RETURN_TOP}"
+        state.set_code(CALLEE, assemble(src))
+        run_code(state, call_and_return("DELEGATECALL"))
+        assert state.get_storage(CONTRACT, 0) == ALICE
+        assert state.get_storage(CALLEE, 0) == 0
+
+    def test_staticcall_blocks_writes(self, state):
+        state.set_code(CALLEE, assemble(CALLEE_SRC))  # does SSTORE
+        receipt, _ = run_code(state, call_and_return("STATICCALL"))
+        # Caller survives; the child failed and pushed 0.
+        assert receipt.success
+        assert state.get_storage(CALLEE, 0) == 0
+
+    def test_call_with_value_transfers(self, state):
+        state.set_code(CALLEE, b"\x00")  # STOP
+        src = (
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            f"PUSH 77\nPUSH {CALLEE:#x}\nGAS\nCALL\n" + RETURN_TOP
+        )
+        receipt, _ = run_code(state, src, value=100)
+        assert abi.decode_uint(receipt.output) == 1
+        assert state.get_balance(CALLEE) == 77
+
+    def test_call_to_empty_account_succeeds(self, state):
+        receipt, _ = run_code(state, call_and_return("CALL"))
+        assert receipt.success
+        assert abi.decode_uint(receipt.output) == 0
+
+    def test_failed_child_reverts_only_child(self, state):
+        state.set_code(
+            CALLEE, assemble("PUSH 1\nPUSH 0\nSSTORE\nPUSH 0\nPUSH 0\nREVERT")
+        )
+        src = (
+            "PUSH 5\nPUSH 9\nSSTORE\n"  # caller write survives
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            f"PUSH {CALLEE:#x}\nGAS\nCALL\n" + RETURN_TOP
+        )
+        receipt, _ = run_code(state, src)
+        assert receipt.success
+        assert abi.decode_uint(receipt.output) == 0  # child failed
+        assert state.get_storage(CONTRACT, 9) == 5
+        assert state.get_storage(CALLEE, 0) == 0
+
+    def test_returndata_instructions(self, state):
+        state.set_code(CALLEE, assemble(CALLEE_SRC))
+        src = (
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            f"PUSH {CALLEE:#x}\nGAS\nCALL\nPOP\n"
+            "RETURNDATASIZE\n" + RETURN_TOP
+        )
+        receipt, _ = run_code(state, src)
+        assert abi.decode_uint(receipt.output) == 32
+
+    def test_child_gas_capped_at_63_64(self, state):
+        # Callee burns everything it gets; caller still completes.
+        state.set_code(CALLEE, assemble("top:\nPUSH @top\nJUMP"))
+        src = (
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            f"PUSH {CALLEE:#x}\nGAS\nCALL\n" + RETURN_TOP
+        )
+        receipt, _ = run_code(state, src, gas_limit=200_000)
+        assert receipt.success
+        assert abi.decode_uint(receipt.output) == 0  # child OOG
+
+    def test_call_depth_limit(self, state):
+        # Contract calls itself recursively; depth must cap at 1024
+        # without blowing the Python stack (63/64 rule exhausts gas
+        # first, but the recursion must terminate cleanly either way).
+        src = (
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            f"PUSH {CONTRACT:#x}\nGAS\nCALL\n" + RETURN_TOP
+        )
+        receipt, _ = run_code(state, src, gas_limit=3_000_000)
+        assert receipt.success
+
+
+class TestCreate:
+    def test_create_deploys_returned_code(self, state):
+        # Init code returns 2 bytes of runtime code (0x00 0x00).
+        init = "PUSH 2\nPUSH 0\nRETURN"
+        init_code = assemble(init)
+        evm = EVM(state)
+        tx = Transaction(sender=ALICE, to=None, data=init_code,
+                         gas_limit=500_000)
+        receipt = evm.execute_transaction(tx)
+        assert receipt.success
+        assert receipt.contract_address is not None
+        assert state.get_code(receipt.contract_address) == b"\x00\x00"
+
+    def test_create_addresses_unique_per_nonce(self, state):
+        evm = EVM(state)
+        init_code = assemble("PUSH 1\nPUSH 0\nRETURN")
+        r1 = evm.execute_transaction(
+            Transaction(sender=ALICE, to=None, data=init_code,
+                        gas_limit=500_000, nonce=0)
+        )
+        r2 = evm.execute_transaction(
+            Transaction(sender=ALICE, to=None, data=init_code,
+                        gas_limit=500_000, nonce=1)
+        )
+        assert r1.contract_address != r2.contract_address
+
+    def test_create_opcode_from_contract(self, state):
+        # Store init code (PUSH1 1 PUSH1 0 RETURN = 6 bytes) in memory
+        # and CREATE; push the new address as the result.
+        init_bytes = assemble("PUSH 1\nPUSH 0\nRETURN")
+        init_word = int.from_bytes(
+            init_bytes + b"\x00" * (32 - len(init_bytes)), "big"
+        )
+        src = (
+            f"PUSH32 {init_word:#066x}\nPUSH 0\nMSTORE\n"
+            f"PUSH {len(init_bytes)}\nPUSH 0\nPUSH 0\nCREATE\n"
+            + RETURN_TOP
+        )
+        receipt, _ = run_code(state, src, gas_limit=1_000_000)
+        assert receipt.success
+        created = abi.decode_uint(receipt.output)
+        assert created != 0
+        assert state.get_code(created) == b"\x00"
+
+    def test_create_value_endowment(self, state):
+        evm = EVM(state)
+        receipt = evm.execute_transaction(
+            Transaction(sender=ALICE, to=None, data=b"", value=123,
+                        gas_limit=500_000)
+        )
+        assert receipt.success
+        assert state.get_balance(receipt.contract_address) == 123
+
+
+class TestSelfdestruct:
+    def test_selfdestruct_moves_balance_and_deletes(self, state):
+        state.set_balance(CONTRACT, 900)
+        receipt, _ = run_code(
+            state, f"PUSH {ALICE:#x}\nSELFDESTRUCT"
+        )
+        assert receipt.success
+        assert state.get_balance(CONTRACT) == 0
+        assert state.get_code(CONTRACT) == b""
+
+
+class TestMessagePlumbing:
+    def test_origin_vs_caller_nested(self, state):
+        # Callee stores ORIGIN and CALLER.
+        src = "ORIGIN\nPUSH 0\nSSTORE\nCALLER\nPUSH 1\nSSTORE"
+        state.set_code(CALLEE, assemble(src))
+        run_code(state, call_and_return("CALL"))
+        assert state.get_storage(CALLEE, 0) == ALICE
+        assert state.get_storage(CALLEE, 1) == CONTRACT

@@ -1,0 +1,75 @@
+"""EVM memory: word addressing, expansion, zero-fill semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.memory import Memory
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        assert len(Memory()) == 0
+        assert Memory().size_words == 0
+
+    def test_write_read_word(self):
+        mem = Memory()
+        mem.write_word(0, 0xDEADBEEF)
+        assert mem.read_word(0) == 0xDEADBEEF
+
+    def test_word_is_big_endian(self):
+        mem = Memory()
+        mem.write_word(0, 1)
+        assert mem.read(31, 1) == b"\x01"
+        assert mem.read(0, 1) == b"\x00"
+
+    def test_write_byte(self):
+        mem = Memory()
+        mem.write_byte(5, 0x1FF)  # masks to low byte
+        assert mem.read(5, 1) == b"\xff"
+
+    def test_unaligned_word(self):
+        mem = Memory()
+        mem.write_word(10, (1 << 256) - 1)
+        assert mem.read_word(10) == (1 << 256) - 1
+
+    def test_read_extends_with_zeros(self):
+        mem = Memory()
+        assert mem.read(100, 4) == b"\x00" * 4
+        assert len(mem) == 128  # rounded to 32-byte words
+
+    def test_expansion_rounds_to_words(self):
+        mem = Memory()
+        mem.extend(0, 1)
+        assert len(mem) == 32
+        mem.extend(32, 1)
+        assert len(mem) == 64
+
+    def test_extend_zero_length_is_noop(self):
+        mem = Memory()
+        mem.extend(1000, 0)
+        assert len(mem) == 0
+
+    def test_overlapping_writes(self):
+        mem = Memory()
+        mem.write_word(0, (1 << 256) - 1)
+        mem.write_byte(16, 0)
+        word = mem.read_word(0)
+        assert (word >> (8 * 15)) & 0xFF == 0
+
+
+class TestProperties:
+    @given(st.integers(0, 500), st.binary(max_size=64))
+    def test_write_read_roundtrip(self, offset, data):
+        mem = Memory()
+        mem.write(offset, data)
+        assert mem.read(offset, len(data)) == data
+
+    @given(st.integers(0, 200), st.integers(0, (1 << 256) - 1))
+    def test_word_roundtrip(self, offset, value):
+        mem = Memory()
+        mem.write_word(offset, value)
+        assert mem.read_word(offset) == value
+
+    @given(st.integers(0, 300), st.integers(1, 64))
+    def test_fresh_memory_is_zero(self, offset, length):
+        assert Memory().read(offset, length) == b"\x00" * length

@@ -1,0 +1,119 @@
+"""The instruction set matches paper Table 3."""
+
+import pytest
+
+from repro.evm import opcodes
+from repro.evm.opcodes import BY_NAME, OPCODES, Category
+
+
+class TestTableStructure:
+    def test_arithmetic_range(self):
+        for value in range(0x01, 0x0C):
+            assert OPCODES[value].category is Category.ARITHMETIC
+
+    def test_logic_block(self):
+        for name in ("LT", "GT", "SLT", "SGT", "EQ", "ISZERO", "AND",
+                     "OR", "XOR", "NOT"):
+            assert BY_NAME[name].category is Category.LOGIC
+
+    def test_sha3(self):
+        assert BY_NAME["SHA3"].value == 0x20
+        assert BY_NAME["SHA3"].category is Category.SHA
+
+    def test_state_query_members(self):
+        # Paper: BALANCE, EXTCODESIZE, EXTCODECOPY, EXTCODEHASH.
+        for name in ("BALANCE", "EXTCODESIZE", "EXTCODECOPY",
+                     "EXTCODEHASH"):
+            assert BY_NAME[name].category is Category.STATE_QUERY
+
+    def test_storage_unit(self):
+        assert BY_NAME["SLOAD"].value == 0x54
+        assert BY_NAME["SSTORE"].value == 0x55
+        assert BY_NAME["SLOAD"].category is Category.STORAGE
+
+    def test_branch_unit(self):
+        for name in ("JUMP", "JUMPI", "JUMPDEST"):
+            assert BY_NAME[name].category is Category.BRANCH
+
+    def test_push_family(self):
+        for n in range(1, 33):
+            info = BY_NAME[f"PUSH{n}"]
+            assert info.value == 0x60 + n - 1
+            assert info.immediate_size == n
+            assert info.category is Category.STACK
+
+    def test_dup_swap_families(self):
+        for n in range(1, 17):
+            assert BY_NAME[f"DUP{n}"].value == 0x80 + n - 1
+            assert BY_NAME[f"SWAP{n}"].value == 0x90 + n - 1
+
+    def test_log_family(self):
+        for n in range(5):
+            info = BY_NAME[f"LOG{n}"]
+            assert info.value == 0xA0 + n
+            assert info.pops == 2 + n
+
+    def test_context_switching_members(self):
+        # Paper Table 3: CREATE, CALL, CALLCODE, DELEGATECALL, CREATE2,
+        # STATICCALL.
+        for name in ("CREATE", "CALL", "CALLCODE", "DELEGATECALL",
+                     "CREATE2", "STATICCALL"):
+            assert BY_NAME[name].category is Category.CONTEXT
+
+    def test_control_terminators(self):
+        for name in ("STOP", "RETURN", "REVERT"):
+            info = BY_NAME[name]
+            assert info.category is Category.CONTROL
+            assert info.is_terminator
+
+    def test_eleven_categories_all_used(self):
+        used = {info.category for info in OPCODES.values()}
+        assert used == set(Category)
+
+    def test_no_duplicate_values(self):
+        assert len({info.value for info in OPCODES.values()}) == len(
+            OPCODES
+        )
+
+
+class TestArity:
+    @pytest.mark.parametrize(
+        "name,pops,pushes",
+        [
+            ("ADD", 2, 1), ("ADDMOD", 3, 1), ("ISZERO", 1, 1),
+            ("SHA3", 2, 1), ("MSTORE", 2, 0), ("SLOAD", 1, 1),
+            ("SSTORE", 2, 0), ("JUMP", 1, 0), ("JUMPI", 2, 0),
+            ("POP", 1, 0), ("CALL", 7, 1), ("DELEGATECALL", 6, 1),
+            ("STATICCALL", 6, 1), ("CREATE", 3, 1), ("CREATE2", 4, 1),
+            ("RETURN", 2, 0), ("REVERT", 2, 0),
+        ],
+    )
+    def test_pops_pushes(self, name, pops, pushes):
+        info = BY_NAME[name]
+        assert (info.pops, info.pushes) == (pops, pushes)
+
+
+class TestPredicates:
+    def test_is_push(self):
+        assert opcodes.is_push(BY_NAME["PUSH1"])
+        assert opcodes.is_push(BY_NAME["PUSH32"])
+        assert not opcodes.is_push(BY_NAME["ADD"])
+
+    def test_is_dup_swap(self):
+        assert opcodes.is_dup(BY_NAME["DUP16"])
+        assert opcodes.is_swap(BY_NAME["SWAP1"])
+        assert not opcodes.is_dup(BY_NAME["SWAP1"])
+
+    def test_is_branch(self):
+        assert opcodes.is_branch(BY_NAME["JUMP"])
+        assert opcodes.is_branch(BY_NAME["JUMPI"])
+        assert not opcodes.is_branch(BY_NAME["JUMPDEST"])
+
+    def test_info_lookup(self):
+        assert opcodes.info(0x01).name == "ADD"
+        assert opcodes.info(0x0C) is None  # gap in the map
+
+    def test_reconfigurable_categories(self):
+        # The paper's forwarding applies between simple half-cycle units.
+        assert Category.ARITHMETIC in opcodes.RECONFIGURABLE_CATEGORIES
+        assert Category.STORAGE not in opcodes.RECONFIGURABLE_CATEGORIES

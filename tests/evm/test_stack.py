@@ -1,0 +1,120 @@
+"""Operand-stack semantics: depth limit, word masking, DUP/SWAP."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.errors import StackOverflow, StackUnderflow
+from repro.evm.stack import MAX_DEPTH, WORD_MASK, Stack
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+class TestPushPop:
+    def test_push_pop_roundtrip(self):
+        stack = Stack()
+        stack.push(42)
+        assert stack.pop() == 42
+        assert len(stack) == 0
+
+    def test_push_masks_to_256_bits(self):
+        stack = Stack()
+        stack.push((1 << 256) + 5)
+        assert stack.pop() == 5
+
+    def test_pop_empty_underflows(self):
+        with pytest.raises(StackUnderflow):
+            Stack().pop()
+
+    def test_pop_n_returns_top_first(self):
+        stack = Stack([1, 2, 3])
+        assert stack.pop_n(2) == [3, 2]
+        assert stack.as_list() == [1]
+
+    def test_pop_n_zero(self):
+        stack = Stack([1])
+        assert stack.pop_n(0) == []
+        assert len(stack) == 1
+
+    def test_pop_n_underflow(self):
+        with pytest.raises(StackUnderflow):
+            Stack([1]).pop_n(2)
+
+    def test_overflow_at_max_depth(self):
+        stack = Stack([0] * MAX_DEPTH)
+        with pytest.raises(StackOverflow):
+            stack.push(1)
+
+    def test_initial_overflow_rejected(self):
+        with pytest.raises(StackOverflow):
+            Stack([0] * (MAX_DEPTH + 1))
+
+
+class TestPeekDupSwap:
+    def test_peek_depths(self):
+        stack = Stack([10, 20, 30])
+        assert stack.peek(0) == 30
+        assert stack.peek(2) == 10
+
+    def test_peek_underflow(self):
+        with pytest.raises(StackUnderflow):
+            Stack([1]).peek(1)
+
+    def test_dup1_duplicates_top(self):
+        stack = Stack([7])
+        stack.dup(1)
+        assert stack.as_list() == [7, 7]
+
+    def test_dup16_reaches_deep(self):
+        stack = Stack(list(range(16)))
+        stack.dup(16)
+        assert stack.peek(0) == 0
+
+    def test_dup_underflow(self):
+        with pytest.raises(StackUnderflow):
+            Stack([1]).dup(2)
+
+    def test_swap1(self):
+        stack = Stack([1, 2])
+        stack.swap(1)
+        assert stack.as_list() == [2, 1]
+
+    def test_swap16(self):
+        stack = Stack(list(range(17)))
+        stack.swap(16)
+        assert stack.peek(0) == 0
+        assert stack.peek(16) == 16
+
+    def test_swap_underflow(self):
+        with pytest.raises(StackUnderflow):
+            Stack([1]).swap(1)
+
+
+class TestProperties:
+    @given(st.lists(words, max_size=50))
+    def test_push_then_pop_lifo(self, values):
+        stack = Stack()
+        for value in values:
+            stack.push(value)
+        popped = [stack.pop() for _ in values]
+        assert popped == list(reversed(values))
+
+    @given(st.lists(words, min_size=2, max_size=17),
+           st.integers(min_value=1, max_value=16))
+    def test_swap_is_involution(self, values, n):
+        if n + 1 > len(values):
+            n = len(values) - 1
+        stack = Stack(values)
+        before = stack.as_list()
+        stack.swap(n)
+        stack.swap(n)
+        assert stack.as_list() == before
+
+    @given(st.lists(words, min_size=1, max_size=16),
+           st.integers(min_value=1, max_value=16))
+    def test_dup_preserves_below(self, values, n):
+        n = min(n, len(values))
+        stack = Stack(values)
+        stack.dup(n)
+        assert stack.as_list()[:-1] == values
+        assert stack.peek(0) == values[-n]

@@ -1,0 +1,125 @@
+"""Dataflow tracing: producer links, call records, histograms."""
+
+from repro.chain import Transaction
+from repro.contracts.asm import assemble
+from repro.evm import EVM, Tracer
+from repro.evm.tracer import EXTERNAL_PRODUCER
+from tests.conftest import ALICE, CONTRACT, run_code
+
+CALLEE = 0x77777
+
+
+def trace_of(state, source, **kwargs):
+    _, tracer = run_code(state, source, **kwargs)
+    return tracer
+
+
+class TestProducerLinks:
+    def test_push_has_no_operands(self, state):
+        tracer = trace_of(state, "PUSH 5\nSTOP")
+        step = tracer.steps[0]
+        assert step.op.name == "PUSH1"
+        assert step.operands == ()
+        assert step.results == (5,)
+        assert step.immediate == 5
+
+    def test_add_links_to_both_pushes(self, state):
+        tracer = trace_of(state, "PUSH 3\nPUSH 4\nADD\nSTOP")
+        add = tracer.steps[2]
+        assert add.operands == (4, 3)
+        assert add.producers == (1, 0)
+        assert add.results == (7,)
+
+    def test_chain_through_intermediate(self, state):
+        tracer = trace_of(state, "PUSH 1\nPUSH 2\nADD\nPUSH 3\nMUL\nSTOP")
+        mul = tracer.steps[4]
+        assert mul.producers == (3, 2)  # PUSH 3 and the ADD result
+
+    def test_dup_producer_is_dup_step(self, state):
+        tracer = trace_of(state, "PUSH 9\nDUP1\nADD\nSTOP")
+        dup = tracer.steps[1]
+        add = tracer.steps[2]
+        assert dup.producers == (0,)
+        # The duplicate on top was produced by the DUP itself; the
+        # original below keeps the PUSH as producer.
+        assert set(add.producers) == {0, 1}
+
+    def test_swap_exchanges_producers(self, state):
+        tracer = trace_of(state, "PUSH 1\nPUSH 2\nSWAP1\nPOP\nSTOP")
+        pop = tracer.steps[3]
+        assert pop.operands == (1,)
+        assert pop.producers == (0,)  # PUSH 1 is now on top
+
+    def test_sload_extra_records_key(self, state):
+        tracer = trace_of(state, "PUSH 7\nSLOAD\nSTOP")
+        sload = tracer.steps[1]
+        assert sload.extra["slot"] == 7
+        assert sload.extra["address"] == CONTRACT
+
+    def test_jumpi_extra_records_taken(self, state):
+        tracer = trace_of(
+            state, "PUSH 0\nPUSH @lab\nJUMPI\nlab:\nSTOP"
+        )
+        jumpi = [s for s in tracer.steps if s.op.name == "JUMPI"][0]
+        assert jumpi.extra["taken"] is False
+
+
+class TestCallRecords:
+    def test_top_level_record(self, state):
+        tracer = trace_of(state, "STOP")
+        assert len(tracer.calls) == 1
+        record = tracer.calls[0]
+        assert record.depth == 0
+        assert record.code_address == CONTRACT
+        assert record.success
+
+    def test_nested_call_record(self, state):
+        state.set_code(CALLEE, assemble("STOP"))
+        src = (
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            f"PUSH {CALLEE:#x}\nGAS\nCALL\nSTOP"
+        )
+        tracer = trace_of(state, src)
+        assert len(tracer.calls) == 2
+        child = tracer.calls[1]
+        assert child.depth == 1
+        assert child.code_address == CALLEE
+        assert child.success
+
+    def test_failed_child_marked(self, state):
+        state.set_code(CALLEE, assemble("PUSH 0\nPUSH 0\nREVERT"))
+        src = (
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            f"PUSH {CALLEE:#x}\nGAS\nCALL\nSTOP"
+        )
+        tracer = trace_of(state, src)
+        assert tracer.calls[1].success is False
+        assert tracer.calls[0].success is True
+
+    def test_depth_annotation_on_steps(self, state):
+        state.set_code(CALLEE, assemble("PUSH 1\nPOP\nSTOP"))
+        src = (
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\n"
+            f"PUSH {CALLEE:#x}\nGAS\nCALL\nSTOP"
+        )
+        tracer = trace_of(state, src)
+        child_steps = [s for s in tracer.steps if s.depth == 1]
+        assert [s.op.name for s in child_steps] == ["PUSH1", "POP", "STOP"]
+        assert all(s.code_address == CALLEE for s in child_steps)
+
+
+class TestAggregates:
+    def test_gas_total_matches_receipt_minus_intrinsic(self, state):
+        receipt, tracer = run_code(state, "PUSH 1\nPUSH 2\nADD\nSTOP")
+        assert tracer.gas_total() == receipt.gas_used - 21000
+
+    def test_category_histogram(self, state):
+        tracer = trace_of(state, "PUSH 1\nPUSH 2\nADD\nPOP\nSTOP")
+        histogram = tracer.category_histogram()
+        assert histogram["Stack"] == 3
+        assert histogram["Arithmetic"] == 1
+        assert histogram["Control"] == 1
+
+    def test_external_producer_for_frame_inputs(self):
+        # Directly exercise a frame that starts with a non-empty stack.
+        assert EXTERNAL_PRODUCER == -1

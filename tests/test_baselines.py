@@ -1,0 +1,95 @@
+"""BPU comparator model: Table 8 calibration and parallel composition."""
+
+import pytest
+
+from repro.baselines import BPUModel, measure_gsc_costs
+from repro.workload import generate_erc20_block
+
+#: Paper Table 8, BPU row: ERC20 proportion -> single-core speedup.
+PAPER_TABLE8_BPU = {
+    1.0: 12.82,
+    0.8: 3.40,
+    0.6: 2.23,
+    0.4: 1.63,
+    0.2: 1.33,
+    0.0: 1.0,
+}
+
+
+class TestAnalyticCalibration:
+    @pytest.mark.parametrize("fraction,expected",
+                             sorted(PAPER_TABLE8_BPU.items()))
+    def test_matches_paper_within_13_percent(self, fraction, expected):
+        # The paper's own BPU row deviates slightly from pure Amdahl
+        # behavior (it was measured, not modeled); 13% covers every point.
+        speedup = BPUModel.analytic_single_core_speedup(fraction)
+        assert speedup == pytest.approx(expected, rel=0.13)
+
+    def test_alpha_exact_at_full_erc20(self):
+        assert BPUModel.analytic_single_core_speedup(1.0) == pytest.approx(
+            12.82
+        )
+
+    def test_monotone_in_fraction(self):
+        values = [
+            BPUModel.analytic_single_core_speedup(f / 10)
+            for f in range(11)
+        ]
+        assert values == sorted(values)
+
+
+class TestSimulatedModel:
+    @pytest.fixture(scope="class")
+    def block(self, deployment):
+        return generate_erc20_block(
+            deployment, num_transactions=32, erc20_fraction=0.5, seed=41
+        )
+
+    @pytest.fixture(scope="class")
+    def costs(self, deployment, block):
+        return measure_gsc_costs(deployment.state, block.transactions)
+
+    def test_single_core_between_bounds(self, block, costs):
+        model = BPUModel()
+        accelerated = model.run_single_core(block.transactions, costs)
+        plain = sum(costs)
+        assert accelerated < plain
+        # Amdahl bound for ~50% ERC20.
+        assert plain / accelerated < 2.2
+
+    def test_erc20_txs_get_alpha(self, block, costs):
+        model = BPUModel()
+        for tx, cost in zip(block.transactions, costs):
+            cycles = model.tx_cycles(tx, cost)
+            if tx.tags.get("is_erc20"):
+                assert cycles == pytest.approx(cost / 12.82)
+            else:
+                assert cycles == cost
+
+    def test_parallel_not_slower_than_single(self, block, costs):
+        model = BPUModel()
+        single = model.run_single_core(block.transactions, costs)
+        quad = model.run_parallel(
+            block.transactions, costs, block.dag_edges, cores=4
+        )
+        assert quad <= single
+
+    def test_parallel_respects_dependencies(self, deployment):
+        from repro.workload import generate_dependency_block
+
+        block = generate_dependency_block(
+            num_transactions=24, target_ratio=1.0, seed=42
+        )
+        costs = measure_gsc_costs(
+            block.deployment.state, block.transactions
+        )
+        model = BPUModel()
+        single = model.run_single_core(block.transactions, costs)
+        quad = model.run_parallel(
+            block.transactions, costs, block.dag_edges, cores=4
+        )
+        # A full chain leaves no room for barrier-round parallelism.
+        assert quad == pytest.approx(single, rel=0.05)
+
+    def test_gsc_costs_positive(self, costs):
+        assert all(c > 0 for c in costs)

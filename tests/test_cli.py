@@ -1,0 +1,69 @@
+"""CLI: listing, selection, output files, error handling."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.experiments import ExperimentResult
+
+
+@pytest.fixture()
+def fake_experiments(monkeypatch):
+    calls = []
+
+    def make(name):
+        def fn():
+            calls.append(name)
+            return ExperimentResult(
+                experiment_id=name, title="t",
+                headers=["a"], rows=[[1]],
+            )
+        fn.__doc__ = f"{name} docstring."
+        return fn
+
+    fakes = {name: make(name) for name in ("fig12", "table7")}
+    monkeypatch.setattr("repro.cli.EXPERIMENTS", fakes)
+    return calls
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_names(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_all_experiments_registered(self):
+        # Every paper table/figure plus the five ablations.
+        assert len(EXPERIMENTS) == 19
+        assert "headline" in EXPERIMENTS
+        assert "ablation-window" in EXPERIMENTS
+
+
+class TestMain:
+    def test_list_exits_zero(self, fake_experiments, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+
+    def test_run_selected(self, fake_experiments, capsys):
+        assert main(["run", "fig12"]) == 0
+        assert fake_experiments == ["fig12"]
+        assert "fig12" in capsys.readouterr().out
+
+    def test_run_all(self, fake_experiments):
+        assert main(["run", "all"]) == 0
+        assert sorted(fake_experiments) == ["fig12", "table7"]
+
+    def test_unknown_experiment_errors(self, fake_experiments, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_out_directory_written(self, fake_experiments, tmp_path):
+        out = tmp_path / "results"
+        assert main(["run", "fig12", "--out", str(out)]) == 0
+        assert (out / "fig12.txt").exists()
+        assert "fig12" in (out / "fig12.txt").read_text()

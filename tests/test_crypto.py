@@ -1,0 +1,66 @@
+"""Hashing/address utilities."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    ADDRESS_MASK,
+    contract_address,
+    create2_address,
+    keccak256,
+    keccak256_int,
+    selector,
+    selector_int,
+)
+
+
+class TestDigests:
+    def test_digest_is_32_bytes(self):
+        assert len(keccak256(b"abc")) == 32
+
+    def test_int_matches_bytes(self):
+        data = b"hello"
+        assert keccak256_int(data) == int.from_bytes(
+            keccak256(data), "big"
+        )
+
+    @given(st.binary(max_size=100), st.binary(max_size=100))
+    def test_collision_free_in_practice(self, a, b):
+        if a != b:
+            assert keccak256(a) != keccak256(b)
+
+    def test_deterministic(self):
+        assert keccak256(b"x") == keccak256(b"x")
+
+
+class TestSelectors:
+    def test_selector_width(self):
+        assert len(selector("transfer(address,uint256)")) == 4
+
+    def test_selector_int_range(self):
+        assert 0 <= selector_int("f()") < 1 << 32
+
+    def test_known_signatures_distinct(self):
+        signatures = [
+            "transfer(address,uint256)",
+            "transferFrom(address,address,uint256)",
+            "approve(address,uint256)",
+            "balanceOf(address)",
+        ]
+        assert len({selector(s) for s in signatures}) == len(signatures)
+
+
+class TestAddresses:
+    @given(st.integers(0, ADDRESS_MASK), st.integers(0, 1 << 32))
+    def test_contract_address_in_range(self, sender, nonce):
+        assert 0 <= contract_address(sender, nonce) <= ADDRESS_MASK
+
+    @given(st.integers(0, ADDRESS_MASK))
+    def test_nonce_changes_address(self, sender):
+        assert contract_address(sender, 0) != contract_address(sender, 1)
+
+    def test_create2_depends_on_all_inputs(self):
+        base = create2_address(1, 2, b"code")
+        assert create2_address(2, 2, b"code") != base
+        assert create2_address(1, 3, b"code") != base
+        assert create2_address(1, 2, b"other") != base

@@ -1,0 +1,93 @@
+"""The experiments layer: structure, helpers, and the cheap experiments'
+qualitative claims (the expensive sweeps are exercised by benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    fig2_consensus,
+    table1_ethereum_stats,
+    table2_bytecode_share,
+    table5_area,
+    table6_instruction_mix,
+)
+from repro.experiments.common import (
+    CONTRACT_ABBREVIATIONS,
+    TABLE7_ORDER,
+    shared_deployment,
+)
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="T", title="demo",
+            headers=["name", "value"],
+            rows=[["a", 1.5], ["b", 2]],
+            notes="note",
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "T: demo" in text
+        assert "1.50" in text
+        assert "note" in text
+
+    def test_column_extraction(self):
+        assert self.make().column("value") == [1.5, 2]
+
+    def test_column_unknown_header(self):
+        with pytest.raises(ValueError):
+            self.make().column("ghost")
+
+    def test_row_by_label(self):
+        assert self.make().row_by_label("b") == ["b", 2]
+        with pytest.raises(KeyError):
+            self.make().row_by_label("c")
+
+
+class TestCommon:
+    def test_shared_deployment_is_cached(self):
+        assert shared_deployment() is shared_deployment()
+
+    def test_abbreviations_cover_top8(self):
+        from repro.contracts import TOP8_NAMES
+
+        assert set(CONTRACT_ABBREVIATIONS) == set(TOP8_NAMES)
+        assert set(TABLE7_ORDER) == set(TOP8_NAMES)
+
+
+class TestCheapExperiments:
+    def test_table1_monotone_overhead(self):
+        result = table1_ethereum_stats()
+        ours = [float(r[3].rstrip("%")) for r in result.rows]
+        assert ours == sorted(ours)
+        assert all(50 < v < 100 for v in ours)
+
+    def test_fig2_interval_near_target(self):
+        result = fig2_consensus(blocks=1200)
+        quarters = [
+            float(r[1].rstrip("s"))
+            for r in result.rows
+            if str(r[0]).startswith("interval (quarter")
+        ]
+        for mean in quarters:
+            assert abs(mean - 13.0) < 2.0
+
+    def test_table2_bytecode_dominates(self):
+        result = table2_bytecode_share()
+        for row in result.rows:
+            assert float(row[4].rstrip("%")) > 55.0
+
+    def test_table5_matches_synthesis(self):
+        result = table5_area()
+        assert float(result.row_by_label("Total")[1]) == pytest.approx(
+            79.623, abs=0.5
+        )
+
+    def test_table6_has_paper_row(self):
+        result = table6_instruction_mix(per_function=1)
+        labels = [row[0] for row in result.rows]
+        assert "Avg (ours)" in labels
+        assert "Avg (paper)" in labels
+        assert len(result.rows) == len(CONTRACT_ABBREVIATIONS) + 2

@@ -1,0 +1,118 @@
+"""Fast end-to-end smoke runs of the expensive experiments.
+
+The benchmarks run these at paper scale; here tiny parameters catch
+regressions (API drift, crashed sweeps) inside the regular test suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_pu_scaling,
+    ablation_selection_overhead,
+    ablation_state_buffer,
+    ablation_unit_capacity,
+    ablation_window_size,
+    fig12_ilp_ablation,
+    fig13_cache_hit_ratio,
+    fig14_scheduling_speedup,
+    fig15_utilization,
+    fig16_redundancy_hotspot,
+    headline_speedup,
+    table7_ipc,
+    table8_bpu_erc20,
+    table9_bpu_parallel,
+)
+
+
+class TestSweepSmoke:
+    def test_fig12_small(self):
+        result = fig12_ilp_ablation(per_function=1)
+        assert len(result.rows) == 9  # 8 contracts + Avg
+        avg = result.row_by_label("Avg")
+        assert avg[3] > 1.0
+
+    def test_fig13_small(self):
+        result = fig13_cache_hit_ratio(
+            per_function=2, sizes=[64, 512]
+        )
+        assert result.headers[-1] == "512"
+        assert len(result.rows) == 9  # 8 contracts + mixed
+
+    def test_table7_small(self):
+        result = table7_ipc(per_function=2)
+        for row in result.rows:
+            if row[0] == "Avg":
+                continue
+            assert row[4] <= row[2]  # 2K speedup <= upper
+
+    def test_fig14_small(self):
+        result = fig14_scheduling_speedup(
+            num_transactions=12, ratios=[0.0, 1.0], pu_counts=(2,)
+        )
+        assert len(result.rows) == 2
+        st_low = result.rows[0][result.headers.index("ST x2")]
+        st_high = result.rows[1][result.headers.index("ST x2")]
+        assert st_low > st_high
+
+    def test_fig15_small(self):
+        result = fig15_utilization(
+            num_transactions=12, ratios=[0.0, 1.0]
+        )
+        assert len(result.rows) == 2
+
+    def test_fig16_small(self):
+        result = fig16_redundancy_hotspot(
+            num_transactions=12, ratios=[0.0], pu_counts=(2,)
+        )
+        row = result.rows[0]
+        assert row[2] > row[1] * 0.9  # hotspot at least comparable
+
+    def test_table8_small(self):
+        result = table8_bpu_erc20(
+            num_transactions=12, fractions=(1.0, 0.0)
+        )
+        assert len(result.rows) == 2
+
+    def test_table9_small(self):
+        result = table9_bpu_parallel(
+            num_transactions=12, ratios=(1.0, 0.0)
+        )
+        assert len(result.rows) == 2
+
+    def test_headline_small(self):
+        result = headline_speedup(
+            num_transactions=12, ratios=(0.0,), pu_counts=(1, 2)
+        )
+        assert result.rows[-1][0] == "range"
+
+
+class TestAblationSmoke:
+    def test_window(self):
+        result = ablation_window_size(
+            num_transactions=12, windows=(2, 8)
+        )
+        assert len(result.rows) == 2
+
+    def test_state_buffer(self):
+        result = ablation_state_buffer(capacities=(16, 1024))
+        cycles = result.column("cycles")
+        assert cycles[1] <= cycles[0]
+
+    def test_unit_capacity(self):
+        result = ablation_unit_capacity(per_function=1)
+        speedups = result.column("speedup")
+        assert speedups[-1] >= speedups[0]
+
+    def test_selection_overhead(self):
+        result = ablation_selection_overhead(
+            num_transactions=12, overheads=(0, 64)
+        )
+        speedups = result.column("speedup")
+        assert speedups[0] >= speedups[1]
+
+    def test_pu_scaling(self):
+        result = ablation_pu_scaling(
+            num_transactions=16, pu_counts=(1, 4)
+        )
+        speedups = result.column("speedup")
+        assert speedups[1] > speedups[0]

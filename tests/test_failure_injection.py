@@ -1,0 +1,147 @@
+"""Failure injection: blocks containing reverting and out-of-gas
+transactions must stay consistent under every execution path."""
+
+import pytest
+
+from repro.chain import Transaction
+from repro.chain.dag import (
+    build_dag_edges,
+    discover_access_sets,
+    transitive_reduction,
+)
+from repro.chain.receipt import receipts_root
+from repro.core.mtpu import MTPUExecutor, PUConfig
+from repro.core.scheduler import (
+    run_sequential,
+    run_spatial_temporal,
+    run_synchronous,
+)
+from repro.evm import abi
+from repro.workload import generate_block
+
+
+def inject_failures(deployment, seed=90):
+    """A block mixing healthy traffic with guaranteed failures."""
+    block = generate_block(deployment, num_transactions=20, seed=seed)
+    txs = list(block.transactions)
+    accounts = deployment.accounts
+    dai = deployment.address_of("Dai")
+
+    # 1. A transfer that reverts (unfunded sender).
+    broke = 0xDEADD00D
+    deployment.state.set_balance(broke, 10**18)
+    deployment.state.clear_journal()
+    txs.append(Transaction(
+        sender=broke, to=dai, gas_limit=1_000_000,
+        data=abi.encode_call("transfer(address,uint256)", accounts[0], 1),
+        tags={"contract": "Dai", "is_erc20": True},
+    ))
+    # 2. An out-of-gas transaction (limit below the work required).
+    txs.append(Transaction(
+        sender=accounts[1], to=dai, gas_limit=22_000,
+        data=abi.encode_call("transfer(address,uint256)", accounts[2], 1),
+        tags={"contract": "Dai", "is_erc20": True},
+    ))
+    # 3. A call to a selector that does not exist (dispatch falls through
+    # to revert).
+    txs.append(Transaction(
+        sender=accounts[3], to=dai, gas_limit=1_000_000,
+        data=abi.encode_call("nonexistent()"),
+        tags={"contract": "Dai", "is_erc20": True},
+    ))
+    # 4. A call to a codeless address (succeeds as a plain transfer).
+    txs.append(Transaction(
+        sender=accounts[4], to=0xEEEE, gas_limit=100_000, value=5,
+        tags={"contract": None, "is_erc20": False},
+    ))
+
+    access = discover_access_sets(txs, deployment.state)
+    edges = transitive_reduction(len(txs), build_dag_edges(txs, access))
+    return txs, edges
+
+
+@pytest.fixture(scope="module")
+def failing_block(deployment):
+    return inject_failures(deployment)
+
+
+def executor(deployment, num_pus, **kwargs):
+    return MTPUExecutor(
+        deployment.state.copy(), num_pus=num_pus,
+        pu_config=PUConfig(**kwargs),
+    )
+
+
+class TestFailureSemantics:
+    def test_failures_fail_and_healthy_succeed(self, deployment,
+                                               failing_block):
+        txs, edges = failing_block
+        result = run_sequential(executor(deployment, 1), txs)
+        receipts = result.receipts_in_block_order(txs)
+        # The three injected failures are the 3rd/2nd/1st from the end -1.
+        assert not receipts[-4].success  # broke sender
+        assert not receipts[-3].success  # out of gas
+        assert not receipts[-2].success  # bad selector
+        assert receipts[-1].success  # plain transfer to codeless account
+        healthy = receipts[:-4]
+        assert all(r.success for r in healthy)
+
+    def test_oog_burns_the_whole_limit(self, deployment, failing_block):
+        txs, edges = failing_block
+        result = run_sequential(executor(deployment, 1), txs)
+        receipts = result.receipts_in_block_order(txs)
+        assert receipts[-3].gas_used == 22_000
+        assert receipts[-3].error == "OutOfGas"
+
+    @pytest.mark.parametrize("num_pus", [2, 4])
+    def test_parallel_execution_agrees_despite_failures(
+        self, deployment, failing_block, num_pus
+    ):
+        txs, edges = failing_block
+        seq = run_sequential(executor(deployment, 1), txs)
+        root = receipts_root(seq.receipts_in_block_order(txs))
+        for runner in (run_synchronous, run_spatial_temporal):
+            par = runner(executor(deployment, num_pus), txs, edges)
+            assert receipts_root(
+                par.receipts_in_block_order(txs)
+            ) == root
+
+    def test_final_state_identical(self, deployment, failing_block):
+        txs, edges = failing_block
+        seq_ex = executor(deployment, 1)
+        run_sequential(seq_ex, txs)
+        par_ex = executor(deployment, 4)
+        run_spatial_temporal(par_ex, txs, edges)
+        assert seq_ex.state.state_digest() == par_ex.state.state_digest()
+
+    def test_failed_txs_still_timed(self, deployment, failing_block):
+        """A reverting transaction consumes PU cycles — failures are not
+        free in the timing model."""
+        txs, edges = failing_block
+        ex = executor(deployment, 1)
+        result = run_sequential(ex, txs)
+        failed = [e for e in result.executions if not e.receipt.success]
+        assert failed
+        assert all(e.cycles > 0 for e in failed)
+
+    def test_hotspot_optimizer_with_failures(self, deployment,
+                                             failing_block):
+        """Hotspot plans must not change outcomes even for failing txs."""
+        from repro.core.hotspot import HotspotOptimizer
+        from repro.workload import all_entry_function_calls
+
+        txs, edges = failing_block
+        optimizer = HotspotOptimizer(deployment.state)
+        optimizer.optimize_contract(
+            deployment.address_of("Dai"),
+            all_entry_function_calls(deployment, "Dai", seed=9),
+        )
+        plain = run_sequential(executor(deployment, 1), txs)
+        hot_ex = MTPUExecutor(
+            deployment.state.copy(), num_pus=1,
+            pu_config=PUConfig(), hotspot_optimizer=optimizer,
+        )
+        hot = run_sequential(hot_ex, txs)
+        assert receipts_root(
+            plain.receipts_in_block_order(txs)
+        ) == receipts_root(hot.receipts_in_block_order(txs))

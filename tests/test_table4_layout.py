@@ -1,0 +1,73 @@
+"""Paper Table 4 conformance: the main-memory data layout.
+
+Table 4 enumerates the data a PU reads from main memory — block-header
+fields, the fixed/variable transaction record, and the account state
+record. These tests pin our structures to that layout.
+"""
+
+from repro.chain import Account, BlockHeader, Transaction
+from repro.chain.block import BLOCKHASH_WINDOW
+
+
+class TestBlockHeaderFields:
+    def test_table4_block_header(self):
+        header = BlockHeader(height=1, timestamp=2, coinbase=3,
+                             difficulty=4, gas_limit=5)
+        # Height, Timestamp, Coinbase, Difficulty, GasLimit.
+        assert header.height == 1
+        assert header.timestamp == 2
+        assert header.coinbase == 3
+        assert header.difficulty == 4
+        assert header.gas_limit == 5
+
+    def test_hash_window_is_256(self):
+        # Table 4: Hash[256] — hashes of the first 256 blocks.
+        assert BLOCKHASH_WINDOW == 256
+
+
+class TestTransactionFields:
+    def test_table4_transaction_record(self):
+        tx = Transaction(sender=1, to=2, nonce=3, gas_limit=4,
+                         gas_price=5, value=6, data=b"\x07")
+        # Nonce, gaslimit, gasPrice, From, To, CallValue are fixed-length;
+        # DataLen + Data[] are the variable part.
+        assert tx.nonce == 3
+        assert tx.gas_limit == 4
+        assert tx.gas_price == 5
+        assert tx.sender == 1
+        assert tx.to == 2
+        assert tx.value == 6
+        assert len(tx.data) == 1
+
+    def test_fixed_fields_have_fixed_wire_width(self):
+        # Addresses serialize at a fixed 20 bytes so fixed-length fields
+        # can be read in a single burst (Table 4's design point).
+        short = Transaction(sender=1, to=2)
+        long = Transaction(sender=(1 << 159) + 1, to=(1 << 159) + 2)
+        from repro.chain import rlp
+
+        def address_field_len(tx):
+            item = rlp.decode(tx.to_rlp())
+            return len(item[3]), len(item[4])
+
+        assert address_field_len(short) == (20, 20)
+        assert address_field_len(long) == (20, 20)
+
+
+class TestStateRecord:
+    def test_table4_account_record(self):
+        account = Account(nonce=1, balance=2, code=b"\x60\x00",
+                          storage={5: 6})
+        # Address is the key; nonce, Balance, CodeLen, CodeHash, Code,
+        # Storage are the record.
+        assert account.nonce == 1
+        assert account.balance == 2
+        assert len(account.code) == 2  # CodeLen
+        assert len(account.code_hash) == 32  # CodeHash
+        assert account.storage[5] == 6
+
+    def test_code_hash_of_empty_account(self):
+        from repro.chain.account import EMPTY_CODE_HASH
+
+        assert Account().code_hash == EMPTY_CODE_HASH
+        assert not Account().is_contract

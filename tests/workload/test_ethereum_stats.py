@@ -1,0 +1,65 @@
+"""Ethereum statistics models (Table 1 / Fig. 2 substrate)."""
+
+from repro.workload.ethereum_stats import (
+    CONSENSUS_THROUGHPUT_TPS,
+    PAPER_TABLE1,
+    BlockIntervalModel,
+    derive_table1,
+    sct_execution_overhead,
+)
+
+
+class TestOverheadModel:
+    def test_zero_scts_zero_overhead(self):
+        assert sct_execution_overhead(0.0, 1000, 10) == 0.0
+
+    def test_all_scts_full_overhead(self):
+        assert sct_execution_overhead(1.0, 1000, 10) == 1.0
+
+    def test_overhead_increases_with_share(self):
+        low = sct_execution_overhead(0.3, 1000, 10)
+        high = sct_execution_overhead(0.7, 1000, 10)
+        assert high > low
+
+    def test_paper_shape_with_papers_implied_cost_ratio(self):
+        # Inverting the paper's own Table 1 rows gives an average
+        # SCT:transfer execution-cost ratio of ~4.5 (e.g. 2017:
+        # 0.37c/(0.37c+0.63)=0.7244 => c≈4.5); with that ratio the model
+        # reproduces the whole overhead column.
+        derived = derive_table1(sct_cost=4.5, transfer_cost=1)
+        for year, (_, _, overhead) in derived.items():
+            paper_overhead = PAPER_TABLE1[year][2]
+            assert abs(overhead - paper_overhead) < 0.03
+
+    def test_overhead_monotone_across_years(self):
+        derived = derive_table1(sct_cost=50, transfer_cost=1)
+        overheads = [derived[y][2] for y in sorted(derived)]
+        assert overheads == sorted(overheads)
+
+
+class TestBlockInterval:
+    def test_mean_tracks_target(self):
+        model = BlockIntervalModel(target_interval=13.0)
+        assert abs(model.mean_interval(3000, seed=1) - 13.0) < 1.0
+
+    def test_interval_stable_over_time(self):
+        model = BlockIntervalModel()
+        intervals = model.simulate(4000, seed=2)
+        first = sum(intervals[:2000]) / 2000
+        second = sum(intervals[2000:]) / 2000
+        assert abs(first - second) < 1.0
+
+    def test_custom_target(self):
+        model = BlockIntervalModel(target_interval=2.0)
+        assert abs(model.mean_interval(3000, seed=3) - 2.0) < 0.4
+
+
+class TestConsensusData:
+    def test_decentralized_slower_than_permissioned(self):
+        # Fig. 2(b)'s point: higher-throughput consensus is less
+        # decentralized.
+        assert (
+            CONSENSUS_THROUGHPUT_TPS["PoW (Bitcoin)"]
+            < CONSENSUS_THROUGHPUT_TPS["DPoS (EOS)"]
+            < CONSENSUS_THROUGHPUT_TPS["Raft (permissioned)"]
+        )

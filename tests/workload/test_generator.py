@@ -1,0 +1,167 @@
+"""Workload generation: success rates, knob fidelity, determinism."""
+
+import random
+
+import pytest
+
+from repro.chain.dag import critical_path_length
+from repro.evm import EVM
+from repro.workload import (
+    ActionLibrary,
+    all_entry_function_calls,
+    generate_block,
+    generate_dependency_block,
+    generate_erc20_block,
+)
+from repro.contracts.registry import TOP8_NAMES
+
+
+def execute_all(deployment, transactions):
+    state = deployment.state.copy()
+    evm = EVM(state)
+    receipts = []
+    for tx in transactions:
+        receipts.append(evm.execute_transaction(tx))
+        state.clear_journal()
+    return receipts
+
+
+class TestGenerateBlock:
+    def test_deterministic_by_seed(self, deployment):
+        a = generate_block(deployment, num_transactions=20, seed=5)
+        b = generate_block(deployment, num_transactions=20, seed=5)
+        assert [t.hash() for t in a.transactions] == [
+            t.hash() for t in b.transactions
+        ]
+
+    def test_different_seeds_differ(self, deployment):
+        a = generate_block(deployment, num_transactions=20, seed=5)
+        b = generate_block(deployment, num_transactions=20, seed=6)
+        assert [t.hash() for t in a.transactions] != [
+            t.hash() for t in b.transactions
+        ]
+
+    def test_transactions_succeed(self, deployment):
+        block = generate_block(deployment, num_transactions=60, seed=1)
+        receipts = execute_all(deployment, block.transactions)
+        success = sum(1 for r in receipts if r.success)
+        assert success == len(receipts)
+
+    def test_zipf_head_concentration(self, deployment):
+        block = generate_block(deployment, num_transactions=200, seed=2)
+        # The paper observes TOP5 share ~37%; Zipf over 8 contracts gives
+        # a strong head.
+        assert block.top_k_share(5) > 0.5
+        assert block.top_k_share(1) < 1.0
+
+    def test_sct_fraction_mixes_plain_transfers(self, deployment):
+        block = generate_block(deployment, num_transactions=100, seed=3,
+                               sct_fraction=0.5)
+        plain = [t for t in block.transactions
+                 if t.tags.get("contract") is None]
+        assert 30 <= len(plain) <= 70
+
+    def test_dag_edges_well_formed(self, deployment):
+        block = generate_block(deployment, num_transactions=30, seed=4)
+        n = len(block.transactions)
+        for i, j in block.dag_edges:
+            assert 0 <= i < j < n
+
+
+class TestDependencyBlock:
+    @pytest.mark.parametrize("ratio", [0.0, 0.3, 0.6, 1.0])
+    def test_ratio_tracks_target(self, ratio):
+        block = generate_dependency_block(
+            num_transactions=50, target_ratio=ratio, seed=7
+        )
+        assert abs(block.measured_dependency_ratio - ratio) < 0.15
+
+    def test_zero_ratio_is_conflict_free(self):
+        block = generate_dependency_block(
+            num_transactions=40, target_ratio=0.0, seed=8
+        )
+        assert block.dag_edges == []
+
+    def test_full_ratio_forms_long_chain(self):
+        block = generate_dependency_block(
+            num_transactions=40, target_ratio=1.0, seed=9
+        )
+        path = critical_path_length(
+            len(block.transactions), block.dag_edges
+        )
+        assert path >= 35
+
+    def test_chains_shorten_critical_path(self):
+        single = generate_dependency_block(
+            num_transactions=40, target_ratio=1.0, seed=9,
+            num_conflict_chains=1,
+        )
+        quad = generate_dependency_block(
+            num_transactions=40, target_ratio=1.0, seed=9,
+            num_conflict_chains=4,
+        )
+        assert critical_path_length(
+            40, quad.dag_edges
+        ) < critical_path_length(40, single.dag_edges)
+
+    def test_transactions_succeed(self):
+        block = generate_dependency_block(
+            num_transactions=30, target_ratio=0.5, seed=10
+        )
+        receipts = execute_all(block.deployment, block.transactions)
+        assert all(r.success for r in receipts)
+
+    def test_requires_enough_accounts(self, deployment):
+        with pytest.raises(ValueError):
+            generate_dependency_block(
+                deployment, num_transactions=1000, target_ratio=0.0
+            )
+
+
+class TestERC20Block:
+    @pytest.mark.parametrize("fraction", [0.0, 0.4, 1.0])
+    def test_fraction_is_exact(self, deployment, fraction):
+        block = generate_erc20_block(
+            deployment, num_transactions=50, erc20_fraction=fraction,
+            seed=11,
+        )
+        assert abs(block.erc20_fraction - fraction) < 0.021
+
+    def test_transactions_succeed(self, deployment):
+        block = generate_erc20_block(
+            deployment, num_transactions=40, erc20_fraction=0.5, seed=12
+        )
+        receipts = execute_all(deployment, block.transactions)
+        assert all(r.success for r in receipts)
+
+
+class TestEntryFunctionCoverage:
+    @pytest.mark.parametrize("name", TOP8_NAMES)
+    def test_covers_every_function_and_succeeds(self, deployment, name):
+        txs = all_entry_function_calls(deployment, name, seed=13)
+        dispatch = deployment.contracts[name].storage_artifact
+        covered = {tx.tags["signature"] for tx in txs}
+        assert covered == {fn.signature for fn in dispatch.functions}
+        receipts = execute_all(deployment, txs)
+        assert all(r.success for r in receipts)
+
+
+class TestActionLibrary:
+    def test_every_contract_plannable(self, deployment):
+        rng = random.Random(0)
+        library = ActionLibrary(deployment, rng)
+        for name in TOP8_NAMES + ["WETH9", "Ballot", "CryptoCat"]:
+            call = library.plan(name)
+            assert call.contract == name
+
+    def test_unknown_contract_raises(self, deployment):
+        library = ActionLibrary(deployment, random.Random(0))
+        with pytest.raises(KeyError):
+            library.plan("NoSuchContract")
+
+    def test_to_transaction_tags(self, deployment):
+        library = ActionLibrary(deployment, random.Random(0))
+        tx = library.to_transaction(library.plan("Dai"))
+        assert tx.tags["contract"] == "Dai"
+        assert tx.tags["is_erc20"] is True
+        assert tx.to == deployment.address_of("Dai")
