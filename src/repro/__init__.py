@@ -19,6 +19,9 @@ Public API tour:
   pre-execution, constant elimination, prefetching).
 * :mod:`repro.baselines` — the BPU comparator model.
 * :mod:`repro.analysis` — instruction mixes and context-load breakdowns.
+* :mod:`repro.faults` — fault injection (corrupted DAGs/roots, hostile
+  transactions, PU failures, stale profiles) and the per-block
+  :class:`~repro.faults.DegradationReport` robustness counters.
 
 Quickstart::
 
@@ -48,6 +51,7 @@ from .core.scheduler import (
     run_synchronous,
 )
 from .evm import EVM, Tracer
+from .faults import DegradationReport, FaultInjector, FaultPlan
 from .workload import (
     GeneratedBlock,
     generate_block,
@@ -76,6 +80,9 @@ __all__ = [
     "run_synchronous",
     "EVM",
     "Tracer",
+    "DegradationReport",
+    "FaultInjector",
+    "FaultPlan",
     "GeneratedBlock",
     "generate_block",
     "generate_dependency_block",

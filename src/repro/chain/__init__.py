@@ -6,14 +6,19 @@ from .state import AccessSet, WorldState
 from .transaction import Transaction
 from .receipt import LogEntry, Receipt
 from .block import Block, BlockHeader
-from .mempool import Mempool
+from .mempool import (
+    AdmissionError,
+    InsufficientFundsError,
+    IntrinsicGasError,
+    Mempool,
+)
 
 
 def __getattr__(name: str):
     # Node/StageClock are imported lazily: repro.chain.node depends on
     # repro.evm, which itself imports repro.chain.receipt — a cycle if
     # resolved eagerly at package-init time.
-    if name in ("Node", "StageClock"):
+    if name in ("Node", "StageClock", "BlockVerification"):
         from . import node
 
         return getattr(node, name)
@@ -22,12 +27,16 @@ def __getattr__(name: str):
 __all__ = [
     "Account",
     "AccessSet",
+    "AdmissionError",
     "WorldState",
     "Transaction",
     "LogEntry",
     "Receipt",
     "Block",
     "BlockHeader",
+    "BlockVerification",
+    "InsufficientFundsError",
+    "IntrinsicGasError",
     "Mempool",
     "Node",
     "StageClock",

@@ -13,6 +13,8 @@ sender (nonce ordering).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from .state import AccessSet, WorldState
 from .transaction import Transaction
 
@@ -78,6 +80,130 @@ def transitive_reduction(
             reach_two[i] |= reach_two[j]
 
     return [(i, j) for i, j in edges if j not in reach_two[i]]
+
+
+@dataclass
+class DagVerification:
+    """Outcome of checking a block-embedded DAG against local analysis.
+
+    ``ok`` is True only when the DAG is structurally sound, acyclic, and
+    covers every read/write conflict the validator discovered locally —
+    the condition for the spatio-temporal schedule to be serializable.
+    """
+
+    ok: bool
+    #: Structural defects: out-of-range endpoints, self-loops.
+    malformed_edges: list[tuple[int, int]] = field(default_factory=list)
+    #: True when the edge set contains a directed cycle (including any
+    #: backward edge, which closes a cycle with block order).
+    cyclic: bool = False
+    #: Locally-discovered dependency pairs with no ordering path in the
+    #: block DAG (the fatal case: the schedule could reorder them).
+    missing_pairs: list[tuple[int, int]] = field(default_factory=list)
+    #: Block edges not justified by any local dependency (an adversary
+    #: can use these to serialize the whole block — a slowdown attack).
+    spurious_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    def reason(self) -> str:
+        """Human-readable one-line failure summary."""
+        if self.ok:
+            return "ok"
+        parts = []
+        if self.malformed_edges:
+            parts.append(f"{len(self.malformed_edges)} malformed edge(s)")
+        if self.cyclic:
+            parts.append("cycle")
+        if self.missing_pairs:
+            parts.append(f"{len(self.missing_pairs)} uncovered conflict(s)")
+        if self.spurious_edges:
+            parts.append(f"{len(self.spurious_edges)} spurious edge(s)")
+        return ", ".join(parts)
+
+
+def _closure(count: int, successors: list[int]) -> list[int]:
+    """Reachability bitmasks for a forward-edge DAG (index order is a
+    valid topological order, so one reverse sweep suffices)."""
+    reach = [0] * count
+    for i in range(count - 1, -1, -1):
+        mask = successors[i]
+        reachable = mask
+        while mask:
+            j = (mask & -mask).bit_length() - 1
+            reachable |= reach[j]
+            mask &= mask - 1
+        reach[i] = reachable
+    return reach
+
+
+def verify_dag(
+    count: int,
+    edges: list[tuple[int, int]],
+    required_pairs: set[tuple[int, int]],
+) -> DagVerification:
+    """Check a block-embedded DAG before trusting it for scheduling.
+
+    *required_pairs* are the direct dependency pairs (i, j), i < j, the
+    validator derived from its own speculative execution
+    (:func:`build_dag_edges` output). The block DAG passes iff:
+
+    1. every edge is in range and loop-free;
+    2. the edge set is acyclic (block DAGs may only point forward);
+    3. every required pair is connected by a directed path (conflict
+       coverage — transitive reduction by the proposer is fine);
+    4. every block edge lies within the transitive closure of the
+       required pairs (no fabricated ordering constraints).
+    """
+    result = DagVerification(ok=True)
+    forward: list[int] = [0] * count
+    for i, j in edges:
+        if not (0 <= i < count and 0 <= j < count) or i == j:
+            result.malformed_edges.append((i, j))
+            continue
+        if i > j:
+            # A backward edge closes a cycle with the forward ordering
+            # the rest of the pipeline assumes.
+            result.cyclic = True
+            continue
+        forward[i] |= 1 << j
+
+    block_reach = _closure(count, forward)
+
+    required_forward: list[int] = [0] * count
+    for i, j in required_pairs:
+        required_forward[i] |= 1 << j
+    required_reach = _closure(count, required_forward)
+
+    for i, j in sorted(required_pairs):
+        if not (block_reach[i] >> j) & 1:
+            result.missing_pairs.append((i, j))
+    for i, j in edges:
+        if 0 <= i < j < count and not (required_reach[i] >> j) & 1:
+            result.spurious_edges.append((i, j))
+
+    result.ok = not (
+        result.malformed_edges
+        or result.cyclic
+        or result.missing_pairs
+        or result.spurious_edges
+    )
+    return result
+
+
+def rebuild_dag(
+    transactions: list[Transaction],
+    state: WorldState,
+    block_context=None,
+) -> tuple[list[tuple[int, int]], list[AccessSet]]:
+    """Locally re-derive a block's dependency DAG (untrusted-DAG path).
+
+    Returns the transitively-reduced edges plus the access sets so the
+    caller can reuse them (e.g. for verification bookkeeping).
+    """
+    access_sets = discover_access_sets(transactions, state, block_context)
+    edges = transitive_reduction(
+        len(transactions), build_dag_edges(transactions, access_sets)
+    )
+    return edges, access_sets
 
 
 def to_networkx(count: int, edges: list[tuple[int, int]]):

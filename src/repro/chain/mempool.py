@@ -5,6 +5,12 @@ optimizer's pre-execution relies on the paper's observation (via
 Forerunner [12]) that 91.45%–98.15% of a block's transactions are already
 known to a node before the block arrives; :meth:`Mempool.known_before`
 exposes exactly that predicate.
+
+Admission is hardened against hostile dissemination: transactions whose
+gas limit cannot cover their intrinsic gas, or value-bearing transactions
+from unfunded senders, are refused with a typed :class:`AdmissionError`
+instead of silently pooling; a configurable capacity evicts oldest-first
+so an attacker cannot grow the pool without bound.
 """
 
 from __future__ import annotations
@@ -12,25 +18,86 @@ from __future__ import annotations
 from .transaction import Transaction
 
 
+class AdmissionError(ValueError):
+    """A disseminated transaction failed the pool's intrinsic checks."""
+
+
+class IntrinsicGasError(AdmissionError):
+    """gas_limit is below the transaction's intrinsic gas."""
+
+
+class InsufficientFundsError(AdmissionError):
+    """A value-bearing transaction from a sender with no balance."""
+
+
 class Mempool:
     """Pending transactions, ordered by arrival."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        capacity: int | None = None,
+        state=None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("mempool capacity must be positive")
         self._pool: dict[bytes, tuple[Transaction, int]] = {}
         self._arrival_counter = 0
+        #: Maximum pooled transactions; oldest are evicted beyond it.
+        self.capacity = capacity
+        #: Optional world state used for balance-aware admission.
+        self.state = state
 
     def __len__(self) -> int:
         return len(self._pool)
 
-    def add(self, tx: Transaction, heard_at: int | None = None) -> None:
-        """Record a disseminated transaction (idempotent by hash)."""
+    def _check_admission(self, tx: Transaction) -> None:
+        # Intrinsic gas needs the fee schedule; imported lazily because
+        # repro.evm transitively imports repro.chain at package init.
+        from ..evm.gas import DEFAULT_SCHEDULE
+
+        intrinsic = DEFAULT_SCHEDULE.intrinsic_gas(tx.data, tx.is_create)
+        if tx.gas_limit < intrinsic:
+            raise IntrinsicGasError(
+                f"gas limit {tx.gas_limit} below intrinsic gas {intrinsic}"
+            )
+        if tx.value > 0 and self.state is not None:
+            # Bypass access tracking: admission peeks must not pollute
+            # any in-progress dependency analysis.
+            saved_access = self.state.access
+            self.state.access = None
+            try:
+                balance = self.state.get_balance(tx.sender)
+            finally:
+                self.state.access = saved_access
+            if balance == 0:
+                raise InsufficientFundsError(
+                    f"sender {tx.sender:#x} has no balance for a "
+                    f"value-bearing transaction"
+                )
+
+    def add(self, tx: Transaction, heard_at: int | None = None) -> bool:
+        """Record a disseminated transaction (idempotent by hash).
+
+        Returns True when newly pooled, False for a duplicate. Raises
+        :class:`AdmissionError` when the transaction fails intrinsic
+        checks (it is not pooled).
+        """
         tx_hash = tx.hash()
         if tx_hash in self._pool:
-            return
+            return False
+        self._check_admission(tx)
         if heard_at is None:
             heard_at = self._arrival_counter
         self._arrival_counter = max(self._arrival_counter, heard_at) + 1
         self._pool[tx_hash] = (tx, heard_at)
+        if self.capacity is not None and len(self._pool) > self.capacity:
+            self._evict_oldest(len(self._pool) - self.capacity)
+        return True
+
+    def _evict_oldest(self, count: int) -> None:
+        ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
+        for tx_hash, _ in ordered[:count]:
+            del self._pool[tx_hash]
 
     def contains(self, tx: Transaction) -> bool:
         return tx.hash() in self._pool

@@ -26,6 +26,28 @@ from .transaction import Transaction
 
 
 @dataclass
+class BlockVerification:
+    """Outcome of :meth:`Node.verify_block` (truthiness = verified)."""
+
+    ok: bool
+    claimed_root: bytes
+    actual_root: bytes
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def detail(self) -> str:
+        if self.ok:
+            return "receipts root matches"
+        return (
+            f"receipts root mismatch: claimed "
+            f"{self.claimed_root.hex()[:16]}…, computed "
+            f"{self.actual_root.hex()[:16]}…"
+        )
+
+
+@dataclass
 class StageClock:
     """Timing of the three-stage model within one block interval.
 
@@ -55,18 +77,24 @@ class Node:
         state: WorldState | None = None,
         clock: StageClock | None = None,
         coinbase: int = 0xC0FFEE,
+        mempool_capacity: int | None = None,
     ) -> None:
         self.state = state or WorldState()
-        self.mempool = Mempool()
+        self.mempool = Mempool(capacity=mempool_capacity, state=self.state)
         self.clock = clock or StageClock()
         self.coinbase = coinbase
         self.chain: list[Block] = []
         self.receipts: dict[bytes, list[Receipt]] = {}
 
     # -- dissemination stage -------------------------------------------------
-    def hear(self, tx: Transaction, at: int | None = None) -> None:
-        """Receive a transaction from the P2P network."""
-        self.mempool.add(tx, heard_at=at)
+    def hear(self, tx: Transaction, at: int | None = None) -> bool:
+        """Receive a transaction from the P2P network.
+
+        Returns True when newly pooled (False for a duplicate); raises
+        :class:`~repro.chain.mempool.AdmissionError` for transactions
+        failing intrinsic admission checks.
+        """
+        return self.mempool.add(tx, heard_at=at)
 
     # -- consensus stage -------------------------------------------------------
     def block_context(self, height: int | None = None) -> BlockContext:
@@ -140,7 +168,34 @@ class Node:
         self.mempool.remove(block.transactions)
         return receipts
 
-    def verify_block(self, block: Block, claimed_root: bytes) -> bool:
-        """Re-execute and compare the receipts digest (validator path)."""
-        receipts = self.execute_block(block)
-        return receipts_root(receipts) == claimed_root
+    def verify_block(
+        self, block: Block, claimed_root: bytes
+    ) -> BlockVerification:
+        """Re-execute against a snapshot and compare the receipts digest.
+
+        On a match the block commits exactly as :meth:`execute_block`
+        would. On a mismatch *nothing* changes: world state is rolled
+        back to the snapshot, the block is not appended, no receipts are
+        stored and the mempool keeps its transactions — a bogus claimed
+        root must not poison the node. The returned
+        :class:`BlockVerification` is truthy iff verified and carries
+        the mismatch detail otherwise.
+        """
+        context = self.block_context(block.header.height)
+        token = self.state.snapshot()
+        evm = EVM(self.state, block=context)
+        receipts = [evm.execute_transaction(tx) for tx in block.transactions]
+        actual = receipts_root(receipts)
+        if actual != claimed_root:
+            self.state.revert(token)
+            self.state.clear_journal()
+            return BlockVerification(
+                ok=False, claimed_root=claimed_root, actual_root=actual
+            )
+        self.state.clear_journal()
+        self.chain.append(block)
+        self.receipts[block.hash()] = receipts
+        self.mempool.remove(block.transactions)
+        return BlockVerification(
+            ok=True, claimed_root=claimed_root, actual_root=actual
+        )

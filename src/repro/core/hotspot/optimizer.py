@@ -99,6 +99,12 @@ class HotspotOptimizer:
         self._blocked_by_code: dict[int, set[tuple[int, int]]] = {}
         self._views: dict[int, CodeIndex] = {}
         self.hotspot_addresses: set[int] = set()
+        #: Code bytes at profile time, for stale-profile detection: a
+        #: contract upgraded after pre-execution invalidates its plans.
+        self._profiled_code: dict[int, bytes] = {}
+        #: Plans refused because the profiled contract changed.
+        self.stale_plans_discarded = 0
+        self._stale_addresses: set[int] = set()
 
     # ------------------------------------------------------------------
     # Offline profiling (the idle time slice)
@@ -136,8 +142,27 @@ class HotspotOptimizer:
             )
             profiles.append(profile)
         self.hotspot_addresses.add(address)
+        self._profiled_code[address] = self._code_lookup(address)
         self._rebuild_views(address)
         return profiles
+
+    def invalidate_contract(self, address: int) -> None:
+        """Forget a contract's profiles (stale-profile recovery path).
+
+        Transactions to the contract run unoptimized until the tracker
+        re-selects it and a fresh profile is taken in a later idle slice.
+        """
+        self.contract_table.evict_contract(address)
+        self.hotspot_addresses.discard(address)
+        self._profiled_code.pop(address, None)
+        self._eliminated_by_code.pop(address, None)
+        self._blocked_by_code.pop(address, None)
+        self._views.pop(address, None)
+
+    def take_stale_addresses(self) -> set[int]:
+        """Contracts found stale since the last call (then resets)."""
+        stale, self._stale_addresses = self._stale_addresses, set()
+        return stale
 
     def _rebuild_views(self, address: int) -> None:
         """Merge per-selector eliminations and rebuild code views."""
@@ -213,6 +238,16 @@ class HotspotOptimizer:
             return None
         selector = tx.selector
         if selector is None:
+            return None
+        recorded = self._profiled_code.get(tx.to)
+        if recorded is not None and recorded != self._code_lookup(tx.to):
+            # The contract changed after profiling: every plan derived
+            # from the old code (chunk boundaries, eliminated PCs,
+            # prefetch keys) is stale. Degrade to unoptimized execution
+            # and queue the contract for re-profiling.
+            self.stale_plans_discarded += 1
+            self._stale_addresses.add(tx.to)
+            self.invalidate_contract(tx.to)
             return None
         profile = self.contract_table.get(tx.to, selector)
         if profile is None:

@@ -49,6 +49,18 @@ class ContractTable:
     def entries(self) -> list[ExecutionProfile]:
         return list(self._entries.values())
 
+    def evict_contract(self, address: int) -> int:
+        """Drop every profile of *address* (stale-profile recovery).
+
+        Returns the number of entries removed.
+        """
+        labels = [
+            label for label in self._entries if label[0] == address
+        ]
+        for label in labels:
+            del self._entries[label]
+        return len(labels)
+
     def record(
         self,
         address: int,

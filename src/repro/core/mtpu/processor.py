@@ -10,10 +10,10 @@ redundancy scheduled onto one PU compounds exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ...chain.receipt import Receipt
-from ...chain.state import WorldState
+from ...chain.state import CODE_KEY, WorldState
 from ...chain.transaction import Transaction
 from ...evm.context import BlockContext
 from ...evm.interpreter import EVM
@@ -32,6 +32,9 @@ class TxExecution:
     context_cycles: int
     timing: TraceTiming
     hotspot_applied: bool = False
+    #: Addresses whose code this transaction rewrote (stale-chunk
+    #: bookkeeping; needed to undo tracking on retraction).
+    code_writes: frozenset[int] = frozenset()
 
     @property
     def cycles(self) -> int:
@@ -70,6 +73,15 @@ class MTPUExecutor:
             for i in range(num_pus)
         ]
         self.executions: list[TxExecution] = []
+        #: When False, the journal accumulates across transactions so a
+        #: caller (fault-tolerant scheduler, verifying validator) can
+        #: snapshot/revert; the caller owns clearing it.
+        self.auto_clear_journal = True
+        #: Addresses whose *code* was rewritten earlier in this block —
+        #: pre-executed Compare/Check chunks reading that code are stale.
+        self._code_written: set[int] = set()
+        #: Pre-executed hotspot chunks discarded as stale this block.
+        self.stale_chunks_discarded = 0
 
     def _code_lookup(self, address: int) -> bytes:
         # Bypass access tracking: timing-model code fetches must not
@@ -90,8 +102,22 @@ class MTPUExecutor:
             pu.call_stack.clear()
         tracer = Tracer()
         evm = EVM(self.state, block=self.block, tracer=tracer)
-        receipt = evm.execute_transaction(tx)
-        self.state.clear_journal()
+        saved_access = self.state.access
+        access = self.state.begin_access_tracking()
+        try:
+            receipt = evm.execute_transaction(tx)
+        finally:
+            self.state.end_access_tracking()
+            if saved_access is not None:
+                saved_access.merge(access)
+            self.state.access = saved_access
+        if self.auto_clear_journal:
+            self.state.clear_journal()
+        code_writes = {
+            address
+            for address, slot in access.writes
+            if slot == CODE_KEY
+        }
 
         skip: set[int] | None = None
         prefetched = None
@@ -99,6 +125,15 @@ class MTPUExecutor:
         hotspot_applied = False
         if self.hotspot_optimizer is not None and tx.to is not None:
             plan = self.hotspot_optimizer.plan_for(tx)
+            if plan is not None and plan.preexecute and (
+                tx.to in self._code_written
+            ):
+                # The callee's code was rewritten by an earlier
+                # transaction in this block: the Compare/Check chunks
+                # pre-executed against the old code are stale. Degrade
+                # to a plan without pre-execution credit.
+                plan = replace(plan, preexecute=False)
+                self.stale_chunks_discarded += 1
             if plan is not None:
                 skip = plan.skip_indices(tracer.steps)
                 prefetched = plan.prefetched_predicate()
@@ -123,6 +158,7 @@ class MTPUExecutor:
         pu.current_contract = tx.to
         pu.busy_cycles += context_cycles + timing.cycles
         pu.transactions_executed += 1
+        self._code_written |= code_writes
         execution = TxExecution(
             tx=tx,
             receipt=receipt,
@@ -130,9 +166,35 @@ class MTPUExecutor:
             context_cycles=context_cycles,
             timing=timing,
             hotspot_applied=hotspot_applied,
+            code_writes=frozenset(code_writes),
         )
         self.executions.append(execution)
         return execution
+
+    def retract(self, execution: TxExecution, journal_token: int) -> None:
+        """Undo a speculative execution whose PU failed mid-flight.
+
+        Requires :attr:`auto_clear_journal` to be False so the state can
+        be reverted to *journal_token* (taken just before the dispatch).
+        The transaction will re-execute on a surviving PU later.
+        """
+        if self.auto_clear_journal:
+            raise RuntimeError(
+                "retract() needs auto_clear_journal=False to roll back"
+            )
+        self.state.revert(journal_token)
+        self.executions.remove(execution)
+        pu = self.pus[execution.pu_id]
+        pu.busy_cycles -= execution.cycles
+        pu.transactions_executed -= 1
+        # Drop code-write tracking unless another (committed) execution
+        # also rewrote the same address.
+        still_written = {
+            address
+            for other in self.executions
+            for address in other.code_writes
+        }
+        self._code_written &= still_written
 
     # -- aggregate metrics ------------------------------------------------
     def total_instructions(self) -> int:

@@ -100,6 +100,20 @@ class CompositeDAG:
         key = self.contract_of(index)
         self._remaining_per_contract[key] -= 1
 
+    def abort(self, index: int) -> None:
+        """Roll a started-but-unfinished transaction back to pending.
+
+        Used when the PU executing it dies or stalls: the transaction
+        becomes schedulable again (on a surviving PU) and its redundancy
+        value V is restored, since the invocation will happen after all.
+        """
+        if index not in self.started:
+            raise ValueError(f"transaction {index} never started")
+        if index in self.completed:
+            raise ValueError(f"transaction {index} already completed")
+        self.started.discard(index)
+        self._remaining_per_contract[self.contract_of(index)] += 1
+
     def complete(self, index: int) -> None:
         if index not in self.started:
             raise ValueError(f"transaction {index} never started")

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ...chain.receipt import Receipt
 from ...chain.transaction import Transaction
+from ...faults.plan import PU_DEAD
 from ..mtpu.processor import MTPUExecutor, TxExecution
 from .composite_dag import CompositeDAG
 from .spatial_temporal import SpatialTemporalScheduler
@@ -125,14 +126,30 @@ def run_synchronous(
     )
 
 
+#: Event kinds in the simulation heap.
+_COMPLETE = 0
+_RESUME = 1
+
+
 def run_spatial_temporal(
     executor: MTPUExecutor,
     transactions: list[Transaction],
     edges: list[tuple[int, int]],
     window_size: int | None = None,
     selection_overhead: int = SELECTION_OVERHEAD_CYCLES,
+    fault_injector=None,
+    report=None,
 ) -> ScheduleResult:
-    """Asynchronous execution under the spatio-temporal scheduler."""
+    """Asynchronous execution under the spatio-temporal scheduler.
+
+    When a :class:`~repro.faults.FaultInjector` is supplied, its PU
+    faults are enacted: a PU that dies (or stalls past its timeout) has
+    its in-flight transaction rolled back and re-enqueued on surviving
+    PUs, its Scheduling-Table column cleared, and the lost cycles
+    recorded into *report* (a
+    :class:`~repro.faults.DegradationReport`). The final state and
+    receipts remain identical to sequential execution.
+    """
     dag = CompositeDAG(transactions, edges)
     scheduler = SpatialTemporalScheduler(
         dag, num_pus=len(executor.pus), window_size=window_size
@@ -140,46 +157,114 @@ def run_spatial_temporal(
     pus = executor.pus
     busy = [0] * len(pus)
 
-    #: (end_time, sequence, pu_id, tx_index) completion events.
-    events: list[tuple[int, int, int, int]] = []
+    pending_faults = {}
+    if fault_injector is not None:
+        pending_faults = dict(fault_injector.pu_faults(len(pus)))
+        if pending_faults:
+            # Mid-flight recovery needs the journal for rollback.
+            executor.auto_clear_journal = False
+
+    #: (time, sequence, kind, pu_id, tx_index) events.
+    events: list[tuple[int, int, int, int, int]] = []
     sequence = 0
     now = 0
     idle = set(range(len(pus)))
+    dead: set[int] = set()
     makespan = 0
+
+    def record(counter: str, amount: int = 1) -> None:
+        if report is not None:
+            setattr(report, counter, getattr(report, counter) + amount)
 
     while not dag.done:
         progressed = True
         while progressed:
             progressed = False
             for pu_id in sorted(idle):
+                fault = pending_faults.get(pu_id)
+                if fault is not None and fault.at_cycle <= now:
+                    # The PU fails before it can pick up new work.
+                    pending_faults.pop(pu_id)
+                    idle.discard(pu_id)
+                    scheduler.on_pu_dead(pu_id)
+                    if fault.kind == PU_DEAD:
+                        dead.add(pu_id)
+                        record("pu_failures_detected")
+                    else:
+                        record("pu_stalls_detected")
+                        record("recovery_cycles", fault.stall_cycles)
+                        sequence += 1
+                        heapq.heappush(events, (
+                            max(now, fault.at_cycle + fault.stall_cycles),
+                            sequence, _RESUME, pu_id, -1,
+                        ))
+                    progressed = True
+                    continue
                 outcome = scheduler.select(pu_id)
                 if outcome is None:
                     continue
                 scheduler.on_start(pu_id, outcome)
+                token = (
+                    executor.state.snapshot() if pending_faults else 0
+                )
                 execution = executor.execute_on(
                     pus[pu_id], transactions[outcome.tx_index]
                 )
                 duration = execution.cycles + selection_overhead
+                fault = pending_faults.get(pu_id)
+                if fault is not None and fault.at_cycle < now + duration:
+                    # The PU dies/stalls mid-execution: roll the
+                    # speculative state back and re-enqueue the
+                    # transaction on the survivors.
+                    pending_faults.pop(pu_id)
+                    fail_at = max(now, fault.at_cycle)
+                    executor.retract(execution, token)
+                    scheduler.on_abort(pu_id, outcome.tx_index)
+                    wasted = fail_at - now
+                    busy[pu_id] += wasted
+                    idle.discard(pu_id)
+                    record("txs_rescheduled")
+                    record("recovery_cycles", wasted)
+                    if fault.kind == PU_DEAD:
+                        dead.add(pu_id)
+                        record("pu_failures_detected")
+                    else:
+                        record("pu_stalls_detected")
+                        record("recovery_cycles", fault.stall_cycles)
+                        sequence += 1
+                        heapq.heappush(events, (
+                            fail_at + fault.stall_cycles,
+                            sequence, _RESUME, pu_id, -1,
+                        ))
+                    progressed = True
+                    continue
                 busy[pu_id] += duration
                 sequence += 1
                 heapq.heappush(
                     events,
-                    (now + duration, sequence, pu_id, outcome.tx_index),
+                    (now + duration, sequence, _COMPLETE, pu_id,
+                     outcome.tx_index),
                 )
                 idle.discard(pu_id)
                 progressed = True
 
         if not events:
             if not dag.done:
+                if len(dead) == len(pus):
+                    raise RuntimeError(
+                        "all PUs failed; no survivors to finish the block "
+                        f"({len(dag.completed)}/{len(dag)} done)"
+                    )
                 raise RuntimeError(
                     "spatial-temporal driver stalled "
                     f"({len(dag.completed)}/{len(dag)} done)"
                 )
             break
-        end_time, _, pu_id, tx_index = heapq.heappop(events)
-        now = end_time
-        makespan = max(makespan, now)
-        scheduler.on_complete(pu_id, tx_index)
+        end_time, _, kind, pu_id, tx_index = heapq.heappop(events)
+        now = max(now, end_time)
+        if kind == _COMPLETE:
+            makespan = max(makespan, now)
+            scheduler.on_complete(pu_id, tx_index)
         idle.add(pu_id)
 
     return ScheduleResult(

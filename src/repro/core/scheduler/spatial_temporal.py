@@ -185,6 +185,33 @@ class SpatialTemporalScheduler:
         self.scheduling_table.invalidate(pu_id)
         self.refill()
 
+    def on_abort(self, pu_id: int, tx_index: int) -> None:
+        """The PU running *tx_index* failed: undo the dispatch.
+
+        The transaction returns to the pending pool (a surviving PU will
+        re-select it), the failed PU's Scheduling-Table column is hard
+        cleared, and window candidates that were admitted on the strength
+        of the aborted transaction "running" are evicted — they are no
+        longer admissible and selecting one would break serializability.
+        """
+        self.dag.abort(tx_index)
+        self.running[pu_id] = None
+        self.scheduling_table.clear(pu_id)
+        for slot_index, slot in enumerate(self.transaction_table.slots):
+            if (
+                slot.occupied
+                and not slot.locked
+                and not self.dag.is_admissible(slot.tx_index)
+            ):
+                self._queued.discard(slot.tx_index)
+                self.transaction_table.release(slot_index)
+        self.refill()
+
+    def on_pu_dead(self, pu_id: int) -> None:
+        """Permanently retire a PU: its column must never bind again."""
+        self.scheduling_table.clear(pu_id)
+        self.running[pu_id] = None
+
     @property
     def redundancy_hit_ratio(self) -> float:
         if not self.total_selections:

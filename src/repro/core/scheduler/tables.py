@@ -60,6 +60,19 @@ class SchedulingTable:
         """PU finished its transaction: its De no longer binds anyone."""
         self.entries[pu_id].valid = False
 
+    def clear(self, pu_id: int) -> None:
+        """Hard-invalidate a PU's column (dead/stalled PU recovery).
+
+        Unlike :meth:`invalidate` — which only masks the entry until the
+        CPU's next refresh — this wipes the De/Re vectors so a failed
+        PU's stale dependencies can never block surviving PUs, even
+        through a later spurious revalidation.
+        """
+        entry = self.entries[pu_id]
+        entry.dependency_bits = 0
+        entry.redundancy_bits = 0
+        entry.valid = False
+
     def blocked_mask(self, exclude_pu: int | None = None) -> int:
         """OR of all (valid) dependency vectors: candidates that must not
         be selected because they depend on a running transaction."""

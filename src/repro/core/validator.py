@@ -2,7 +2,8 @@
 
 Wires every subsystem into the node lifecycle the paper describes:
 
-* transactions arrive into the mempool (**dissemination**);
+* transactions arrive into the mempool (**dissemination**), gated by the
+  mempool's admission checks;
 * between blocks, the :class:`~repro.core.hotspot.tracker.HotspotTracker`
   picks the current hotspots and the optimizer (re)profiles them within
   the :class:`~repro.chain.node.StageClock`'s idle budget (**the idle
@@ -11,6 +12,14 @@ Wires every subsystem into the node lifecycle the paper describes:
   scheduling, with pre-execution eligibility decided by the mempool's
   actual dissemination history (**execution**), and the result is
   verified against the block's claimed receipts digest.
+
+Unlike the paper's trusting pipeline, :meth:`AcceleratedValidator.validate`
+treats every block as adversarial: the embedded DAG is verified (and
+rebuilt locally on mismatch) before scheduling, the whole block runs
+against a journal snapshot so a failed verification commits nothing, a
+receipts-root mismatch degrades to sequential re-execution, and every
+fault seen / fallback taken is counted in a per-block
+:class:`~repro.faults.DegradationReport`.
 """
 
 from __future__ import annotations
@@ -18,10 +27,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..chain.block import Block
+from ..chain.dag import (
+    DagVerification,
+    build_dag_edges,
+    discover_access_sets,
+    transitive_reduction,
+    verify_dag,
+)
+from ..chain.mempool import AdmissionError
 from ..chain.node import Node, StageClock
 from ..chain.receipt import Receipt, receipts_root
 from ..chain.state import WorldState
 from ..chain.transaction import Transaction
+from ..evm.interpreter import EVM
+from ..faults import DegradationReport
 from .hotspot import HotspotOptimizer
 from .hotspot.tracker import HotspotTracker
 from .mtpu import MTPUExecutor, PUConfig
@@ -41,6 +60,12 @@ class ValidationOutcome:
     schedule: ScheduleResult
     verified: bool | None  # None when no claimed root was provided
     hotspots_optimized: list[int] = field(default_factory=list)
+    #: False when the block was rejected (nothing committed).
+    committed: bool = True
+    #: Robustness counters for this block (faults seen, fallbacks taken).
+    report: DegradationReport = field(default_factory=DegradationReport)
+    #: Verdict on the block-embedded DAG (None when verification is off).
+    dag_verification: DagVerification | None = None
 
     @property
     def makespan_cycles(self) -> int:
@@ -58,8 +83,14 @@ class AcceleratedValidator:
         clock: StageClock | None = None,
         hotspot_top_k: int = 8,
         deployment=None,
+        verify_dags: bool = True,
+        mempool_capacity: int | None = None,
+        fault_injector=None,
     ) -> None:
-        self.node = Node(state=state, clock=clock or StageClock())
+        self.node = Node(
+            state=state, clock=clock or StageClock(),
+            mempool_capacity=mempool_capacity,
+        )
         self.num_pus = num_pus
         self.pu_config = pu_config or PUConfig()
         self.hotspot_top_k = hotspot_top_k
@@ -71,16 +102,40 @@ class AcceleratedValidator:
         #: Deployment handle for sampling hotspot contracts offline; when
         #: absent, profiling uses recently seen mempool transactions.
         self.deployment = deployment
+        #: Distrust block-embedded DAGs: verify (and rebuild on mismatch)
+        #: before scheduling. Costs one speculative pass per block.
+        self.verify_dags = verify_dags
+        #: Optional :class:`~repro.faults.FaultInjector` enacting PU
+        #: faults inside this validator's MTPU (fault drills).
+        self.fault_injector = fault_injector
+        #: Lifetime sum of every per-block report.
+        self.total_degradation = DegradationReport()
         self._optimized: set[int] = set()
         self._recent_by_contract: dict[int, list[Transaction]] = {}
+        self._admission_rejections = 0
 
     # -- dissemination stage -------------------------------------------------
-    def hear(self, tx: Transaction, at: int | None = None) -> None:
-        self.node.hear(tx, at=at)
+    def hear(self, tx: Transaction, at: int | None = None) -> bool:
+        """Admit a disseminated transaction; False when it was refused.
+
+        Admission failures (intrinsic-gas shortfall, unfunded value
+        transfer, duplicate) are counted into the next block's
+        :class:`~repro.faults.DegradationReport` rather than raised: a
+        node on a hostile network drops garbage and moves on.
+        """
+        try:
+            added = self.node.hear(tx, at=at)
+        except AdmissionError:
+            self._admission_rejections += 1
+            return False
+        if not added:
+            self._admission_rejections += 1
+            return False
         if tx.to is not None and tx.selector is not None:
             bucket = self._recent_by_contract.setdefault(tx.to, [])
             bucket.append(tx)
             del bucket[:-32]  # keep a bounded sample window
+        return True
 
     # -- idle slice -----------------------------------------------------------
     def idle_slice(self) -> list[int]:
@@ -123,7 +178,28 @@ class AcceleratedValidator:
     def execute_block(
         self, block: Block, claimed_root: bytes | None = None
     ) -> ValidationOutcome:
-        """Execute a block on the MTPU and advance the chain."""
+        """Alias of :meth:`validate` (the historical entry point)."""
+        return self.validate(block, claimed_root)
+
+    def validate(
+        self, block: Block, claimed_root: bytes | None = None
+    ) -> ValidationOutcome:
+        """Execute a block on the MTPU, defensively, and advance the chain.
+
+        Degradation paths, in order of engagement:
+
+        1. the block-embedded DAG fails verification → rebuild locally;
+        2. a PU dies/stalls mid-schedule → re-enqueue its work on the
+           survivors (handled inside :func:`run_spatial_temporal`);
+        3. the MTPU receipts root mismatches the claimed root → roll the
+           block back and re-execute sequentially;
+        4. sequential execution *also* mismatches → the claim is bogus:
+           reject the block, committing nothing.
+        """
+        report = DegradationReport()
+        report.admission_rejections = self._admission_rejections
+        self._admission_rejections = 0
+
         # Everything heard before "now" was disseminated early enough to
         # pre-execute; the block's own arrival is the cutoff. Block
         # transactions the node never heard (the paper's 2-9% tail) are
@@ -131,33 +207,93 @@ class AcceleratedValidator:
         self.optimizer.dissemination_cutoff = self.node.mempool.clock
         context = self.node.block_context(block.header.height)
         self.optimizer.block = context
+
+        edges = block.dag_edges
+        dag_verdict: DagVerification | None = None
+        if self.verify_dags:
+            access = discover_access_sets(
+                block.transactions, self.node.state, context
+            )
+            required = set(build_dag_edges(block.transactions, access))
+            dag_verdict = verify_dag(
+                len(block.transactions), block.dag_edges, required
+            )
+            if not dag_verdict.ok:
+                report.dag_faults_detected += 1
+                edges = transitive_reduction(
+                    len(block.transactions), sorted(required)
+                )
+                report.dag_rebuilds += 1
+
         executor = MTPUExecutor(
             self.node.state, block=context, num_pus=self.num_pus,
             pu_config=self.pu_config,
             hotspot_optimizer=self.optimizer,
         )
+        # The whole block runs against this snapshot so a failed
+        # verification can roll everything back.
+        executor.auto_clear_journal = False
+        token = self.node.state.snapshot()
+        stale_plans_before = self.optimizer.stale_plans_discarded
+
         schedule = run_spatial_temporal(
-            executor, block.transactions, block.dag_edges
+            executor, block.transactions, edges,
+            fault_injector=self.fault_injector, report=report,
         )
         receipts = schedule.receipts_in_block_order(block.transactions)
+        report.stale_chunks_discarded += executor.stale_chunks_discarded
+        report.stale_plans_discarded += (
+            self.optimizer.stale_plans_discarded - stale_plans_before
+        )
+        # Contracts whose profiles went stale re-enter the optimization
+        # queue for the next idle slice.
+        self._optimized -= self.optimizer.take_stale_addresses()
 
         verified: bool | None = None
+        committed = True
         if claimed_root is not None:
             verified = receipts_root(receipts) == claimed_root
+            if not verified:
+                report.root_mismatches += 1
+                self.node.state.revert(token)
+                report.sequential_fallbacks += 1
+                sequential = self._execute_sequential(block, context)
+                if receipts_root(sequential) == claimed_root:
+                    # The MTPU result was wrong; the sequential path is
+                    # authoritative and its state is already in place.
+                    receipts = sequential
+                    verified = True
+                else:
+                    # Even sequential execution disagrees: the claimed
+                    # root itself is bogus. Commit nothing.
+                    self.node.state.revert(token)
+                    report.blocks_rejected += 1
+                    committed = False
 
         self.node.state.clear_journal()
-        self.node.chain.append(block)
-        self.node.receipts[block.hash()] = receipts
-        self.node.mempool.remove(block.transactions)
-        self.tracker.observe_block(block.transactions)
-        hotspots = self.idle_slice()
+        hotspots: list[int] = []
+        if committed:
+            self.node.chain.append(block)
+            self.node.receipts[block.hash()] = receipts
+            self.node.mempool.remove(block.transactions)
+            self.tracker.observe_block(block.transactions)
+            hotspots = self.idle_slice()
+        self.total_degradation.merge(report)
         return ValidationOutcome(
             block=block,
             receipts=receipts,
             schedule=schedule,
             verified=verified,
             hotspots_optimized=hotspots,
+            committed=committed,
+            report=report,
+            dag_verification=dag_verdict,
         )
+
+    def _execute_sequential(self, block: Block, context) -> list[Receipt]:
+        """The degraded path: plain block-order re-execution."""
+        evm = EVM(self.node.state, block=context)
+        return [evm.execute_transaction(tx) for tx in block.transactions]
 
     # -- passthroughs --------------------------------------------------------------
     @property

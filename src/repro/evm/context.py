@@ -14,6 +14,11 @@ from typing import Callable
 from ..chain.receipt import LogEntry
 
 
+def _no_blockhash(height: int) -> int:
+    """Default BLOCKHASH service: no ancestors known."""
+    return 0
+
+
 @dataclass(frozen=True)
 class BlockContext:
     """Block-level attributes visible to fixed-access instructions."""
@@ -24,7 +29,7 @@ class BlockContext:
     difficulty: int = 1
     gas_limit: int = 30_000_000
     #: BLOCKHASH service: maps height -> 256-bit hash value.
-    blockhash_fn: Callable[[int], int] = lambda height: 0
+    blockhash_fn: Callable[[int], int] = _no_blockhash
 
 
 class CallKind:

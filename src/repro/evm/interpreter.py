@@ -21,7 +21,6 @@ from ..crypto import (
     ADDRESS_MASK,
     contract_address,
     create2_address,
-    keccak256,
     keccak256_int,
 )
 from . import opcodes

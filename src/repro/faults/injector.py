@@ -1,0 +1,156 @@
+"""Deterministic (seeded) fault injection at the plan's named sites.
+
+The injector is the *adversary half* of the framework: given a
+:class:`~repro.faults.plan.FaultPlan` it corrupts blocks, roots,
+transaction streams, PUs and hotspot profiles. Every mutation is drawn
+from ``random.Random(plan.seed)``, so a failing run replays exactly.
+The ``injected`` counter records what was actually injected, which the
+acceptance tests compare against the defender's
+:class:`~repro.faults.report.DegradationReport`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from ..chain.transaction import Transaction
+from .plan import FaultPlan, PUFault
+
+#: Gas limit guaranteed to be below any transaction's intrinsic gas.
+_MALFORMED_GAS_LIMIT = 100
+
+#: Address pool for fabricated hostile senders (never funded in genesis).
+_HOSTILE_SENDER_BASE = 0xBAD0_0000_0000
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` at each injection site."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        #: What was actually injected, keyed by fault class.
+        self.injected: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    # Consensus stage: the block-embedded DAG and the claimed root
+    # ------------------------------------------------------------------
+    def corrupt_dag(
+        self, count: int, edges: list[tuple[int, int]]
+    ) -> list[tuple[int, int]]:
+        """Return a corrupted copy of a block's dependency edges."""
+        spec = self.plan.dag
+        corrupted = list(edges)
+        if spec is None or not spec.active or count < 2:
+            return corrupted
+
+        for _ in range(min(spec.drop_edges, len(corrupted))):
+            victim = self.rng.randrange(len(corrupted))
+            corrupted.pop(victim)
+            self.injected["dag_edge_dropped"] += 1
+
+        present = set(corrupted)
+        attempts = 0
+        added = 0
+        while added < spec.bogus_edges and attempts < 50 * spec.bogus_edges:
+            attempts += 1
+            i, j = sorted(self.rng.sample(range(count), 2))
+            if (i, j) in present:
+                continue
+            corrupted.append((i, j))
+            present.add((i, j))
+            self.injected["dag_edge_bogus"] += 1
+            added += 1
+
+        if spec.make_cycle:
+            if corrupted:
+                i, j = self.rng.choice(corrupted)
+            else:
+                i, j = 0, 1
+                corrupted.append((i, j))
+            corrupted.append((j, i))
+            self.injected["dag_cycle"] += 1
+        return corrupted
+
+    def corrupt_root(self, root: bytes) -> bytes:
+        """Flip one byte of the claimed receipts root."""
+        if not self.plan.corrupt_receipts_root or not root:
+            return root
+        position = self.rng.randrange(len(root))
+        mutated = bytearray(root)
+        mutated[position] ^= 0xFF
+        self.injected["root_corrupted"] += 1
+        return bytes(mutated)
+
+    # ------------------------------------------------------------------
+    # Dissemination stage: hostile transactions
+    # ------------------------------------------------------------------
+    def hostile_transactions(
+        self, honest: list[Transaction]
+    ) -> list[Transaction]:
+        """Fabricate the plan's malformed/duplicate/underfunded stream.
+
+        The caller disseminates the returned transactions alongside the
+        honest traffic; mempool admission is expected to reject them all.
+        """
+        spec = self.plan.txs
+        if spec is None or not spec.active:
+            return []
+        hostile: list[Transaction] = []
+        for n in range(spec.malformed):
+            hostile.append(
+                Transaction(
+                    sender=_HOSTILE_SENDER_BASE + self.rng.randrange(1 << 16),
+                    to=self.rng.randrange(1, 1 << 20),
+                    gas_limit=_MALFORMED_GAS_LIMIT,
+                    data=b"\xde\xad\xbe\xef" * (n + 1),
+                )
+            )
+            self.injected["tx_malformed"] += 1
+        for _ in range(min(spec.duplicates, len(honest))):
+            hostile.append(self.rng.choice(honest))
+            self.injected["tx_duplicate"] += 1
+        for _ in range(spec.underfunded):
+            hostile.append(
+                Transaction(
+                    sender=_HOSTILE_SENDER_BASE + self.rng.randrange(1 << 16),
+                    to=self.rng.randrange(1, 1 << 20),
+                    value=1 + self.rng.randrange(10**18),
+                )
+            )
+            self.injected["tx_underfunded"] += 1
+        return hostile
+
+    # ------------------------------------------------------------------
+    # Execution stage: PU failures
+    # ------------------------------------------------------------------
+    def pu_faults(self, num_pus: int) -> dict[int, PUFault]:
+        """The plan's PU faults applicable to a machine with *num_pus*."""
+        applicable: dict[int, PUFault] = {}
+        for fault in self.plan.pu_faults:
+            if fault.pu_id < num_pus:
+                applicable[fault.pu_id] = fault
+                self.injected[f"pu_{fault.kind}"] += 1
+        return applicable
+
+    # ------------------------------------------------------------------
+    # Idle slice: stale hotspot profiles
+    # ------------------------------------------------------------------
+    def poison_profiles(self, state) -> list[int]:
+        """Mutate planned contracts *after* they were profiled.
+
+        Appends a dead byte to the contract's code (behaviour-preserving
+        but hash-changing) and perturbs a high storage slot, modelling a
+        contract upgraded between pre-execution and block arrival.
+        """
+        poisoned: list[int] = []
+        for address in self.plan.stale_profiles:
+            code = state.get_code(address)
+            if not code:
+                continue
+            state.set_code(address, code + b"\x00")
+            state.clear_journal()
+            self.injected["stale_profile"] += 1
+            poisoned.append(address)
+        return poisoned

@@ -1,0 +1,87 @@
+"""Degradation observability: per-block robustness counters.
+
+Every defensive layer increments a counter here instead of logging, so a
+node operator (or a test) can assert exactly which faults were seen and
+which recovery path handled them. The report is threaded through
+:class:`repro.core.validator.ValidationOutcome` and accumulated per
+validator lifetime via :meth:`DegradationReport.merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class DegradationReport:
+    """Per-block counters: faults seen, fallbacks taken, work redone."""
+
+    #: Block-embedded DAGs that failed verification (cycle, missing
+    #: dependency coverage, or spurious/out-of-range edges).
+    dag_faults_detected: int = 0
+    #: DAGs rebuilt locally after a failed verification.
+    dag_rebuilds: int = 0
+    #: MTPU receipts roots that disagreed with the block's claimed root.
+    root_mismatches: int = 0
+    #: Sequential re-executions triggered by a root mismatch.
+    sequential_fallbacks: int = 0
+    #: Blocks discarded because even sequential execution disagreed with
+    #: the claimed root (the claim itself was bogus).
+    blocks_rejected: int = 0
+    #: PUs that died permanently mid-schedule.
+    pu_failures_detected: int = 0
+    #: PUs that stalled transiently and later recovered.
+    pu_stalls_detected: int = 0
+    #: In-flight transactions re-enqueued onto surviving PUs.
+    txs_rescheduled: int = 0
+    #: Cycles lost to failed/stalled PUs (wasted partial work + stall time).
+    recovery_cycles: int = 0
+    #: Hotspot plans discarded because the profiled contract changed
+    #: after pre-execution (stale profile).
+    stale_plans_discarded: int = 0
+    #: Pre-executed Compare/Check chunks discarded because the contract's
+    #: code was rewritten earlier in the same block.
+    stale_chunks_discarded: int = 0
+    #: Transactions rejected at dissemination by mempool admission checks.
+    admission_rejections: int = 0
+
+    @property
+    def faults_seen(self) -> int:
+        """Total distinct fault events detected by any layer."""
+        return (
+            self.dag_faults_detected
+            + self.root_mismatches
+            + self.pu_failures_detected
+            + self.pu_stalls_detected
+            + self.stale_plans_discarded
+            + self.stale_chunks_discarded
+            + self.admission_rejections
+        )
+
+    @property
+    def fallbacks_taken(self) -> int:
+        """Total recovery actions (degraded-mode paths exercised)."""
+        return (
+            self.dag_rebuilds
+            + self.sequential_fallbacks
+            + self.txs_rescheduled
+        )
+
+    def merge(self, other: "DegradationReport") -> None:
+        """Fold another report's counters into this one."""
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+
+    def as_dict(self) -> dict[str, int]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    def __str__(self) -> str:
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        if not nonzero:
+            return "DegradationReport(clean)"
+        inner = ", ".join(f"{k}={v}" for k, v in nonzero.items())
+        return f"DegradationReport({inner})"

@@ -20,10 +20,10 @@ settings.register_profile(
 )
 settings.load_profile("repro")
 
-from repro.chain import Transaction, WorldState
-from repro.contracts import build_deployment
-from repro.contracts.asm import assemble
-from repro.evm import EVM, Tracer
+from repro.chain import Transaction, WorldState  # noqa: E402
+from repro.contracts import build_deployment  # noqa: E402
+from repro.contracts.asm import assemble  # noqa: E402
+from repro.evm import EVM, Tracer  # noqa: E402
 
 ALICE = 0xA11CE
 BOB = 0xB0B

@@ -16,7 +16,6 @@ from repro.contracts.lang import (
     FunctionDef,
     If,
     Local,
-    MapLoad,
     MapStore,
     Require,
     Return,

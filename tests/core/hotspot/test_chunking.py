@@ -2,9 +2,6 @@
 
 import random
 
-import pytest
-
-from repro.contracts import registry
 from repro.core.hotspot.chunking import (
     find_chunks,
     on_path_fraction,

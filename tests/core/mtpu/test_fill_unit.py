@@ -1,16 +1,11 @@
 """Fill unit: line construction rules and invariants (paper 3.3.3-3.3.4)."""
 
-import pytest
-
 from repro.contracts.asm import assemble
 from repro.contracts.registry import compile_suite
 from repro.core.mtpu.fill_unit import (
     CodeIndex,
-    DEFAULT_UNIT_CAPACITY,
     FillConfig,
-    build_line,
 )
-from repro.evm.opcodes import Category
 
 
 def line_for(source, start_pc=0, **config_kwargs):

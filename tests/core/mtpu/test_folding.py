@@ -1,7 +1,7 @@
 """Instruction folding: patterns, gas preservation, bookkeeping."""
 
 from repro.contracts.asm import assemble
-from repro.core.mtpu.folding import FOLDABLE_CONSUMERS, FoldedOp, try_fold
+from repro.core.mtpu.folding import FOLDABLE_CONSUMERS, try_fold
 from repro.evm.code import decode
 
 

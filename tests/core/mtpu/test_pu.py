@@ -3,7 +3,7 @@
 import pytest
 
 from repro.chain import Transaction
-from repro.core.mtpu import MTPUExecutor, PUConfig, TimingConfig
+from repro.core.mtpu import MTPUExecutor, PUConfig
 from repro.workload import all_entry_function_calls
 
 

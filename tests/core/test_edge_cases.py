@@ -1,8 +1,6 @@
 """Edge cases across the core: empty blocks, single transactions,
 degenerate configurations."""
 
-import pytest
-
 from repro.chain import Transaction
 from repro.core.mtpu import MTPUExecutor, PUConfig
 from repro.core.scheduler import (

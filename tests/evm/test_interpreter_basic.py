@@ -1,8 +1,6 @@
 """Interpreter semantics: control flow, storage, environment, failures,
 and the deterministic-gas invariant."""
 
-import pytest
-
 from repro.chain import Transaction, WorldState
 from repro.evm import EVM, abi
 from repro.evm.context import BlockContext

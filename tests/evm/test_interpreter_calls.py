@@ -1,8 +1,7 @@
 """Message-call machinery: CALL family, CREATE, static contexts, depth."""
 
-from repro.chain import Transaction, WorldState
+from repro.chain import Transaction
 from repro.evm import EVM, abi
-from repro.evm.context import CallKind, Message
 from repro.contracts.asm import assemble
 from tests.conftest import ALICE, CONTRACT, run_code
 

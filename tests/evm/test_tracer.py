@@ -1,10 +1,8 @@
 """Dataflow tracing: producer links, call records, histograms."""
 
-from repro.chain import Transaction
 from repro.contracts.asm import assemble
-from repro.evm import EVM, Tracer
 from repro.evm.tracer import EXTERNAL_PRODUCER
-from tests.conftest import ALICE, CONTRACT, run_code
+from tests.conftest import CONTRACT, run_code
 
 CALLEE = 0x77777
 

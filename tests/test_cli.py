@@ -1,7 +1,5 @@
 """CLI: listing, selection, output files, error handling."""
 
-import pathlib
-
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main

@@ -4,8 +4,6 @@ The benchmarks run these at paper scale; here tiny parameters catch
 regressions (API drift, crashed sweeps) inside the regular test suite.
 """
 
-import pytest
-
 from repro.experiments import (
     ablation_pu_scaling,
     ablation_selection_overhead,

@@ -2,12 +2,15 @@
 transactions must stay consistent under every execution path."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.chain import Transaction
 from repro.chain.dag import (
     build_dag_edges,
     discover_access_sets,
     transitive_reduction,
+    verify_dag,
 )
 from repro.chain.receipt import receipts_root
 from repro.core.mtpu import MTPUExecutor, PUConfig
@@ -17,6 +20,15 @@ from repro.core.scheduler import (
     run_synchronous,
 )
 from repro.evm import abi
+from repro.faults import (
+    PU_DEAD,
+    PU_STALL,
+    DagCorruption,
+    DegradationReport,
+    FaultInjector,
+    FaultPlan,
+    PUFault,
+)
 from repro.workload import generate_block
 
 
@@ -145,3 +157,79 @@ class TestFailureSemantics:
         assert receipts_root(
             plain.receipts_in_block_order(txs)
         ) == receipts_root(hot.receipts_in_block_order(txs))
+
+
+class TestInjectedFaultsPropertyBased:
+    """Property: under arbitrary seeded DAG corruption plus an arbitrary
+    PU failure, spatio-temporal scheduling (with its detection and
+    recovery paths engaged) still produces final state and receipts
+    identical to sequential execution."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1023),
+        num_pus=st.integers(min_value=2, max_value=5),
+        drop=st.integers(min_value=0, max_value=2),
+        bogus=st.integers(min_value=0, max_value=2),
+        cycle=st.booleans(),
+        fault_kind=st.sampled_from(["none", PU_DEAD, PU_STALL]),
+        fault_pu=st.integers(min_value=0, max_value=4),
+        at_cycle=st.integers(min_value=0, max_value=6_000),
+    )
+    def test_state_equals_sequential_under_faults(
+        self, deployment, seed, num_pus, drop, bogus, cycle,
+        fault_kind, fault_pu, at_cycle,
+    ):
+        block = generate_block(deployment, num_transactions=10, seed=seed)
+        txs = block.transactions
+        access = discover_access_sets(txs, deployment.state.copy())
+        required = set(build_dag_edges(txs, access))
+        honest = transitive_reduction(len(txs), sorted(required))
+
+        pu_faults = ()
+        if fault_kind != "none" and fault_pu < num_pus:
+            pu_faults = (PUFault(
+                pu_id=fault_pu, kind=fault_kind, at_cycle=at_cycle,
+                stall_cycles=2_000 if fault_kind == PU_STALL else 0,
+            ),)
+        plan = FaultPlan(
+            seed=seed,
+            dag=DagCorruption(
+                drop_edges=drop, bogus_edges=bogus, make_cycle=cycle
+            ),
+            pu_faults=pu_faults,
+        )
+        injector = FaultInjector(plan)
+
+        # The adversary half: ship a corrupted DAG; the defender half:
+        # verify it and rebuild locally when it cannot be trusted.
+        corrupted = injector.corrupt_dag(len(txs), honest)
+        verdict = verify_dag(len(txs), corrupted, required)
+        edges = corrupted if verdict.ok else transitive_reduction(
+            len(txs), sorted(required)
+        )
+
+        report = DegradationReport()
+        par_ex = executor(deployment, num_pus)
+        par = run_spatial_temporal(
+            par_ex, txs, edges, fault_injector=injector, report=report
+        )
+        seq_ex = executor(deployment, 1)
+        seq = run_sequential(seq_ex, txs)
+
+        assert par_ex.state.state_digest() == seq_ex.state.state_digest()
+        assert receipts_root(
+            par.receipts_in_block_order(txs)
+        ) == receipts_root(seq.receipts_in_block_order(txs))
+        # A cycle injection is always caught; a dropped reduced edge
+        # always breaks conflict coverage.
+        if injector.injected["dag_cycle"]:
+            assert verdict.cyclic
+        if injector.injected["dag_edge_dropped"]:
+            assert not verdict.ok
+        # PU faults can only fire if the plan scheduled them (a fault
+        # past the makespan never manifests).
+        assert (report.pu_failures_detected
+                + report.pu_stalls_detected) <= len(pu_faults)
+        assert report.pu_failures_detected == 0 or fault_kind == PU_DEAD
+        assert report.pu_stalls_detected == 0 or fault_kind == PU_STALL

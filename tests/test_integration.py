@@ -3,8 +3,6 @@ execution path the paper evaluates."""
 
 import random
 
-import pytest
-
 from repro.chain.node import Node
 from repro.chain.receipt import receipts_root
 from repro.core.hotspot import HotspotOptimizer
