@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Emit the headline benchmark JSON (``BENCH_<date>.json``).
+
+Runs one instrumented block through :func:`repro.experiments.measure_block`
+and writes the four headline metrics — speedup over a plain sequential
+core, DB-cache hit rate, PU utilization, and p50/p99 per-transaction
+latency in model cycles — plus the full :class:`repro.obs.BlockPerfReport`
+for drill-down.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py --quick
+    PYTHONPATH=src python benchmarks/emit_bench.py \\
+        --check-baseline benchmarks/baseline.json
+    PYTHONPATH=src python benchmarks/emit_bench.py --quick \\
+        --write-baseline benchmarks/baseline.json
+
+``--check-baseline`` exits non-zero when the measured speedup regresses
+below 0.9x the committed baseline for the same configuration — the CI
+``bench-smoke`` job's guardrail. All numbers are simulated model cycles,
+deterministic for a given (config, seed), so the 0.9x slack only absorbs
+intentional model changes, not machine noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.experiments import measure_block  # noqa: E402
+
+#: Benchmark configurations: name -> measure_block kwargs.
+CONFIGS = {
+    "quick": dict(num_transactions=20, num_pus=4, ratio=0.25, seed=7),
+    "full": dict(num_transactions=64, num_pus=8, ratio=0.5, seed=7),
+}
+
+#: A run regresses when speedup falls below this fraction of baseline.
+REGRESSION_FLOOR = 0.9
+
+
+def run_config(name: str) -> dict:
+    report = measure_block(label=f"bench:{name}", **CONFIGS[name])
+    return {
+        "config": name,
+        "parameters": dict(CONFIGS[name]),
+        "headline": {
+            "speedup": report.headline_speedup,
+            "cache_hit_rate": report.cache_hit_rate,
+            "pu_utilization": report.utilization,
+            "p50_tx_cycles": report.p50_tx_cycles,
+            "p99_tx_cycles": report.p99_tx_cycles,
+        },
+        "report": report.to_dict(),
+    }
+
+
+def check_baseline(result: dict, baseline_path: pathlib.Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    entry = baseline.get(result["config"])
+    if entry is None:
+        print(
+            f"baseline {baseline_path} has no entry for "
+            f"'{result['config']}'; skipping check"
+        )
+        return 0
+    measured = result["headline"]["speedup"]
+    floor = REGRESSION_FLOOR * entry["speedup"]
+    if measured < floor:
+        print(
+            f"REGRESSION: speedup {measured:.2f}x is below "
+            f"{REGRESSION_FLOOR}x baseline "
+            f"({entry['speedup']:.2f}x -> floor {floor:.2f}x)"
+        )
+        return 1
+    print(
+        f"ok: speedup {measured:.2f}x vs baseline "
+        f"{entry['speedup']:.2f}x (floor {floor:.2f}x)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the small configuration (20 txs, 4 PUs)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="directory for BENCH_<date>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--check-baseline", type=pathlib.Path, default=None,
+        metavar="BASELINE",
+        help="fail when speedup < 0.9x this baseline file's entry",
+    )
+    parser.add_argument(
+        "--write-baseline", type=pathlib.Path, default=None,
+        metavar="BASELINE",
+        help="update this baseline file with the measured headline",
+    )
+    args = parser.parse_args(argv)
+
+    config = "quick" if args.quick else "full"
+    result = run_config(config)
+    headline = result["headline"]
+    print(
+        f"[{config}] speedup {headline['speedup']:.2f}x, "
+        f"cache hit rate {headline['cache_hit_rate']:.1%}, "
+        f"PU utilization {headline['pu_utilization']:.1%}, "
+        f"p50/p99 tx cycles "
+        f"{headline['p50_tx_cycles']}/{headline['p99_tx_cycles']}"
+    )
+
+    out_dir = args.out or pathlib.Path(__file__).resolve().parent.parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = datetime.date.today().isoformat()
+    out_path = out_dir / f"BENCH_{stamp}.json"
+    out_path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.write_baseline is not None:
+        baseline = {}
+        if args.write_baseline.exists():
+            baseline = json.loads(args.write_baseline.read_text())
+        baseline[config] = dict(headline)
+        args.write_baseline.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"updated baseline {args.write_baseline}")
+
+    if args.check_baseline is not None:
+        return check_baseline(result, args.check_baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ so an attacker cannot grow the pool without bound.
 
 from __future__ import annotations
 
+from ..obs import get_registry
 from .transaction import Transaction
 
 
@@ -82,22 +83,33 @@ class Mempool:
         :class:`AdmissionError` when the transaction fails intrinsic
         checks (it is not pooled).
         """
+        registry = get_registry()
         tx_hash = tx.hash()
         if tx_hash in self._pool:
+            registry.counter("mempool.duplicates").inc()
             return False
-        self._check_admission(tx)
+        try:
+            self._check_admission(tx)
+        except AdmissionError as err:
+            registry.counter(
+                "mempool.rejections", reason=type(err).__name__
+            ).inc()
+            raise
         if heard_at is None:
             heard_at = self._arrival_counter
         self._arrival_counter = max(self._arrival_counter, heard_at) + 1
         self._pool[tx_hash] = (tx, heard_at)
+        registry.counter("mempool.added").inc()
         if self.capacity is not None and len(self._pool) > self.capacity:
             self._evict_oldest(len(self._pool) - self.capacity)
+        registry.gauge("mempool.size").set(len(self._pool))
         return True
 
     def _evict_oldest(self, count: int) -> None:
         ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
         for tx_hash, _ in ordered[:count]:
             del self._pool[tx_hash]
+        get_registry().counter("mempool.evicted").inc(count)
 
     def contains(self, tx: Transaction) -> bool:
         return tx.hash() in self._pool
@@ -128,6 +140,7 @@ class Mempool:
         """Drop transactions that were included in a block."""
         for tx in transactions:
             self._pool.pop(tx.hash(), None)
+        get_registry().gauge("mempool.size").set(len(self._pool))
 
     def pending(self) -> list[Transaction]:
         """All pooled transactions, oldest first (non-destructive)."""

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run fig12 table7
     python -m repro run all --out results/
+    python -m repro obs-report --transactions 32 --pus 4
 """
 
 from __future__ import annotations
@@ -65,7 +66,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="with --out, additionally write machine-readable JSON",
     )
+
+    obs = sub.add_parser(
+        "obs-report",
+        help="run one instrumented block and print its BlockPerfReport",
+    )
+    obs.add_argument(
+        "--transactions", type=int, default=32,
+        help="transactions in the generated block (default: 32)",
+    )
+    obs.add_argument(
+        "--pus", type=int, default=4,
+        help="PUs in the MTPU (default: 4)",
+    )
+    obs.add_argument(
+        "--ratio", type=float, default=0.5,
+        help="target dependency ratio of the block (default: 0.5)",
+    )
+    obs.add_argument(
+        "--seed", type=int, default=7,
+        help="workload generator seed (default: 7)",
+    )
+    obs.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the JSON report here instead of stdout",
+    )
+    obs.add_argument(
+        "--indent", type=int, default=2,
+        help="JSON indentation (default: 2)",
+    )
     return parser
+
+
+def _run_obs_report(args) -> int:
+    from .experiments import measure_block
+
+    report = measure_block(
+        num_transactions=args.transactions,
+        num_pus=args.pus,
+        ratio=args.ratio,
+        seed=args.seed,
+    )
+    rendered = report.to_json(indent=args.indent)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    print(
+        f"[{report.label}: speedup {report.headline_speedup:.2f}x, "
+        f"cache hit rate {report.cache_hit_rate:.1%}, "
+        f"utilization {report.utilization:.1%}, "
+        f"p50/p99 tx cycles {report.p50_tx_cycles}/{report.p99_tx_cycles}]",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,6 +132,9 @@ def main(argv: list[str] | None = None) -> int:
             summary = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:10s} {summary}")
         return 0
+
+    if args.command == "obs-report":
+        return _run_obs_report(args)
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names
     unknown = [n for n in names if n not in EXPERIMENTS]

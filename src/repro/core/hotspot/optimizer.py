@@ -24,6 +24,7 @@ from ...chain.transaction import Transaction
 from ...evm.context import BlockContext
 from ...evm.interpreter import EVM
 from ...evm.tracer import TraceStep, Tracer
+from ...obs import count, timed
 from ..mtpu.fill_unit import CodeIndex
 from .chunking import find_chunks
 from .profiler import ContractTable, ExecutionProfile
@@ -117,6 +118,7 @@ class HotspotOptimizer:
         finally:
             self.state.access = saved
 
+    @timed("hotspot.optimize_contract")
     def optimize_contract(
         self, address: int, sample_transactions: list[Transaction]
     ) -> list[ExecutionProfile]:
@@ -144,6 +146,8 @@ class HotspotOptimizer:
         self.hotspot_addresses.add(address)
         self._profiled_code[address] = self._code_lookup(address)
         self._rebuild_views(address)
+        count("hotspot.contracts_optimized")
+        count("hotspot.profiles_recorded", len(profiles))
         return profiles
 
     def invalidate_contract(self, address: int) -> None:
@@ -246,6 +250,7 @@ class HotspotOptimizer:
             # prefetch keys) is stale. Degrade to unoptimized execution
             # and queue the contract for re-profiling.
             self.stale_plans_discarded += 1
+            count("hotspot.stale_plans")
             self._stale_addresses.add(tx.to)
             self.invalidate_contract(tx.to)
             return None

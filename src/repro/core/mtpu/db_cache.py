@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ...obs import get_registry
 from .fill_unit import DBCacheLine
 
 
@@ -48,7 +49,7 @@ class CacheStats:
 class DBCache:
     """Fully-associative LRU cache of decoded-bytecode lines."""
 
-    def __init__(self, entries: int = 2048) -> None:
+    def __init__(self, entries: int = 2048, pu_id: int | None = None) -> None:
         if entries <= 0:
             raise ValueError("cache needs at least one entry")
         self.entries = entries
@@ -58,9 +59,33 @@ class DBCache:
         #: Side records of single-instruction addresses (hotspot tracking).
         self.single_records: set[tuple[int, int]] = set()
         self.stats = CacheStats()
+        # Metric handles resolve once here; under the default no-op
+        # registry these are shared null singletons and every inc() below
+        # is a no-op call.
+        registry = get_registry()
+        labels = {} if pu_id is None else {"pu": str(pu_id)}
+        self._m_lookups = registry.counter("db_cache.lookups", **labels)
+        self._m_hits = registry.counter("db_cache.hits", **labels)
+        self._m_misses = registry.counter("db_cache.misses", **labels)
+        self._m_insertions = registry.counter(
+            "db_cache.insertions", **labels
+        )
+        self._m_evictions = registry.counter("db_cache.evictions", **labels)
 
     def __len__(self) -> int:
         return len(self._lines)
+
+    def note_hit(self) -> None:
+        """Account one probe that hit (all hit paths funnel here)."""
+        self.stats.hits += 1
+        self._m_lookups.inc()
+        self._m_hits.inc()
+
+    def note_miss(self) -> None:
+        """Account one probe that missed."""
+        self.stats.misses += 1
+        self._m_lookups.inc()
+        self._m_misses.inc()
 
     def lookup(self, code_address: int, pc: int) -> DBCacheLine | None:
         """Probe the cache; counts a hit or miss."""
@@ -68,9 +93,9 @@ class DBCache:
         line = self._lines.get(key)
         if line is not None:
             self._lines.move_to_end(key)
-            self.stats.hits += 1
+            self.note_hit()
             return line
-        self.stats.misses += 1
+        self.note_miss()
         return None
 
     def peek(self, code_address: int, pc: int) -> DBCacheLine | None:
@@ -92,9 +117,11 @@ class DBCache:
             return
         self._lines[key] = line
         self.stats.insertions += 1
+        self._m_insertions.inc()
         if len(self._lines) > self.entries:
             self._lines.popitem(last=False)
             self.stats.evictions += 1
+            self._m_evictions.inc()
 
     def invalidate(self) -> None:
         """Drop all lines (e.g. between unrelated experiments)."""

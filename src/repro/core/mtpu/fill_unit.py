@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ...evm import opcodes
 from ...evm.code import Instruction, decode
+from ...obs import get_registry
 from ...evm.opcodes import (
     FORWARD_CONSUMER_CATEGORIES,
     RECONFIGURABLE_CATEGORIES,
@@ -255,7 +256,7 @@ def build_line(
 
     reads = external_reads
     writes = len(sim)
-    return DBCacheLine(
+    line = DBCacheLine(
         code_address=code_address,
         start_pc=start_pc,
         slots=slots,
@@ -264,6 +265,17 @@ def build_line(
         reads=reads,
         writes=writes,
     )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("fill.lines_built").inc()
+        registry.counter("fill.instructions_packed").inc(line.orig_count)
+        folded = line.orig_count - line.issued_count
+        if folded:
+            registry.counter("fill.folded_instructions").inc(folded)
+        if forward_used:
+            registry.counter("fill.forwards").inc()
+        registry.histogram("fill.line_length").observe(line.orig_count)
+    return line
 
 
 class CodeIndex:

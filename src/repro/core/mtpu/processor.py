@@ -18,6 +18,7 @@ from ...chain.transaction import Transaction
 from ...evm.context import BlockContext
 from ...evm.interpreter import EVM
 from ...evm.tracer import Tracer
+from ...obs import get_registry, get_tracer
 from .memory import StateBuffer
 from .pu import PU, PUConfig, TraceTiming
 
@@ -95,6 +96,22 @@ class MTPUExecutor:
 
     def execute_on(self, pu: PU, tx: Transaction) -> TxExecution:
         """Run one transaction functionally and time it on *pu*."""
+        span_tracer = get_tracer()
+        if not span_tracer.enabled:
+            return self._execute_on(pu, tx)
+        with span_tracer.span("tx.execute", pu=pu.pu_id) as span:
+            execution = self._execute_on(pu, tx)
+            span.set(
+                contract=(
+                    f"{tx.to:#x}" if tx.to is not None else None
+                ),
+                cycles=execution.cycles,
+                instructions=execution.instructions,
+                hotspot=execution.hotspot_applied,
+            )
+            return execution
+
+    def _execute_on(self, pu: PU, tx: Transaction) -> TxExecution:
         if not self.pu_config.redundancy_reuse:
             # Without the redundancy optimization, every transaction
             # rebuilds its context and decoded-bytecode state from scratch.
@@ -134,11 +151,23 @@ class MTPUExecutor:
                 # to a plan without pre-execution credit.
                 plan = replace(plan, preexecute=False)
                 self.stale_chunks_discarded += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("hotspot.stale_chunks").inc()
             if plan is not None:
                 skip = plan.skip_indices(tracer.steps)
                 prefetched = plan.prefetched_predicate()
                 on_path_fraction = plan.on_path_fraction
                 hotspot_applied = True
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("hotspot.plans_applied").inc()
+                    if plan.preexecute:
+                        registry.counter("hotspot.preexec_txs").inc()
+                    if skip:
+                        registry.counter(
+                            "hotspot.instructions_skipped"
+                        ).inc(len(skip))
                 # Give the PU the constant-eliminated decode views so the
                 # fill unit packs the optimized instruction stream.
                 for code_address in {

@@ -25,6 +25,7 @@ from typing import Callable
 
 from ...evm.opcodes import Category
 from ...evm.tracer import TraceStep
+from ...obs import get_registry
 from .db_cache import DBCache
 from .fill_unit import CodeIndex, DBCacheLine, FillConfig
 from .memory import CallContractStack, ContextLoadModel, StateBuffer
@@ -78,6 +79,8 @@ class TraceTiming:
     issue_slots: int = 0  # lines + single issues
     line_hits: int = 0
     line_instructions: int = 0  # instructions issued from hit lines
+    stall_cycles: int = 0  # memory-stall share of cycles
+    prefetch_hits: int = 0  # accesses served by hotspot prefetch
 
     @property
     def ipc(self) -> float:
@@ -100,7 +103,7 @@ class PU:
         self.timing = config.timing
         self.state_buffer = state_buffer
         self.code_lookup = code_lookup
-        self.db_cache = DBCache(config.cache_entries)
+        self.db_cache = DBCache(config.cache_entries, pu_id=pu_id)
         self.call_stack = CallContractStack(
             config.timing.call_contract_stack_bytes
         )
@@ -111,6 +114,9 @@ class PU:
         self.busy_until: float = 0.0
         self.busy_cycles: int = 0
         self.transactions_executed: int = 0
+        #: Per-trace accumulators (reset by :meth:`time_trace`).
+        self._stall_cycles = 0
+        self._prefetch_hits = 0
 
     # -- static decode cache ------------------------------------------------
     def code_index(self, code_address: int) -> CodeIndex:
@@ -142,6 +148,7 @@ class PU:
         name = step.op.name
         if name == "SLOAD":
             if prefetched is not None and prefetched(step):
+                self._prefetch_hits += 1
                 return timing.prefetched_latency
             warm = self.state_buffer.access(
                 step.extra.get("address", 0), step.extra.get("slot", 0)
@@ -158,6 +165,7 @@ class PU:
             return timing.sstore_latency
         if step.op.category is Category.STATE_QUERY:
             if prefetched is not None and prefetched(step):
+                self._prefetch_hits += 1
                 return timing.prefetched_latency
             slot = _BALANCE_SLOT if name == "BALANCE" else _CODE_SLOT
             warm = self.state_buffer.access(
@@ -193,8 +201,9 @@ class PU:
         if step.op.pops > 0:
             cost += timing.operand_fetch_cycles
         cost += timing.unit_extra(step.op.category, step.op.name)
-        cost += self._memory_stall(step, prefetched)
-        return cost
+        stall = self._memory_stall(step, prefetched)
+        self._stall_cycles += stall
+        return cost + stall
 
     # -- trace timing ------------------------------------------------------------
     def time_trace(
@@ -215,6 +224,8 @@ class PU:
         if skip:
             steps = [s for s in steps if s.index not in skip]
         timing_result.instructions = len(steps)
+        self._stall_cycles = 0
+        self._prefetch_hits = 0
 
         i = 0
         n = len(steps)
@@ -249,6 +260,7 @@ class PU:
                         self._memory_stall(covered_step, prefetched),
                     )
                 cost += max_unit + max_stall
+                self._stall_cycles += max_stall
                 timing_result.cycles += cost
                 timing_result.issue_slots += 1
                 timing_result.line_hits += 1
@@ -268,7 +280,38 @@ class PU:
                 if line is not None and not config.perfect_cache:
                     self.db_cache.insert(line)
                 i += span
+        timing_result.stall_cycles = self._stall_cycles
+        timing_result.prefetch_hits = self._prefetch_hits
+        registry = get_registry()
+        if registry.enabled:
+            self._emit_trace_metrics(registry, timing_result)
         return timing_result
+
+    def _emit_trace_metrics(
+        self, registry, timing_result: TraceTiming
+    ) -> None:
+        """Publish one timed trace's aggregates as pu.* counters."""
+        labels = {"pu": str(self.pu_id)}
+        registry.counter("pu.traces", **labels).inc()
+        registry.counter("pu.instructions", **labels).inc(
+            timing_result.instructions
+        )
+        registry.counter("pu.cycles", **labels).inc(timing_result.cycles)
+        registry.counter("pu.issue_slots", **labels).inc(
+            timing_result.issue_slots
+        )
+        registry.counter("pu.line_hits", **labels).inc(
+            timing_result.line_hits
+        )
+        registry.counter("pu.line_instructions", **labels).inc(
+            timing_result.line_instructions
+        )
+        registry.counter("pu.stall_cycles", **labels).inc(
+            timing_result.stall_cycles
+        )
+        registry.counter("pu.prefetch_hits", **labels).inc(
+            timing_result.prefetch_hits
+        )
 
     def _find_line(
         self, step: TraceStep, fill_config: FillConfig
@@ -285,9 +328,9 @@ class PU:
                 if line is not None and line.cacheable:
                     self.db_cache.insert(line)
             if line is not None and line.cacheable:
-                self.db_cache.stats.hits += 1
+                self.db_cache.note_hit()
                 return line, True
-            self.db_cache.stats.misses += 1
+            self.db_cache.note_miss()
             return line, False
 
         line = self.db_cache.lookup(step.code_address, step.pc)

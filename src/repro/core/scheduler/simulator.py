@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ...chain.receipt import Receipt
 from ...chain.transaction import Transaction
 from ...faults.plan import PU_DEAD
+from ...obs import get_registry
 from ..mtpu.processor import MTPUExecutor, TxExecution
 from .composite_dag import CompositeDAG
 from .spatial_temporal import SpatialTemporalScheduler
@@ -43,6 +44,8 @@ class ScheduleResult:
     pu_busy_cycles: list[int] = field(default_factory=list)
     redundancy_hit_ratio: float = 0.0
     rounds: int = 0  # synchronous driver only
+    #: Spatio-temporal scheduler counters (admitted/commits/aborts/...).
+    scheduler_stats: dict = field(default_factory=dict)
 
     @property
     def utilization(self) -> float:
@@ -173,8 +176,14 @@ def run_spatial_temporal(
     makespan = 0
 
     def record(counter: str, amount: int = 1) -> None:
+        # DegradationReport.count also publishes to the faults.* metric
+        # series — the report and the registry stay one source of truth.
         if report is not None:
-            setattr(report, counter, getattr(report, counter) + amount)
+            report.count(counter, amount)
+            return
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults." + counter).inc(amount)
 
     while not dag.done:
         progressed = True
@@ -273,4 +282,5 @@ def run_spatial_temporal(
         num_pus=len(pus),
         pu_busy_cycles=busy,
         redundancy_hit_ratio=scheduler.redundancy_hit_ratio,
+        scheduler_stats=scheduler.stats(),
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...obs import get_registry
 from .composite_dag import CompositeDAG
 from .tables import SchedulingTable, TransactionTable
 
@@ -55,6 +56,20 @@ class SpatialTemporalScheduler:
         self._queued: set[int] = set()
         self.redundant_selections = 0
         self.total_selections = 0
+        #: Dispatch accounting: every admission ends in exactly one
+        #: commit or abort (the metric-invariant suite asserts this).
+        self.admitted = 0
+        self.commits = 0
+        self.aborts = 0
+        self._occupancy_sum = 0
+        self._occupancy_samples = 0
+        registry = get_registry()
+        self._m_selections = registry.counter("sched.selections")
+        self._m_redundant = registry.counter("sched.redundant_selections")
+        self._m_admitted = registry.counter("sched.admitted")
+        self._m_commits = registry.counter("sched.commits")
+        self._m_aborts = registry.counter("sched.aborts")
+        self._m_occupancy = registry.histogram("sched.window_occupancy")
         self.refill()
 
     # ------------------------------------------------------------------
@@ -64,6 +79,9 @@ class SpatialTemporalScheduler:
         """Fill free window slots with the best admissible transactions."""
         free = self.transaction_table.free_slots()
         if not free:
+            self._occupancy_sum += self.window_size
+            self._occupancy_samples += 1
+            self._m_occupancy.observe(self.window_size)
             self._refresh_masks()
             return
         candidates = [
@@ -89,6 +107,12 @@ class SpatialTemporalScheduler:
                 slot, tx_index, self.dag.value(tx_index)
             )
             self._queued.add(tx_index)
+        occupancy = sum(
+            1 for slot in self.transaction_table.slots if slot.occupied
+        )
+        self._occupancy_sum += occupancy
+        self._occupancy_samples += 1
+        self._m_occupancy.observe(occupancy)
         self._refresh_masks()
 
     def _refresh_masks(self) -> None:
@@ -138,6 +162,7 @@ class SpatialTemporalScheduler:
             return None
 
         self.total_selections += 1
+        self._m_selections.inc()
         re_mask = self.scheduling_table.redundancy_mask(pu_id)
         preferred = allowed & re_mask
         redundant = bool(preferred)
@@ -161,6 +186,7 @@ class SpatialTemporalScheduler:
         tx_index = self.transaction_table.lock(best_slot)
         if redundant:
             self.redundant_selections += 1
+            self._m_redundant.inc()
         return SelectionOutcome(
             tx_index=tx_index,
             slot_index=best_slot,
@@ -172,6 +198,8 @@ class SpatialTemporalScheduler:
     # Lifecycle notifications from the simulator
     # ------------------------------------------------------------------
     def on_start(self, pu_id: int, outcome: SelectionOutcome) -> None:
+        self.admitted += 1
+        self._m_admitted.inc()
         self.dag.start(outcome.tx_index)
         self.running[pu_id] = outcome.tx_index
         self.last_contract[pu_id] = self.dag.contract_of(outcome.tx_index)
@@ -180,6 +208,8 @@ class SpatialTemporalScheduler:
         self.refill()
 
     def on_complete(self, pu_id: int, tx_index: int) -> None:
+        self.commits += 1
+        self._m_commits.inc()
         self.dag.complete(tx_index)
         self.running[pu_id] = None
         self.scheduling_table.invalidate(pu_id)
@@ -194,6 +224,8 @@ class SpatialTemporalScheduler:
         of the aborted transaction "running" are evicted — they are no
         longer admissible and selecting one would break serializability.
         """
+        self.aborts += 1
+        self._m_aborts.inc()
         self.dag.abort(tx_index)
         self.running[pu_id] = None
         self.scheduling_table.clear(pu_id)
@@ -217,3 +249,20 @@ class SpatialTemporalScheduler:
         if not self.total_selections:
             return 0.0
         return self.redundant_selections / self.total_selections
+
+    def stats(self) -> dict:
+        """Scheduler counters for :class:`ScheduleResult`/perf reports."""
+        mean_occupancy = (
+            self._occupancy_sum / self._occupancy_samples
+            if self._occupancy_samples
+            else 0.0
+        )
+        return {
+            "admitted": self.admitted,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "selections": self.total_selections,
+            "redundant_selections": self.redundant_selections,
+            "window_size": self.window_size,
+            "window_occupancy_mean": mean_occupancy,
+        }

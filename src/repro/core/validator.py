@@ -41,6 +41,7 @@ from ..chain.state import WorldState
 from ..chain.transaction import Transaction
 from ..evm.interpreter import EVM
 from ..faults import DegradationReport
+from ..obs import BlockPerfReport, get_registry, get_tracer
 from .hotspot import HotspotOptimizer
 from .hotspot.tracker import HotspotTracker
 from .mtpu import MTPUExecutor, PUConfig
@@ -66,6 +67,9 @@ class ValidationOutcome:
     report: DegradationReport = field(default_factory=DegradationReport)
     #: Verdict on the block-embedded DAG (None when verification is off).
     dag_verification: DagVerification | None = None
+    #: Per-block performance report, populated when a metrics registry is
+    #: active (:func:`repro.obs.use_registry`); None otherwise.
+    perf: BlockPerfReport | None = None
 
     @property
     def makespan_cycles(self) -> int:
@@ -196,9 +200,36 @@ class AcceleratedValidator:
         4. sequential execution *also* mismatches → the claim is bogus:
            reject the block, committing nothing.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._validate(block, claimed_root)
+        with tracer.span(
+            "block.validate",
+            height=block.header.height,
+            txs=len(block.transactions),
+        ) as span:
+            outcome = self._validate(block, claimed_root)
+            span.set(
+                committed=outcome.committed,
+                verified=outcome.verified,
+                makespan_cycles=outcome.makespan_cycles,
+            )
+            return outcome
+
+    def _validate(
+        self, block: Block, claimed_root: bytes | None = None
+    ) -> ValidationOutcome:
         report = DegradationReport()
-        report.admission_rejections = self._admission_rejections
+        if self._admission_rejections:
+            report.count(
+                "admission_rejections", self._admission_rejections
+            )
         self._admission_rejections = 0
+        registry = get_registry()
+        tracer = get_tracer()
+        counters_before = (
+            registry.counters_flat() if registry.enabled else None
+        )
 
         # Everything heard before "now" was disseminated early enough to
         # pre-execute; the block's own arrival is the cutoff. Block
@@ -211,19 +242,23 @@ class AcceleratedValidator:
         edges = block.dag_edges
         dag_verdict: DagVerification | None = None
         if self.verify_dags:
-            access = discover_access_sets(
-                block.transactions, self.node.state, context
-            )
-            required = set(build_dag_edges(block.transactions, access))
-            dag_verdict = verify_dag(
-                len(block.transactions), block.dag_edges, required
-            )
-            if not dag_verdict.ok:
-                report.dag_faults_detected += 1
-                edges = transitive_reduction(
-                    len(block.transactions), sorted(required)
+            with tracer.span("block.dag_verify") as dag_span:
+                access = discover_access_sets(
+                    block.transactions, self.node.state, context
                 )
-                report.dag_rebuilds += 1
+                required = set(
+                    build_dag_edges(block.transactions, access)
+                )
+                dag_verdict = verify_dag(
+                    len(block.transactions), block.dag_edges, required
+                )
+                if not dag_verdict.ok:
+                    report.count("dag_faults_detected")
+                    edges = transitive_reduction(
+                        len(block.transactions), sorted(required)
+                    )
+                    report.count("dag_rebuilds")
+                dag_span.set(ok=dag_verdict.ok)
 
         executor = MTPUExecutor(
             self.node.state, block=context, num_pus=self.num_pus,
@@ -236,15 +271,25 @@ class AcceleratedValidator:
         token = self.node.state.snapshot()
         stale_plans_before = self.optimizer.stale_plans_discarded
 
-        schedule = run_spatial_temporal(
-            executor, block.transactions, edges,
-            fault_injector=self.fault_injector, report=report,
-        )
+        with tracer.span("block.schedule") as sched_span:
+            schedule = run_spatial_temporal(
+                executor, block.transactions, edges,
+                fault_injector=self.fault_injector, report=report,
+            )
+            sched_span.set(
+                makespan_cycles=schedule.makespan_cycles,
+                num_pus=schedule.num_pus,
+            )
         receipts = schedule.receipts_in_block_order(block.transactions)
-        report.stale_chunks_discarded += executor.stale_chunks_discarded
-        report.stale_plans_discarded += (
+        if executor.stale_chunks_discarded:
+            report.count(
+                "stale_chunks_discarded", executor.stale_chunks_discarded
+            )
+        stale_plans = (
             self.optimizer.stale_plans_discarded - stale_plans_before
         )
+        if stale_plans:
+            report.count("stale_plans_discarded", stale_plans)
         # Contracts whose profiles went stale re-enter the optimization
         # queue for the next idle slice.
         self._optimized -= self.optimizer.take_stale_addresses()
@@ -254,9 +299,9 @@ class AcceleratedValidator:
         if claimed_root is not None:
             verified = receipts_root(receipts) == claimed_root
             if not verified:
-                report.root_mismatches += 1
+                report.count("root_mismatches")
                 self.node.state.revert(token)
-                report.sequential_fallbacks += 1
+                report.count("sequential_fallbacks")
                 sequential = self._execute_sequential(block, context)
                 if receipts_root(sequential) == claimed_root:
                     # The MTPU result was wrong; the sequential path is
@@ -267,7 +312,7 @@ class AcceleratedValidator:
                     # Even sequential execution disagrees: the claimed
                     # root itself is bogus. Commit nothing.
                     self.node.state.revert(token)
-                    report.blocks_rejected += 1
+                    report.count("blocks_rejected")
                     committed = False
 
         self.node.state.clear_journal()
@@ -279,6 +324,15 @@ class AcceleratedValidator:
             self.tracker.observe_block(block.transactions)
             hotspots = self.idle_slice()
         self.total_degradation.merge(report)
+        perf: BlockPerfReport | None = None
+        if registry.enabled:
+            perf = BlockPerfReport.from_execution(
+                label=f"block@{block.header.height}",
+                schedule=schedule,
+                executor=executor,
+                degradation=report,
+                counters_before=counters_before,
+            )
         return ValidationOutcome(
             block=block,
             receipts=receipts,
@@ -288,6 +342,7 @@ class AcceleratedValidator:
             committed=committed,
             report=report,
             dag_verification=dag_verdict,
+            perf=perf,
         )
 
     def _execute_sequential(self, block: Block, context) -> list[Receipt]:

@@ -33,6 +33,7 @@ from .errors import (
     Revert,
     WriteInStaticContext,
 )
+from ..obs import get_registry
 from .gas import DEFAULT_SCHEDULE, GasMeter, GasSchedule
 from .memory import Memory
 from .stack import WORD_MASK, Stack
@@ -112,23 +113,23 @@ class EVM:
         """
         intrinsic = self.schedule.intrinsic_gas(tx.data, tx.is_create)
         if intrinsic > tx.gas_limit:
-            return Receipt(
+            return self._finish(Receipt(
                 tx_hash=tx.hash(),
                 success=False,
                 gas_used=tx.gas_limit,
                 error="intrinsic gas exceeds limit",
-            )
+            ))
 
         saved_access = self.state.access
         self.state.access = None
         try:
             if self.state.get_balance(tx.sender) < tx.value:
-                return Receipt(
+                return self._finish(Receipt(
                     tx_hash=tx.hash(),
                     success=False,
                     gas_used=intrinsic,
                     error="insufficient balance for value",
-                )
+                ))
             self.state.increment_nonce(tx.sender)
         finally:
             self.state.access = saved_access
@@ -180,7 +181,7 @@ class EVM:
         finally:
             self.state.access = saved_access
 
-        return Receipt(
+        return self._finish(Receipt(
             tx_hash=tx.hash(),
             success=result.success,
             gas_used=gas_used,
@@ -188,7 +189,58 @@ class EVM:
             output=result.output,
             contract_address=result.created_address,
             error=result.error,
-        )
+        ))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _finish(self, receipt: Receipt) -> Receipt:
+        """Record transaction-level metrics; one branch when disabled."""
+        registry = get_registry()
+        if registry.enabled:
+            self._record_tx_metrics(registry, receipt)
+        return receipt
+
+    def _record_tx_metrics(self, registry, receipt: Receipt) -> None:
+        """Publish evm.* metrics for one executed transaction.
+
+        The opcode mix, executed-instruction count and stack/call depth
+        are derived post-hoc from the attached tracer's trace (free when
+        a :class:`NullTracer` is attached — its step list stays empty).
+        """
+        registry.counter("evm.transactions").inc()
+        registry.counter("evm.gas_used").inc(receipt.gas_used)
+        if not receipt.success:
+            registry.counter("evm.failures").inc()
+        steps = self.tracer.steps
+        if not steps:
+            return
+        registry.counter("evm.instructions").inc(len(steps))
+        categories: dict[str, int] = {}
+        max_call_depth = 0
+        # Per-frame operand-stack height, replayed from pops/pushes; a
+        # call record's start index marks where its frame's stack resets.
+        frame_resets = {}
+        for call in self.tracer.calls:
+            frame_resets.setdefault(call.start_index, call.depth)
+        heights: dict[int, int] = {}
+        max_height = 0
+        for step in steps:
+            key = step.op.category.value
+            categories[key] = categories.get(key, 0) + 1
+            depth = step.depth
+            if depth > max_call_depth:
+                max_call_depth = depth
+            if frame_resets.get(step.index) == depth:
+                heights[depth] = 0
+            height = heights.get(depth, 0) - step.op.pops + step.op.pushes
+            heights[depth] = height
+            if height > max_height:
+                max_height = height
+        for category, count in categories.items():
+            registry.counter("evm.ops", category=category).inc(count)
+        registry.histogram("evm.stack_depth").observe(max_height)
+        registry.histogram("evm.call_depth").observe(max_call_depth)
 
     # ------------------------------------------------------------------
     # Message-call machinery

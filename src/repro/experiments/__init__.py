@@ -35,6 +35,7 @@ from .ablations import (
     ablation_unit_capacity,
     ablation_window_size,
 )
+from .perf import measure_block
 
 __all__ = [
     "ExperimentResult",
@@ -57,4 +58,5 @@ __all__ = [
     "ablation_state_buffer",
     "ablation_unit_capacity",
     "ablation_window_size",
+    "measure_block",
 ]

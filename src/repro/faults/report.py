@@ -5,11 +5,19 @@ node operator (or a test) can assert exactly which faults were seen and
 which recovery path handled them. The report is threaded through
 :class:`repro.core.validator.ValidationOutcome` and accumulated per
 validator lifetime via :meth:`DegradationReport.merge`.
+
+The counters are shared with the metrics registry: incrementing through
+:meth:`DegradationReport.count` also bumps the matching ``faults.<name>``
+series on the active :class:`repro.obs.MetricsRegistry`, so fault drills
+and :class:`repro.obs.BlockPerfReport` perf reports read one source of
+truth rather than two drifting sets of counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+
+from ..obs import get_registry
 
 
 @dataclass
@@ -67,8 +75,32 @@ class DegradationReport:
             + self.txs_rescheduled
         )
 
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment one counter *and* its ``faults.<name>`` metric series.
+
+        Every live increment site (validator, scheduler driver) goes
+        through here; field assignment stays available for tests that
+        construct expected reports by hand.
+        """
+        setattr(self, name, getattr(self, name) + amount)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults." + name).inc(amount)
+
+    @classmethod
+    def from_registry(cls, registry) -> "DegradationReport":
+        """Rebuild a report from the registry's ``faults.*`` totals."""
+        report = cls()
+        for spec in fields(report):
+            setattr(report, spec.name, registry.total("faults." + spec.name))
+        return report
+
     def merge(self, other: "DegradationReport") -> None:
-        """Fold another report's counters into this one."""
+        """Fold another report's counters into this one.
+
+        Pure field arithmetic — the registry already saw each event once
+        at :meth:`count` time, so merging must not re-publish.
+        """
         for spec in fields(self):
             setattr(
                 self,

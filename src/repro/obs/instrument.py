@@ -1,0 +1,60 @@
+"""Instrumentation helpers: ``observe()``, ``count()`` and ``@timed``.
+
+These are the free-function face of the registry for code that does not
+want to hold metric handles. All three resolve the active registry per
+call and fall through immediately when it is the no-op default.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+from .registry import get_registry
+
+
+def count(name: str, amount: int = 1, **labels) -> None:
+    """Increment a counter on the active registry."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(name, **labels).inc(amount)
+
+
+def observe(name: str, value, **labels) -> None:
+    """Record *value* into a histogram on the active registry."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.histogram(name, **labels).observe(value)
+
+
+def timed(name=None, **labels):
+    """Decorator: time each call into ``<name>.seconds`` (a histogram)
+    and count calls into ``<name>.calls``.
+
+    Usable bare (``@timed``) or configured (``@timed("hotspot.profile")``).
+    When the registry is disabled the wrapper is a single attribute check
+    plus the call itself — no clock reads.
+    """
+
+    def decorate(fn, metric_name=None):
+        base = metric_name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            registry = get_registry()
+            if not registry.enabled:
+                return fn(*args, **kwargs)
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                registry.histogram(base + ".seconds", **labels).observe(
+                    time.perf_counter() - started
+                )
+                registry.counter(base + ".calls", **labels).inc()
+
+        return wrapper
+
+    if callable(name):  # bare @timed
+        return decorate(name)
+    return lambda fn: decorate(fn, name)

@@ -1,0 +1,315 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+Design constraints (why this is not a thin wrapper over a metrics
+library):
+
+* **Dependency-free** — the reproduction must run from a bare Python
+  toolchain; no prometheus_client, no OpenTelemetry.
+* **Zero-cost when disabled** — the default registry is
+  :data:`NULL_REGISTRY`, whose metric handles are shared no-op
+  singletons. Hot paths either hold a handle (``self._m_hits.inc()`` is
+  a no-op method call) or guard aggregate emission with
+  ``registry.enabled``; tier-1 test timing is unaffected.
+* **Deterministic** — snapshots are sorted, values are plain ints/floats,
+  and nothing reads the wall clock, so metric snapshots can be frozen as
+  golden fixtures and diffed across runs.
+
+A *series* is one (name, labels) pair; ``registry.counter("db_cache.hits",
+pu="0")`` returns the same :class:`Counter` object on every call, so hot
+paths resolve their handles once at construction time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+#: Flat-key rendering of a labeled series: ``name{k=v,k2=v2}``.
+def flat_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def percentile(values: list, p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if p <= 0:
+        return ordered[0]
+    if p >= 100:
+        return ordered[-1]
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+class Counter:
+    """A monotonically increasing count (events, cycles, instructions)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({flat_key(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (pool size, window occupancy)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({flat_key(self.name, self.labels)}={self.value})"
+
+
+class Histogram:
+    """A distribution of observed values with exact quantiles.
+
+    Values are retained verbatim (simulated blocks observe at most a few
+    thousand samples per series), so p50/p99 are exact nearest-rank
+    quantiles rather than bucket approximations.
+    """
+
+    __slots__ = ("name", "labels", "values")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.values: list = []
+
+    def observe(self, value) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self):
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def quantile(self, p: float):
+        return percentile(self.values, p)
+
+    def summary(self) -> dict:
+        """JSON-ready digest of the distribution."""
+        if not self.values:
+            return {"count": 0, "total": 0, "min": 0, "max": 0,
+                    "p50": 0, "p99": 0}
+        return {
+            "count": len(self.values),
+            "total": self.total,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.quantile(50),
+            "p99": self.quantile(99),
+        }
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by the disabled registry."""
+
+    def __init__(self):
+        super().__init__("null", ())
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def __init__(self):
+        super().__init__("null", ())
+
+    def set(self, value) -> None:
+        pass
+
+    def inc(self, amount=1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def __init__(self):
+        super().__init__("null", ())
+
+    def observe(self, value) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled metric series."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = self._key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = Counter(key[0], key[1])
+            self._counters[key] = metric
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = self._key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = Gauge(key[0], key[1])
+            self._gauges[key] = metric
+        return metric
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = self._key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = Histogram(key[0], key[1])
+            self._histograms[key] = metric
+        return metric
+
+    # -- queries -----------------------------------------------------------
+    def value(self, name: str, **labels):
+        """Exact series value (0 when the series does not exist)."""
+        key = self._key(name, labels)
+        metric = self._counters.get(key) or self._gauges.get(key)
+        return metric.value if metric is not None else 0
+
+    def total(self, name: str):
+        """Sum of a counter/gauge name across all its label series."""
+        return sum(
+            m.value
+            for store in (self._counters, self._gauges)
+            for (n, _), m in store.items()
+            if n == name
+        )
+
+    def series(self, name: str) -> list:
+        """All metrics registered under *name*, any kind, sorted."""
+        found = [
+            m
+            for store in (self._counters, self._gauges, self._histograms)
+            for (n, _), m in store.items()
+            if n == name
+        ]
+        return sorted(found, key=lambda m: m.labels)
+
+    def counters_flat(self) -> dict:
+        """``{flat_key: value}`` for every counter series, sorted."""
+        return {
+            flat_key(m.name, m.labels): m.value
+            for _, m in sorted(self._counters.items())
+        }
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready dump of every series."""
+        return {
+            "counters": self.counters_flat(),
+            "gauges": {
+                flat_key(m.name, m.labels): m.value
+                for _, m in sorted(self._gauges.items())
+            },
+            "histograms": {
+                flat_key(m.name, m.labels): m.summary()
+                for _, m in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Forget every series (handles held by components go stale)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The default registry: accepts everything, records nothing."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> Counter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return NULL_HISTOGRAM
+
+
+NULL_REGISTRY = NullMetricsRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide active registry (the no-op one by default)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as the active one; returns the previous."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None):
+    """Scoped instrumentation: install a registry, restore on exit.
+
+    ``with use_registry() as reg:`` creates a fresh enabled registry —
+    the common test/benchmark idiom. Components resolve metric handles
+    when *they* are constructed, so build the system under measurement
+    inside the ``with`` block.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(previous)
+
+
+def delta(before: dict, after: dict) -> dict:
+    """Per-key difference of two :meth:`counters_flat` snapshots."""
+    changed = {}
+    for key, value in after.items():
+        diff = value - before.get(key, 0)
+        if diff:
+            changed[key] = diff
+    return changed

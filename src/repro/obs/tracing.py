@@ -1,0 +1,183 @@
+"""Span-based structured tracing.
+
+A :class:`Span` is one timed region of work with attributes and child
+spans; a :class:`SpanTracer` maintains the open-span stack and keeps the
+finished roots. The block pipeline produces a three-level hierarchy::
+
+    block.validate
+    ├── block.dag_verify
+    └── block.schedule
+        ├── tx.execute {pu, contract, cycles, instructions}
+        ├── tx.execute ...
+        └── ...
+
+The default tracer is :data:`NULL_TRACER`: ``span()`` hands back a shared
+no-op context manager, so untraced runs pay one attribute check per span
+site. For golden-trace fixtures, construct ``SpanTracer(clock=
+LogicalClock())`` — spans are then stamped with a deterministic counter
+instead of wall time and serialize byte-identically on every run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class LogicalClock:
+    """A deterministic clock: each reading is the previous plus one."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def __call__(self) -> int:
+        self.now += 1
+        return self.now
+
+
+@dataclass
+class Span:
+    """One traced region: name, interval, attributes, children."""
+
+    name: str
+    start: float = 0.0
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def set(self, **attributes) -> None:
+        """Attach attributes to the span (e.g. measured results)."""
+        self.attributes.update(attributes)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            start=data["start"],
+            end=data["end"],
+            attributes=dict(data.get("attributes", {})),
+            children=[
+                cls.from_dict(child) for child in data.get("children", [])
+            ],
+        )
+
+
+class _NullSpan(Span):
+    """Shared placeholder span: swallows attributes."""
+
+    def __init__(self) -> None:
+        super().__init__(name="null")
+
+    def set(self, **attributes) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager (cheaper than a generator)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class SpanTracer:
+    """Collects a forest of spans via an open-span stack."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        node = Span(
+            name=name, start=self.clock(), attributes=dict(attributes)
+        )
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+            node.end = self.clock()
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def to_dicts(self) -> list[dict]:
+        return [root.to_dict() for root in self.roots]
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+
+class NullSpanTracer(SpanTracer):
+    """The default tracer: every span site is a shared no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes):
+        return _NULL_SPAN_CONTEXT
+
+    def current(self) -> Span | None:
+        return None
+
+
+NULL_TRACER = NullSpanTracer()
+
+_active: SpanTracer = NULL_TRACER
+
+
+def get_tracer() -> SpanTracer:
+    """The process-wide active span tracer (no-op by default)."""
+    return _active
+
+
+def set_tracer(tracer: SpanTracer) -> SpanTracer:
+    """Install *tracer* as the active one; returns the previous."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def use_tracing(tracer: SpanTracer | None = None):
+    """Scoped tracing: install a tracer, restore the previous on exit."""
+    active = tracer if tracer is not None else SpanTracer()
+    previous = set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

@@ -30,6 +30,14 @@ BOB = 0xB0B
 CONTRACT = 0xC0DE
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite golden fixtures (tests/obs/golden/) instead of "
+             "comparing against them; review the diff before committing",
+    )
+
+
 @pytest.fixture(scope="session")
 def deployment():
     """The genesis deployment (shared, treat as read-only)."""

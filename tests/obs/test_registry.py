@@ -1,0 +1,230 @@
+"""Unit tests for the metrics registry, tracing and helpers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    LogicalClock,
+    MetricsRegistry,
+    SpanTracer,
+    count,
+    delta,
+    flat_key,
+    get_registry,
+    get_tracer,
+    observe,
+    percentile,
+    timed,
+    use_registry,
+    use_tracing,
+)
+
+
+class TestCounters:
+    def test_counter_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        a = reg.counter("evm.instructions")
+        b = reg.counter("evm.instructions")
+        assert a is b
+        a.inc()
+        b.inc(4)
+        assert reg.value("evm.instructions") == 5
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("db_cache.hits", pu=0).inc(3)
+        reg.counter("db_cache.hits", pu=1).inc(2)
+        assert reg.value("db_cache.hits", pu=0) == 3
+        assert reg.value("db_cache.hits", pu=1) == 2
+        assert reg.total("db_cache.hits") == 5
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", a=1, b=2)
+        b = reg.counter("x", b=2, a=1)
+        assert a is b
+
+    def test_missing_series_reads_zero(self):
+        reg = MetricsRegistry()
+        assert reg.value("nope") == 0
+        assert reg.total("nope") == 0
+        assert reg.series("nope") == []
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("mempool.size")
+        g.set(10)
+        g.inc(-3)
+        assert reg.value("mempool.size") == 7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("tx.cycles")
+        for v in [10, 20, 30, 40]:
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["total"] == 100
+        assert summary["min"] == 10
+        assert summary["max"] == 40
+        assert summary["p50"] == 20
+
+    def test_empty_histogram_summary(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("empty").summary()["count"] == 0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_single_value(self):
+        assert percentile([7], 50) == 7
+        assert percentile([], 99) == 0.0
+
+
+class TestSnapshots:
+    def test_flat_key_rendering(self):
+        assert flat_key("a.b", ()) == "a.b"
+        assert flat_key("a.b", (("pu", "0"),)) == "a.b{pu=0}"
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", pu=1).inc(2)
+        reg.gauge("g").set(3)
+        reg.histogram("h").observe(5)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["counters"]) == ["a{pu=1}", "b"]
+        assert snap["gauges"]["g"] == 3
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_delta(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(2)
+        before = reg.counters_flat()
+        reg.counter("x").inc(3)
+        reg.counter("y").inc(1)
+        diff = delta(before, reg.counters_flat())
+        assert diff == {"x": 3, "y": 1}
+
+    def test_reset_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.counters_flat() == {}
+
+
+class TestNullRegistry:
+    def test_default_registry_is_disabled(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_null_metrics_record_nothing(self):
+        NULL_REGISTRY.counter("x").inc(5)
+        NULL_REGISTRY.gauge("y").set(5)
+        NULL_REGISTRY.histogram("z").observe(5)
+        assert NULL_REGISTRY.counters_flat() == {}
+        assert NULL_REGISTRY.snapshot()["histograms"] == {}
+
+    def test_use_registry_scopes_and_restores(self):
+        with use_registry() as reg:
+            assert get_registry() is reg
+            assert reg.enabled
+            reg.counter("x").inc()
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestInstrumentHelpers:
+    def test_count_and_observe(self):
+        with use_registry() as reg:
+            count("events")
+            count("events", 2, kind="a")
+            observe("sizes", 10)
+        assert reg.total("events") == 3
+        assert reg.histogram("sizes").count == 1
+
+    def test_count_is_noop_when_disabled(self):
+        count("events")  # must not raise nor record
+        assert NULL_REGISTRY.counters_flat() == {}
+
+    def test_timed_decorator(self):
+        @timed("work")
+        def work(x):
+            return x * 2
+
+        with use_registry() as reg:
+            assert work(21) == 42
+        assert reg.value("work.calls") == 1
+        assert reg.histogram("work.seconds").count == 1
+
+    def test_timed_bare_derives_metric_from_function(self):
+        @timed
+        def named():
+            return 1
+
+        base = f"{named.__module__}.{named.__qualname__}"
+        with use_registry() as reg:
+            named()
+        assert reg.value(base + ".calls") == 1
+
+    def test_timed_skips_clock_when_disabled(self):
+        @timed("work")
+        def work():
+            return 7
+
+        assert work() == 7  # default registry: nothing recorded
+
+
+class TestTracing:
+    def test_default_tracer_is_noop(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        with tracer.span("anything") as span:
+            span.set(ignored=True)
+        assert tracer.current() is None
+
+    def test_span_nesting(self):
+        with use_tracing() as tracer:
+            with tracer.span("outer", a=1) as outer:
+                with tracer.span("inner") as inner:
+                    inner.set(b=2)
+                assert tracer.current() is outer
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert root.attributes == {"a": 1}
+        assert root.children[0].attributes == {"b": 2}
+        assert root.end >= root.start
+
+    def test_logical_clock_spans_are_deterministic(self):
+        def trace_once():
+            with use_tracing(SpanTracer(clock=LogicalClock())) as t:
+                with t.span("a"):
+                    with t.span("b"):
+                        pass
+            return t.to_dicts()
+
+        assert trace_once() == trace_once()
+        root = trace_once()[0]
+        assert root["start"] == 1
+        assert root["children"][0]["start"] == 2
+
+    def test_span_closes_on_exception(self):
+        with use_tracing() as tracer:
+            with pytest.raises(ValueError):
+                with tracer.span("fails"):
+                    raise ValueError("boom")
+        assert tracer.roots[0].end is not None
+        assert tracer.current() is None
