@@ -34,7 +34,7 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro.experiments import measure_block  # noqa: E402
+from repro.experiments import measure_block, measure_wall_clock  # noqa: E402
 
 #: Benchmark configurations: name -> measure_block kwargs.
 CONFIGS = {
@@ -42,12 +42,25 @@ CONFIGS = {
     "full": dict(num_transactions=64, num_pus=8, ratio=0.5, seed=7),
 }
 
+#: Wall-clock configurations: name -> measure_wall_clock kwargs (a
+#: low-conflict block so the execute-once pipeline has replays to win on).
+WALL_CONFIGS = {
+    "quick": dict(num_transactions=64, num_workers=4, ratio=0.0, seed=7),
+    "full": dict(num_transactions=64, num_workers=4, ratio=0.0, seed=7),
+}
+
 #: A run regresses when speedup falls below this fraction of baseline.
 REGRESSION_FLOOR = 0.9
+
+#: The execute-once pipeline must beat the seed's discover-then-execute
+#: sequential path by this wall-clock factor. A same-machine ratio, so
+#: the gate is portable across hardware.
+WALL_SPEEDUP_FLOOR = 1.5
 
 
 def run_config(name: str) -> dict:
     report = measure_block(label=f"bench:{name}", **CONFIGS[name])
+    wall = measure_wall_clock(**WALL_CONFIGS[name])
     return {
         "config": name,
         "parameters": dict(CONFIGS[name]),
@@ -57,8 +70,12 @@ def run_config(name: str) -> dict:
             "pu_utilization": report.utilization,
             "p50_tx_cycles": report.p50_tx_cycles,
             "p99_tx_cycles": report.p99_tx_cycles,
+            "wall_sequential_tps": wall["sequential"]["tx_per_second"],
+            "wall_pipeline_tps": wall["pipeline"]["tx_per_second"],
+            "wall_pipeline_speedup": wall["pipeline_speedup"],
         },
         "report": report.to_dict(),
+        "wall": wall,
     }
 
 
@@ -83,6 +100,18 @@ def check_baseline(result: dict, baseline_path: pathlib.Path) -> int:
     print(
         f"ok: speedup {measured:.2f}x vs baseline "
         f"{entry['speedup']:.2f}x (floor {floor:.2f}x)"
+    )
+    wall_speedup = result["headline"]["wall_pipeline_speedup"]
+    if wall_speedup < WALL_SPEEDUP_FLOOR:
+        print(
+            f"REGRESSION: wall-clock pipeline speedup {wall_speedup:.2f}x "
+            f"is below the {WALL_SPEEDUP_FLOOR}x floor over the seed "
+            "sequential path"
+        )
+        return 1
+    print(
+        f"ok: wall-clock pipeline speedup {wall_speedup:.2f}x "
+        f"(floor {WALL_SPEEDUP_FLOOR}x)"
     )
     return 0
 
@@ -119,6 +148,14 @@ def main(argv: list[str] | None = None) -> int:
         f"p50/p99 tx cycles "
         f"{headline['p50_tx_cycles']}/{headline['p99_tx_cycles']}"
     )
+    print(
+        f"[{config}] wall-clock: sequential "
+        f"{headline['wall_sequential_tps']:.0f} tx/s, pipeline "
+        f"{headline['wall_pipeline_tps']:.0f} tx/s "
+        f"({headline['wall_pipeline_speedup']:.2f}x, "
+        f"{result['wall']['num_workers']} workers, "
+        f"{result['wall']['backend']} backend)"
+    )
 
     out_dir = args.out or pathlib.Path(__file__).resolve().parent.parent
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -131,7 +168,13 @@ def main(argv: list[str] | None = None) -> int:
         baseline = {}
         if args.write_baseline.exists():
             baseline = json.loads(args.write_baseline.read_text())
-        baseline[config] = dict(headline)
+        # Absolute tx/s is machine-dependent; commit only the portable
+        # ratios and model-cycle metrics.
+        baseline[config] = {
+            key: value
+            for key, value in headline.items()
+            if key not in ("wall_sequential_tps", "wall_pipeline_tps")
+        }
         args.write_baseline.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n"
         )

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .state import AccessSet, WorldState
+from .journal import ExecutionArtifact, capture_artifact
+from .state import WorldState
 from .transaction import Transaction
 
 
@@ -23,32 +24,112 @@ def discover_access_sets(
     transactions: list[Transaction],
     state: WorldState,
     block_context=None,
-) -> list[AccessSet]:
-    """Speculatively execute the batch, returning per-transaction access sets.
+    trace: bool = False,
+) -> list[ExecutionArtifact]:
+    """Speculatively execute the batch once, keeping everything it found.
 
-    The input *state* is not modified: execution happens on a deep copy.
+    Returns one :class:`~repro.chain.journal.ExecutionArtifact` per
+    transaction — access set, receipt, write journal, read values and
+    (with ``trace=True``) the dataflow trace — so consumers can *reuse*
+    the pre-execution instead of running the EVM a second time. The
+    artifact list is access-set-compatible (``.reads`` / ``.writes`` /
+    ``conflicts_with``), so it drops directly into
+    :func:`build_dag_edges` and :func:`verify_dag`.
+
+    The input *state* is left untouched: execution happens in place under
+    a journal snapshot that is reverted at the end (no more deep-copying
+    the whole world state per block, so pre-execution cost scales with
+    the block, not with total chain state).
     """
-    from ..evm.interpreter import EVM  # local import avoids a cycle
+    from ..evm.context import BlockContext  # local imports avoid a cycle
+    from ..evm.interpreter import EVM
+    from ..evm.tracer import Tracer
 
-    scratch = state.copy()
-    evm = EVM(scratch, block=block_context)
-    access_sets: list[AccessSet] = []
-    for tx in transactions:
-        scratch.begin_access_tracking()
-        evm.execute_transaction(tx)
-        access_sets.append(scratch.end_access_tracking())
-        scratch.clear_journal()
-    return access_sets
+    context = block_context or BlockContext()
+    artifacts: list[ExecutionArtifact] = []
+    block_token = state.snapshot()
+    saved_access, state.access = state.access, None
+    try:
+        for tx in transactions:
+            tracer = Tracer() if trace else None
+            evm = EVM(state, block=context, tracer=tracer)
+            tx_token = state.snapshot()
+            access = state.begin_access_tracking()
+            try:
+                receipt = evm.execute_transaction(tx)
+            finally:
+                state.end_access_tracking()
+            artifacts.append(capture_artifact(
+                state, tx, receipt, access,
+                state.changes_since(tx_token),
+                coinbase=context.coinbase,
+                steps=tracer.steps if tracer is not None else None,
+            ))
+    finally:
+        state.access = None
+        state.revert(block_token)
+        state.access = saved_access
+    return artifacts
 
 
 def build_dag_edges(
     transactions: list[Transaction],
-    access_sets: list[AccessSet],
+    access_sets: list,
 ) -> list[tuple[int, int]]:
     """Conflict edges (i, j) with i < j in block order.
 
     Includes read/write-set conflicts and same-sender ordering. The result
-    is acyclic by construction (edges always point forward in block order).
+    is acyclic by construction (edges always point forward in block order)
+    and identical — order included — to the reference pairwise builder
+    (:func:`build_dag_edges_pairwise`), but is computed from an inverted
+    index keyed by ``(address, slot)``: cost is proportional to the total
+    number of accesses (plus output edges), not to the square of the
+    block size. *access_sets* may be :class:`~repro.chain.state.AccessSet`
+    or :class:`~repro.chain.journal.ExecutionArtifact` instances.
+    """
+    edges: set[tuple[int, int]] = set()
+
+    # Same-sender ordering: every pair within a sender group.
+    by_sender: dict[int, list[int]] = {}
+    for index, tx in enumerate(transactions):
+        by_sender.setdefault(tx.sender, []).append(index)
+    for group in by_sender.values():
+        for a in range(len(group)):
+            for b in range(a + 1, len(group)):
+                edges.add((group[a], group[b]))
+
+    # Inverted index: key -> (writer indices, reader indices).
+    writers: dict[tuple, list[int]] = {}
+    readers: dict[tuple, list[int]] = {}
+    for index, access in enumerate(access_sets):
+        for key in access.writes:
+            writers.setdefault(key, []).append(index)
+        for key in access.reads:
+            readers.setdefault(key, []).append(index)
+
+    for key, writer_list in writers.items():
+        # W/W conflicts.
+        for a in range(len(writer_list)):
+            for b in range(a + 1, len(writer_list)):
+                i, j = writer_list[a], writer_list[b]
+                edges.add((i, j) if i < j else (j, i))
+        # W/R and R/W conflicts.
+        for w in writer_list:
+            for r in readers.get(key, ()):
+                if w != r:
+                    edges.add((w, r) if w < r else (r, w))
+
+    return sorted(edges, key=lambda edge: (edge[1], edge[0]))
+
+
+def build_dag_edges_pairwise(
+    transactions: list[Transaction],
+    access_sets: list,
+) -> list[tuple[int, int]]:
+    """Reference O(n²) pairwise conflict builder.
+
+    Kept as the executable specification :func:`build_dag_edges` is
+    property-tested against (`tests/chain/test_dag_index.py`).
     """
     edges: list[tuple[int, int]] = []
     for j in range(len(transactions)):
@@ -193,17 +274,18 @@ def rebuild_dag(
     transactions: list[Transaction],
     state: WorldState,
     block_context=None,
-) -> tuple[list[tuple[int, int]], list[AccessSet]]:
+) -> tuple[list[tuple[int, int]], list[ExecutionArtifact]]:
     """Locally re-derive a block's dependency DAG (untrusted-DAG path).
 
-    Returns the transitively-reduced edges plus the access sets so the
-    caller can reuse them (e.g. for verification bookkeeping).
+    Returns the transitively-reduced edges plus the execution artifacts
+    so the caller can reuse them (verification bookkeeping, and the
+    execute-once pipeline's replay path).
     """
-    access_sets = discover_access_sets(transactions, state, block_context)
+    artifacts = discover_access_sets(transactions, state, block_context)
     edges = transitive_reduction(
-        len(transactions), build_dag_edges(transactions, access_sets)
+        len(transactions), build_dag_edges(transactions, artifacts)
     )
-    return edges, access_sets
+    return edges, artifacts
 
 
 def to_networkx(count: int, edges: list[tuple[int, int]]):

@@ -14,19 +14,29 @@ Two capabilities the rest of the system leans on:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
 
 from .account import Account
-
-# Journal entries are (undo_callable) thunks; a snapshot is an index into
-# the journal list.
-_Undo = Callable[[], None]
 
 #: Sentinel slot used in access sets for balance/nonce/code-level accesses
 #: (as opposed to a concrete storage slot).
 BALANCE_KEY = "balance"
 CODE_KEY = "code"
+#: Journal-only sentinel: nonces are deliberately outside access tracking
+#: (they never create DAG edges) but write journals must still carry them.
+NONCE_KEY = "nonce"
+
+# Journal entries are tagged tuples describing one reversible mutation:
+#   ("created", address)               — account lazily materialized
+#   ("deleted", address, account)      — SELFDESTRUCT removed the account
+#   ("balance", address, old_value)
+#   ("nonce", address, old_value)
+#   ("code", address, old_code)
+#   ("storage", address, slot, old_value_or_None)
+# A snapshot is an index into the journal list. The structured form (vs.
+# opaque undo closures) is what lets the execute-once pipeline read the
+# exact mutation set of a transaction back out of the journal.
 
 
 @dataclass
@@ -66,7 +76,7 @@ class WorldState:
 
     def __init__(self) -> None:
         self._accounts: dict[int, Account] = {}
-        self._journal: list[_Undo] = []
+        self._journal: list[tuple] = []
         self.access: AccessSet | None = None
 
     # -- account lifecycle -------------------------------------------------
@@ -76,7 +86,7 @@ class WorldState:
         if acct is None:
             acct = Account()
             self._accounts[address] = acct
-            self._journal.append(lambda: self._accounts.pop(address, None))
+            self._journal.append(("created", address))
         return acct
 
     def account_exists(self, address: int) -> bool:
@@ -84,13 +94,15 @@ class WorldState:
         acct = self._accounts.get(address)
         return acct is not None and not acct.is_empty
 
+    def has_account(self, address: int) -> bool:
+        """True if the account record is materialized (even when empty)."""
+        return address in self._accounts
+
     def delete_account(self, address: int) -> None:
         """SELFDESTRUCT: remove the account entirely."""
         acct = self._accounts.pop(address, None)
         if acct is not None:
-            self._journal.append(
-                lambda: self._accounts.__setitem__(address, acct)
-            )
+            self._journal.append(("deleted", address, acct))
         self._record_write(address, CODE_KEY)
         self._record_write(address, BALANCE_KEY)
 
@@ -108,7 +120,7 @@ class WorldState:
         acct = self.account(address)
         old = acct.balance
         if old != value:
-            self._journal.append(lambda: setattr(acct, "balance", old))
+            self._journal.append(("balance", address, old))
             acct.balance = value
         self._record_write(address, BALANCE_KEY)
 
@@ -129,8 +141,16 @@ class WorldState:
     def increment_nonce(self, address: int) -> None:
         acct = self.account(address)
         old = acct.nonce
-        self._journal.append(lambda: setattr(acct, "nonce", old))
+        self._journal.append(("nonce", address, old))
         acct.nonce = old + 1
+
+    def set_nonce(self, address: int, value: int) -> None:
+        """Directly set a nonce (journal replay; not an EVM operation)."""
+        acct = self.account(address)
+        old = acct.nonce
+        if old != value:
+            self._journal.append(("nonce", address, old))
+            acct.nonce = value
 
     # -- code -------------------------------------------------------------------
     def get_code(self, address: int) -> bytes:
@@ -141,7 +161,7 @@ class WorldState:
     def set_code(self, address: int, code: bytes) -> None:
         acct = self.account(address)
         old = acct.code
-        self._journal.append(lambda: setattr(acct, "code", old))
+        self._journal.append(("code", address, old))
         acct.code = code
         self._record_write(address, CODE_KEY)
 
@@ -156,14 +176,7 @@ class WorldState:
     def set_storage(self, address: int, slot: int, value: int) -> None:
         acct = self.account(address)
         old = acct.storage.get(slot)
-
-        def undo() -> None:
-            if old is None:
-                acct.storage.pop(slot, None)
-            else:
-                acct.storage[slot] = old
-
-        self._journal.append(undo)
+        self._journal.append(("storage", address, slot, old))
         if value == 0:
             acct.storage.pop(slot, None)
         else:
@@ -177,8 +190,38 @@ class WorldState:
 
     def revert(self, token: int) -> None:
         """Undo all writes made since snapshot *token*."""
+        accounts = self._accounts
         while len(self._journal) > token:
-            self._journal.pop()()
+            entry = self._journal.pop()
+            kind = entry[0]
+            if kind == "storage":
+                _, address, slot, old = entry
+                acct = accounts[address]
+                if old is None:
+                    acct.storage.pop(slot, None)
+                else:
+                    acct.storage[slot] = old
+            elif kind == "balance":
+                accounts[entry[1]].balance = entry[2]
+            elif kind == "nonce":
+                accounts[entry[1]].nonce = entry[2]
+            elif kind == "code":
+                accounts[entry[1]].code = entry[2]
+            elif kind == "created":
+                accounts.pop(entry[1], None)
+            elif kind == "deleted":
+                accounts[entry[1]] = entry[2]
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown journal entry {kind!r}")
+
+    def changes_since(self, token: int) -> list[tuple]:
+        """The journal entries recorded since snapshot *token*, in order.
+
+        Each entry carries the *old* value (see the journal format above);
+        callers combine it with the current state to derive a
+        transaction's write journal without re-executing anything.
+        """
+        return self._journal[token:]
 
     def commit(self, token: int) -> None:
         """Discard undo entries newer than *token* (writes become final
@@ -212,6 +255,20 @@ class WorldState:
     def _record_write(self, address: int, slot: int | str) -> None:
         if self.access is not None:
             self.access.writes.add((address, slot))
+
+    @contextmanager
+    def untracked(self):
+        """Suspend access tracking for bookkeeping reads/writes.
+
+        Used wherever the infrastructure (journal replay, artifact
+        freshness checks, timing-model code fetches) touches state without
+        that touch being part of the transaction's semantic access set.
+        """
+        saved, self.access = self.access, None
+        try:
+            yield self
+        finally:
+            self.access = saved
 
     # -- copying -------------------------------------------------------------------
     def copy(self) -> "WorldState":

@@ -75,8 +75,17 @@ class Transaction:
         )
 
     def hash(self) -> bytes:
-        """Transaction hash over the wire encoding."""
-        return keccak256(self.to_rlp())
+        """Transaction hash over the wire encoding (memoized).
+
+        Transactions are immutable, so the keccak over the RLP encoding
+        is computed once and cached — it is consulted per call in the
+        mempool, receipt ordering, artifact lookup and fault reports.
+        """
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = keccak256(self.to_rlp())
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         dest = "CREATE" if self.to is None else f"{self.to:#x}"

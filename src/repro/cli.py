@@ -95,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--indent", type=int, default=2,
         help="JSON indentation (default: 2)",
     )
+    obs.add_argument(
+        "--parallel-workers", type=int, default=None, metavar="N",
+        help=(
+            "also measure wall-clock throughput of the multicore "
+            "parallel backend with N workers vs the sequential path"
+        ),
+    )
+    obs.add_argument(
+        "--parallel-backend", choices=("process", "serial"),
+        default="process",
+        help="parallel backend for --parallel-workers (default: process)",
+    )
     return parser
 
 
@@ -121,6 +133,26 @@ def _run_obs_report(args) -> int:
         f"p50/p99 tx cycles {report.p50_tx_cycles}/{report.p99_tx_cycles}]",
         file=sys.stderr,
     )
+    if args.parallel_workers is not None:
+        from .experiments import measure_wall_clock
+
+        wall = measure_wall_clock(
+            num_transactions=args.transactions,
+            num_workers=args.parallel_workers,
+            ratio=args.ratio,
+            seed=args.seed,
+            backend=args.parallel_backend,
+        )
+        print(
+            f"[wall-clock: sequential "
+            f"{wall['sequential']['tx_per_second']:.0f} tx/s, pipeline "
+            f"{wall['pipeline']['tx_per_second']:.0f} tx/s "
+            f"({wall['pipeline_speedup']:.2f}x, "
+            f"{wall['num_workers']} workers, {wall['backend']} backend, "
+            f"{wall['pipeline']['replayed']} replayed / "
+            f"{wall['pipeline']['dispatched']} dispatched)]",
+            file=sys.stderr,
+        )
     return 0
 
 

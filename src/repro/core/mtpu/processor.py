@@ -56,6 +56,7 @@ class MTPUExecutor:
         num_pus: int = 4,
         pu_config: PUConfig | None = None,
         hotspot_optimizer=None,
+        artifacts: dict | None = None,
     ) -> None:
         self.state = state
         self.block = block or BlockContext()
@@ -83,6 +84,15 @@ class MTPUExecutor:
         self._code_written: set[int] = set()
         #: Pre-executed hotspot chunks discarded as stale this block.
         self.stale_chunks_discarded = 0
+        #: tx hash -> :class:`~repro.chain.journal.ExecutionArtifact`
+        #: from consensus-stage pre-execution (the execute-once
+        #: pipeline). A fresh artifact is *replayed* — journal apply +
+        #: trace-driven timing — instead of re-running the EVM.
+        self.artifacts = artifacts or {}
+        #: Transactions replayed from artifacts / re-executed because
+        #: their artifact's read set had been overwritten.
+        self.artifact_reuses = 0
+        self.artifact_reexecutions = 0
 
     def _code_lookup(self, address: int) -> bytes:
         # Bypass access tracking: timing-model code fetches must not
@@ -117,17 +127,45 @@ class MTPUExecutor:
             # rebuilds its context and decoded-bytecode state from scratch.
             pu.db_cache.invalidate()
             pu.call_stack.clear()
-        tracer = Tracer()
-        evm = EVM(self.state, block=self.block, tracer=tracer)
-        saved_access = self.state.access
-        access = self.state.begin_access_tracking()
-        try:
-            receipt = evm.execute_transaction(tx)
-        finally:
-            self.state.end_access_tracking()
-            if saved_access is not None:
-                saved_access.merge(access)
-            self.state.access = saved_access
+
+        # Execute-once pipeline: a fresh consensus-stage artifact is
+        # replayed (journal apply) instead of re-running the EVM. The
+        # trace it carries still drives the full PU timing model below,
+        # so cycle accounting is identical either way.
+        artifact = self.artifacts.get(tx.hash()) if self.artifacts else None
+        if artifact is not None and artifact.steps is not None:
+            if artifact.is_fresh(self.state):
+                artifact.journal.apply(self.state)
+                if self.state.access is not None:
+                    self.state.access.merge(artifact.access)
+                receipt = artifact.receipt
+                access = artifact.access
+                steps = artifact.steps
+                self.artifact_reuses += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("evm.tx_reuses").inc()
+            else:
+                artifact = None
+                self.artifact_reexecutions += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("evm.tx_reexecutions").inc()
+        else:
+            artifact = None
+        if artifact is None:
+            tracer = Tracer()
+            evm = EVM(self.state, block=self.block, tracer=tracer)
+            saved_access = self.state.access
+            access = self.state.begin_access_tracking()
+            try:
+                receipt = evm.execute_transaction(tx)
+            finally:
+                self.state.end_access_tracking()
+                if saved_access is not None:
+                    saved_access.merge(access)
+                self.state.access = saved_access
+            steps = tracer.steps
         if self.auto_clear_journal:
             self.state.clear_journal()
         code_writes = {
@@ -155,7 +193,7 @@ class MTPUExecutor:
                 if registry.enabled:
                     registry.counter("hotspot.stale_chunks").inc()
             if plan is not None:
-                skip = plan.skip_indices(tracer.steps)
+                skip = plan.skip_indices(steps)
                 prefetched = plan.prefetched_predicate()
                 on_path_fraction = plan.on_path_fraction
                 hotspot_applied = True
@@ -171,7 +209,7 @@ class MTPUExecutor:
                 # Give the PU the constant-eliminated decode views so the
                 # fill unit packs the optimized instruction stream.
                 for code_address in {
-                    s.code_address for s in tracer.steps
+                    s.code_address for s in steps
                 }:
                     view = self.hotspot_optimizer.code_view(code_address)
                     if view is not None:
@@ -182,7 +220,7 @@ class MTPUExecutor:
             context_cycles = pu.context_setup_cycles(
                 tx.to, len(tx.data), on_path_fraction
             )
-        timing = pu.time_trace(tracer.steps, prefetched, skip)
+        timing = pu.time_trace(steps, prefetched, skip)
 
         pu.current_contract = tx.to
         pu.busy_cycles += context_cycles + timing.cycles

@@ -241,11 +241,18 @@ class AcceleratedValidator:
 
         edges = block.dag_edges
         dag_verdict: DagVerification | None = None
+        artifacts: dict[bytes, object] = {}
         if self.verify_dags:
             with tracer.span("block.dag_verify") as dag_span:
+                # trace=True: the speculative pass doubles as the block's
+                # *only* functional execution — its artifacts (receipt,
+                # trace, write journal) are replayed by the MTPU below
+                # instead of re-running the EVM (execute-once pipeline).
                 access = discover_access_sets(
-                    block.transactions, self.node.state, context
+                    block.transactions, self.node.state, context,
+                    trace=True,
                 )
+                artifacts = {a.tx.hash(): a for a in access}
                 required = set(
                     build_dag_edges(block.transactions, access)
                 )
@@ -264,6 +271,7 @@ class AcceleratedValidator:
             self.node.state, block=context, num_pus=self.num_pus,
             pu_config=self.pu_config,
             hotspot_optimizer=self.optimizer,
+            artifacts=artifacts,
         )
         # The whole block runs against this snapshot so a failed
         # verification can roll everything back.
@@ -284,6 +292,10 @@ class AcceleratedValidator:
         if executor.stale_chunks_discarded:
             report.count(
                 "stale_chunks_discarded", executor.stale_chunks_discarded
+            )
+        if executor.artifact_reexecutions:
+            report.count(
+                "artifact_reexecutions", executor.artifact_reexecutions
             )
         stale_plans = (
             self.optimizer.stale_plans_discarded - stale_plans_before

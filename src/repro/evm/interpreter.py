@@ -209,6 +209,10 @@ class EVM:
         a :class:`NullTracer` is attached — its step list stays empty).
         """
         registry.counter("evm.transactions").inc()
+        # Functional executions only — artifact replays in the execute-
+        # once pipeline do not pass through here, so this counter exposes
+        # how many times each block's transactions actually ran.
+        registry.counter("evm.tx_executions").inc()
         registry.counter("evm.gas_used").inc(receipt.gas_used)
         if not receipt.success:
             registry.counter("evm.failures").inc()

@@ -35,7 +35,7 @@ from .ablations import (
     ablation_unit_capacity,
     ablation_window_size,
 )
-from .perf import measure_block
+from .perf import measure_block, measure_wall_clock
 
 __all__ = [
     "ExperimentResult",
@@ -59,4 +59,5 @@ __all__ = [
     "ablation_unit_capacity",
     "ablation_window_size",
     "measure_block",
+    "measure_wall_clock",
 ]

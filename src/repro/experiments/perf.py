@@ -12,9 +12,13 @@ JSON and the interactive report always measure the same thing.
 
 from __future__ import annotations
 
+import time
+
+from ..chain.dag import build_dag_edges, discover_access_sets
 from ..core.hotspot import HotspotOptimizer
 from ..core.mtpu import MTPUExecutor, PUConfig
 from ..core.scheduler import run_sequential, run_spatial_temporal
+from ..evm.interpreter import EVM
 from ..obs import (
     BlockPerfReport,
     LogicalClock,
@@ -22,6 +26,7 @@ from ..obs import (
     use_registry,
     use_tracing,
 )
+from ..parallel import ParallelBlockExecutor
 from ..workload import all_entry_function_calls
 from ..workload.generator import INDEPENDENT_TOKENS, generate_dependency_block
 
@@ -94,3 +99,101 @@ def measure_block(
     # plain-core baseline, making headline_speedup the paper's metric.
     report.sequential_cycles = baseline.makespan_cycles
     return report
+
+
+def measure_wall_clock(
+    num_transactions: int = 64,
+    num_workers: int = 4,
+    ratio: float = 0.0,
+    seed: int = 7,
+    backend: str = "process",
+    repeats: int = 3,
+) -> dict:
+    """Wall-clock throughput: seed sequential path vs execute-once pipeline.
+
+    The *sequential* lane reproduces the seed pipeline's real cost: one
+    speculative pass for access discovery, DAG construction, then a
+    second, full functional execution of every transaction. The
+    *pipeline* lane keeps the discovery pass's artifacts and hands them
+    to :class:`~repro.parallel.ParallelBlockExecutor`, which replays
+    fresh write journals (and runs stale ones on workers), so each
+    transaction executes once. Both lanes must land on bit-identical
+    receipts and ``state_digest()`` — asserted, not assumed.
+
+    Times are best-of-*repeats* to damp scheduler noise; the reported
+    ``pipeline_speedup`` is a ratio of two runs on the same machine, so
+    it is comparable across machines.
+    """
+    block = generate_dependency_block(
+        num_transactions=num_transactions, target_ratio=ratio, seed=seed,
+    )
+    transactions = block.transactions
+    base_state = block.deployment.state
+
+    def run_sequential_lane() -> tuple[float, list, tuple]:
+        state = base_state.copy()
+        start = time.perf_counter()
+        access = discover_access_sets(transactions, state)
+        build_dag_edges(transactions, access)
+        evm = EVM(state)
+        receipts = [evm.execute_transaction(tx) for tx in transactions]
+        elapsed = time.perf_counter() - start
+        return elapsed, receipts, state.state_digest()
+
+    def run_pipeline_lane() -> tuple[float, object, tuple]:
+        state = base_state.copy()
+        with ParallelBlockExecutor(
+            state, num_workers=num_workers, backend=backend,
+        ) as executor:
+            start = time.perf_counter()
+            artifacts = discover_access_sets(transactions, state)
+            edges = build_dag_edges(transactions, artifacts)
+            result = executor.execute_block(
+                transactions, edges, artifacts, artifacts=artifacts,
+            )
+            elapsed = time.perf_counter() - start
+        return elapsed, result, state.state_digest()
+
+    seq_seconds, seq_receipts, seq_digest = min(
+        (run_sequential_lane() for _ in range(repeats)),
+        key=lambda item: item[0],
+    )
+    pipe_seconds, pipe_result, pipe_digest = min(
+        (run_pipeline_lane() for _ in range(repeats)),
+        key=lambda item: item[0],
+    )
+    if pipe_digest != seq_digest:
+        raise AssertionError(
+            "pipeline state digest diverged from sequential execution"
+        )
+    if pipe_result.receipts != seq_receipts:
+        raise AssertionError(
+            "pipeline receipts diverged from sequential execution"
+        )
+
+    seq_tps = num_transactions / seq_seconds if seq_seconds > 0 else 0.0
+    pipe_tps = num_transactions / pipe_seconds if pipe_seconds > 0 else 0.0
+    return {
+        "num_transactions": num_transactions,
+        "num_workers": num_workers,
+        "backend": pipe_result.backend,
+        "ratio": ratio,
+        "seed": seed,
+        "sequential": {
+            "seconds": seq_seconds,
+            "tx_per_second": seq_tps,
+        },
+        "pipeline": {
+            "seconds": pipe_seconds,
+            "tx_per_second": pipe_tps,
+            "replayed": pipe_result.replayed,
+            "dispatched": pipe_result.dispatched,
+            "executed_inline": pipe_result.executed_inline,
+            "stale_artifacts": pipe_result.stale_artifacts,
+            "fell_back": pipe_result.fell_back,
+        },
+        "pipeline_speedup": (
+            pipe_tps / seq_tps if seq_tps > 0 else 0.0
+        ),
+        "digest_match": True,
+    }

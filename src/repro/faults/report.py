@@ -52,6 +52,9 @@ class DegradationReport:
     stale_chunks_discarded: int = 0
     #: Transactions rejected at dissemination by mempool admission checks.
     admission_rejections: int = 0
+    #: Execute-once artifacts discarded because their recorded read
+    #: values no longer matched the state (tx re-executed functionally).
+    artifact_reexecutions: int = 0
 
     @property
     def faults_seen(self) -> int:

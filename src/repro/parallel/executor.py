@@ -1,0 +1,395 @@
+"""The multicore parallel execution backend (coordinator side).
+
+:class:`ParallelBlockExecutor` executes a block's transactions across a
+persistent pool of worker processes, guided by the dependency DAG: a
+transaction is dispatched the moment every predecessor has committed, so
+independent transactions run concurrently while conflicting ones keep
+their block-order serialization. The coordinator merges each returned
+write journal into the authoritative state, validates the worker's
+*actual* access set against the *declared* one, and falls back to plain
+sequential re-execution on any mismatch — the final state digest and
+receipts are always identical to sequential execution.
+
+Journal merge is deterministic without any coordinator-side ordering:
+two transactions that write the same key necessarily conflict, so the
+DAG already serializes them; journals of concurrently-committed
+transactions touch disjoint keys (the commutative coinbase fee delta is
+the engineered exception). The fee/nonce bookkeeping the EVM performs
+*outside* access tracking is covered by augmenting every transaction's
+write set with its sender's balance/nonce before scheduling.
+
+When the block comes with :class:`~repro.chain.journal.ExecutionArtifact`
+pre-executions (the execute-once pipeline), fresh artifacts are replayed
+by the coordinator — a read-value check plus a journal apply — and only
+stale ones are re-executed, collapsing the 2× execute-twice cost of the
+discover-then-execute pipeline to ~1×.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from ..chain.journal import ExecutionArtifact, WriteJournal
+from ..chain.receipt import Receipt
+from ..chain.state import BALANCE_KEY, NONCE_KEY, WorldState
+from ..chain.transaction import Transaction
+from ..obs import get_registry
+from . import worker as worker_mod
+from .worker import apply_overlay  # noqa: F401  (re-export for tests)
+
+
+class AccessMismatch(Exception):
+    """A transaction's actual accesses diverged from its declared set."""
+
+
+@dataclass
+class ParallelBlockResult:
+    """Outcome and counters of one parallel block execution."""
+
+    receipts: list[Receipt]
+    num_workers: int
+    backend: str
+    #: Transactions replayed from fresh pre-execution artifacts.
+    replayed: int = 0
+    #: Transactions executed by pool workers.
+    dispatched: int = 0
+    #: Transactions executed inline by the coordinator (serial backend,
+    #: or stale artifacts under the serial backend).
+    executed_inline: int = 0
+    #: Artifacts rejected by the read-value freshness check.
+    stale_artifacts: int = 0
+    #: True when the whole block degraded to sequential re-execution.
+    fell_back: bool = False
+    wall_seconds: float = 0.0
+    mismatches: list[int] = field(default_factory=list)
+
+    @property
+    def tx_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.receipts) / self.wall_seconds
+
+
+def _augmented_edges(
+    transactions: list[Transaction],
+    access_sets: list,
+    edges: list[tuple[int, int]],
+) -> list[tuple[int, int]]:
+    """Dependency edges plus the implicit fee/nonce conflicts.
+
+    The EVM debits the sender's balance (gas fee) and bumps its nonce
+    outside access tracking; treating ``(sender, balance)`` as a write of
+    every transaction closes the gap between the tracked DAG and actual
+    state mutations, so e.g. a transfer *to* an address that is also a
+    fee-paying sender is ordered deterministically.
+    """
+    merged: set[tuple[int, int]] = set(edges)
+    writers: dict[tuple, list[int]] = {}
+    readers: dict[tuple, list[int]] = {}
+    for index, (tx, access) in enumerate(zip(transactions, access_sets)):
+        writes = set(access.writes)
+        writes.add((tx.sender, BALANCE_KEY))
+        writes.add((tx.sender, NONCE_KEY))
+        for key in writes:
+            writers.setdefault(key, []).append(index)
+        for key in access.reads:
+            readers.setdefault(key, []).append(index)
+    for key, writer_list in writers.items():
+        if len(writer_list) > 1:
+            for a in range(len(writer_list)):
+                for b in range(a + 1, len(writer_list)):
+                    i, j = writer_list[a], writer_list[b]
+                    merged.add((i, j) if i < j else (j, i))
+        for w in writer_list:
+            for r in readers.get(key, ()):
+                if w != r:
+                    merged.add((w, r) if w < r else (r, w))
+    return sorted(merged)
+
+
+class ParallelBlockExecutor:
+    """DAG-guided parallel execution of blocks over *state*.
+
+    The worker pool is persistent: it is created lazily on the first
+    dispatch, seeded with the then-current state, and kept across
+    ``execute_block`` calls. The coordinator ships each task only the
+    committed post-values of the keys the transaction declares, and
+    invalidates the pool whenever the state diverges in a way overlays
+    cannot express (sequential fallback, account deletion).
+    """
+
+    def __init__(
+        self,
+        state: WorldState,
+        block=None,
+        num_workers: int = 4,
+        backend: str = "process",
+    ) -> None:
+        from ..evm.context import BlockContext, _no_blockhash
+
+        if backend not in ("process", "serial"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.state = state
+        self.block = block or BlockContext()
+        self.num_workers = max(1, num_workers)
+        self.backend = backend
+        if backend == "process" and (
+            self.block.blockhash_fn is not _no_blockhash
+        ):
+            # A custom BLOCKHASH service cannot cross the process
+            # boundary; degrade to coordinator-side execution.
+            self.backend = "serial"
+        self._pool: ProcessPoolExecutor | None = None
+        #: Post-values committed since the pool snapshot was taken.
+        self._committed: dict[tuple, object] = {}
+        self._pool_dirty = False
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_dirty:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                initializer=worker_mod.init_worker,
+                initargs=(
+                    worker_mod.snapshot_accounts(self.state),
+                    worker_mod.context_args(self.block),
+                ),
+            )
+            self._committed = {}
+            self._pool_dirty = False
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelBlockExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------
+    def execute_block(
+        self,
+        transactions: list[Transaction],
+        edges: list[tuple[int, int]],
+        access_sets: list,
+        artifacts: list[ExecutionArtifact] | None = None,
+    ) -> ParallelBlockResult:
+        """Execute a block; *state* ends identical to sequential execution.
+
+        *access_sets* are the declared per-transaction access sets (or
+        artifacts — anything exposing ``reads``/``writes``); *edges* the
+        block's dependency DAG over them. *artifacts* optionally carries
+        the pre-execution results for the execute-once replay path.
+        """
+        start = time.perf_counter()
+        result = ParallelBlockResult(
+            receipts=[], num_workers=self.num_workers, backend=self.backend,
+        )
+        count = len(transactions)
+        if count == 0:
+            result.wall_seconds = time.perf_counter() - start
+            return result
+
+        # A read of the coinbase balance would observe fee credits whose
+        # ordering the DAG deliberately does not constrain: serialize.
+        coinbase_key = (self.block.coinbase, BALANCE_KEY)
+        if any(coinbase_key in access.reads for access in access_sets):
+            return self._fallback_sequential(transactions, result, start)
+
+        token = self.state.snapshot()
+        try:
+            receipts = self._run_dag(
+                transactions, edges, access_sets, artifacts, result
+            )
+        except AccessMismatch:
+            self.state.revert(token)
+            self._pool_dirty = True
+            return self._fallback_sequential(transactions, result, start)
+        result.receipts = receipts
+        result.wall_seconds = time.perf_counter() - start
+        self._publish_metrics(result)
+        return result
+
+    def _run_dag(
+        self,
+        transactions: list[Transaction],
+        edges: list[tuple[int, int]],
+        access_sets: list,
+        artifacts: list[ExecutionArtifact] | None,
+        result: ParallelBlockResult,
+    ) -> list[Receipt]:
+        count = len(transactions)
+        merged = _augmented_edges(transactions, access_sets, edges)
+        indegree = [0] * count
+        successors: list[list[int]] = [[] for _ in range(count)]
+        for i, j in merged:
+            indegree[j] += 1
+            successors[i].append(j)
+
+        ready: list[int] = [i for i in range(count) if indegree[i] == 0]
+        heapq.heapify(ready)
+        receipts: list[Receipt | None] = [None] * count
+        inflight: dict = {}
+        done = 0
+
+        def complete(index: int, receipt: Receipt,
+                     journal: WriteJournal) -> None:
+            nonlocal done
+            receipts[index] = receipt
+            journal.apply(self.state)
+            if journal.has_delete:
+                # Overlays cannot express deletion: stop trusting the
+                # pool's base snapshot past this block.
+                self._pool_dirty = True
+            self._committed.update(journal.post_values())
+            for succ in successors[index]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(ready, succ)
+            done += 1
+
+        while done < count:
+            progressed = True
+            while progressed and ready:
+                progressed = False
+                deferred: list[int] = []
+                while ready:
+                    index = heapq.heappop(ready)
+                    tx = transactions[index]
+                    artifact = (
+                        artifacts[index] if artifacts is not None else None
+                    )
+                    if artifact is not None and artifact.is_fresh(
+                        self.state
+                    ):
+                        complete(index, artifact.receipt, artifact.journal)
+                        result.replayed += 1
+                        progressed = True
+                        continue
+                    if artifact is not None:
+                        result.stale_artifacts += 1
+                    if self.backend == "serial":
+                        receipt, journal = self._execute_inline(
+                            tx, access_sets[index], index, result
+                        )
+                        complete(index, receipt, journal)
+                        result.executed_inline += 1
+                        progressed = True
+                        continue
+                    if len(inflight) < self.num_workers:
+                        overlay = self._overlay_for(tx, access_sets[index])
+                        future = self._ensure_pool().submit(
+                            worker_mod.execute_task, tx, overlay
+                        )
+                        inflight[future] = index
+                        result.dispatched += 1
+                        progressed = True
+                    else:
+                        deferred.append(index)
+                        break
+                for index in deferred:
+                    heapq.heappush(ready, index)
+
+            if not inflight:
+                if done < count:
+                    raise RuntimeError(
+                        "parallel driver stalled "
+                        f"({done}/{count} done; cyclic DAG?)"
+                    )
+                break
+            finished, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = inflight.pop(future)
+                receipt, actual, ops = future.result()
+                self._validate(index, access_sets[index], actual, result)
+                complete(index, receipt, WriteJournal(ops))
+
+        return receipts  # type: ignore[return-value]
+
+    def _execute_inline(
+        self, tx: Transaction, declared, index: int,
+        result: ParallelBlockResult,
+    ) -> tuple[Receipt, WriteJournal]:
+        """Serial-backend execution on the coordinator's own state."""
+        from ..chain.journal import capture_artifact
+        from ..evm.interpreter import EVM
+
+        state = self.state
+        tx_token = state.snapshot()
+        saved_access, state.access = state.access, None
+        access = state.begin_access_tracking()
+        try:
+            receipt = EVM(state, block=self.block).execute_transaction(tx)
+        finally:
+            state.end_access_tracking()
+            state.access = saved_access
+        artifact = capture_artifact(
+            state, tx, receipt, access, state.changes_since(tx_token),
+            coinbase=self.block.coinbase,
+        )
+        self._validate(index, declared, access, result)
+        # The inline execution already mutated state; revert so the
+        # shared complete() path can apply the journal uniformly.
+        state.revert(tx_token)
+        return receipt, artifact.journal
+
+    def _validate(
+        self, index: int, declared, actual, result: ParallelBlockResult
+    ) -> None:
+        if (actual.reads != declared.reads
+                or actual.writes != declared.writes):
+            result.mismatches.append(index)
+            raise AccessMismatch(index)
+
+    def _overlay_for(self, tx: Transaction, declared) -> dict:
+        keys = set(declared.reads) | set(declared.writes)
+        keys.add((tx.sender, BALANCE_KEY))
+        keys.add((tx.sender, NONCE_KEY))
+        committed = self._committed
+        return {key: committed[key] for key in keys if key in committed}
+
+    def _fallback_sequential(
+        self,
+        transactions: list[Transaction],
+        result: ParallelBlockResult,
+        start: float,
+    ) -> ParallelBlockResult:
+        from ..evm.interpreter import EVM
+
+        evm = EVM(self.state, block=self.block)
+        result.receipts = [
+            evm.execute_transaction(tx) for tx in transactions
+        ]
+        result.fell_back = True
+        self._pool_dirty = True
+        result.wall_seconds = time.perf_counter() - start
+        self._publish_metrics(result)
+        return result
+
+    def _publish_metrics(self, result: ParallelBlockResult) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.gauge("parallel.workers").set(result.num_workers)
+        registry.counter("parallel.replayed").inc(result.replayed)
+        registry.counter("parallel.dispatched").inc(result.dispatched)
+        registry.counter(
+            "parallel.executed_inline"
+        ).inc(result.executed_inline)
+        registry.counter(
+            "parallel.stale_artifacts"
+        ).inc(result.stale_artifacts)
+        if result.fell_back:
+            registry.counter("parallel.fallbacks").inc()
+        registry.gauge("block.wall_tps").set(result.tx_per_second)

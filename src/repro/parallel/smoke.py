@@ -1,0 +1,76 @@
+"""Parallel-backend smoke check (the CI ``parallel-smoke`` job).
+
+Executes one generated block on the multicore backend and asserts the
+resulting receipts and ``state_digest()`` are bit-identical to plain
+sequential execution. Exits non-zero on any divergence.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.parallel.smoke --transactions 32 --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..chain.dag import build_dag_edges, discover_access_sets
+from ..evm.interpreter import EVM
+from ..workload.generator import generate_dependency_block
+from .executor import ParallelBlockExecutor
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transactions", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--ratio", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--backend", choices=("process", "serial"), default="process",
+    )
+    args = parser.parse_args(argv)
+
+    block = generate_dependency_block(
+        num_transactions=args.transactions,
+        target_ratio=args.ratio,
+        seed=args.seed,
+    )
+    transactions = block.transactions
+
+    seq_state = block.deployment.state.copy()
+    evm = EVM(seq_state)
+    seq_receipts = [evm.execute_transaction(tx) for tx in transactions]
+
+    ok = True
+    # Two lanes: the execute-once pipeline (artifact replay) and the raw
+    # worker path (no artifacts — every transaction runs on the pool).
+    for lane, with_artifacts in (("pipeline", True), ("workers", False)):
+        par_state = block.deployment.state.copy()
+        artifacts = discover_access_sets(transactions, par_state)
+        edges = build_dag_edges(transactions, artifacts)
+        with ParallelBlockExecutor(
+            par_state, num_workers=args.workers, backend=args.backend,
+        ) as executor:
+            result = executor.execute_block(
+                transactions, edges, artifacts,
+                artifacts=artifacts if with_artifacts else None,
+            )
+        if par_state.state_digest() != seq_state.state_digest():
+            print(f"FAIL[{lane}]: parallel state digest != sequential")
+            ok = False
+        if result.receipts != seq_receipts:
+            print(f"FAIL[{lane}]: parallel receipts != sequential")
+            ok = False
+        print(
+            f"{'ok' if ok else 'FAIL'}[{lane}]: {len(transactions)} txs, "
+            f"{result.num_workers} workers ({result.backend} backend): "
+            f"{result.replayed} replayed, {result.dispatched} dispatched, "
+            f"{result.executed_inline} inline, "
+            f"fell_back={result.fell_back}"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

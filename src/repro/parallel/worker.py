@@ -1,0 +1,100 @@
+"""Process-pool worker side of the parallel execution backend.
+
+Each worker process holds a *pristine* copy of the block-entry world
+state, installed once by :func:`init_worker` when the pool starts (cheap
+under ``fork``, and explicit enough to survive ``spawn``). A task ships
+only a transaction plus a small *overlay* — the committed post-values of
+the keys the transaction is declared to touch — so per-task IPC stays
+proportional to the transaction's access set, not to the world state.
+
+The worker applies the overlay under a journal snapshot, executes the
+transaction with access tracking on, captures the write journal from the
+structured state journal, and reverts — leaving the base pristine for
+the next task. The coordinator receives ``(receipt, access, ops)`` and
+decides whether the actual access set honours the declared one.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from ..chain.journal import capture_artifact
+from ..chain.state import BALANCE_KEY, CODE_KEY, NONCE_KEY, WorldState
+from ..chain.transaction import Transaction
+
+#: Per-process state installed by :func:`init_worker`.
+_BASE: WorldState | None = None
+_CONTEXT = None
+
+
+def snapshot_accounts(state: WorldState) -> bytes:
+    """Serialize a world state's accounts for worker initialization."""
+    return pickle.dumps(state._accounts, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def context_args(context) -> dict:
+    """The picklable fields of a BlockContext (the blockhash service is
+    process-local; callers must not dispatch BLOCKHASH-dependent work)."""
+    return {
+        "height": context.height,
+        "timestamp": context.timestamp,
+        "coinbase": context.coinbase,
+        "difficulty": context.difficulty,
+        "gas_limit": context.gas_limit,
+    }
+
+
+def init_worker(accounts_blob: bytes, ctx_args: dict) -> None:
+    """Pool initializer: install the base state and block context."""
+    global _BASE, _CONTEXT
+    from ..evm.context import BlockContext
+
+    state = WorldState()
+    state._accounts = pickle.loads(accounts_blob)
+    _BASE = state
+    _CONTEXT = BlockContext(**ctx_args)
+
+
+def apply_overlay(state: WorldState, overlay: dict) -> None:
+    """Install committed post-values onto *state* (journaled, untracked)."""
+    with state.untracked():
+        for (address, slot), value in overlay.items():
+            if slot == BALANCE_KEY:
+                state.set_balance(address, value)
+            elif slot == NONCE_KEY:
+                state.set_nonce(address, value)
+            elif slot == CODE_KEY:
+                state.set_code(address, value)
+            else:
+                state.set_storage(address, slot, value)
+
+
+def execute_task(
+    tx: Transaction, overlay: dict
+) -> tuple:
+    """Run one transaction against base ⊕ overlay; leave the base pristine.
+
+    Returns ``(receipt, access, ops)`` where *ops* is the transaction's
+    write journal (tagged tuples, see :mod:`repro.chain.journal`).
+    """
+    from ..evm.interpreter import EVM
+
+    state = _BASE
+    token = state.snapshot()
+    try:
+        apply_overlay(state, overlay)
+        tx_token = state.snapshot()
+        access = state.begin_access_tracking()
+        try:
+            receipt = EVM(state, block=_CONTEXT).execute_transaction(tx)
+        finally:
+            state.end_access_tracking()
+        artifact = capture_artifact(
+            state, tx, receipt, access,
+            state.changes_since(tx_token),
+            coinbase=_CONTEXT.coinbase,
+        )
+        return receipt, access, artifact.journal.ops
+    finally:
+        state.access = None
+        state.revert(token)

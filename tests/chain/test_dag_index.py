@@ -1,0 +1,86 @@
+"""Inverted-index DAG builder vs the O(n²) pairwise executable spec.
+
+``build_dag_edges`` was rewritten around an inverted index keyed by
+``(address, slot)``; the original pairwise scan survives as
+``build_dag_edges_pairwise``. The property here is exact equality — same
+edges, same order — for arbitrary access-set populations, so the fast
+builder can never silently drop (or reorder) a dependency.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.dag import build_dag_edges, build_dag_edges_pairwise
+from repro.chain.state import AccessSet
+from repro.chain.transaction import Transaction
+
+#: A deliberately small key universe so collisions (conflicts) are common.
+KEYS = [(addr, slot) for addr in (0xA, 0xB) for slot in range(3)]
+
+access_sets = st.builds(
+    AccessSet,
+    reads=st.sets(st.sampled_from(KEYS), max_size=4),
+    writes=st.sets(st.sampled_from(KEYS), max_size=4),
+)
+
+
+@st.composite
+def blocks(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    senders = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4), min_size=n, max_size=n
+        )
+    )
+    sets = draw(st.lists(access_sets, min_size=n, max_size=n))
+    txs = [
+        Transaction(sender=sender, to=0x99, nonce=i)
+        for i, sender in enumerate(senders)
+    ]
+    return txs, sets
+
+
+@given(blocks())
+def test_index_builder_equals_pairwise_spec(block):
+    txs, sets = block
+    assert build_dag_edges(txs, sets) == build_dag_edges_pairwise(txs, sets)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=3), max_size=10))
+def test_same_sender_only_conflicts(senders):
+    # No storage conflicts at all: every edge must come from same-sender
+    # nonce ordering, and both builders must agree on it.
+    txs = [
+        Transaction(sender=sender, to=0x99, nonce=i)
+        for i, sender in enumerate(senders)
+    ]
+    sets = [AccessSet() for _ in txs]
+    edges = build_dag_edges(txs, sets)
+    assert edges == build_dag_edges_pairwise(txs, sets)
+    for i, j in edges:
+        assert txs[i].sender == txs[j].sender
+        assert i < j
+
+
+def test_mixed_conflicts_preserve_edge_order():
+    # Same-sender chain interleaved with write-write and read-write
+    # conflicts; order must match the pairwise spec exactly (sorted by
+    # dependent, then dependency).
+    txs = [
+        Transaction(sender=1, to=0x99, nonce=0),
+        Transaction(sender=2, to=0x99, nonce=0),
+        Transaction(sender=1, to=0x99, nonce=1),
+        Transaction(sender=3, to=0x99, nonce=0),
+    ]
+    sets = [
+        AccessSet(writes={(9, 0)}),
+        AccessSet(reads={(9, 0)}, writes={(9, 1)}),
+        AccessSet(reads={(9, 1)}),
+        AccessSet(writes={(9, 0)}),
+    ]
+    edges = build_dag_edges(txs, sets)
+    assert edges == build_dag_edges_pairwise(txs, sets)
+    assert (0, 2) in edges  # same sender
+    assert (0, 1) in edges  # write -> read
+    assert (1, 2) in edges  # write -> read
+    assert (0, 3) in edges  # write -> write

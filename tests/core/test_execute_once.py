@@ -1,0 +1,136 @@
+"""The execute-once block pipeline through the accelerated validator.
+
+The validator's DAG-verification pass is a full speculative execution of
+the block; its artifacts are handed to the MTPU, which replays fresh
+ones instead of re-running the EVM. The headline invariant: on a happy
+ERC-20 block every transaction executes functionally exactly once
+(``evm.tx_executions == len(block.transactions)``), and the replay path
+never changes what the block commits — even under injected PU faults.
+"""
+
+import random
+
+import pytest
+
+from repro.chain.node import Node
+from repro.chain.receipt import receipts_root
+from repro.core.validator import AcceleratedValidator
+from repro.faults import PU_DEAD, PU_STALL, FaultInjector, FaultPlan, PUFault
+from repro.obs import use_registry
+from repro.workload import ActionLibrary
+
+
+@pytest.fixture()
+def validator(deployment):
+    # hotspot_top_k=0 keeps idle-slice profiling (its own EVM runs) out
+    # of the counters under test.
+    return AcceleratedValidator(
+        state=deployment.state.copy(), num_pus=4, deployment=deployment,
+        hotspot_top_k=0,
+    )
+
+
+def feed_erc20(validator, deployment, count, seed=21):
+    library = ActionLibrary(deployment, random.Random(seed))
+    for _ in range(count):
+        validator.hear(library.to_transaction(library.plan("Dai")))
+
+
+class TestExecuteOnce:
+    def test_erc20_block_executes_each_tx_once(self, validator,
+                                               deployment):
+        feed_erc20(validator, deployment, 12)
+        block = validator.propose_block()
+        n = len(block.transactions)
+        with use_registry() as registry:
+            outcome = validator.validate(block)
+            counters = registry.counters_flat()
+        assert outcome.committed
+        # One functional execution per transaction: the speculative
+        # DAG-verification pass. The MTPU stage replayed every artifact.
+        assert counters["evm.tx_executions"] == n
+        assert counters["evm.tx_reuses"] == n
+        # Fallback re-execution is counted separately and stayed silent.
+        assert counters.get("evm.tx_reexecutions", 0) == 0
+        assert outcome.report.sequential_fallbacks == 0
+        assert outcome.report.artifact_reexecutions == 0
+
+    def test_replay_commits_same_state_as_plain_node(self, validator,
+                                                     deployment):
+        feed_erc20(validator, deployment, 16, seed=22)
+        block = validator.propose_block()
+        reference = Node(state=deployment.state.copy())
+        ref_receipts = reference.execute_block(block)
+        outcome = validator.validate(
+            block, claimed_root=receipts_root(ref_receipts)
+        )
+        assert outcome.verified is True
+        assert (
+            validator.state.state_digest()
+            == reference.state.state_digest()
+        )
+
+    def test_stale_artifact_reexecutes_functionally(self, validator,
+                                                    deployment):
+        # Poison the artifacts' recorded read values after discovery:
+        # the MTPU must detect staleness and fall back to real execution,
+        # still landing on the sequential result.
+        feed_erc20(validator, deployment, 8, seed=23)
+        block = validator.propose_block()
+        reference = Node(state=deployment.state.copy())
+        ref_receipts = reference.execute_block(block)
+
+        from repro.chain.dag import discover_access_sets
+        from repro.core.mtpu import MTPUExecutor
+        from repro.core.scheduler import run_sequential
+
+        state = deployment.state.copy()
+        context = validator.node.block_context(block.header.height)
+        artifacts = discover_access_sets(
+            block.transactions, state, context, trace=True
+        )
+        by_hash = {a.tx.hash(): a for a in artifacts}
+        # Corrupt every artifact's read values: none may replay.
+        for artifact in artifacts:
+            for key in artifact.read_values:
+                artifact.read_values[key] = object()
+        mtpu = MTPUExecutor(state, block=context, artifacts=by_hash)
+        schedule = run_sequential(mtpu, block.transactions)
+        assert mtpu.artifact_reuses == 0
+        assert mtpu.artifact_reexecutions == len(block.transactions)
+        assert receipts_root(
+            schedule.receipts_in_block_order(block.transactions)
+        ) == receipts_root(ref_receipts)
+        assert state.state_digest() == reference.state.state_digest()
+
+
+class TestReplayUnderPUFaults:
+    @pytest.mark.parametrize("kind", [PU_DEAD, PU_STALL])
+    def test_digest_matches_sequential_under_pu_fault(
+        self, deployment, kind
+    ):
+        injector = FaultInjector(FaultPlan(
+            seed=5,
+            pu_faults=(PUFault(
+                pu_id=1, kind=kind, at_cycle=50,
+                stall_cycles=2_000 if kind == PU_STALL else 0,
+            ),),
+        ))
+        validator = AcceleratedValidator(
+            state=deployment.state.copy(), num_pus=3,
+            deployment=deployment, hotspot_top_k=0,
+            fault_injector=injector,
+        )
+        feed_erc20(validator, deployment, 14, seed=24)
+        block = validator.propose_block()
+        reference = Node(state=deployment.state.copy())
+        ref_receipts = reference.execute_block(block)
+        outcome = validator.validate(
+            block, claimed_root=receipts_root(ref_receipts)
+        )
+        assert outcome.verified is True
+        assert outcome.report.sequential_fallbacks == 0
+        assert (
+            validator.state.state_digest()
+            == reference.state.state_digest()
+        )
