@@ -49,6 +49,16 @@ WALL_CONFIGS = {
     "full": dict(num_transactions=64, num_workers=4, ratio=0.0, seed=7),
 }
 
+#: Serving-layer configurations: name -> run_serve_load kwargs. A real
+#: socket round trip through the continuous block builder; clients ==
+#: block_size_target so blocks cut the moment every in-flight tx lands.
+SERVE_CONFIGS = {
+    "quick": dict(transactions=192, clients=16, block_size_target=16,
+                  executor="sequential", seed=7),
+    "full": dict(transactions=512, clients=16, block_size_target=16,
+                 executor="sequential", seed=7),
+}
+
 #: A run regresses when speedup falls below this fraction of baseline.
 REGRESSION_FLOOR = 0.9
 
@@ -59,8 +69,12 @@ WALL_SPEEDUP_FLOOR = 1.5
 
 
 def run_config(name: str) -> dict:
+    from repro.serve.smoke import run_serve_load
+
     report = measure_block(label=f"bench:{name}", **CONFIGS[name])
     wall = measure_wall_clock(**WALL_CONFIGS[name])
+    serve = run_serve_load(**SERVE_CONFIGS[name])
+    serve_latency = serve["load"]["latency"]
     return {
         "config": name,
         "parameters": dict(CONFIGS[name]),
@@ -73,9 +87,21 @@ def run_config(name: str) -> dict:
             "wall_sequential_tps": wall["sequential"]["tx_per_second"],
             "wall_pipeline_tps": wall["pipeline"]["tx_per_second"],
             "wall_pipeline_speedup": wall["pipeline_speedup"],
+            "serve_tps": serve["load"]["tx_per_second"],
+            "serve_p50_ms": serve_latency["p50_ms"],
+            "serve_p99_ms": serve_latency["p99_ms"],
+            # Socket-path throughput over raw offline sequential
+            # throughput of the same blocks: a same-machine ratio, so
+            # it travels across hardware (1.0 = serving adds nothing).
+            "serve_efficiency": (
+                serve["load"]["tx_per_second"]
+                / serve["offline_tx_per_second"]
+                if serve.get("offline_tx_per_second") else 0.0
+            ),
         },
         "report": report.to_dict(),
         "wall": wall,
+        "serve": serve,
     }
 
 
@@ -113,6 +139,24 @@ def check_baseline(result: dict, baseline_path: pathlib.Path) -> int:
         f"ok: wall-clock pipeline speedup {wall_speedup:.2f}x "
         f"(floor {WALL_SPEEDUP_FLOOR}x)"
     )
+    baseline_efficiency = entry.get("serve_efficiency")
+    if baseline_efficiency:
+        measured_efficiency = result["headline"]["serve_efficiency"]
+        efficiency_floor = REGRESSION_FLOOR * baseline_efficiency
+        if measured_efficiency < efficiency_floor:
+            print(
+                f"REGRESSION: serve efficiency "
+                f"{measured_efficiency:.3f} is below "
+                f"{REGRESSION_FLOOR}x baseline "
+                f"({baseline_efficiency:.3f} -> floor "
+                f"{efficiency_floor:.3f})"
+            )
+            return 1
+        print(
+            f"ok: serve efficiency {measured_efficiency:.3f} vs "
+            f"baseline {baseline_efficiency:.3f} "
+            f"(floor {efficiency_floor:.3f})"
+        )
     return 0
 
 
@@ -156,6 +200,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{result['wall']['num_workers']} workers, "
         f"{result['wall']['backend']} backend)"
     )
+    print(
+        f"[{config}] serve: {headline['serve_tps']:.0f} tx/s "
+        f"closed-loop over sockets, p50/p99 "
+        f"{headline['serve_p50_ms']:.1f}/{headline['serve_p99_ms']:.1f} "
+        f"ms, efficiency {headline['serve_efficiency']:.3f} vs offline, "
+        f"digest match: {result['serve'].get('digest_match')}"
+    )
+    if not result["serve"].get("digest_match", True):
+        print("FAIL: serve state/receipts diverged from offline")
+        return 1
 
     out_dir = args.out or pathlib.Path(__file__).resolve().parent.parent
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -173,7 +227,10 @@ def main(argv: list[str] | None = None) -> int:
         baseline[config] = {
             key: value
             for key, value in headline.items()
-            if key not in ("wall_sequential_tps", "wall_pipeline_tps")
+            if key not in (
+                "wall_sequential_tps", "wall_pipeline_tps",
+                "serve_tps", "serve_p50_ms", "serve_p99_ms",
+            )
         }
         args.write_baseline.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n"

@@ -8,9 +8,11 @@ from .receipt import LogEntry, Receipt
 from .block import Block, BlockHeader
 from .mempool import (
     AdmissionError,
+    DuplicateTransactionError,
     InsufficientFundsError,
     IntrinsicGasError,
     Mempool,
+    SenderLimitError,
 )
 
 
@@ -35,9 +37,11 @@ __all__ = [
     "Block",
     "BlockHeader",
     "BlockVerification",
+    "DuplicateTransactionError",
     "InsufficientFundsError",
     "IntrinsicGasError",
     "Mempool",
     "Node",
+    "SenderLimitError",
     "StageClock",
 ]

@@ -57,6 +57,10 @@ class Block:
     #: Hashes of up to the previous 256 blocks, most recent first
     #: (services the BLOCKHASH instruction).
     recent_hashes: list[bytes] = field(default_factory=list)
+    #: Consensus-stage pre-execution artifacts, one per transaction
+    #: (:class:`~repro.chain.journal.ExecutionArtifact`). Node-local —
+    #: never serialized; executors use them for execute-once replay.
+    artifacts: list | None = field(default=None, repr=False, compare=False)
 
     def to_rlp(self) -> bytes:
         return rlp.encode(

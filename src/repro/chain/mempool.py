@@ -10,7 +10,10 @@ Admission is hardened against hostile dissemination: transactions whose
 gas limit cannot cover their intrinsic gas, or value-bearing transactions
 from unfunded senders, are refused with a typed :class:`AdmissionError`
 instead of silently pooling; a configurable capacity evicts oldest-first
-so an attacker cannot grow the pool without bound.
+so an attacker cannot grow the pool without bound. Re-announcing an
+already-pooled hash raises :class:`DuplicateTransactionError`, and an
+optional per-sender pending cap (:class:`SenderLimitError`) stops one
+sender from flooding everyone else out through the capacity eviction.
 """
 
 from __future__ import annotations
@@ -31,6 +34,14 @@ class InsufficientFundsError(AdmissionError):
     """A value-bearing transaction from a sender with no balance."""
 
 
+class DuplicateTransactionError(AdmissionError):
+    """The transaction's hash is already pooled."""
+
+
+class SenderLimitError(AdmissionError):
+    """The sender already has the maximum pending transactions."""
+
+
 class Mempool:
     """Pending transactions, ordered by arrival."""
 
@@ -38,13 +49,21 @@ class Mempool:
         self,
         capacity: int | None = None,
         state=None,
+        per_sender_cap: int | None = None,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("mempool capacity must be positive")
+        if per_sender_cap is not None and per_sender_cap <= 0:
+            raise ValueError("per-sender cap must be positive")
         self._pool: dict[bytes, tuple[Transaction, int]] = {}
         self._arrival_counter = 0
         #: Maximum pooled transactions; oldest are evicted beyond it.
         self.capacity = capacity
+        #: Maximum pending transactions per sender; the sender's further
+        #: submissions are refused (not others' evicted).
+        self.per_sender_cap = per_sender_cap
+        #: Pending-transaction count per sender address.
+        self._by_sender: dict[int, int] = {}
         #: Optional world state used for balance-aware admission.
         self.state = state
 
@@ -77,18 +96,29 @@ class Mempool:
                 )
 
     def add(self, tx: Transaction, heard_at: int | None = None) -> bool:
-        """Record a disseminated transaction (idempotent by hash).
+        """Record a disseminated transaction (unique by hash).
 
-        Returns True when newly pooled, False for a duplicate. Raises
-        :class:`AdmissionError` when the transaction fails intrinsic
-        checks (it is not pooled).
+        Returns True when newly pooled. Raises :class:`AdmissionError`
+        when the transaction fails intrinsic checks, is a duplicate of a
+        pooled hash, or would push its sender past the per-sender cap
+        (in every case it is not pooled).
         """
         registry = get_registry()
         tx_hash = tx.hash()
-        if tx_hash in self._pool:
-            registry.counter("mempool.duplicates").inc()
-            return False
         try:
+            if tx_hash in self._pool:
+                registry.counter("mempool.duplicates").inc()
+                raise DuplicateTransactionError(
+                    f"transaction {tx_hash.hex()[:16]}… already pooled"
+                )
+            if (
+                self.per_sender_cap is not None
+                and self._by_sender.get(tx.sender, 0) >= self.per_sender_cap
+            ):
+                raise SenderLimitError(
+                    f"sender {tx.sender:#x} already has "
+                    f"{self.per_sender_cap} pending transactions"
+                )
             self._check_admission(tx)
         except AdmissionError as err:
             registry.counter(
@@ -99,16 +129,25 @@ class Mempool:
             heard_at = self._arrival_counter
         self._arrival_counter = max(self._arrival_counter, heard_at) + 1
         self._pool[tx_hash] = (tx, heard_at)
+        self._by_sender[tx.sender] = self._by_sender.get(tx.sender, 0) + 1
         registry.counter("mempool.added").inc()
         if self.capacity is not None and len(self._pool) > self.capacity:
             self._evict_oldest(len(self._pool) - self.capacity)
         registry.gauge("mempool.size").set(len(self._pool))
         return True
 
+    def _forget(self, tx_hash: bytes) -> None:
+        tx, _ = self._pool.pop(tx_hash)
+        remaining = self._by_sender.get(tx.sender, 0) - 1
+        if remaining > 0:
+            self._by_sender[tx.sender] = remaining
+        else:
+            self._by_sender.pop(tx.sender, None)
+
     def _evict_oldest(self, count: int) -> None:
         ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
         for tx_hash, _ in ordered[:count]:
-            del self._pool[tx_hash]
+            self._forget(tx_hash)
         get_registry().counter("mempool.evicted").inc(count)
 
     def contains(self, tx: Transaction) -> bool:
@@ -128,18 +167,37 @@ class Mempool:
         entry = self._pool.get(tx.hash())
         return entry is not None and entry[1] < time
 
-    def take(self, count: int) -> list[Transaction]:
-        """Remove and return up to *count* transactions, oldest first."""
+    def take(
+        self, count: int, gas_target: int | None = None
+    ) -> list[Transaction]:
+        """Remove and return up to *count* transactions, oldest first.
+
+        With *gas_target*, stop before the transaction whose gas limit
+        would push the cumulative total past the target — except that the
+        very first transaction is always taken (a single over-budget
+        transaction must not wedge block building forever).
+        """
         ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
-        taken = [tx for _, (tx, _) in ordered[:count]]
+        taken: list[Transaction] = []
+        gas = 0
+        for _, (tx, _) in ordered[:count]:
+            if (
+                gas_target is not None
+                and taken
+                and gas + tx.gas_limit > gas_target
+            ):
+                break
+            taken.append(tx)
+            gas += tx.gas_limit
         for tx in taken:
-            self._pool.pop(tx.hash(), None)
+            self._forget(tx.hash())
         return taken
 
     def remove(self, transactions: list[Transaction]) -> None:
         """Drop transactions that were included in a block."""
         for tx in transactions:
-            self._pool.pop(tx.hash(), None)
+            if tx.hash() in self._pool:
+                self._forget(tx.hash())
         get_registry().gauge("mempool.size").set(len(self._pool))
 
     def pending(self) -> list[Transaction]:

@@ -19,7 +19,7 @@ from ..evm.context import BlockContext
 from ..evm.interpreter import EVM
 from .block import BLOCKHASH_WINDOW, Block, BlockHeader
 from .dag import build_dag_edges, discover_access_sets, transitive_reduction
-from .mempool import Mempool
+from .mempool import DuplicateTransactionError, Mempool
 from .receipt import Receipt, receipts_root
 from .state import WorldState
 from .transaction import Transaction
@@ -78,9 +78,14 @@ class Node:
         clock: StageClock | None = None,
         coinbase: int = 0xC0FFEE,
         mempool_capacity: int | None = None,
+        per_sender_cap: int | None = None,
     ) -> None:
         self.state = state or WorldState()
-        self.mempool = Mempool(capacity=mempool_capacity, state=self.state)
+        self.mempool = Mempool(
+            capacity=mempool_capacity,
+            state=self.state,
+            per_sender_cap=per_sender_cap,
+        )
         self.clock = clock or StageClock()
         self.coinbase = coinbase
         self.chain: list[Block] = []
@@ -90,11 +95,17 @@ class Node:
     def hear(self, tx: Transaction, at: int | None = None) -> bool:
         """Receive a transaction from the P2P network.
 
-        Returns True when newly pooled (False for a duplicate); raises
+        Returns True when newly pooled, False for a duplicate (gossip
+        re-announcements are normal, not an error); raises
         :class:`~repro.chain.mempool.AdmissionError` for transactions
-        failing intrinsic admission checks.
+        failing intrinsic admission checks. RPC front-ends that want the
+        typed :class:`~repro.chain.mempool.DuplicateTransactionError`
+        call :meth:`Mempool.add` directly.
         """
-        return self.mempool.add(tx, heard_at=at)
+        try:
+            return self.mempool.add(tx, heard_at=at)
+        except DuplicateTransactionError:
+            return False
 
     # -- consensus stage -------------------------------------------------------
     def block_context(self, height: int | None = None) -> BlockContext:
@@ -119,19 +130,35 @@ class Node:
             blockhash_fn=blockhash_fn,
         )
 
-    def propose_block(self, max_transactions: int = 200) -> Block:
+    def propose_block(
+        self,
+        max_transactions: int = 200,
+        gas_target: int | None = None,
+        transactions: list[Transaction] | None = None,
+    ) -> Block:
         """Package mempool transactions into a block with its DAG.
+
+        The block is cut when either *max_transactions* or the
+        cumulative *gas_target* is reached (oldest first) — the same
+        policy the serve loop's continuous block builder uses. Passing
+        *transactions* skips the mempool take (the serve loop cuts on
+        the event loop and proposes on a worker thread).
 
         The dependency DAG is discovered by speculative execution on a
         state copy and stored (transitively reduced) in the block, as the
-        paper's consensus-stage nodes do.
+        paper's consensus-stage nodes do; the pre-execution artifacts
+        ride along on ``Block.artifacts`` for execute-once replay.
         """
-        txs = self.mempool.take(max_transactions)
+        txs = (
+            transactions
+            if transactions is not None
+            else self.mempool.take(max_transactions, gas_target=gas_target)
+        )
         height = len(self.chain) + 1
         context = self.block_context(height)
-        access_sets = discover_access_sets(txs, self.state, context)
+        artifacts = discover_access_sets(txs, self.state, context)
         edges = transitive_reduction(
-            len(txs), build_dag_edges(txs, access_sets)
+            len(txs), build_dag_edges(txs, artifacts)
         )
         parent_hash = self.chain[-1].hash() if self.chain else b"\x00" * 32
         header = BlockHeader(
@@ -148,6 +175,7 @@ class Node:
             transactions=txs,
             dag_edges=edges,
             recent_hashes=recent,
+            artifacts=artifacts,
         )
 
     # -- execution stage ----------------------------------------------------------
@@ -162,11 +190,20 @@ class Node:
         context = self.block_context(block.header.height)
         evm = EVM(self.state, block=context)
         receipts = [evm.execute_transaction(tx) for tx in block.transactions]
+        self.commit_block(block, receipts)
+        return receipts
+
+    def commit_block(self, block: Block, receipts: list[Receipt]) -> None:
+        """Append an executed block: chain, receipts, mempool, journal.
+
+        The caller has already applied the block's state effects (via
+        :meth:`execute_block`, the MTPU, or the parallel backend); this
+        is the one shared commit path.
+        """
         self.state.clear_journal()
         self.chain.append(block)
         self.receipts[block.hash()] = receipts
         self.mempool.remove(block.transactions)
-        return receipts
 
     def verify_block(
         self, block: Block, claimed_root: bytes
@@ -192,10 +229,7 @@ class Node:
             return BlockVerification(
                 ok=False, claimed_root=claimed_root, actual_root=actual
             )
-        self.state.clear_journal()
-        self.chain.append(block)
-        self.receipts[block.hash()] = receipts
-        self.mempool.remove(block.transactions)
+        self.commit_block(block, receipts)
         return BlockVerification(
             ok=True, claimed_root=claimed_root, actual_root=actual
         )

@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig12 table7
     python -m repro run all --out results/
     python -m repro obs-report --transactions 32 --pus 4
+    python -m repro serve --port 8545
+    python -m repro loadgen --port 8545 --requests 1000
 """
 
 from __future__ import annotations
@@ -107,6 +109,100 @@ def build_parser() -> argparse.ArgumentParser:
         default="process",
         help="parallel backend for --parallel-workers (default: process)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the JSON-RPC node front-end (newline-delimited "
+             "JSON-RPC 2.0 over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8545)
+    serve.add_argument(
+        "--accounts", type=int, default=64,
+        help="genesis accounts (loadgen must use the same value)",
+    )
+    serve.add_argument(
+        "--executor", choices=("sequential", "mtpu", "parallel"),
+        default="sequential",
+        help="block execution backend (default: sequential)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="PUs (mtpu) or worker processes (parallel)",
+    )
+    serve.add_argument(
+        "--block-size", type=int, default=128,
+        help="cut a block at this many transactions (default: 128)",
+    )
+    serve.add_argument(
+        "--gas-target", type=int, default=30_000_000,
+        help="cut a block at this cumulative gas (default: 30M)",
+    )
+    serve.add_argument(
+        "--interval-ms", type=float, default=50.0,
+        help="cut a block this long after the first pending tx "
+             "(default: 50)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=4096,
+        help="admitted-but-uncommitted bound; beyond it clients get "
+             "typed BUSY errors (default: 4096)",
+    )
+    serve.add_argument(
+        "--per-sender-cap", type=int, default=1024,
+        help="pending transactions allowed per sender (default: 1024)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="TX_PER_S",
+        help="per-client token-bucket rate (default: off)",
+    )
+    serve.add_argument(
+        "--rate-burst", type=int, default=64,
+        help="token-bucket burst size (default: 64)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running `repro serve` with generated traffic",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8545)
+    loadgen.add_argument(
+        "--accounts", type=int, default=64,
+        help="genesis accounts (must match the server's --accounts)",
+    )
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=1000,
+        help="closed loop: total transactions to send (default: 1000)",
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=16,
+        help="concurrent connections (default: 16)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=500.0,
+        help="open loop: offered load in tx/s (default: 500)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=5.0,
+        help="open loop: seconds to sustain --rate (default: 5)",
+    )
+    loadgen.add_argument(
+        "--workload", choices=("transfer", "erc20", "mixed"),
+        default="transfer",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline forwarded to the server",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true",
+        help="print the full LoadResult as JSON",
+    )
     return parser
 
 
@@ -156,8 +252,103 @@ def _run_obs_report(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import asyncio
+
+    from .chain.node import Node
+    from .contracts.registry import build_deployment
+    from .serve import RpcServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        block_size_target=args.block_size,
+        gas_target=args.gas_target,
+        block_interval_ms=args.interval_ms,
+        max_pending=args.max_pending,
+        per_sender_cap=args.per_sender_cap,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        executor=args.executor,
+        num_workers=args.workers,
+    )
+    deployment = build_deployment(num_accounts=args.accounts)
+    node = Node(state=deployment.state,
+                per_sender_cap=args.per_sender_cap)
+    server = RpcServer(node=node, config=config)
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"repro serve: listening on "
+            f"{config.host}:{config.port} "
+            f"({args.accounts} genesis accounts, "
+            f"{config.executor} executor)",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining…", file=sys.stderr)
+            await server.shutdown()
+            stats = server.stats()
+            print(
+                f"served {stats['txsCommitted']} transactions in "
+                f"{stats['blocksBuilt']} blocks",
+                file=sys.stderr,
+            )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_loadgen(args) -> int:
+    import asyncio
+
+    from .obs.report import LatencyReport
+    from .serve import LoadGenerator
+
+    loadgen = LoadGenerator(
+        args.host, args.port, num_accounts=args.accounts
+    )
+    if args.mode == "closed":
+        result = asyncio.run(loadgen.run_closed_loop(
+            args.requests, clients=args.clients,
+            workload=args.workload, seed=args.seed,
+            deadline_ms=args.deadline_ms,
+        ))
+    else:
+        result = asyncio.run(loadgen.run_open_loop(
+            args.rate, args.duration, clients=args.clients,
+            workload=args.workload, seed=args.seed,
+            deadline_ms=args.deadline_ms,
+        ))
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    latency = result.latency or LatencyReport()
+    print(
+        f"[{result.mode}-loop: {result.ok}/{result.requested} ok "
+        f"({result.tx_per_second:.0f} tx/s), errors {result.errors}, "
+        f"unanswered {result.unanswered}, latency p50/p99 "
+        f"{latency.p50_ms:.1f}/{latency.p99_ms:.1f} ms]",
+        file=sys.stderr,
+    )
+    return 1 if result.unanswered else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "loadgen":
+        return _run_loadgen(args)
 
     if args.command == "list":
         for name, fn in EXPERIMENTS.items():

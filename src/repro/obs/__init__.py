@@ -35,7 +35,7 @@ from .registry import (
     set_registry,
     use_registry,
 )
-from .report import BlockPerfReport
+from .report import BlockPerfReport, LatencyReport
 from .tracing import (
     NULL_TRACER,
     LogicalClock,
@@ -52,6 +52,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyReport",
     "LogicalClock",
     "MetricsRegistry",
     "NULL_REGISTRY",

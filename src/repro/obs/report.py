@@ -24,6 +24,53 @@ from .registry import delta, get_registry, percentile
 _OPS_PREFIX = "evm.ops{category="
 
 
+@dataclass
+class LatencyReport:
+    """A wall-latency distribution digest (milliseconds).
+
+    The serving layer's SLO currency: the RPC server's end-to-end
+    histogram, the load generator's per-request RTTs and the benchmark's
+    ``serve`` section all reduce to this one JSON-round-trippable shape,
+    so dashboards and regression gates compare like with like.
+    """
+
+    label: str = ""
+    count: int = 0
+    mean_ms: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+
+    @classmethod
+    def from_samples(cls, label: str, samples_ms: list) -> "LatencyReport":
+        if not samples_ms:
+            return cls(label=label)
+        return cls(
+            label=label,
+            count=len(samples_ms),
+            mean_ms=sum(samples_ms) / len(samples_ms),
+            p50_ms=percentile(samples_ms, 50),
+            p99_ms=percentile(samples_ms, 99),
+            max_ms=max(samples_ms),
+        )
+
+    @classmethod
+    def from_histogram(cls, histogram, label: str = "") -> "LatencyReport":
+        """Digest a :class:`~repro.obs.registry.Histogram` of ms values."""
+        return cls.from_samples(label or histogram.name, histogram.values)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyReport":
+        return cls(**{
+            name: data[name]
+            for name in cls.__dataclass_fields__
+            if name in data
+        })
+
+
 def _opcode_categories(counter_delta: dict) -> dict:
     """Extract the per-category opcode mix from a counters delta."""
     categories: dict[str, int] = {}

@@ -1,0 +1,44 @@
+"""repro.serve — the node's serving layer.
+
+An asyncio JSON-RPC front-end (:class:`RpcServer`) feeding a continuous
+block builder (:class:`BlockBuilder`): client transactions stream in
+over newline-delimited JSON-RPC, pass mempool admission (typed errors
+for duplicates, sender floods, underfunded/underpriced traffic), and are
+cut into blocks when a size target, gas target, or time budget is hit —
+the continuous-batching shape. Receipts resolve per-transaction response
+futures; ``repro.serve.loadgen`` drives the whole path over real sockets
+and ``python -m repro.serve.smoke`` gates it in CI.
+"""
+
+from .batcher import BlockBuilder, CommittedReceipt
+from .config import ServeConfig
+from .errors import (
+    ADMISSION_REJECTED,
+    BUSY,
+    DEADLINE_EXCEEDED,
+    RATE_LIMITED,
+    SHUTTING_DOWN,
+    RpcError,
+)
+from .loadgen import LoadGenerator, LoadResult, RpcClient, RpcClientError
+from .ratelimit import RateLimiter, TokenBucket
+from .server import RpcServer
+
+__all__ = [
+    "ADMISSION_REJECTED",
+    "BUSY",
+    "BlockBuilder",
+    "CommittedReceipt",
+    "DEADLINE_EXCEEDED",
+    "LoadGenerator",
+    "LoadResult",
+    "RATE_LIMITED",
+    "RateLimiter",
+    "RpcClient",
+    "RpcClientError",
+    "RpcError",
+    "RpcServer",
+    "SHUTTING_DOWN",
+    "ServeConfig",
+    "TokenBucket",
+]

@@ -1,0 +1,283 @@
+"""The continuous block builder: queue → batch → execute → futures.
+
+The inference-stack continuous-batching shape applied to blocks: client
+transactions stream into the node's mempool; the builder cuts a block as
+soon as a size target, a gas target, or a time budget is hit; the block
+executes on a worker thread (sequential, MTPU, or the multicore parallel
+backend); and each transaction's response future resolves the moment its
+receipt commits. Receipts and ``state_digest()`` are bit-identical to
+offline sequential execution — the MTPU and parallel backends guarantee
+it, and any executor failure (e.g. every PU killed by an injected fault)
+degrades to a clean sequential re-execution of the same block instead of
+wedging the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..chain.mempool import AdmissionError  # noqa: F401  (re-export)
+from ..chain.node import Node
+from ..chain.receipt import Receipt
+from ..obs import get_registry
+from .config import ServeConfig
+
+
+class CommittedReceipt:
+    """A receipt plus its position in the chain."""
+
+    __slots__ = ("receipt", "block_height", "tx_index")
+
+    def __init__(self, receipt: Receipt, block_height: int, tx_index: int):
+        self.receipt = receipt
+        self.block_height = block_height
+        self.tx_index = tx_index
+
+
+class BlockBuilder:
+    """Owns the node and the build-execute-resolve loop."""
+
+    def __init__(
+        self,
+        node: Node,
+        config: ServeConfig | None = None,
+        fault_injector=None,
+    ) -> None:
+        self.node = node
+        self.config = config or ServeConfig()
+        #: Optional :class:`repro.faults.FaultInjector` whose PU faults
+        #: strike the MTPU executor (degradation, never divergence).
+        self.fault_injector = fault_injector
+        #: tx hash -> future resolving to a :class:`CommittedReceipt`.
+        self._pending: dict[bytes, asyncio.Future] = {}
+        #: tx hash -> admission wall time (for the e2e latency SLO).
+        self._admitted_at: dict[bytes, float] = {}
+        #: tx hash -> committed receipt, for ``getReceipt`` lookups.
+        self.committed: dict[bytes, CommittedReceipt] = {}
+        self._wake = asyncio.Event()
+        self._draining = False
+        self._in_flight = 0
+        self._task: asyncio.Task | None = None
+        #: Callbacks fired with (block, receipts) after each commit.
+        self.on_new_head: list = []
+        # -- cumulative stats (mirrored into repro.obs when enabled) ----
+        self.blocks_built = 0
+        self.txs_committed = 0
+        self.sequential_fallbacks = 0
+
+    # -- ingress -----------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Admitted-but-uncommitted transactions (queue + in flight)."""
+        return len(self.node.mempool) + self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def submit(self, tx) -> asyncio.Future:
+        """Admit *tx* and return the future of its committed receipt.
+
+        Raises :class:`~repro.chain.mempool.AdmissionError` (including
+        the duplicate/sender-cap subtypes) when the mempool refuses it;
+        the caller maps that onto a typed RPC error. Backpressure and
+        drain checks happen in the server *before* this call.
+        """
+        self.node.mempool.add(tx)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        tx_hash = tx.hash()
+        self._pending[tx_hash] = future
+        self._admitted_at[tx_hash] = time.monotonic()
+        self._wake.set()
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.admitted").inc()
+            registry.gauge("serve.queue_depth").set(self.depth)
+        return future
+
+    def future_for(self, tx_hash: bytes) -> asyncio.Future | None:
+        """The pending future for an already-admitted transaction."""
+        return self._pending.get(tx_hash)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="block-builder"
+            )
+
+    async def drain_and_stop(self) -> None:
+        """Graceful shutdown: finish pending work, then stop the loop."""
+        self._draining = True
+        self._wake.set()
+        if self._task is None:
+            return
+        try:
+            await asyncio.wait_for(
+                self._task, timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self._task.cancel()
+            for future in self._pending.values():
+                if not future.done():
+                    future.cancel()
+            self._pending.clear()
+        self._task = None
+
+    # -- the loop ----------------------------------------------------------
+    async def _run(self) -> None:
+        mempool = self.node.mempool
+        config = self.config
+        while True:
+            while len(mempool) == 0:
+                if self._draining:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+            # First transaction is pending: open the batching window.
+            window_closes = (
+                time.monotonic() + config.block_interval_ms / 1000.0
+            )
+            while (
+                not self._draining
+                and len(mempool) < config.block_size_target
+                and not self._gas_target_met()
+            ):
+                remaining = window_closes - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._wake.wait(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+            await self._cut_and_execute()
+
+    def _gas_target_met(self) -> bool:
+        if self.config.gas_target is None:
+            return False
+        gas = 0
+        for tx in self.node.mempool.pending():
+            gas += tx.gas_limit
+            if gas >= self.config.gas_target:
+                return True
+        return False
+
+    async def _cut_and_execute(self) -> None:
+        config = self.config
+        txs = self.node.mempool.take(
+            config.block_size_target, gas_target=config.gas_target
+        )
+        if not txs:
+            return
+        self._in_flight = len(txs)
+        loop = asyncio.get_running_loop()
+        try:
+            block, receipts = await loop.run_in_executor(
+                None, self._build_and_execute, txs
+            )
+        finally:
+            self._in_flight = 0
+        self._resolve(block, receipts)
+
+    # -- execution (worker thread; one block at a time) --------------------
+    def _build_and_execute(self, txs):
+        block = self.node.propose_block(transactions=txs)
+        token = self.node.state.snapshot()
+        try:
+            receipts = self._execute(block)
+        except Exception:
+            # Degrade, never wedge: whatever the executor left behind is
+            # rolled back and the block re-executes sequentially.
+            self.node.state.revert(token)
+            self.sequential_fallbacks += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("serve.sequential_fallbacks").inc()
+            receipts = self.node.execute_block(block)
+        return block, receipts
+
+    def _execute(self, block) -> list[Receipt]:
+        if self.config.executor == "sequential":
+            return self.node.execute_block(block)
+        if self.config.executor == "mtpu":
+            return self._execute_mtpu(block)
+        return self._execute_parallel(block)
+
+    def _execute_mtpu(self, block) -> list[Receipt]:
+        from ..core.mtpu import MTPUExecutor
+        from ..core.scheduler import run_spatial_temporal
+
+        context = self.node.block_context(block.header.height)
+        artifacts = {
+            artifact.tx.hash(): artifact
+            for artifact in (block.artifacts or [])
+        }
+        executor = MTPUExecutor(
+            self.node.state,
+            block=context,
+            num_pus=self.config.num_workers,
+            artifacts=artifacts,
+        )
+        schedule = run_spatial_temporal(
+            executor,
+            block.transactions,
+            block.dag_edges,
+            fault_injector=self.fault_injector,
+        )
+        receipts = schedule.receipts_in_block_order(block.transactions)
+        self.node.commit_block(block, receipts)
+        return receipts
+
+    def _execute_parallel(self, block) -> list[Receipt]:
+        from ..parallel import ParallelBlockExecutor
+
+        context = self.node.block_context(block.header.height)
+        # The per-block context carries a chain-local BLOCKHASH service,
+        # so the executor degrades itself to the in-process serial
+        # backend — still the artifact-replay execute-once path.
+        with ParallelBlockExecutor(
+            self.node.state,
+            block=context,
+            num_workers=self.config.num_workers,
+        ) as executor:
+            result = executor.execute_block(
+                block.transactions,
+                block.dag_edges,
+                block.artifacts or [],
+                artifacts=block.artifacts,
+            )
+        self.node.commit_block(block, result.receipts)
+        return result.receipts
+
+    # -- commit ------------------------------------------------------------
+    def _resolve(self, block, receipts: list[Receipt]) -> None:
+        height = block.header.height
+        now = time.monotonic()
+        registry = get_registry()
+        for index, (tx, receipt) in enumerate(
+            zip(block.transactions, receipts)
+        ):
+            tx_hash = tx.hash()
+            committed = CommittedReceipt(receipt, height, index)
+            self.committed[tx_hash] = committed
+            future = self._pending.pop(tx_hash, None)
+            if future is not None and not future.done():
+                future.set_result(committed)
+            admitted = self._admitted_at.pop(tx_hash, None)
+            if registry.enabled and admitted is not None:
+                registry.histogram("serve.e2e_latency_ms").observe(
+                    (now - admitted) * 1000.0
+                )
+        self.blocks_built += 1
+        self.txs_committed += len(receipts)
+        if registry.enabled:
+            registry.counter("serve.blocks_built").inc()
+            registry.counter("serve.txs_committed").inc(len(receipts))
+            registry.histogram("serve.block_size").observe(len(receipts))
+            registry.gauge("serve.queue_depth").set(self.depth)
+        for callback in list(self.on_new_head):
+            callback(block, receipts)

@@ -1,0 +1,65 @@
+"""Serving-layer configuration: block cutting, admission, and SLO knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ServeConfig:
+    """Everything the server and its block builder need to know.
+
+    The block-cutting policy is the inference-stack continuous-batching
+    shape: a block is cut as soon as *either* ``block_size_target``
+    transactions are pending, *or* the cumulative gas of the pending
+    transactions reaches ``gas_target``, *or* ``block_interval_ms`` has
+    elapsed since the oldest pending transaction arrived — whichever
+    comes first. Small targets trade throughput for latency.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8545
+
+    # -- block cutting ----------------------------------------------------
+    #: Cut a block at this many transactions.
+    block_size_target: int = 128
+    #: Cut a block when pending gas limits reach this target (None: off).
+    gas_target: int | None = 30_000_000
+    #: Cut a block this long after the first pending transaction arrived.
+    block_interval_ms: float = 50.0
+
+    # -- admission control ------------------------------------------------
+    #: Bound on admitted-but-uncommitted transactions (mempool + the
+    #: block in flight). Beyond it, sendTransaction gets a typed BUSY
+    #: error instead of unbounded buffering.
+    max_pending: int = 4096
+    #: Per-sender pending cap forwarded to the mempool (None: off).
+    per_sender_cap: int | None = 1024
+    #: Per-client token-bucket refill rate, requests/second (None: off).
+    rate_limit: float | None = None
+    #: Token-bucket burst size.
+    rate_burst: int = 64
+
+    # -- latency SLOs -----------------------------------------------------
+    #: Default sendTransaction wait deadline; requests may override.
+    default_deadline_ms: float = 30_000.0
+    #: How long shutdown() waits for the drain before force-closing.
+    drain_timeout_s: float = 30.0
+
+    # -- execution --------------------------------------------------------
+    #: "sequential" (Node.execute_block), "mtpu" (spatio-temporal
+    #: schedule on the MTPU simulator) or "parallel" (the multicore
+    #: repro.parallel backend).
+    executor: str = "sequential"
+    #: PUs (mtpu) or worker processes (parallel).
+    num_workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("sequential", "mtpu", "parallel"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.block_size_target <= 0:
+            raise ValueError("block_size_target must be positive")
+        if self.max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if self.block_interval_ms < 0:
+            raise ValueError("block_interval_ms must be >= 0")

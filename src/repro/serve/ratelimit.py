@@ -1,0 +1,86 @@
+"""Per-client token-bucket rate limiting.
+
+A classic token bucket: ``rate`` tokens/second refill up to ``burst``
+capacity; each request spends one token. The clock is injectable so
+tests drive time explicitly instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class TokenBucket:
+    """One client's allowance."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated", "clock")
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.clock = clock
+        self.updated = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Spend *cost* tokens; False (and no spend) when unaffordable."""
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def retry_after(self, cost: float = 1.0) -> float:
+        """Seconds until *cost* tokens will have refilled."""
+        self._refill()
+        missing = cost - self.tokens
+        return max(0.0, missing / self.rate)
+
+
+class RateLimiter:
+    """Token buckets keyed by client id (e.g. peer address).
+
+    Unknown clients get a fresh full bucket. The table is pruned
+    opportunistically: full buckets of idle clients carry no state worth
+    keeping, so any lookup that finds ≥ *prune_above* entries drops the
+    refilled-to-burst ones.
+    """
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic,
+                 prune_above: int = 4096):
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self.prune_above = prune_above
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket(self, client_id: str) -> TokenBucket:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            if len(self._buckets) >= self.prune_above:
+                self._prune()
+            bucket = TokenBucket(self.rate, self.burst, clock=self.clock)
+            self._buckets[client_id] = bucket
+        return bucket
+
+    def _prune(self) -> None:
+        for key in [
+            k for k, b in self._buckets.items()
+            if b.try_acquire(0.0) and b.tokens >= b.burst
+        ]:
+            del self._buckets[key]
+
+    def try_acquire(self, client_id: str) -> bool:
+        return self.bucket(client_id).try_acquire()
+
+    def retry_after(self, client_id: str) -> float:
+        return self.bucket(client_id).retry_after()

@@ -1,0 +1,382 @@
+"""The asyncio JSON-RPC node front-end.
+
+Newline-delimited JSON-RPC 2.0 over plain TCP (stdlib asyncio streams,
+no dependencies). Methods:
+
+* ``repro_sendTransaction`` — admit a hex-RLP transaction; with
+  ``wait`` (default) the response is the committed receipt, otherwise
+  the transaction hash. ``deadline_ms`` bounds the wait.
+* ``repro_getReceipt`` — look a committed receipt up by hash.
+* ``repro_getBalance`` — read an account balance.
+* ``repro_subscribe`` — ``newHeads`` push notifications per block.
+* ``repro_stats`` — server counters (loadgen/smoke consume this).
+
+Production behaviors are first-class: admission is bounded
+(``max_pending`` → typed BUSY errors), per-client token buckets police
+request rates, deadlines cancel abandoned waits, and shutdown drains the
+block builder before the listener closes. Every refusal is a *typed*
+error — a saturated server answers quickly and cheaply; it never hangs a
+client or buffers without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from ..chain.mempool import AdmissionError, DuplicateTransactionError
+from ..chain.node import Node
+from ..obs import get_registry
+from . import protocol
+from .batcher import BlockBuilder
+from .config import ServeConfig
+from .errors import (
+    ADMISSION_REJECTED,
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    METHOD_NOT_FOUND,
+    BusyError,
+    DeadlineExceededError,
+    RateLimitedError,
+    RpcError,
+    ShuttingDownError,
+)
+from .ratelimit import RateLimiter
+
+
+class RpcServer:
+    """One node's serving front-end."""
+
+    def __init__(
+        self,
+        node: Node | None = None,
+        config: ServeConfig | None = None,
+        fault_injector=None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.node = node or Node(
+            per_sender_cap=self.config.per_sender_cap
+        )
+        if self.config.per_sender_cap is not None:
+            self.node.mempool.per_sender_cap = self.config.per_sender_cap
+        self.builder = BlockBuilder(
+            self.node, self.config, fault_injector=fault_injector
+        )
+        self.limiter = (
+            RateLimiter(self.config.rate_limit, self.config.rate_burst)
+            if self.config.rate_limit is not None
+            else None
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        #: In-flight request tasks (replies must flush before close).
+        self._request_tasks: set[asyncio.Task] = set()
+        #: subscription id -> (writer, topic).
+        self._subscriptions: dict[int, asyncio.StreamWriter] = {}
+        self._next_subscription = 1
+        self._shutting_down = False
+        self.builder.on_new_head.append(self._publish_new_head)
+        # -- counters the stats endpoint exposes -------------------------
+        self.requests_served = 0
+        self.busy_rejects = 0
+        self.rate_limit_rejects = 0
+        self.deadline_misses = 0
+        self.admission_rejects = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the block builder."""
+        self.builder.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        # Ephemeral-port runs (tests, smoke) read the bound port back.
+        self.config.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful drain-then-stop.
+
+        New transactions are refused with SHUTTING_DOWN immediately; the
+        block builder finishes everything already admitted; then the
+        listener and all connections close.
+        """
+        self._shutting_down = True
+        await self.builder.drain_and_stop()
+        if self._request_tasks:
+            # The drain resolved every pending receipt future; give the
+            # per-request tasks a bounded chance to write their replies
+            # before the transports close underneath them.
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(
+                        *self._request_tasks, return_exceptions=True
+                    ),
+                    timeout=self.config.drain_timeout_s,
+                )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._connections.clear()
+        self._subscriptions.clear()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # -- connection handling -----------------------------------------------
+    def _client_id(self, writer: asyncio.StreamWriter) -> str:
+        peer = writer.get_extra_info("peername")
+        return peer[0] if peer else "unknown"
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        lock = asyncio.Lock()  # serializes interleaved writes
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    break  # oversized frame: drop the connection
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                # Handle each request in its own task so one slow
+                # sendTransaction wait never blocks the next request on
+                # the same connection (pipelining).
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            for task in tasks:
+                task.cancel()
+            self._drop_connection(writer)
+
+    def _drop_connection(self, writer: asyncio.StreamWriter) -> None:
+        self._connections.discard(writer)
+        for sub_id, sub_writer in list(self._subscriptions.items()):
+            if sub_writer is writer:
+                del self._subscriptions[sub_id]
+        with contextlib.suppress(Exception):
+            writer.close()
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, obj: dict
+    ) -> None:
+        async with lock:
+            writer.write(protocol.encode_frame(obj))
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        request_id = None
+        try:
+            obj = protocol.decode_frame(line)
+            request_id = obj.get("id")
+            result = await self._dispatch(obj, writer)
+            reply = protocol.response(request_id, result)
+        except RpcError as err:
+            reply = protocol.error_response(request_id, err)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never leak a traceback to the wire
+            reply = protocol.error_response(
+                request_id, RpcError(INTERNAL_ERROR, repr(exc))
+            )
+        self.requests_served += 1
+        await self._send(writer, lock, reply)
+
+    # -- dispatch ----------------------------------------------------------
+    async def _dispatch(self, obj: dict, writer) -> object:
+        method = obj.get("method")
+        params = obj.get("params") or {}
+        if not isinstance(params, dict):
+            raise RpcError(INVALID_PARAMS, "params must be an object")
+        if method == "repro_sendTransaction":
+            return await self._send_transaction(params, writer)
+        if method == "repro_getReceipt":
+            return self._get_receipt(params)
+        if method == "repro_getBalance":
+            return self._get_balance(params)
+        if method == "repro_subscribe":
+            return self._subscribe(params, writer)
+        if method == "repro_stats":
+            return self.stats()
+        raise RpcError(METHOD_NOT_FOUND, f"unknown method {method!r}")
+
+    async def _send_transaction(self, params: dict, writer) -> object:
+        if self._shutting_down or self.builder.draining:
+            raise ShuttingDownError()
+        if self.limiter is not None:
+            client = self._client_id(writer)
+            if not self.limiter.try_acquire(client):
+                self.rate_limit_rejects += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter(
+                        "serve.rejected", reason="rate_limited"
+                    ).inc()
+                raise RateLimitedError(self.limiter.retry_after(client))
+        tx = protocol.tx_from_wire(params.get("tx", ""))
+        wait = params.get("wait", True)
+        deadline_ms = params.get(
+            "deadline_ms", self.config.default_deadline_ms
+        )
+        # Idempotent resubmission: a hash that already committed must
+        # never re-execute — serve its receipt instead.
+        committed = self.builder.committed.get(tx.hash())
+        if committed is not None:
+            return protocol.receipt_to_wire(
+                committed.receipt,
+                committed.block_height,
+                committed.tx_index,
+            )
+        if self.builder.depth >= self.config.max_pending:
+            self.busy_rejects += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("serve.rejected", reason="busy").inc()
+            raise BusyError(self.builder.depth, self.config.max_pending)
+        try:
+            future = self.builder.submit(tx)
+        except DuplicateTransactionError as err:
+            # A retried submission: attach to the in-flight wait, or
+            # serve the already-committed receipt.
+            committed = self.builder.committed.get(tx.hash())
+            if committed is not None:
+                return protocol.receipt_to_wire(
+                    committed.receipt,
+                    committed.block_height,
+                    committed.tx_index,
+                )
+            future = self.builder.future_for(tx.hash())
+            if future is None or not wait:
+                self.admission_rejects += 1
+                raise RpcError(
+                    ADMISSION_REJECTED, str(err),
+                    {"reason": type(err).__name__},
+                ) from None
+        except AdmissionError as err:
+            self.admission_rejects += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "serve.rejected", reason=type(err).__name__
+                ).inc()
+            raise RpcError(
+                ADMISSION_REJECTED, str(err),
+                {"reason": type(err).__name__},
+            ) from None
+        if not wait:
+            return {"txHash": tx.hash().hex()}
+        try:
+            committed = await asyncio.wait_for(
+                asyncio.shield(future), timeout=deadline_ms / 1000.0
+            )
+        except asyncio.TimeoutError:
+            # The transaction stays admitted (it may still commit and
+            # remains fetchable via getReceipt); only the wait ends.
+            self.deadline_misses += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("serve.deadline_misses").inc()
+            raise DeadlineExceededError(deadline_ms) from None
+        except asyncio.CancelledError:
+            raise
+        return protocol.receipt_to_wire(
+            committed.receipt, committed.block_height, committed.tx_index
+        )
+
+    def _get_receipt(self, params: dict) -> object:
+        tx_hash_hex = params.get("txHash")
+        if not isinstance(tx_hash_hex, str):
+            raise RpcError(INVALID_PARAMS, "txHash (hex string) required")
+        try:
+            tx_hash = bytes.fromhex(tx_hash_hex)
+        except ValueError:
+            raise RpcError(INVALID_PARAMS, "txHash is not hex") from None
+        committed = self.builder.committed.get(tx_hash)
+        if committed is None:
+            return None
+        return protocol.receipt_to_wire(
+            committed.receipt, committed.block_height, committed.tx_index
+        )
+
+    def _get_balance(self, params: dict) -> int:
+        address = params.get("address")
+        if isinstance(address, str):
+            try:
+                address = int(address, 16)
+            except ValueError:
+                raise RpcError(
+                    INVALID_PARAMS, "address is not hex"
+                ) from None
+        if not isinstance(address, int):
+            raise RpcError(INVALID_PARAMS, "address required")
+        with self.node.state.untracked():
+            return self.node.state.get_balance(address)
+
+    def _subscribe(self, params: dict, writer) -> dict:
+        topic = params.get("topic", "newHeads")
+        if topic != "newHeads":
+            raise RpcError(INVALID_PARAMS, f"unknown topic {topic!r}")
+        sub_id = self._next_subscription
+        self._next_subscription += 1
+        self._subscriptions[sub_id] = writer
+        return {"subscription": sub_id}
+
+    def _publish_new_head(self, block, receipts) -> None:
+        if not self._subscriptions:
+            return
+        frame = protocol.encode_frame(
+            protocol.notification(
+                "repro_subscription",
+                {"topic": "newHeads",
+                 "result": protocol.header_to_wire(block)},
+            )
+        )
+        for sub_id, writer in list(self._subscriptions.items()):
+            if writer.is_closing():
+                del self._subscriptions[sub_id]
+                continue
+            # Fire-and-forget: a slow subscriber relies on the
+            # transport's own buffering, never on the builder loop.
+            writer.write(frame)
+
+    # -- stats -------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "requestsServed": self.requests_served,
+            "blocksBuilt": self.builder.blocks_built,
+            "txsCommitted": self.builder.txs_committed,
+            "queueDepth": self.builder.depth,
+            "busyRejects": self.busy_rejects,
+            "rateLimitRejects": self.rate_limit_rejects,
+            "deadlineMisses": self.deadline_misses,
+            "admissionRejects": self.admission_rejects,
+            "sequentialFallbacks": self.builder.sequential_fallbacks,
+            "chainHeight": len(self.node.chain),
+            "shuttingDown": self._shutting_down,
+        }

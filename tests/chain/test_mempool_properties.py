@@ -1,0 +1,174 @@
+"""Property tests for mempool admission, eviction, and dissemination.
+
+Hypothesis drives interleaved ``hear``/``propose_block`` sequences and
+capacity churn; the mempool's orderings (``known_before``, FIFO take,
+eviction/readmission) must match a trivial reference model throughout.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import (
+    DuplicateTransactionError,
+    Mempool,
+    SenderLimitError,
+    Transaction,
+)
+from repro.chain.node import Node
+
+
+def tx(sender=1, nonce=0, gas_limit=50_000):
+    return Transaction(sender=sender, to=2, nonce=nonce,
+                       gas_limit=gas_limit)
+
+
+class TestTypedAdmission:
+    def test_duplicate_raises_typed_error(self):
+        pool = Mempool()
+        pool.add(tx())
+        with pytest.raises(DuplicateTransactionError):
+            pool.add(tx())
+        assert len(pool) == 1
+
+    def test_per_sender_cap_raises_typed_error(self):
+        pool = Mempool(per_sender_cap=2)
+        pool.add(tx(nonce=0))
+        pool.add(tx(nonce=1))
+        with pytest.raises(SenderLimitError):
+            pool.add(tx(nonce=2))
+        # Another sender is unaffected by the first one's flood.
+        assert pool.add(tx(sender=9, nonce=0))
+
+    def test_take_frees_sender_slots(self):
+        pool = Mempool(per_sender_cap=1)
+        pool.add(tx(nonce=0))
+        pool.take(1)
+        assert pool.add(tx(nonce=1))
+
+    def test_remove_frees_sender_slots(self):
+        pool = Mempool(per_sender_cap=1)
+        first = tx(nonce=0)
+        pool.add(first)
+        pool.remove([first])
+        assert pool.add(tx(nonce=1))
+
+    def test_eviction_frees_sender_slots(self):
+        pool = Mempool(capacity=2, per_sender_cap=2)
+        a, b, c = tx(nonce=0), tx(nonce=1), tx(sender=9, nonce=0)
+        pool.add(a)
+        pool.add(b)
+        pool.add(c)  # evicts a, sender 1 drops to one pending slot
+        assert pool.add(tx(nonce=3))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    arrivals=st.lists(st.integers(0, 15), min_size=1, max_size=40),
+)
+def test_eviction_keeps_newest_and_allows_readmission(capacity, arrivals):
+    """Capacity churn always retains the newest-heard suffix, and an
+    evicted transaction readmits as if heard for the first time."""
+    pool = Mempool(capacity=capacity)
+    model: list[int] = []  # nonces in arrival order
+    for nonce in arrivals:
+        try:
+            pool.add(tx(nonce=nonce))
+        except DuplicateTransactionError:
+            assert nonce in model[-capacity:] if model else False
+            continue
+        # Readmission of a previously-evicted nonce goes to the back.
+        if nonce in model:
+            model.remove(nonce)
+        model.append(nonce)
+        model = model[-capacity:]
+        assert len(pool) == len(model)
+    assert [t.nonce for t in pool.pending()] == model
+    # Anything evicted is re-admittable right now.
+    evicted = set(arrivals) - set(model)
+    for nonce in sorted(evicted)[: capacity]:
+        assert pool.add(tx(nonce=nonce))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("hear"), st.integers(0, 30)),
+            st.tuples(st.just("propose"), st.integers(1, 4)),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_known_before_under_interleaved_hear_and_propose(ops):
+    """`known_before` matches a reference model of (pooled, heard-at)
+    across arbitrary interleavings of gossip and block proposals."""
+    node = Node()
+    heard_at: dict[int, int] = {}  # nonce -> arrival stamp (if pooled)
+    for op, value in ops:
+        if op == "hear":
+            stamp = node.mempool.clock
+            if node.hear(tx(nonce=value)):
+                heard_at[value] = stamp
+            else:
+                assert value in heard_at  # duplicate of a pooled tx
+        else:
+            block = node.propose_block(max_transactions=value)
+            took = [t.nonce for t in block.transactions]
+            # FIFO: the proposal takes the oldest-heard prefix.
+            expected = sorted(heard_at, key=heard_at.get)[:value]
+            assert took == expected
+            node.execute_block(block)
+            for nonce in took:
+                del heard_at[nonce]
+        now = node.mempool.clock
+        for nonce in range(31):
+            assert node.mempool.known_before(tx(nonce=nonce), now) == (
+                nonce in heard_at
+            )
+            # Nothing is known before (or at) its own arrival stamp.
+            if nonce in heard_at:
+                assert not node.mempool.known_before(
+                    tx(nonce=nonce), heard_at[nonce]
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    gas_limits=st.lists(
+        st.integers(21_000, 200_000), min_size=1, max_size=20
+    ),
+    gas_target=st.integers(21_000, 500_000),
+    count=st.integers(1, 20),
+)
+def test_take_respects_gas_target(gas_limits, gas_target, count):
+    pool = Mempool()
+    for nonce, gas_limit in enumerate(gas_limits):
+        pool.add(tx(nonce=nonce, gas_limit=gas_limit))
+    taken = pool.take(count, gas_target=gas_target)
+    # Always at least one (a single over-budget tx must not wedge), in
+    # FIFO order, and never past the target beyond the first.
+    assert [t.nonce for t in taken] == list(range(len(taken)))
+    assert 1 <= len(taken) <= count
+    total = sum(t.gas_limit for t in taken)
+    if len(taken) > 1:
+        assert total <= gas_target
+    # Maximality: the next pending tx would not also have fit.
+    leftover = pool.pending()
+    if leftover and len(taken) < count:
+        assert total + leftover[0].gas_limit > gas_target
+
+
+def test_propose_block_gas_target_matches_mempool_take():
+    """The offline proposal path cuts on gas exactly like the serve loop."""
+    node = Node()
+    for nonce in range(6):
+        node.hear(tx(nonce=nonce, gas_limit=40_000))
+    block = node.propose_block(max_transactions=10, gas_target=100_000)
+    assert [t.nonce for t in block.transactions] == [0, 1]
+    assert len(node.mempool) == 4
+    node.execute_block(block)
+    follow_up = node.propose_block(max_transactions=10, gas_target=100_000)
+    assert [t.nonce for t in follow_up.transactions] == [2, 3]

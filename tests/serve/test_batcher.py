@@ -1,0 +1,176 @@
+"""BlockBuilder: cut triggers, fallback degradation, drain semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.chain.node import Node
+from repro.serve.batcher import BlockBuilder
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import make_transactions
+
+
+def build(deployment, **overrides):
+    defaults = dict(
+        block_size_target=4,
+        gas_target=None,
+        block_interval_ms=10_000.0,  # effectively "never" unless tested
+        executor="sequential",
+    )
+    defaults.update(overrides)
+    config = ServeConfig(**defaults)
+    node = Node(state=deployment.state.copy(),
+                per_sender_cap=config.per_sender_cap)
+    return BlockBuilder(node, config)
+
+
+def test_size_target_cuts_without_waiting_window(deployment):
+    async def run():
+        builder = build(deployment, block_size_target=4)
+        builder.start()
+        futures = [
+            builder.submit(tx)
+            for tx in make_transactions(deployment, 4)
+        ]
+        # The 10s window must NOT gate this: size target is hit.
+        committed = await asyncio.wait_for(
+            asyncio.gather(*futures), timeout=5.0
+        )
+        await builder.drain_and_stop()
+        return builder, committed
+
+    builder, committed = asyncio.run(run())
+    assert builder.blocks_built == 1
+    assert builder.txs_committed == 4
+    assert [c.tx_index for c in committed] == [0, 1, 2, 3]
+    assert all(c.block_height == 1 for c in committed)
+    assert builder.depth == 0
+
+
+def test_time_window_cuts_partial_block(deployment):
+    async def run():
+        builder = build(
+            deployment, block_size_target=100, block_interval_ms=25.0
+        )
+        builder.start()
+        futures = [
+            builder.submit(tx)
+            for tx in make_transactions(deployment, 2)
+        ]
+        committed = await asyncio.wait_for(
+            asyncio.gather(*futures), timeout=5.0
+        )
+        await builder.drain_and_stop()
+        return builder, committed
+
+    builder, committed = asyncio.run(run())
+    # Neither size nor gas target was reachable; only the window fired.
+    assert builder.blocks_built == 1
+    assert len(committed) == 2
+
+
+def test_gas_target_cuts_and_drain_flushes_rest(deployment):
+    async def run():
+        builder = build(
+            deployment, block_size_target=100, gas_target=100_000
+        )
+        builder.start()
+        txs = make_transactions(deployment, 3)  # 50k gas limit each
+        futures = [builder.submit(tx) for tx in txs]
+        # Two transactions reach the 100k gas target; the third waits.
+        first_two = await asyncio.wait_for(
+            asyncio.gather(*futures[:2]), timeout=5.0
+        )
+        assert not futures[2].done()
+        # Drain must flush the leftover instead of waiting out the
+        # 10-second window.
+        await asyncio.wait_for(builder.drain_and_stop(), timeout=5.0)
+        return builder, first_two, futures[2].result()
+
+    builder, first_two, last = asyncio.run(run())
+    assert {c.block_height for c in first_two} == {1}
+    assert last.block_height == 2
+    assert builder.blocks_built == 2
+    assert len(builder.node.mempool) == 0
+
+
+def test_executor_failure_degrades_to_sequential(deployment):
+    async def run():
+        builder = build(deployment, block_size_target=4)
+
+        def explode(block):
+            raise RuntimeError("all PUs dead")
+
+        builder._execute = explode
+        builder.start()
+        futures = [
+            builder.submit(tx)
+            for tx in make_transactions(deployment, 4)
+        ]
+        committed = await asyncio.wait_for(
+            asyncio.gather(*futures), timeout=5.0
+        )
+        await builder.drain_and_stop()
+        return builder, committed
+
+    builder, committed = asyncio.run(run())
+    # Degraded, not wedged: every future resolved sequentially.
+    assert builder.sequential_fallbacks == 1
+    assert builder.blocks_built == 1
+    assert all(c.receipt.success for c in committed)
+
+
+def test_fallback_state_matches_clean_sequential(deployment):
+    txs = make_transactions(deployment, 4)
+
+    async def run(sabotage: bool):
+        builder = build(deployment, block_size_target=4)
+        if sabotage:
+            real = builder._execute
+            calls = {"n": 0}
+
+            def flaky(block):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    # Dirty the state first: the revert must erase this.
+                    builder.node.state.set_balance(0xDEAD, 123)
+                    raise RuntimeError("mid-block executor death")
+                return real(block)
+
+            builder._execute = flaky
+        builder.start()
+        futures = [builder.submit(tx) for tx in txs]
+        await asyncio.wait_for(asyncio.gather(*futures), timeout=5.0)
+        await builder.drain_and_stop()
+        return builder.node.state.state_digest()
+
+    clean = asyncio.run(run(sabotage=False))
+    degraded = asyncio.run(run(sabotage=True))
+    assert clean == degraded
+
+
+def test_drain_and_stop_idles_cleanly_when_empty(deployment):
+    async def run():
+        builder = build(deployment)
+        builder.start()
+        await asyncio.sleep(0)  # let the loop park on the wake event
+        await asyncio.wait_for(builder.drain_and_stop(), timeout=5.0)
+        return builder
+
+    builder = asyncio.run(run())
+    assert builder.blocks_built == 0
+
+
+def test_submit_rejection_propagates(deployment):
+    from repro.chain.mempool import DuplicateTransactionError
+
+    async def run():
+        builder = build(deployment, block_size_target=100)
+        builder.start()
+        tx = make_transactions(deployment, 1)[0]
+        builder.submit(tx)
+        with pytest.raises(DuplicateTransactionError):
+            builder.submit(tx)
+        await builder.drain_and_stop()
+
+    asyncio.run(run())

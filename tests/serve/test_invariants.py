@@ -1,0 +1,143 @@
+"""E2E invariant: the serve path is bit-identical to offline execution.
+
+The acceptance property for the serving layer: receipts and
+``state_digest()`` produced by the continuous batcher — under any
+executor backend, injected PU faults, or a forced sequential fallback —
+match offline sequential execution of the same blocks exactly.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.node import Node
+from repro.faults import PU_DEAD, FaultInjector, FaultPlan, PUFault
+from repro.serve.batcher import BlockBuilder
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import make_transactions
+
+
+def run_serve_path(
+    deployment,
+    txs,
+    executor="sequential",
+    block_size_target=4,
+    num_workers=4,
+    fault_injector=None,
+    sabotage=False,
+):
+    """Push *txs* through a BlockBuilder; returns (node, committed, builder)."""
+
+    async def go():
+        config = ServeConfig(
+            port=0,
+            block_size_target=block_size_target,
+            gas_target=None,
+            block_interval_ms=5.0,
+            executor=executor,
+            num_workers=num_workers,
+        )
+        node = Node(state=deployment.state.copy(),
+                    per_sender_cap=config.per_sender_cap)
+        builder = BlockBuilder(node, config,
+                               fault_injector=fault_injector)
+        if sabotage:
+            def explode(block):
+                raise RuntimeError("forced executor failure")
+
+            builder._execute = explode
+        builder.start()
+        futures = [builder.submit(tx) for tx in txs]
+        committed = await asyncio.wait_for(
+            asyncio.gather(*futures), timeout=60.0
+        )
+        await builder.drain_and_stop()
+        return node, committed, builder
+
+    return asyncio.run(go())
+
+
+def assert_matches_offline(deployment, node, committed, txs):
+    """Replay the serve chain sequentially; everything must be identical."""
+    assert len(committed) == len(txs)  # zero dropped receipts
+    reference = Node(state=deployment.state.copy())
+    offline = {}
+    for block in node.chain:
+        receipts = reference.execute_block(block)
+        for tx, receipt in zip(block.transactions, receipts):
+            offline[tx.hash()] = receipt
+    for tx, entry in zip(txs, committed):
+        assert entry.receipt == offline[tx.hash()]
+    assert (node.state.state_digest()
+            == reference.state.state_digest())
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    executor=st.sampled_from(["sequential", "mtpu", "parallel"]),
+    workload=st.sampled_from(["transfer", "erc20", "mixed"]),
+    seed=st.integers(0, 2**16),
+    count=st.integers(1, 12),
+    block_size=st.integers(1, 5),
+)
+def test_serve_path_matches_offline_sequential(
+    deployment, executor, workload, seed, count, block_size
+):
+    txs = make_transactions(
+        deployment, count, workload=workload, seed=seed
+    )
+    node, committed, _ = run_serve_path(
+        deployment, txs,
+        executor=executor, block_size_target=block_size,
+    )
+    assert_matches_offline(deployment, node, committed, txs)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    dead=st.lists(
+        st.integers(0, 3), min_size=1, max_size=4, unique=True
+    ),
+    at_cycle=st.integers(0, 2_000),
+)
+def test_serve_path_survives_pu_faults(deployment, seed, dead, at_cycle):
+    """Injected PU deaths degrade throughput, never the state digest."""
+    plan = FaultPlan(
+        seed=seed,
+        pu_faults=tuple(
+            PUFault(pu_id=p, kind=PU_DEAD, at_cycle=at_cycle)
+            for p in dead
+        ),
+    )
+    txs = make_transactions(deployment, 8, seed=seed)
+    node, committed, builder = run_serve_path(
+        deployment, txs,
+        executor="mtpu", block_size_target=4,
+        fault_injector=FaultInjector(plan),
+    )
+    assert_matches_offline(deployment, node, committed, txs)
+    # Whether the scheduler drained onto survivors or the builder fell
+    # back to sequential, every transaction still committed exactly once.
+    assert builder.txs_committed == len(txs)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    workload=st.sampled_from(["transfer", "erc20"]),
+    seed=st.integers(0, 1000),
+    count=st.integers(1, 10),
+)
+def test_forced_sequential_fallback_matches_offline(
+    deployment, workload, seed, count
+):
+    """Every block's executor dies; the fallback must be invisible."""
+    txs = make_transactions(
+        deployment, count, workload=workload, seed=seed
+    )
+    node, committed, builder = run_serve_path(
+        deployment, txs, sabotage=True
+    )
+    assert builder.sequential_fallbacks == builder.blocks_built > 0
+    assert_matches_offline(deployment, node, committed, txs)

@@ -1,0 +1,86 @@
+"""Token-bucket rate limiting with an explicit fake clock."""
+
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.1)  # exactly one token at 10 tokens/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert [bucket.try_acquire() for _ in range(3)] == [
+            True, True, False,
+        ]
+
+    def test_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        assert bucket.retry_after() == 0.0
+        bucket.try_acquire()
+        assert abs(bucket.retry_after() - 0.25) < 1e-9
+
+    def test_failed_acquire_spends_nothing(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        clock.advance(0.5)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # the half token from before must survive
+        assert bucket.try_acquire()
+
+
+class TestRateLimiter:
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.try_acquire("a")
+        assert limiter.try_acquire("b")
+        assert not limiter.try_acquire("a")
+
+    def test_prunes_idle_full_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            rate=100.0, burst=1, clock=clock, prune_above=4
+        )
+        for i in range(4):
+            limiter.try_acquire(f"client-{i}")
+        clock.advance(10.0)  # everyone refilled to burst
+        limiter.try_acquire("fresh")
+        assert len(limiter._buckets) <= 2  # pruned + the new client
+
+    def test_active_clients_survive_prune(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            rate=0.001, burst=2, clock=clock, prune_above=2
+        )
+        limiter.try_acquire("busy")  # below burst, must not be pruned
+        limiter.try_acquire("idle-ish")
+        limiter.try_acquire("new")
+        assert not limiter.bucket("busy").tokens == 2.0
