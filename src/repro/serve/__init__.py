@@ -16,8 +16,10 @@ from .errors import (
     ADMISSION_REJECTED,
     BUSY,
     DEADLINE_EXCEEDED,
+    EXECUTION_FAILED,
     RATE_LIMITED,
     SHUTTING_DOWN,
+    ExecutionFailedError,
     RpcError,
 )
 from .loadgen import LoadGenerator, LoadResult, RpcClient, RpcClientError
@@ -30,6 +32,8 @@ __all__ = [
     "BlockBuilder",
     "CommittedReceipt",
     "DEADLINE_EXCEEDED",
+    "EXECUTION_FAILED",
+    "ExecutionFailedError",
     "LoadGenerator",
     "LoadResult",
     "RATE_LIMITED",

@@ -15,13 +15,20 @@ wedging the loop.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import threading
 import time
+from collections import deque
 
-from ..chain.mempool import AdmissionError  # noqa: F401  (re-export)
+from ..chain.mempool import (  # noqa: F401  (AdmissionError re-export)
+    AdmissionError,
+    DuplicateTransactionError,
+)
 from ..chain.node import Node
 from ..chain.receipt import Receipt
 from ..obs import get_registry
 from .config import ServeConfig
+from .errors import ExecutionFailedError
 
 
 class CommittedReceipt:
@@ -54,7 +61,18 @@ class BlockBuilder:
         #: tx hash -> admission wall time (for the e2e latency SLO).
         self._admitted_at: dict[bytes, float] = {}
         #: tx hash -> committed receipt, for ``getReceipt`` lookups.
+        #: Bounded to ``config.receipt_history_blocks`` recent blocks.
         self.committed: dict[bytes, CommittedReceipt] = {}
+        #: (block hash, tx hashes) per retained block, oldest first —
+        #: the eviction order for the receipt-retention window.
+        self._history: deque[tuple[bytes, list[bytes]]] = deque()
+        #: Serializes block execution (worker thread) against event-loop
+        #: reads of the shared world state: getBalance and the mempool's
+        #: balance-aware admission both peek at ``node.state`` and toggle
+        #: its ``access`` attribute, which the executing EVM also
+        #: save/restores — unsynchronized, a read could observe
+        #: mid-transaction balances or corrupt access tracking.
+        self.state_lock = threading.Lock()
         self._wake = asyncio.Event()
         self._draining = False
         self._in_flight = 0
@@ -65,6 +83,7 @@ class BlockBuilder:
         self.blocks_built = 0
         self.txs_committed = 0
         self.sequential_fallbacks = 0
+        self.execution_failures = 0
 
     # -- ingress -----------------------------------------------------------
     @property
@@ -84,9 +103,22 @@ class BlockBuilder:
         the caller maps that onto a typed RPC error. Backpressure and
         drain checks happen in the server *before* this call.
         """
-        self.node.mempool.add(tx)
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
         tx_hash = tx.hash()
+        # The mempool forgets a hash the moment take() pulls it into a
+        # block, so it cannot guard against resubmission of a
+        # transaction that is mid-execution — _pending can (it holds the
+        # hash from admission until the receipt resolves). Without this
+        # check a retry would re-admit, orphan the original waiter's
+        # future, and execute the transaction a second time.
+        if tx_hash in self._pending:
+            raise DuplicateTransactionError(
+                f"transaction {tx_hash.hex()[:16]}… already pending"
+            )
+        # Admission reads balances off the shared state; hold the lock so
+        # a concurrently executing block can't interleave.
+        with self.state_lock:
+            self.node.mempool.add(tx)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[tx_hash] = future
         self._admitted_at[tx_hash] = time.monotonic()
         self._wake.set()
@@ -154,7 +186,19 @@ class BlockBuilder:
                     )
                 except asyncio.TimeoutError:
                     break
-            await self._cut_and_execute()
+            try:
+                await self._cut_and_execute()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # Degrade, never wedge: _cut_and_execute already failed
+                # the affected futures; anything escaping it (a commit or
+                # resolve bug) must still not kill the builder task —
+                # a dead builder hangs every future submit forever.
+                self.execution_failures += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("serve.execution_failures").inc()
 
     def _gas_target_met(self) -> bool:
         if self.config.gas_target is None:
@@ -179,12 +223,43 @@ class BlockBuilder:
             block, receipts = await loop.run_in_executor(
                 None, self._build_and_execute, txs
             )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Even the sequential fallback failed. State was rolled
+            # back; fail exactly this block's futures with a typed
+            # error and keep the loop alive for everything else.
+            self._in_flight = 0
+            self._fail(txs, exc)
+            return
         finally:
             self._in_flight = 0
         self._resolve(block, receipts)
 
+    def _fail(self, txs, exc: Exception) -> None:
+        self.execution_failures += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.execution_failures").inc()
+            registry.gauge("serve.queue_depth").set(self.depth)
+        err = ExecutionFailedError(repr(exc))
+        for tx in txs:
+            tx_hash = tx.hash()
+            self._admitted_at.pop(tx_hash, None)
+            future = self._pending.pop(tx_hash, None)
+            if future is not None and not future.done():
+                future.set_exception(err)
+                # A waiter may have already abandoned the future (its
+                # deadline elapsed); retrieving the exception here keeps
+                # asyncio from logging "exception was never retrieved".
+                future.exception()
+
     # -- execution (worker thread; one block at a time) --------------------
     def _build_and_execute(self, txs):
+        with self.state_lock:
+            return self._build_and_execute_locked(txs)
+
+    def _build_and_execute_locked(self, txs):
         block = self.node.propose_block(transactions=txs)
         token = self.node.state.snapshot()
         try:
@@ -197,7 +272,13 @@ class BlockBuilder:
             registry = get_registry()
             if registry.enabled:
                 registry.counter("serve.sequential_fallbacks").inc()
-            receipts = self.node.execute_block(block)
+            try:
+                receipts = self.node.execute_block(block)
+            except Exception:
+                # The fallback died too: leave state exactly as it was
+                # before the block; the caller fails the futures.
+                self.node.state.revert(token)
+                raise
         return block, receipts
 
     def _execute(self, block) -> list[Receipt]:
@@ -272,6 +353,7 @@ class BlockBuilder:
                 registry.histogram("serve.e2e_latency_ms").observe(
                     (now - admitted) * 1000.0
                 )
+        self._evict_history(block)
         self.blocks_built += 1
         self.txs_committed += len(receipts)
         if registry.enabled:
@@ -280,4 +362,27 @@ class BlockBuilder:
             registry.histogram("serve.block_size").observe(len(receipts))
             registry.gauge("serve.queue_depth").set(self.depth)
         for callback in list(self.on_new_head):
-            callback(block, receipts)
+            with contextlib.suppress(Exception):
+                # A broken head subscriber must not kill the builder.
+                callback(block, receipts)
+
+    def _evict_history(self, block) -> None:
+        """Bound receipt retention to ``receipt_history_blocks`` blocks.
+
+        Without a bound, ``committed`` (and ``Node.receipts``) grow
+        linearly with every transaction ever served. Receipts older than
+        the window stop being served — getReceipt returns null and
+        resubmission of an ancient hash is no longer idempotent; run
+        with ``receipt_history_blocks=None`` for archival behavior.
+        """
+        retain = self.config.receipt_history_blocks
+        if retain is None:
+            return
+        self._history.append(
+            (block.hash(), [tx.hash() for tx in block.transactions])
+        )
+        while len(self._history) > retain:
+            old_block_hash, old_tx_hashes = self._history.popleft()
+            self.node.receipts.pop(old_block_hash, None)
+            for tx_hash in old_tx_hashes:
+                self.committed.pop(tx_hash, None)

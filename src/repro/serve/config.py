@@ -46,6 +46,17 @@ class ServeConfig:
     #: How long shutdown() waits for the drain before force-closing.
     drain_timeout_s: float = 30.0
 
+    # -- retention / egress bounds ----------------------------------------
+    #: Keep receipts for this many recent blocks (getReceipt and the
+    #: idempotent-resubmission window). Older receipts are evicted from
+    #: the server *and* the node; None retains everything (archival —
+    #: memory then grows with committed transactions).
+    receipt_history_blocks: int | None = 1024
+    #: Drop a newHeads subscription whose transport write buffer exceeds
+    #: this many bytes — a stalled subscriber must not buffer without
+    #: bound.
+    max_subscriber_buffer: int = 1 << 20
+
     # -- execution --------------------------------------------------------
     #: "sequential" (Node.execute_block), "mtpu" (spatio-temporal
     #: schedule on the MTPU simulator) or "parallel" (the multicore
@@ -63,3 +74,10 @@ class ServeConfig:
             raise ValueError("max_pending must be positive")
         if self.block_interval_ms < 0:
             raise ValueError("block_interval_ms must be >= 0")
+        if (
+            self.receipt_history_blocks is not None
+            and self.receipt_history_blocks <= 0
+        ):
+            raise ValueError("receipt_history_blocks must be positive")
+        if self.max_subscriber_buffer <= 0:
+            raise ValueError("max_subscriber_buffer must be positive")

@@ -30,6 +30,9 @@ ADMISSION_REJECTED = -32003
 DEADLINE_EXCEEDED = -32004
 #: The server is draining and no longer admits transactions.
 SHUTTING_DOWN = -32005
+#: Block execution failed even after the sequential fallback. The
+#: transaction was dropped without committing; it is safe to resubmit.
+EXECUTION_FAILED = -32006
 
 
 class RpcError(Exception):
@@ -75,3 +78,11 @@ class DeadlineExceededError(RpcError):
 class ShuttingDownError(RpcError):
     def __init__(self):
         super().__init__(SHUTTING_DOWN, "server is draining")
+
+
+class ExecutionFailedError(RpcError):
+    def __init__(self, detail: str):
+        super().__init__(
+            EXECUTION_FAILED, "block execution failed",
+            {"detail": detail},
+        )

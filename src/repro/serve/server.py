@@ -24,7 +24,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 
-from ..chain.mempool import AdmissionError, DuplicateTransactionError
+from ..chain.mempool import AdmissionError
 from ..chain.node import Node
 from ..obs import get_registry
 from . import protocol
@@ -82,6 +82,7 @@ class RpcServer:
         self.rate_limit_rejects = 0
         self.deadline_misses = 0
         self.admission_rejects = 0
+        self.subscription_drops = 0
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
@@ -244,15 +245,36 @@ class RpcServer:
         deadline_ms = params.get(
             "deadline_ms", self.config.default_deadline_ms
         )
+        tx_hash = tx.hash()
         # Idempotent resubmission: a hash that already committed must
         # never re-execute — serve its receipt instead.
-        committed = self.builder.committed.get(tx.hash())
+        committed = self.builder.committed.get(tx_hash)
         if committed is not None:
             return protocol.receipt_to_wire(
                 committed.receipt,
                 committed.block_height,
                 committed.tx_index,
             )
+        # A retry of an in-flight hash — pooled or mid-block, e.g. after
+        # a DEADLINE_EXCEEDED — attaches to the existing wait. It must
+        # never be re-admitted: that would orphan the original waiter's
+        # future and execute the transaction a second time.
+        future = self.builder.future_for(tx_hash)
+        if future is not None:
+            if not wait:
+                self.admission_rejects += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter(
+                        "serve.rejected",
+                        reason="DuplicateTransactionError",
+                    ).inc()
+                raise RpcError(
+                    ADMISSION_REJECTED,
+                    f"transaction {tx_hash.hex()[:16]}… already pending",
+                    {"reason": "DuplicateTransactionError"},
+                )
+            return await self._await_receipt(future, deadline_ms)
         if self.builder.depth >= self.config.max_pending:
             self.busy_rejects += 1
             registry = get_registry()
@@ -261,24 +283,9 @@ class RpcServer:
             raise BusyError(self.builder.depth, self.config.max_pending)
         try:
             future = self.builder.submit(tx)
-        except DuplicateTransactionError as err:
-            # A retried submission: attach to the in-flight wait, or
-            # serve the already-committed receipt.
-            committed = self.builder.committed.get(tx.hash())
-            if committed is not None:
-                return protocol.receipt_to_wire(
-                    committed.receipt,
-                    committed.block_height,
-                    committed.tx_index,
-                )
-            future = self.builder.future_for(tx.hash())
-            if future is None or not wait:
-                self.admission_rejects += 1
-                raise RpcError(
-                    ADMISSION_REJECTED, str(err),
-                    {"reason": type(err).__name__},
-                ) from None
         except AdmissionError as err:
+            # Includes mempool-level duplicates (a hash heard via gossip
+            # but never submitted over RPC has no pending future).
             self.admission_rejects += 1
             registry = get_registry()
             if registry.enabled:
@@ -290,7 +297,12 @@ class RpcServer:
                 {"reason": type(err).__name__},
             ) from None
         if not wait:
-            return {"txHash": tx.hash().hex()}
+            return {"txHash": tx_hash.hex()}
+        return await self._await_receipt(future, deadline_ms)
+
+    async def _await_receipt(
+        self, future: asyncio.Future, deadline_ms: float
+    ) -> object:
         try:
             committed = await asyncio.wait_for(
                 asyncio.shield(future), timeout=deadline_ms / 1000.0
@@ -335,7 +347,11 @@ class RpcServer:
                 ) from None
         if not isinstance(address, int):
             raise RpcError(INVALID_PARAMS, "address required")
-        with self.node.state.untracked():
+        # The lock keeps this read consistent: block execution mutates
+        # the same state (and its access-tracking attribute) on a worker
+        # thread, so an unguarded read could observe a mid-transaction
+        # balance.
+        with self.builder.state_lock, self.node.state.untracked():
             return self.node.state.get_balance(address)
 
     def _subscribe(self, params: dict, writer) -> dict:
@@ -361,8 +377,19 @@ class RpcServer:
             if writer.is_closing():
                 del self._subscriptions[sub_id]
                 continue
-            # Fire-and-forget: a slow subscriber relies on the
-            # transport's own buffering, never on the builder loop.
+            # Fire-and-forget, but bounded: a subscriber that stops
+            # reading would otherwise grow its transport write buffer
+            # with every block, forever. Past the cap, the subscription
+            # is dropped rather than buffered.
+            transport = writer.transport
+            if (
+                transport is not None
+                and transport.get_write_buffer_size()
+                > self.config.max_subscriber_buffer
+            ):
+                del self._subscriptions[sub_id]
+                self.subscription_drops += 1
+                continue
             writer.write(frame)
 
     # -- stats -------------------------------------------------------------
@@ -376,7 +403,9 @@ class RpcServer:
             "rateLimitRejects": self.rate_limit_rejects,
             "deadlineMisses": self.deadline_misses,
             "admissionRejects": self.admission_rejects,
+            "subscriptionDrops": self.subscription_drops,
             "sequentialFallbacks": self.builder.sequential_fallbacks,
+            "executionFailures": self.builder.execution_failures,
             "chainHeight": len(self.node.chain),
             "shuttingDown": self._shutting_down,
         }

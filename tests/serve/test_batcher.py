@@ -174,3 +174,92 @@ def test_submit_rejection_propagates(deployment):
         await builder.drain_and_stop()
 
     asyncio.run(run())
+
+
+def test_in_flight_hash_is_refused_even_after_take(deployment):
+    # Once take() pulls a tx into a block the mempool forgets its hash,
+    # but the builder must still refuse a resubmission: re-admitting
+    # would orphan the original waiter's future and execute twice.
+    from repro.chain.mempool import DuplicateTransactionError
+
+    async def run():
+        builder = build(deployment, block_size_target=100)
+        tx = make_transactions(deployment, 1)[0]
+        original = builder.submit(tx)
+        taken = builder.node.mempool.take(10)  # simulate the block cut
+        assert [t.hash() for t in taken] == [tx.hash()]
+        with pytest.raises(DuplicateTransactionError):
+            builder.submit(tx)
+        # The original future survived the refused resubmission.
+        assert builder.future_for(tx.hash()) is original
+
+    asyncio.run(run())
+
+
+def test_total_execution_failure_fails_futures_not_loop(deployment):
+    from repro.serve.errors import ExecutionFailedError
+
+    async def run():
+        builder = build(deployment, block_size_target=2)
+
+        def explode(block):
+            raise RuntimeError("executor dead")
+
+        def explode_seq(block):
+            raise RuntimeError("fallback dead too")
+
+        real_seq = builder.node.execute_block
+        builder._execute = explode
+        builder.node.execute_block = explode_seq
+        builder.start()
+        digest_before = builder.node.state.state_digest()
+        doomed = [
+            builder.submit(tx)
+            for tx in make_transactions(deployment, 2)
+        ]
+        with pytest.raises(ExecutionFailedError):
+            await asyncio.wait_for(
+                asyncio.gather(*doomed), timeout=5.0
+            )
+        # State untouched, queue drained, loop still alive: a fresh
+        # submission (with the fallback healed) commits normally.
+        assert builder.node.state.state_digest() == digest_before
+        assert builder.depth == 0
+        builder.node.execute_block = real_seq
+        fresh = [
+            builder.submit(tx)
+            for tx in make_transactions(deployment, 2, seed=1)
+        ]
+        committed = await asyncio.wait_for(
+            asyncio.gather(*fresh), timeout=5.0
+        )
+        await builder.drain_and_stop()
+        return builder, committed
+
+    builder, committed = asyncio.run(run())
+    assert builder.execution_failures == 1
+    assert builder.blocks_built == 1
+    assert all(c.receipt.success for c in committed)
+
+
+def test_receipt_history_is_bounded(deployment):
+    async def run():
+        builder = build(
+            deployment, block_size_target=1, receipt_history_blocks=2
+        )
+        builder.start()
+        txs = make_transactions(deployment, 3)
+        for tx in txs:  # one block each: size target is 1
+            await asyncio.wait_for(builder.submit(tx), timeout=5.0)
+        await builder.drain_and_stop()
+        return builder, txs
+
+    builder, txs = asyncio.run(run())
+    assert builder.blocks_built == 3
+    # Only the two most recent blocks' receipts are retained, in the
+    # server map and the node alike.
+    assert builder.committed.get(txs[0].hash()) is None
+    assert builder.committed.get(txs[1].hash()) is not None
+    assert builder.committed.get(txs[2].hash()) is not None
+    assert len(builder.node.receipts) == 2
+    assert len(builder.node.chain) == 3

@@ -324,6 +324,107 @@ def test_duplicate_without_wait_is_admission_rejected(deployment):
     assert err.data["reason"] == "DuplicateTransactionError"
 
 
+def test_resubmission_of_in_flight_block_executes_once(deployment):
+    """A retry while the tx is mid-block (the DEADLINE_EXCEEDED retry
+    path) must attach to the existing wait, never re-admit and
+    double-execute."""
+    import threading
+
+    config = make_config(block_size_target=1)
+
+    async def run():
+        server, client = await booted(deployment, config)
+        tx = make_transactions(deployment, 1)[0]
+        recipient = tx.to
+        before = server.node.state._accounts[recipient].balance
+        release = threading.Event()
+        real = server.builder._build_and_execute
+
+        def gated(txs):
+            release.wait(timeout=5.0)
+            return real(txs)
+
+        server.builder._build_and_execute = gated
+        try:
+            await client.call(
+                "repro_sendTransaction", send_params(tx, wait=False)
+            )
+            # Wait until the builder pulled the tx out of the mempool:
+            # it is now in neither the pool nor `committed`.
+            for _ in range(100):
+                if len(server.node.mempool) == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.builder._in_flight == 1
+            retry = asyncio.ensure_future(client.call(
+                "repro_sendTransaction", send_params(tx)
+            ))
+            await asyncio.sleep(0.05)
+            assert not retry.done()  # attached, not re-admitted
+            release.set()
+            receipt = await asyncio.wait_for(retry, timeout=5.0)
+            stats = await client.call("repro_stats")
+            after = server.node.state._accounts[recipient].balance
+        finally:
+            release.set()
+            await client.close()
+            await server.shutdown()
+        return receipt, stats, after - before
+
+    receipt, stats, delta = asyncio.run(run())
+    assert receipt["success"] is True
+    # Executed exactly once: one block, one commit, value applied once.
+    assert stats["txsCommitted"] == 1
+    assert stats["blocksBuilt"] == 1
+    assert stats["chainHeight"] == 1
+    tx_value = make_transactions(deployment, 1)[0].value
+    assert delta == tx_value
+
+
+def test_slow_subscriber_is_dropped_not_buffered(deployment):
+    class FakeTransport:
+        def __init__(self, size):
+            self.size = size
+
+        def get_write_buffer_size(self):
+            return self.size
+
+    class FakeWriter:
+        def __init__(self, size):
+            self.transport = FakeTransport(size)
+            self.frames = []
+
+        def is_closing(self):
+            return False
+
+        def write(self, frame):
+            self.frames.append(frame)
+
+    config = make_config(max_subscriber_buffer=1024)
+
+    async def run():
+        server, client = await booted(deployment, config)
+        stalled = FakeWriter(size=4096)   # over the cap: must be dropped
+        healthy = FakeWriter(size=0)
+        server._subscriptions[101] = stalled
+        server._subscriptions[102] = healthy
+        tx = make_transactions(deployment, 1)[0]
+        try:
+            await client.call("repro_sendTransaction", send_params(tx))
+            # Captured before shutdown() clears the subscription table.
+            still_subscribed = set(server._subscriptions)
+        finally:
+            await client.close()
+            await server.shutdown()
+        return server, stalled, healthy, still_subscribed
+
+    server, stalled, healthy, still_subscribed = asyncio.run(run())
+    assert stalled.frames == []
+    assert len(healthy.frames) == 1
+    assert still_subscribed == {102}
+    assert server.subscription_drops == 1
+
+
 def test_subscribe_new_heads(deployment):
     async def run():
         server, client = await booted(deployment, make_config())
