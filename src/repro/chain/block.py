@@ -41,6 +41,22 @@ class BlockHeader:
             ]
         )
 
+    @classmethod
+    def from_rlp(cls, blob: bytes) -> "BlockHeader":
+        """Decode a header; malformed input raises RLPDecodingError."""
+        fields = rlp.as_list(rlp.decode(blob), "block header", 6)
+        parent_hash = rlp.as_bytes(fields[5], "header parent_hash")
+        if len(parent_hash) != 32:
+            raise rlp.RLPDecodingError("header parent_hash must be 32 bytes")
+        return cls(
+            height=rlp.decode_int(fields[0]),
+            timestamp=rlp.decode_int(fields[1]),
+            coinbase=rlp.decode_int(fields[2]),
+            difficulty=rlp.decode_int(fields[3]),
+            gas_limit=rlp.decode_int(fields[4]),
+            parent_hash=parent_hash,
+        )
+
     def hash(self) -> bytes:
         return keccak256(self.to_rlp())
 
@@ -76,26 +92,21 @@ class Block:
 
     @classmethod
     def from_rlp(cls, blob: bytes) -> "Block":
-        item = rlp.decode(blob)
-        if not isinstance(item, list) or len(item) != 3:
-            raise rlp.RLPDecodingError("block must be a 3-item list")
+        item = rlp.as_list(rlp.decode(blob), "block", 3)
         header_blob, tx_items, edge_items = item
-        header_fields = rlp.decode(header_blob)
-        header = BlockHeader(
-            height=rlp.decode_int(header_fields[0]),
-            timestamp=rlp.decode_int(header_fields[1]),
-            coinbase=rlp.decode_int(header_fields[2]),
-            difficulty=rlp.decode_int(header_fields[3]),
-            gas_limit=rlp.decode_int(header_fields[4]),
-            parent_hash=header_fields[5],
+        header = BlockHeader.from_rlp(
+            rlp.as_bytes(header_blob, "block header")
         )
         # Each transaction is embedded as its own RLP blob (a byte string
         # item), so it decodes directly.
-        transactions = [Transaction.from_rlp(t) for t in tx_items]
-        edges = [
-            (rlp.decode_int(edge[0]), rlp.decode_int(edge[1]))
-            for edge in edge_items
+        transactions = [
+            Transaction.from_rlp(rlp.as_bytes(t, "block transaction"))
+            for t in rlp.as_list(tx_items, "block transactions")
         ]
+        edges = []
+        for edge in rlp.as_list(edge_items, "block dag edges"):
+            pair = rlp.as_list(edge, "dag edge", 2)
+            edges.append((rlp.decode_int(pair[0]), rlp.decode_int(pair[1])))
         return cls(header=header, transactions=transactions, dag_edges=edges)
 
     def hash(self) -> bytes:

@@ -79,6 +79,7 @@ class Node:
         coinbase: int = 0xC0FFEE,
         mempool_capacity: int | None = None,
         per_sender_cap: int | None = None,
+        store=None,
     ) -> None:
         self.state = state or WorldState()
         self.mempool = Mempool(
@@ -90,6 +91,11 @@ class Node:
         self.coinbase = coinbase
         self.chain: list[Block] = []
         self.receipts: dict[bytes, list[Receipt]] = {}
+        #: Optional :class:`repro.storage.ChainStore`. When set,
+        #: :meth:`commit_block` appends the block to the WAL *before*
+        #: mutating in-memory structures, so anything the node claims to
+        #: have committed is at least as durable as the fsync policy.
+        self.store = store
 
     # -- dissemination stage -------------------------------------------------
     def hear(self, tx: Transaction, at: int | None = None) -> bool:
@@ -198,9 +204,13 @@ class Node:
 
         The caller has already applied the block's state effects (via
         :meth:`execute_block`, the MTPU, or the parallel backend); this
-        is the one shared commit path.
+        is the one shared commit path. With a store attached the WAL
+        append (and, per policy, the fsync) happens first — a crash
+        after this method returns costs nothing that was committed.
         """
         self.state.clear_journal()
+        if self.store is not None:
+            self.store.append_block(block, self.state)
         self.chain.append(block)
         self.receipts[block.hash()] = receipts
         self.mempool.remove(block.transactions)

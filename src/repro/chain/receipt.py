@@ -27,6 +27,18 @@ class LogEntry:
             self.data,
         ]
 
+    @classmethod
+    def from_rlp_item(cls, item) -> "LogEntry":
+        fields = rlp.as_list(item, "log entry", 3)
+        return cls(
+            address=rlp.decode_int(fields[0]),
+            topics=tuple(
+                rlp.decode_int(topic)
+                for topic in rlp.as_list(fields[1], "log topics")
+            ),
+            data=rlp.as_bytes(fields[2], "log data"),
+        )
+
 
 @dataclass(frozen=True)
 class Receipt:
@@ -41,7 +53,13 @@ class Receipt:
     error: str = ""
 
     def to_rlp(self) -> bytes:
-        """Canonical encoding used for receipt hashing/verification."""
+        """Canonical encoding used for receipt hashing/verification.
+
+        Every field is on the wire (``contract_address`` as an empty or
+        20-byte string, ``error`` as UTF-8), so the encoding round-trips
+        through :meth:`from_rlp` — the property the storage layer's WAL
+        format tests lean on.
+        """
         return rlp.encode(
             [
                 self.tx_hash,
@@ -49,7 +67,43 @@ class Receipt:
                 rlp.encode_int(self.gas_used),
                 [log.to_rlp_item() for log in self.logs],
                 self.output,
+                b"" if self.contract_address is None
+                else self.contract_address.to_bytes(20, "big"),
+                self.error.encode("utf-8"),
             ]
+        )
+
+    @classmethod
+    def from_rlp(cls, blob: bytes) -> "Receipt":
+        """Decode a receipt; malformed input raises RLPDecodingError."""
+        fields = rlp.as_list(rlp.decode(blob), "receipt", 7)
+        success = rlp.decode_int(fields[1])
+        if success not in (0, 1):
+            raise rlp.RLPDecodingError("receipt success must be 0 or 1")
+        contract = rlp.as_bytes(fields[5], "receipt contract_address")
+        if contract and len(contract) != 20:
+            raise rlp.RLPDecodingError(
+                "receipt contract_address must be empty or 20 bytes"
+            )
+        try:
+            error = rlp.as_bytes(fields[6], "receipt error").decode("utf-8")
+        except UnicodeDecodeError:
+            raise rlp.RLPDecodingError(
+                "receipt error is not valid UTF-8"
+            ) from None
+        return cls(
+            tx_hash=rlp.as_bytes(fields[0], "receipt tx_hash"),
+            success=bool(success),
+            gas_used=rlp.decode_int(fields[2]),
+            logs=tuple(
+                LogEntry.from_rlp_item(item)
+                for item in rlp.as_list(fields[3], "receipt logs")
+            ),
+            output=rlp.as_bytes(fields[4], "receipt output"),
+            contract_address=(
+                None if contract == b"" else int.from_bytes(contract, "big")
+            ),
+            error=error,
         )
 
     def hash(self) -> bytes:

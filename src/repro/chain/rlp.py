@@ -10,9 +10,19 @@ from __future__ import annotations
 
 Item = bytes | list["Item"]
 
+#: Maximum list nesting accepted by :func:`decode`. Well past anything the
+#: chain's wire formats produce (≤ 4 levels), but bounded so hostile input
+#: like ``b"\xc1" * 10**6`` raises a typed error instead of blowing the
+#: interpreter's recursion limit.
+MAX_DEPTH = 64
+
 
 class RLPDecodingError(ValueError):
     """Raised for malformed RLP input."""
+
+
+#: Alias — some call sites and docs use the shorter spelling.
+RlpDecodeError = RLPDecodingError
 
 
 def encode(item: Item) -> bytes:
@@ -46,9 +56,32 @@ def encode_int(value: int) -> bytes:
 
 def decode_int(data: bytes) -> int:
     """Decode minimal big-endian bytes back to an integer."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise RLPDecodingError(
+            f"integer field must be bytes, got {type(data).__name__}"
+        )
     if data and data[0] == 0:
         raise RLPDecodingError("integer encoding has leading zero byte")
     return int.from_bytes(data, "big")
+
+
+def as_bytes(item: Item, what: str = "item") -> bytes:
+    """Require a decoded item to be a byte string (typed error otherwise)."""
+    if not isinstance(item, (bytes, bytearray)):
+        raise RLPDecodingError(f"{what} must be a byte string")
+    return bytes(item)
+
+
+def as_list(item: Item, what: str = "item",
+            length: int | None = None) -> list:
+    """Require a decoded item to be a list (of *length*, when given)."""
+    if not isinstance(item, list):
+        raise RLPDecodingError(f"{what} must be a list")
+    if length is not None and len(item) != length:
+        raise RLPDecodingError(
+            f"{what} must be a {length}-item list, got {len(item)}"
+        )
+    return item
 
 
 def _encode_bytes(data: bytes) -> bytes:
@@ -64,7 +97,7 @@ def _length_prefix(length: int, offset: int) -> bytes:
     return bytes([offset + 55 + len(length_bytes)]) + length_bytes
 
 
-def _decode_at(data: bytes, pos: int) -> tuple[Item, int]:
+def _decode_at(data: bytes, pos: int, depth: int = 0) -> tuple[Item, int]:
     if pos >= len(data):
         raise RLPDecodingError("unexpected end of input")
     prefix = data[pos]
@@ -81,23 +114,27 @@ def _decode_at(data: bytes, pos: int) -> tuple[Item, int]:
         length = _read_length(data, pos + 1, len_of_len)
         start = pos + 1 + len_of_len
         return _take(data, start, length), start + length
+    if depth >= MAX_DEPTH:
+        raise RLPDecodingError(f"list nesting exceeds {MAX_DEPTH}")
     if prefix < 0xF8:  # short list
         length = prefix - 0xC0
-        return _decode_list(data, pos + 1, length)
+        return _decode_list(data, pos + 1, length, depth)
     # long list
     len_of_len = prefix - 0xF7
     length = _read_length(data, pos + 1, len_of_len)
-    return _decode_list(data, pos + 1 + len_of_len, length)
+    return _decode_list(data, pos + 1 + len_of_len, length, depth)
 
 
-def _decode_list(data: bytes, start: int, length: int) -> tuple[Item, int]:
+def _decode_list(
+    data: bytes, start: int, length: int, depth: int
+) -> tuple[Item, int]:
     end = start + length
     if end > len(data):
         raise RLPDecodingError("list payload exceeds input")
     items: list[Item] = []
     pos = start
     while pos < end:
-        item, pos = _decode_at(data, pos)
+        item, pos = _decode_at(data, pos, depth + 1)
         if pos > end:
             raise RLPDecodingError("list item exceeds list payload")
         items.append(item)

@@ -78,6 +78,13 @@ class WorldState:
         self._accounts: dict[int, Account] = {}
         self._journal: list[tuple] = []
         self.access: AccessSet | None = None
+        # Per-account digest leaf cache (maintained by
+        # repro.storage.codec.state_digest_bytes): addresses whose leaf
+        # must be recomputed, and the cached 32-byte leaf hashes. Every
+        # mutator marks the touched address dirty so the commit-path
+        # digest costs O(touched accounts), not O(total state).
+        self._digest_dirty: set[int] = set()
+        self._leaf_hashes: dict[int, bytes] = {}
 
     # -- account lifecycle -------------------------------------------------
     def account(self, address: int) -> Account:
@@ -87,6 +94,7 @@ class WorldState:
             acct = Account()
             self._accounts[address] = acct
             self._journal.append(("created", address))
+            self._digest_dirty.add(address)
         return acct
 
     def account_exists(self, address: int) -> bool:
@@ -103,6 +111,7 @@ class WorldState:
         acct = self._accounts.pop(address, None)
         if acct is not None:
             self._journal.append(("deleted", address, acct))
+        self._digest_dirty.add(address)
         self._record_write(address, CODE_KEY)
         self._record_write(address, BALANCE_KEY)
 
@@ -122,6 +131,7 @@ class WorldState:
         if old != value:
             self._journal.append(("balance", address, old))
             acct.balance = value
+            self._digest_dirty.add(address)
         self._record_write(address, BALANCE_KEY)
 
     def transfer(self, sender: int, recipient: int, value: int) -> None:
@@ -143,6 +153,7 @@ class WorldState:
         old = acct.nonce
         self._journal.append(("nonce", address, old))
         acct.nonce = old + 1
+        self._digest_dirty.add(address)
 
     def set_nonce(self, address: int, value: int) -> None:
         """Directly set a nonce (journal replay; not an EVM operation)."""
@@ -151,6 +162,7 @@ class WorldState:
         if old != value:
             self._journal.append(("nonce", address, old))
             acct.nonce = value
+            self._digest_dirty.add(address)
 
     # -- code -------------------------------------------------------------------
     def get_code(self, address: int) -> bytes:
@@ -163,6 +175,7 @@ class WorldState:
         old = acct.code
         self._journal.append(("code", address, old))
         acct.code = code
+        self._digest_dirty.add(address)
         self._record_write(address, CODE_KEY)
 
     # -- storage ------------------------------------------------------------------
@@ -181,6 +194,7 @@ class WorldState:
             acct.storage.pop(slot, None)
         else:
             acct.storage[slot] = value
+        self._digest_dirty.add(address)
         self._record_write(address, slot)
 
     # -- journaling -------------------------------------------------------------
@@ -194,6 +208,7 @@ class WorldState:
         while len(self._journal) > token:
             entry = self._journal.pop()
             kind = entry[0]
+            self._digest_dirty.add(entry[1])
             if kind == "storage":
                 _, address, slot, old = entry
                 acct = accounts[address]
@@ -270,6 +285,15 @@ class WorldState:
         finally:
             self.access = saved
 
+    def load_account(self, address: int, account: Account) -> None:
+        """Install an account record directly (snapshot restore).
+
+        Bypasses the journal and access tracking — this is bulk state
+        loading by the storage layer, not an EVM-visible mutation.
+        """
+        self._accounts[address] = account
+        self._digest_dirty.add(address)
+
     # -- copying -------------------------------------------------------------------
     def copy(self) -> "WorldState":
         """Deep copy with a fresh (empty) journal."""
@@ -277,6 +301,8 @@ class WorldState:
         clone._accounts = {
             addr: acct.copy() for addr, acct in self._accounts.items()
         }
+        clone._digest_dirty = set(self._digest_dirty)
+        clone._leaf_hashes = dict(self._leaf_hashes)
         return clone
 
     def state_digest(self) -> tuple:

@@ -59,19 +59,30 @@ class Transaction:
 
     @classmethod
     def from_rlp(cls, blob: bytes) -> "Transaction":
-        """Decode a transaction from its RLP wire encoding."""
-        item = rlp.decode(blob)
-        if not isinstance(item, list) or len(item) != 7:
-            raise rlp.RLPDecodingError("transaction must be a 7-item list")
+        """Decode a transaction from its RLP wire encoding.
+
+        Malformed input — wrong shape, non-bytes fields, bad address
+        widths — raises :class:`~repro.chain.rlp.RLPDecodingError`, never
+        a raw ``IndexError``/``TypeError``.
+        """
+        item = rlp.as_list(rlp.decode(blob), "transaction", 7)
         nonce, gas_price, gas_limit, sender, to, value, data = item
+        sender_bytes = rlp.as_bytes(sender, "transaction sender")
+        if len(sender_bytes) != 20:
+            raise rlp.RLPDecodingError("transaction sender must be 20 bytes")
+        to_bytes = rlp.as_bytes(to, "transaction to")
+        if to_bytes and len(to_bytes) != 20:
+            raise rlp.RLPDecodingError(
+                "transaction to must be empty or 20 bytes"
+            )
         return cls(
-            sender=int.from_bytes(sender, "big"),
-            to=None if to == b"" else int.from_bytes(to, "big"),
+            sender=int.from_bytes(sender_bytes, "big"),
+            to=None if to_bytes == b"" else int.from_bytes(to_bytes, "big"),
             nonce=rlp.decode_int(nonce),
             gas_limit=rlp.decode_int(gas_limit),
             gas_price=rlp.decode_int(gas_price),
             value=rlp.decode_int(value),
-            data=data,
+            data=rlp.as_bytes(data, "transaction data"),
         )
 
     def hash(self) -> bytes:

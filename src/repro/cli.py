@@ -160,6 +160,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate-burst", type=int, default=64,
         help="token-bucket burst size (default: 64)",
     )
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="durable chain directory (WAL + snapshots); restarting "
+             "with the same directory recovers and resumes the chain "
+             "(default: in-memory only)",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "interval", "never"),
+        default="always",
+        help="WAL fsync policy with --data-dir (default: always)",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=int, default=64,
+        help="world-state snapshot cadence in blocks (default: 64)",
+    )
+    serve.add_argument(
+        "--fsync-interval", type=int, default=16,
+        help="blocks between fsyncs under --fsync interval "
+             "(default: 16)",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild node state from a data directory and report "
+             "(replays the WAL, repairs torn tails)",
+    )
+    recover.add_argument("data_dir", help="chain data directory")
+    recover.add_argument(
+        "--receipt-history-blocks", type=int, default=1024,
+        help="receipt retention window the replay must cover "
+             "(default: 1024); 0 means archival full replay",
+    )
+    recover.add_argument(
+        "--no-repair", action="store_true",
+        help="report tail damage without truncating the WAL file",
+    )
+    recover.add_argument(
+        "--json", action="store_true",
+        help="print the recovery report as JSON",
+    )
+
+    verify = sub.add_parser(
+        "verify-store",
+        help="read-only integrity audit of a data directory "
+             "(non-zero exit on unrecoverable damage)",
+    )
+    verify.add_argument("data_dir", help="chain data directory")
+    verify.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON",
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -271,11 +322,26 @@ def _run_serve(args) -> int:
         rate_burst=args.rate_burst,
         executor=args.executor,
         num_workers=args.workers,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_interval_blocks=args.snapshot_interval,
+        fsync_interval_blocks=args.fsync_interval,
     )
     deployment = build_deployment(num_accounts=args.accounts)
     node = Node(state=deployment.state,
                 per_sender_cap=args.per_sender_cap)
     server = RpcServer(node=node, config=config)
+    if server.recovery is not None:
+        recovery = server.recovery
+        for warning in recovery.warnings:
+            print(f"recovery: {warning}", file=sys.stderr)
+        print(
+            f"recovered height {recovery.height} from "
+            f"{args.data_dir} (snapshot {recovery.snapshot_height} + "
+            f"{recovery.replayed_blocks} replayed blocks, "
+            f"digest {recovery.state_digest.hex()[:16]}…)",
+            file=sys.stderr,
+        )
 
     async def _serve() -> None:
         await server.start()
@@ -341,6 +407,75 @@ def _run_loadgen(args) -> int:
     return 1 if result.unanswered else 0
 
 
+def _run_recover(args) -> int:
+    from .storage import StorageError, recover
+
+    retention = args.receipt_history_blocks or None
+    try:
+        result = recover(
+            args.data_dir,
+            receipt_history_blocks=retention,
+            repair=not args.no_repair,
+        )
+    except StorageError as exc:
+        print(f"recover failed: {exc}", file=sys.stderr)
+        return 1
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.json:
+        print(json.dumps({
+            "height": result.height,
+            "snapshotHeight": result.snapshot_height,
+            "replayedBlocks": result.replayed_blocks,
+            "truncatedRecords": result.truncated_records,
+            "truncatedBytes": result.truncated_bytes,
+            "corruption": result.corruption,
+            "skippedSnapshots": result.skipped_snapshots,
+            "spilledPending": result.spilled_pending,
+            "stateDigest": result.state_digest.hex(),
+            "hotspots": [hex(a) for a in result.hotspots],
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"recovered height {result.height} "
+            f"(snapshot {result.snapshot_height} + "
+            f"{result.replayed_blocks} replayed blocks)\n"
+            f"state digest {result.state_digest.hex()}\n"
+            f"spilled pending transactions: {result.spilled_pending}"
+        )
+    return 0
+
+
+def _run_verify_store(args) -> int:
+    from .storage import verify_store
+
+    report = verify_store(args.data_dir)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"wal: {report.wal_records} records, "
+            f"{report.wal_bytes} bytes, chain height "
+            f"{report.chain_height}"
+        )
+        print(
+            "snapshots: "
+            + (", ".join(str(h) for h, _ in report.snapshots) or "none")
+        )
+        for note in report.notes:
+            print(f"note: {note}", file=sys.stderr)
+    if not report.ok:
+        print("verify-store: FAILED (unrecoverable damage)",
+              file=sys.stderr)
+        return 1
+    if report.corruption is not None:
+        print("verify-store: ok with recoverable tail damage",
+              file=sys.stderr)
+    else:
+        print("verify-store: ok", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -349,6 +484,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "loadgen":
         return _run_loadgen(args)
+
+    if args.command == "recover":
+        return _run_recover(args)
+
+    if args.command == "verify-store":
+        return _run_verify_store(args)
 
     if args.command == "list":
         for name, fn in EXPERIMENTS.items():

@@ -7,17 +7,19 @@ checking only the receipts digest. This package supplies the adversary
 :class:`FaultPlan`) and the accounting (:class:`DegradationReport`) that
 let the rest of the system prove it degrades gracefully instead:
 corrupted DAGs are rebuilt, dead PUs are drained onto survivors, bogus
-claimed roots trigger a sequential fallback, and hostile transactions
-are refused at admission.
+claimed roots trigger a sequential fallback, hostile transactions are
+refused at admission, and crash faults against the durable store
+(:class:`StorageCorruption`) recover to a bit-identical state.
 """
 
-from .injector import FaultInjector
+from .injector import FaultInjector, SimulatedCrashError
 from .plan import (
     PU_DEAD,
     PU_STALL,
     DagCorruption,
     FaultPlan,
     PUFault,
+    StorageCorruption,
     TxCorruption,
 )
 from .report import DegradationReport
@@ -30,5 +32,7 @@ __all__ = [
     "PUFault",
     "PU_DEAD",
     "PU_STALL",
+    "SimulatedCrashError",
+    "StorageCorruption",
     "TxCorruption",
 ]

@@ -24,6 +24,10 @@ _MALFORMED_GAS_LIMIT = 100
 _HOSTILE_SENDER_BASE = 0xBAD0_0000_0000
 
 
+class SimulatedCrashError(RuntimeError):
+    """Raised at an armed crash point to model sudden process death."""
+
+
 class FaultInjector:
     """Applies a :class:`FaultPlan` at each injection site."""
 
@@ -133,6 +137,77 @@ class FaultInjector:
                 applicable[fault.pu_id] = fault
                 self.injected[f"pu_{fault.kind}"] += 1
         return applicable
+
+    # ------------------------------------------------------------------
+    # Durable store: crash windows and at-rest corruption
+    # ------------------------------------------------------------------
+    def crash_point(self, site: str) -> None:
+        """Hook the store fires at named crash windows.
+
+        With ``storage.crash_between_wal_and_snapshot`` armed, the
+        ``between_wal_and_snapshot`` site raises — the block is already
+        durable in the WAL, its snapshot never lands, and recovery has
+        to come from the previous anchor. Fires once per run: the drill
+        is one crash, not a store that can never snapshot.
+        """
+        spec = self.plan.storage
+        if (
+            site == "between_wal_and_snapshot"
+            and spec is not None
+            and spec.crash_between_wal_and_snapshot
+            and not self.injected["crash_between_wal_and_snapshot"]
+        ):
+            self.injected["crash_between_wal_and_snapshot"] += 1
+            raise SimulatedCrashError(f"injected crash at {site!r}")
+
+    def corrupt_wal(self, data_dir: str) -> list[str]:
+        """Damage a data directory's WAL at rest, per the plan.
+
+        Returns descriptions of what was done. Torn tail: the final
+        record loses its last bytes (a partial write). CRC corruption:
+        one payload byte of ``corrupt_record`` flips — on the final
+        record that is tail damage, earlier it is mid-log corruption.
+        """
+        import os
+
+        from ..storage.wal import RECORD_HEADER, scan_wal
+
+        spec = self.plan.storage
+        applied: list[str] = []
+        if spec is None or not spec.active:
+            return applied
+        wal_path = os.path.join(data_dir, "wal.log")
+        scan = scan_wal(wal_path)
+        if not scan.records:
+            return applied
+
+        if spec.torn_tail:
+            cut = 1 + self.rng.randrange(
+                max(1, len(scan.records[-1]) // 2)
+            )
+            with open(wal_path, "r+b") as fh:
+                fh.truncate(scan.valid_bytes - cut)
+            self.injected["wal_torn_tail"] += 1
+            applied.append(f"tore {cut} bytes off the final record")
+
+        if spec.corrupt_record is not None:
+            index = spec.corrupt_record % len(scan.records)
+            offset = sum(
+                len(record) + RECORD_HEADER.size
+                for record in scan.records[:index]
+            ) + RECORD_HEADER.size
+            offset += self.rng.randrange(len(scan.records[index]))
+            with open(wal_path, "r+b") as fh:
+                fh.seek(offset)
+                byte = fh.read(1)
+                fh.seek(offset)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+            self.injected["wal_crc_corrupted"] += 1
+            applied.append(
+                f"flipped a payload byte of record {index} "
+                f"at offset {offset}"
+            )
+        return applied
 
     # ------------------------------------------------------------------
     # Idle slice: stale hotspot profiles

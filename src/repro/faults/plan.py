@@ -56,6 +56,36 @@ class TxCorruption:
         return bool(self.malformed or self.duplicates or self.underfunded)
 
 
+@dataclass(frozen=True)
+class StorageCorruption:
+    """Crash-fault drills against the durable store.
+
+    ``corrupt_wal`` applies the torn-tail / CRC damage to a data
+    directory *at rest* (between runs); ``crash_between_wal_and_snapshot``
+    arms the :meth:`~repro.faults.injector.FaultInjector.crash_point`
+    hook the store fires after a block's WAL append but before its
+    snapshot write — the widest crash window in the commit path.
+    """
+
+    #: Cut bytes off the final WAL record (simulates a torn write).
+    torn_tail: bool = False
+    #: Flip a payload byte of this record index (None: no CRC damage).
+    #: Negative indexes count from the end (-1 = final record → tail
+    #: damage; an earlier index → mid-log corruption).
+    corrupt_record: int | None = None
+    #: Raise :class:`~repro.faults.injector.SimulatedCrashError` at the
+    #: between-WAL-and-snapshot crash point.
+    crash_between_wal_and_snapshot: bool = False
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.torn_tail
+            or self.corrupt_record is not None
+            or self.crash_between_wal_and_snapshot
+        )
+
+
 #: PU fault kinds.
 PU_DEAD = "dead"
 PU_STALL = "stall"
@@ -93,6 +123,8 @@ class FaultPlan:
     #: Contract addresses whose state is mutated *after* the hotspot
     #: optimizer profiled them (stale-profile fault).
     stale_profiles: tuple[int, ...] = field(default_factory=tuple)
+    #: Crash faults against the durable store.
+    storage: StorageCorruption | None = None
 
     def __post_init__(self) -> None:
         seen: set[int] = set()
@@ -111,4 +143,5 @@ class FaultPlan:
             or (self.txs and self.txs.active)
             or self.pu_faults
             or self.stale_profiles
+            or (self.storage and self.storage.active)
         )

@@ -132,6 +132,36 @@ class BlockBuilder:
         """The pending future for an already-admitted transaction."""
         return self._pending.get(tx_hash)
 
+    def seed_committed(self) -> None:
+        """Rebuild the receipt indexes from an already-populated node.
+
+        After crash recovery the node carries a replayed chain and its
+        receipts, but ``committed``/``_history`` (which back getReceipt
+        and idempotent resubmission) live here. Seeding them restores
+        both behaviors across a restart, bounded by the same retention
+        window as live serving.
+        """
+        for block in self.node.chain:
+            receipts = self.node.receipts.get(block.hash())
+            if receipts is None:
+                continue  # outside the recovered retention window
+            height = block.header.height
+            for index, (tx, receipt) in enumerate(
+                zip(block.transactions, receipts)
+            ):
+                self.committed[tx.hash()] = CommittedReceipt(
+                    receipt, height, index
+                )
+            self._history.append(
+                (block.hash(), [tx.hash() for tx in block.transactions])
+            )
+        retain = self.config.receipt_history_blocks
+        while retain is not None and len(self._history) > retain:
+            old_block_hash, old_tx_hashes = self._history.popleft()
+            self.node.receipts.pop(old_block_hash, None)
+            for tx_hash in old_tx_hashes:
+                self.committed.pop(tx_hash, None)
+
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         if self._task is None:

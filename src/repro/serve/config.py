@@ -57,6 +57,19 @@ class ServeConfig:
     #: bound.
     max_subscriber_buffer: int = 1 << 20
 
+    # -- durability -------------------------------------------------------
+    #: Chain data directory. None serves purely in memory; set, every
+    #: committed block is WAL-appended (and fsynced per ``fsync``)
+    #: before client futures resolve, and startup recovers whatever the
+    #: directory already holds.
+    data_dir: str | None = None
+    #: WAL fsync policy: "always", "interval", or "never".
+    fsync: str = "always"
+    #: World-state snapshot cadence (blocks) — the recovery anchors.
+    snapshot_interval_blocks: int = 64
+    #: fsync cadence under the "interval" policy.
+    fsync_interval_blocks: int = 16
+
     # -- execution --------------------------------------------------------
     #: "sequential" (Node.execute_block), "mtpu" (spatio-temporal
     #: schedule on the MTPU simulator) or "parallel" (the multicore
@@ -81,3 +94,11 @@ class ServeConfig:
             raise ValueError("receipt_history_blocks must be positive")
         if self.max_subscriber_buffer <= 0:
             raise ValueError("max_subscriber_buffer must be positive")
+        from ..storage.config import FSYNC_POLICIES
+
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {self.fsync!r}")
+        if self.snapshot_interval_blocks <= 0:
+            raise ValueError("snapshot_interval_blocks must be positive")
+        if self.fsync_interval_blocks <= 0:
+            raise ValueError("fsync_interval_blocks must be positive")

@@ -59,9 +59,32 @@ class RpcServer:
         )
         if self.config.per_sender_cap is not None:
             self.node.mempool.per_sender_cap = self.config.per_sender_cap
+        #: :class:`repro.storage.RecoveryResult` when startup recovered
+        #: an existing data directory, else None.
+        self.recovery = None
+        if self.config.data_dir is not None:
+            from ..storage import StorageConfig, attach
+
+            self.recovery = attach(
+                self.node,
+                self.config.data_dir,
+                StorageConfig(
+                    fsync=self.config.fsync,
+                    fsync_interval_blocks=self.config.fsync_interval_blocks,
+                    snapshot_interval_blocks=(
+                        self.config.snapshot_interval_blocks
+                    ),
+                ),
+                receipt_history_blocks=self.config.receipt_history_blocks,
+                fault_injector=fault_injector,
+            )
         self.builder = BlockBuilder(
             self.node, self.config, fault_injector=fault_injector
         )
+        if self.node.chain:
+            # Restarted on a recovered chain: getReceipt and idempotent
+            # resubmission must keep working for already-acked hashes.
+            self.builder.seed_committed()
         self.limiter = (
             RateLimiter(self.config.rate_limit, self.config.rate_burst)
             if self.config.rate_limit is not None
@@ -128,6 +151,15 @@ class RpcServer:
                 await writer.wait_closed()
         self._connections.clear()
         self._subscriptions.clear()
+        if self.node.store is not None:
+            # Anything still pooled (the drain timed out, or wait=False
+            # admissions never cut) would silently vanish with the
+            # process — spill it so the next start re-admits it.
+            with self.builder.state_lock:
+                leftover = self.node.mempool.pending()
+            if leftover:
+                self.node.store.spill_mempool(leftover)
+            self.node.store.close()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -408,4 +440,18 @@ class RpcServer:
             "executionFailures": self.builder.execution_failures,
             "chainHeight": len(self.node.chain),
             "shuttingDown": self._shutting_down,
+            "durable": self.node.store is not None,
+            "recoveredHeight": (
+                self.recovery.height if self.recovery else 0
+            ),
+            "walRecords": (
+                self.node.store.wal_records
+                if self.node.store is not None
+                else 0
+            ),
+            "snapshotsWritten": (
+                self.node.store.snapshots_written
+                if self.node.store is not None
+                else 0
+            ),
         }

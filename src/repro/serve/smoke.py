@@ -100,6 +100,8 @@ def run_serve_load(
     block_size_target: int = 16,
     block_interval_ms: float = 25.0,
     check_digest: bool = True,
+    data_dir: str | None = None,
+    fsync: str = "always",
 ) -> dict:
     """Boot + load + drain, synchronously; returns the result dict."""
     config = ServeConfig(
@@ -108,6 +110,8 @@ def run_serve_load(
         block_size_target=block_size_target,
         block_interval_ms=block_interval_ms,
         executor=executor,
+        data_dir=data_dir,
+        fsync=fsync,
     )
     return asyncio.run(_run(
         transactions, clients, config, workload, seed,

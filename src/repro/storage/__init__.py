@@ -1,0 +1,59 @@
+"""Durable chain storage: WAL, snapshots, and crash recovery.
+
+The durability contract, end to end:
+
+* every committed block is appended to an append-only, CRC-framed
+  write-ahead log together with the post-state digest it produced
+  (:mod:`repro.storage.wal`, :mod:`repro.storage.codec`);
+* every ``snapshot_interval_blocks`` the full world state is written
+  atomically as a recovery anchor (:mod:`repro.storage.snapshot`);
+* :func:`recover` rebuilds a live node by replaying the WAL suffix from
+  the newest usable anchor through the real execution pipeline,
+  asserting bit-identical state digests block by block;
+* torn tails are truncated and counted, mid-log corruption is a typed
+  refusal, and ``repro verify-store`` audits a directory offline.
+"""
+
+from .config import (
+    FSYNC_ALWAYS,
+    FSYNC_INTERVAL,
+    FSYNC_NEVER,
+    FSYNC_POLICIES,
+    StorageConfig,
+)
+from .errors import (
+    CorruptSnapshotError,
+    CorruptWalError,
+    RecoveryError,
+    StorageError,
+    StoreLockedError,
+)
+from .recovery import (
+    RecoveryResult,
+    StoreReport,
+    attach,
+    has_store,
+    recover,
+    verify_store,
+)
+from .store import ChainStore
+
+__all__ = [
+    "FSYNC_ALWAYS",
+    "FSYNC_INTERVAL",
+    "FSYNC_NEVER",
+    "FSYNC_POLICIES",
+    "ChainStore",
+    "CorruptSnapshotError",
+    "CorruptWalError",
+    "RecoveryError",
+    "RecoveryResult",
+    "StorageConfig",
+    "StorageError",
+    "StoreLockedError",
+    "StoreReport",
+    "attach",
+    "has_store",
+    "recover",
+    "verify_store",
+]

@@ -1,0 +1,145 @@
+"""Canonical RLP encodings for durable artifacts.
+
+Everything the store writes is RLP over the chain's own codec
+(:mod:`repro.chain.rlp`) so the WAL, snapshots, and the spilled mempool
+share one wire discipline — and one hardened decoder — with the rest of
+the system.
+
+The world-state encoding is *canonical*: accounts sorted by address,
+storage slots sorted, empty accounts skipped (the same filter
+:meth:`~repro.chain.state.WorldState.state_digest` applies). Two states
+that are semantically equal therefore encode to identical bytes, which
+is what lets :func:`state_digest_bytes` serve as the commit stamp the
+WAL records and recovery re-derives.
+"""
+
+from __future__ import annotations
+
+from ..chain import rlp
+from ..chain.account import Account
+from ..chain.block import Block
+from ..chain.state import WorldState
+from ..chain.transaction import Transaction
+from ..crypto import keccak256
+
+
+def state_to_rlp(state: WorldState) -> bytes:
+    """Canonical snapshot encoding of a world state."""
+    accounts = []
+    for addr, nonce, balance, code, storage in state.state_digest():
+        accounts.append(
+            [
+                rlp.encode_int(addr),
+                rlp.encode_int(nonce),
+                rlp.encode_int(balance),
+                code,
+                [
+                    [rlp.encode_int(slot), rlp.encode_int(value)]
+                    for slot, value in storage
+                ],
+            ]
+        )
+    return rlp.encode(accounts)
+
+
+def state_from_rlp(blob: bytes) -> WorldState:
+    """Rebuild a world state from its canonical snapshot encoding."""
+    state = WorldState()
+    for item in rlp.as_list(rlp.decode(blob), "world state"):
+        fields = rlp.as_list(item, "account", 5)
+        storage: dict[int, int] = {}
+        for pair in rlp.as_list(fields[4], "account storage"):
+            slot_value = rlp.as_list(pair, "storage slot", 2)
+            storage[rlp.decode_int(slot_value[0])] = rlp.decode_int(
+                slot_value[1]
+            )
+        state.load_account(
+            rlp.decode_int(fields[0]),
+            Account(
+                nonce=rlp.decode_int(fields[1]),
+                balance=rlp.decode_int(fields[2]),
+                code=rlp.as_bytes(fields[3], "account code"),
+                storage=storage,
+            ),
+        )
+    return state
+
+
+def account_leaf_rlp(address: int, account: Account) -> bytes:
+    """Canonical per-account leaf encoding (the digest commitment unit)."""
+    return rlp.encode(
+        [
+            rlp.encode_int(address),
+            rlp.encode_int(account.nonce),
+            rlp.encode_int(account.balance),
+            account.code,
+            [
+                [rlp.encode_int(slot), rlp.encode_int(value)]
+                for slot, value in sorted(account.storage.items())
+            ],
+        ]
+    )
+
+
+def state_digest_bytes(state: WorldState) -> bytes:
+    """32-byte commitment to the full world state — the digest stamped
+    into every WAL record and snapshot.
+
+    keccak over the sorted ``(address, leaf_hash)`` pairs of every
+    non-empty account, where a leaf hash is keccak over
+    :func:`account_leaf_rlp`. Leaf hashes are cached on the state and
+    invalidated per-account by its mutators, so the commit-path digest
+    costs O(accounts touched since the last digest) leaf encodings plus
+    one keccak over ~52 bytes per live account — not a full state
+    serialization per block. A freshly loaded state (empty cache)
+    recomputes every leaf and lands on the same value, which is what
+    lets recovery assert bit-identity against the stamps.
+    """
+    accounts = state._accounts
+    leaves = state._leaf_hashes
+    dirty = state._digest_dirty
+    for address in [a for a in leaves if a not in accounts]:
+        del leaves[address]
+    for address, account in accounts.items():
+        if address in dirty or address not in leaves:
+            if account.is_empty:
+                leaves.pop(address, None)
+            else:
+                leaves[address] = keccak256(
+                    account_leaf_rlp(address, account)
+                )
+    dirty.clear()
+    return keccak256(
+        b"".join(
+            address.to_bytes(32, "big") + leaves[address]
+            for address in sorted(leaves)
+        )
+    )
+
+
+def encode_wal_payload(block: Block, post_state_digest: bytes) -> bytes:
+    """One WAL record payload: the block plus its post-state digest."""
+    return rlp.encode([block.to_rlp(), post_state_digest])
+
+
+def decode_wal_payload(payload: bytes) -> tuple[Block, bytes]:
+    """Inverse of :func:`encode_wal_payload`."""
+    fields = rlp.as_list(rlp.decode(payload), "wal record", 2)
+    digest = rlp.as_bytes(fields[1], "wal state digest")
+    if len(digest) != 32:
+        raise rlp.RLPDecodingError("wal state digest must be 32 bytes")
+    block = Block.from_rlp(rlp.as_bytes(fields[0], "wal block"))
+    return block, digest
+
+
+def mempool_to_rlp(transactions: list[Transaction]) -> bytes:
+    """Encode a spilled mempool (a list of transaction wire blobs)."""
+    return rlp.encode([tx.to_rlp() for tx in transactions])
+
+
+def mempool_from_rlp(blob: bytes) -> list[Transaction]:
+    """Decode a spilled mempool back into transactions."""
+    return [
+        Transaction.from_rlp(rlp.as_bytes(item, "spilled transaction"))
+        for item in rlp.as_list(rlp.decode(blob), "spilled mempool")
+    ]

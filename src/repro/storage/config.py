@@ -1,0 +1,52 @@
+"""Storage configuration: durability/latency trade-off knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: ``fsync`` policies, in decreasing durability order.
+FSYNC_ALWAYS = "always"
+FSYNC_INTERVAL = "interval"
+FSYNC_NEVER = "never"
+
+FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_INTERVAL, FSYNC_NEVER)
+
+
+@dataclass
+class StorageConfig:
+    """Everything a :class:`~repro.storage.store.ChainStore` needs.
+
+    The fsync policy decides what a crash can lose:
+
+    * ``always`` — fsync after every WAL append; a client future never
+      resolves before its block is on stable storage. Slowest.
+    * ``interval`` — fsync every ``fsync_interval_blocks`` appends (and
+      on close); a crash loses at most that many committed blocks.
+    * ``never`` — rely on the OS page cache; a process crash loses
+      nothing (the file is written), a machine crash can lose anything
+      since the last kernel writeback. Fastest.
+    """
+
+    #: ``always`` / ``interval`` / ``never``.
+    fsync: str = FSYNC_ALWAYS
+    #: Under ``interval``: fsync the WAL every this many block appends.
+    fsync_interval_blocks: int = 16
+    #: Write a world-state snapshot every this many blocks, so recovery
+    #: replays a bounded WAL suffix instead of the whole chain.
+    snapshot_interval_blocks: int = 64
+    #: Keep this many most-recent snapshots (plus the genesis snapshot,
+    #: which is never pruned).
+    retain_snapshots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {self.fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if self.fsync_interval_blocks <= 0:
+            raise ValueError("fsync_interval_blocks must be positive")
+        if self.snapshot_interval_blocks <= 0:
+            raise ValueError("snapshot_interval_blocks must be positive")
+        if self.retain_snapshots <= 0:
+            raise ValueError("retain_snapshots must be positive")

@@ -1,0 +1,30 @@
+"""Typed storage-layer errors.
+
+Every durability failure the layer can *detect* gets its own type so
+callers (recovery, ``repro verify-store``, the serve loop) can react
+distinctly: tail corruption is truncated and survived, mid-log
+corruption is fatal for the suffix, and a replay divergence means the
+store and the execution engine disagree — never something to paper over.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for all durable-store failures."""
+
+
+class CorruptSnapshotError(StorageError):
+    """A snapshot file failed its CRC or structural decode."""
+
+
+class CorruptWalError(StorageError):
+    """The WAL is damaged beyond tail truncation (mid-log corruption)."""
+
+
+class RecoveryError(StorageError):
+    """Replaying the WAL diverged from the digests stamped in it."""
+
+
+class StoreLockedError(StorageError):
+    """Another live ChainStore already owns this data directory."""

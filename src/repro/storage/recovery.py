@@ -1,0 +1,426 @@
+"""Crash recovery: rebuild a live node from a data directory.
+
+Recovery is *re-execution*, not deserialization of trust: the WAL's
+blocks replay through the node's own execution pipeline against the
+newest usable snapshot, and after every replayed block the resulting
+``state_digest`` must be bit-identical to the digest stamped into that
+block's WAL record at commit time. A store that cannot reproduce its own
+chain is corrupt, and recovery says so with a typed error instead of
+serving a silently divergent state.
+
+Anchor choice honours the receipt-retention contract: receipts are
+rebuilt by replay, so the replayed suffix must cover the newest
+``receipt_history_blocks`` blocks — the anchor snapshot is the newest
+one at or below ``wal_height - receipt_history_blocks`` (archival
+``None`` replays from genesis).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+
+from ..chain.node import Node
+from ..chain.state import WorldState
+from ..core.hotspot.tracker import HotspotTracker
+from ..obs import get_registry
+from . import codec, snapshot as snapshots
+from .errors import CorruptSnapshotError, CorruptWalError, RecoveryError
+from .store import MEMPOOL_NAME, WAL_NAME
+from .wal import scan_wal, truncate_wal, unframe_record
+
+
+@dataclass
+class RecoveryResult:
+    """Everything :func:`recover` learned and rebuilt."""
+
+    node: Node
+    #: Height of the last durably committed block.
+    height: int
+    #: Height of the snapshot the replay started from.
+    snapshot_height: int
+    #: Blocks re-executed (``height - snapshot_height``).
+    replayed_blocks: int
+    #: Damaged/partial WAL records dropped by tail truncation.
+    truncated_records: int
+    #: Bytes cut from the WAL tail.
+    truncated_bytes: int
+    #: Description of the tail damage, if any.
+    corruption: str | None
+    #: Snapshot files skipped because they were damaged or inconsistent.
+    skipped_snapshots: list[str] = field(default_factory=list)
+    #: Transactions waiting in ``mempool.rlp`` (spilled on drain).
+    spilled_pending: int = 0
+    #: Post-recovery canonical state digest.
+    state_digest: bytes = b""
+    #: Hotspot profile rebuilt from the whole chain's traffic.
+    tracker: HotspotTracker | None = None
+    #: Human-readable recovery notes (tail truncation, skipped files).
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def hotspots(self) -> list[int]:
+        return self.tracker.current_hotspots() if self.tracker else []
+
+
+def _decode_chain(
+    records: list[bytes],
+) -> tuple[list, str | None, int]:
+    """Decode WAL payloads into (block, digest) pairs.
+
+    Stops at the first record that fails structural decode, height
+    contiguity, or parent-hash linkage; returns (pairs, reason, index)
+    where *index* is the offending record (len(records) when clean).
+    """
+    from ..chain import rlp
+
+    pairs = []
+    prev_hash = b"\x00" * 32
+    for index, payload in enumerate(records):
+        try:
+            block, digest = codec.decode_wal_payload(payload)
+        except rlp.RLPDecodingError as exc:
+            return pairs, f"record {index}: {exc}", index
+        if block.header.height != index + 1:
+            return pairs, (
+                f"record {index}: height {block.header.height}, "
+                f"expected {index + 1}"
+            ), index
+        if block.header.parent_hash != prev_hash:
+            return pairs, (
+                f"record {index}: parent hash does not link to "
+                f"block {index}"
+            ), index
+        prev_hash = block.hash()
+        pairs.append((block, digest))
+    return pairs, None, len(records)
+
+
+def _choose_anchor(
+    data_dir: str,
+    pairs: list,
+    receipt_history_blocks: int | None,
+) -> tuple[int, WorldState, list[str]]:
+    """The newest snapshot that keeps the retention window replayable."""
+    wal_height = len(pairs)
+    if receipt_history_blocks is None:
+        anchor_ceiling = 0
+    else:
+        anchor_ceiling = max(0, wal_height - receipt_history_blocks)
+    skipped: list[str] = []
+    for height, path in snapshots.list_snapshots(data_dir):
+        if height > anchor_ceiling:
+            continue
+        try:
+            loaded_height, digest, state = snapshots.read_snapshot(path)
+        except CorruptSnapshotError:
+            skipped.append(path)
+            continue
+        if loaded_height != height:
+            skipped.append(path)
+            continue
+        if height > 0 and digest != pairs[height - 1][1]:
+            # Snapshot disagrees with the WAL stamp at its own height —
+            # fall back to an older anchor rather than trust it.
+            skipped.append(path)
+            continue
+        return height, state, skipped
+    raise RecoveryError(
+        f"no usable snapshot anchor in {data_dir!r} "
+        f"(skipped {len(skipped)}); cannot recover"
+    )
+
+
+def _count_spilled(data_dir: str) -> int:
+    path = os.path.join(data_dir, MEMPOOL_NAME)
+    if not os.path.exists(path):
+        return 0
+    try:
+        with open(path, "rb") as fh:
+            return len(codec.mempool_from_rlp(unframe_record(fh.read())))
+    except Exception:
+        return 0
+
+
+def recover(
+    data_dir: str,
+    receipt_history_blocks: int | None = 1024,
+    repair: bool = True,
+    node_factory=None,
+) -> RecoveryResult:
+    """Rebuild a node from *data_dir*: snapshot + WAL-suffix replay.
+
+    Tail damage (torn/partial final records, CRC mismatches at the end
+    of the log) is truncated — with ``repair=True`` the file itself is
+    trimmed — warned about, and counted. Damage *followed by further
+    valid records* is mid-log corruption and raises
+    :class:`CorruptWalError`: truncating there would silently drop
+    durably committed blocks. A replayed block whose state digest
+    differs from its WAL stamp raises :class:`RecoveryError`.
+    """
+    data_dir = str(data_dir)
+    wal_path = os.path.join(data_dir, WAL_NAME)
+    registry = get_registry()
+    warnings: list[str] = []
+
+    scan = scan_wal(wal_path)
+    if scan.mid_log_corruption:
+        raise CorruptWalError(
+            f"{wal_path}: {scan.corruption} with {scan.suffix_records} "
+            f"valid records beyond it — mid-log corruption, refusing to "
+            f"truncate durably committed blocks (run `repro verify-store`)"
+        )
+
+    pairs, decode_reason, bad_index = _decode_chain(scan.records)
+    if decode_reason is not None and bad_index < len(scan.records) - 1:
+        raise CorruptWalError(
+            f"{wal_path}: {decode_reason} followed by further records — "
+            f"mid-log corruption"
+        )
+
+    truncated_records = len(scan.records) - len(pairs)
+    corruption = scan.corruption or decode_reason
+    valid_prefix_bytes = sum(
+        len(record) + 8 for record in scan.records[:len(pairs)]
+    )
+    truncated_bytes = (
+        scan.file_bytes - valid_prefix_bytes if corruption else 0
+    )
+    if corruption is not None:
+        truncated_records += 1 if scan.corruption else 0
+        warnings.append(
+            f"WAL tail truncated at block {len(pairs) + 1}: {corruption} "
+            f"({truncated_bytes} trailing bytes dropped)"
+        )
+        if registry.enabled:
+            registry.counter("storage.wal_truncated_records").inc(
+                max(1, truncated_records)
+            )
+        if repair and os.path.exists(wal_path):
+            truncate_wal(wal_path, valid_prefix_bytes)
+
+    anchor_height, state, skipped = _choose_anchor(
+        data_dir, pairs, receipt_history_blocks
+    )
+    for path in skipped:
+        warnings.append(f"skipped damaged/inconsistent snapshot {path}")
+
+    node = (node_factory or Node)(state=state)
+    node.chain = [block for block, _ in pairs[:anchor_height]]
+
+    replayed = 0
+    for block, stamped in pairs[anchor_height:]:
+        node.execute_block(block)
+        actual = codec.state_digest_bytes(node.state)
+        if actual != stamped:
+            raise RecoveryError(
+                f"replay diverged at block {block.header.height}: "
+                f"state digest {actual.hex()[:16]}… != stamped "
+                f"{stamped.hex()[:16]}…"
+            )
+        replayed += 1
+
+    # Receipt retention: replay may have gone further back than the
+    # window (anchor granularity); trim to the newest N blocks.
+    if receipt_history_blocks is not None:
+        for block, _ in pairs[:max(0, len(pairs) - receipt_history_blocks)]:
+            node.receipts.pop(block.hash(), None)
+
+    tracker = HotspotTracker()
+    for block, _ in pairs:
+        tracker.observe_block(block.transactions)
+
+    if registry.enabled:
+        registry.counter("storage.recovered_blocks").inc(replayed)
+
+    return RecoveryResult(
+        node=node,
+        height=len(pairs),
+        snapshot_height=anchor_height,
+        replayed_blocks=replayed,
+        truncated_records=truncated_records if corruption else 0,
+        truncated_bytes=truncated_bytes,
+        corruption=corruption,
+        skipped_snapshots=skipped,
+        spilled_pending=_count_spilled(data_dir),
+        state_digest=codec.state_digest_bytes(node.state),
+        tracker=tracker,
+        warnings=warnings,
+    )
+
+
+def attach(
+    node: Node,
+    data_dir: str,
+    config=None,
+    receipt_history_blocks: int | None = 1024,
+    fault_injector=None,
+) -> RecoveryResult | None:
+    """Make *node* durable in *data_dir*, recovering first if needed.
+
+    Fresh directory: writes the genesis snapshot for the node's current
+    state and starts logging. Existing store: runs :func:`recover`,
+    transplants the recovered chain/state/receipts into *node*, then
+    re-admits any spilled mempool transactions (consuming the spill
+    file) and counts them via ``storage.mempool_respilled``. Returns
+    the :class:`RecoveryResult` when a recovery ran, else ``None``.
+    """
+    from ..chain.mempool import AdmissionError
+    from .config import StorageConfig
+    from .store import ChainStore
+
+    # Keep enough snapshots that a bounded recovery can anchor at or
+    # below ``wal_height - receipt_history_blocks`` — pruning to a bare
+    # count would silently push the anchor back to genesis and turn
+    # bounded recovery into a full replay.
+    config = config or StorageConfig()
+    if receipt_history_blocks is not None:
+        needed = (
+            receipt_history_blocks // config.snapshot_interval_blocks + 2
+        )
+        config = dataclasses.replace(
+            config,
+            retain_snapshots=max(config.retain_snapshots, needed),
+        )
+
+    result = None
+    if has_store(data_dir):
+        result = recover(
+            data_dir, receipt_history_blocks=receipt_history_blocks
+        )
+        node.state = result.node.state
+        node.mempool.state = node.state
+        node.chain = result.node.chain
+        node.receipts = result.node.receipts
+
+    store = ChainStore(data_dir, config, fault_injector=fault_injector)
+    store.init_genesis(node.state)
+
+    respilled = 0
+    for tx in store.load_mempool(delete=True):
+        try:
+            if node.hear(tx):
+                respilled += 1
+        except AdmissionError:
+            # Stale against the recovered state (nonce consumed,
+            # balance spent): drop it, exactly as live admission would.
+            continue
+    if respilled:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("storage.mempool_respilled").inc(respilled)
+    if result is not None:
+        result.spilled_pending = respilled
+
+    node.store = store
+    return result
+
+
+def has_store(data_dir: str) -> bool:
+    """True when *data_dir* already holds a chain store."""
+    if not os.path.isdir(data_dir):
+        return False
+    if os.path.exists(os.path.join(data_dir, WAL_NAME)):
+        return True
+    return bool(snapshots.list_snapshots(data_dir))
+
+
+@dataclass
+class StoreReport:
+    """What ``repro verify-store`` found (``ok`` drives the exit code)."""
+
+    wal_records: int = 0
+    wal_bytes: int = 0
+    chain_height: int = 0
+    corruption: str | None = None
+    mid_log: bool = False
+    truncated_bytes: int = 0
+    snapshots: list[tuple[int, str]] = field(default_factory=list)
+    damaged_snapshots: list[str] = field(default_factory=list)
+    spilled_pending: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """False on unrecoverable damage (tail tears stay recoverable)."""
+        return not self.mid_log and not self.damaged_snapshots
+
+    def to_dict(self) -> dict:
+        return {
+            "walRecords": self.wal_records,
+            "walBytes": self.wal_bytes,
+            "chainHeight": self.chain_height,
+            "corruption": self.corruption,
+            "midLogCorruption": self.mid_log,
+            "truncatedBytes": self.truncated_bytes,
+            "snapshots": [
+                {"height": height, "path": path}
+                for height, path in self.snapshots
+            ],
+            "damagedSnapshots": list(self.damaged_snapshots),
+            "spilledPending": self.spilled_pending,
+            "ok": self.ok,
+            "notes": list(self.notes),
+        }
+
+
+def verify_store(data_dir: str) -> StoreReport:
+    """Read-only integrity check of a data directory.
+
+    Never mutates anything: scans the WAL (framing + CRC + structural
+    decode + height/parent linkage), validates every snapshot against
+    its own digest and the WAL stamp at its height, and decodes the
+    spilled mempool. Mid-log corruption or damaged snapshots make the
+    report not-``ok``; a torn tail alone is recoverable and only noted.
+    """
+    data_dir = str(data_dir)
+    report = StoreReport()
+    scan = scan_wal(os.path.join(data_dir, WAL_NAME))
+    report.wal_records = len(scan.records)
+    report.wal_bytes = scan.file_bytes
+    report.corruption = scan.corruption
+    report.truncated_bytes = scan.truncated_bytes
+    report.mid_log = scan.mid_log_corruption
+
+    pairs, decode_reason, bad_index = _decode_chain(scan.records)
+    report.chain_height = len(pairs)
+    if decode_reason is not None:
+        if bad_index < len(scan.records) - 1:
+            report.mid_log = True
+        report.corruption = report.corruption or decode_reason
+        report.notes.append(decode_reason)
+    if scan.corruption is not None:
+        report.notes.append(
+            f"tail damage: {scan.corruption} "
+            f"({scan.truncated_bytes} bytes beyond the valid prefix)"
+        )
+    if report.mid_log:
+        report.notes.append(
+            "mid-log corruption: valid records exist beyond the damage"
+        )
+
+    if os.path.isdir(data_dir):
+        for height, path in snapshots.list_snapshots(data_dir):
+            try:
+                loaded_height, digest, _state = snapshots.read_snapshot(
+                    path
+                )
+            except CorruptSnapshotError as exc:
+                report.damaged_snapshots.append(path)
+                report.notes.append(str(exc))
+                continue
+            if loaded_height != height:
+                report.damaged_snapshots.append(path)
+                report.notes.append(f"{path}: height field mismatch")
+                continue
+            if 0 < height <= len(pairs) and digest != pairs[height - 1][1]:
+                report.damaged_snapshots.append(path)
+                report.notes.append(
+                    f"{path}: digest disagrees with the WAL stamp"
+                )
+                continue
+            report.snapshots.append((height, path))
+
+    report.spilled_pending = _count_spilled(data_dir)
+    return report

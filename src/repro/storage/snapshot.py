@@ -1,0 +1,142 @@
+"""World-state snapshots: bounded-replay recovery anchors.
+
+A snapshot is one CRC-framed record (the WAL's framing, reused) whose
+payload is ``RLP([height, state_digest_32, state_rlp])``, written
+atomically — encode to ``<name>.tmp``, fsync, then ``rename`` — so a
+crash mid-write leaves either the previous snapshot set or the new one,
+never a half file under the real name.
+
+Snapshot files are named ``snapshot-<height 12 digits>.rlp``. Height 0
+is the genesis snapshot written when a store is initialized; it is never
+pruned, so recovery always has an anchor even when every later snapshot
+is damaged or pruned.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ..chain import rlp
+from ..chain.state import WorldState
+from . import codec
+from .errors import CorruptSnapshotError, CorruptWalError
+from .wal import frame_record, unframe_record
+
+_NAME_RE = re.compile(r"^snapshot-(\d{12})\.rlp$")
+
+
+def snapshot_name(height: int) -> str:
+    return f"snapshot-{height:012d}.rlp"
+
+
+def atomic_write(path: str, blob: bytes) -> None:
+    """Write-tmp-fsync-rename so *path* is never partially written."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def write_snapshot(data_dir: str, height: int, state: WorldState) -> str:
+    """Atomically persist *state* at *height*; returns the file path."""
+    digest = codec.state_digest_bytes(state)
+    payload = rlp.encode(
+        [rlp.encode_int(height), digest, codec.state_to_rlp(state)]
+    )
+    path = os.path.join(data_dir, snapshot_name(height))
+    atomic_write(path, frame_record(payload))
+    return path
+
+
+def read_snapshot(path: str) -> tuple[int, bytes, WorldState]:
+    """Load one snapshot; returns (height, digest, state).
+
+    Raises :class:`CorruptSnapshotError` on CRC or structural damage,
+    including a digest that does not match the decoded state.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    try:
+        fields = rlp.as_list(
+            rlp.decode(unframe_record(blob)), "snapshot", 3
+        )
+        height = rlp.decode_int(fields[0])
+        digest = rlp.as_bytes(fields[1], "snapshot digest")
+        state = codec.state_from_rlp(
+            rlp.as_bytes(fields[2], "snapshot state")
+        )
+    except (rlp.RLPDecodingError, CorruptWalError, ValueError) as exc:
+        raise CorruptSnapshotError(f"{path}: {exc}") from exc
+    if codec.state_digest_bytes(state) != digest:
+        raise CorruptSnapshotError(
+            f"{path}: state does not match its stamped digest"
+        )
+    return height, digest, state
+
+
+def list_snapshots(data_dir: str) -> list[tuple[int, str]]:
+    """(height, path) of every snapshot file, highest height first."""
+    found: list[tuple[int, str]] = []
+    for name in os.listdir(data_dir):
+        match = _NAME_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(data_dir, name)))
+    found.sort(reverse=True)
+    return found
+
+
+def load_latest_snapshot(
+    data_dir: str, max_height: int | None = None
+) -> tuple[int, bytes, WorldState, list[str]]:
+    """The newest *loadable* snapshot (optionally at/below *max_height*).
+
+    Damaged snapshots are skipped — recovery falls back to the next
+    older anchor and replays a longer WAL suffix instead of failing.
+    Returns (height, digest, state, skipped_paths).
+    """
+    skipped: list[str] = []
+    for height, path in list_snapshots(data_dir):
+        if max_height is not None and height > max_height:
+            continue
+        try:
+            loaded_height, digest, state = read_snapshot(path)
+        except CorruptSnapshotError:
+            skipped.append(path)
+            continue
+        if loaded_height != height:
+            skipped.append(path)
+            continue
+        return height, digest, state, skipped
+    raise CorruptSnapshotError(
+        f"no loadable snapshot in {data_dir!r} "
+        f"(skipped {len(skipped)} damaged files)"
+    )
+
+
+def prune_snapshots(data_dir: str, retain: int) -> list[str]:
+    """Delete all but the newest *retain* snapshots (genesis is kept)."""
+    removed: list[str] = []
+    kept = 0
+    for height, path in list_snapshots(data_dir):
+        if height == 0:
+            continue
+        kept += 1
+        if kept > retain:
+            os.unlink(path)
+            removed.append(path)
+    return removed
+
+
+def sync_dir(data_dir: str) -> None:
+    """fsync the directory so renames/creates are durable."""
+    try:
+        fd = os.open(data_dir, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

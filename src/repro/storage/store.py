@@ -1,0 +1,241 @@
+"""The durable chain store: WAL + snapshots + mempool spill in one dir.
+
+A data directory owned by one live :class:`ChainStore` (an advisory pid
+lockfile guards against two writers interleaving appends)::
+
+    data_dir/
+        LOCK                     advisory lock (pid of the owner)
+        wal.log                  append-only block log (wal.py framing)
+        snapshot-000000000000.rlp   genesis anchor (never pruned)
+        snapshot-000000000064.rlp   periodic anchors (pruned to N)
+        mempool.rlp              transactions spilled on drain
+
+The store is deliberately passive: it persists what the node commits and
+answers scans; *recovery* (rebuilding a live node from these files) lives
+in :mod:`repro.storage.recovery` so the write path stays small enough to
+reason about crash windows.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..chain.block import Block
+from ..chain.state import WorldState
+from ..chain.transaction import Transaction
+from ..obs import get_registry
+from . import codec, snapshot
+from .config import FSYNC_ALWAYS, FSYNC_INTERVAL, StorageConfig
+from .errors import StoreLockedError
+from .wal import WalWriter, frame_record, unframe_record
+
+WAL_NAME = "wal.log"
+MEMPOOL_NAME = "mempool.rlp"
+LOCK_NAME = "LOCK"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    return True
+
+
+class ChainStore:
+    """Durable writer for one chain's data directory."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        config: StorageConfig | None = None,
+        fault_injector=None,
+    ) -> None:
+        self.data_dir = str(data_dir)
+        self.config = config or StorageConfig()
+        #: Optional :class:`repro.faults.FaultInjector`; its
+        #: ``crash_point`` hook fires between the WAL append and the
+        #: snapshot write (the crash-fault drills' kill window).
+        self.fault_injector = fault_injector
+        os.makedirs(self.data_dir, exist_ok=True)
+        self._lock_path = os.path.join(self.data_dir, LOCK_NAME)
+        self._acquire_lock()
+        self._writer = WalWriter(os.path.join(self.data_dir, WAL_NAME))
+        self._appends_since_fsync = 0
+        self._closed = False
+        # -- cumulative counters (mirrored into repro.obs when enabled) --
+        self.wal_records = 0
+        self.wal_bytes = 0
+        self.snapshots_written = 0
+        self.mempool_spilled = 0
+
+    # -- locking -----------------------------------------------------------
+    def _acquire_lock(self) -> None:
+        while True:
+            try:
+                fd = os.open(
+                    self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                try:
+                    with open(self._lock_path) as fh:
+                        owner = int(fh.read().strip() or "0")
+                except (OSError, ValueError):
+                    owner = 0
+                if owner and owner != os.getpid() and _pid_alive(owner):
+                    raise StoreLockedError(
+                        f"{self.data_dir!r} is owned by live pid {owner}"
+                    ) from None
+                # Stale lock (SIGKILLed owner): take it over.
+                os.unlink(self._lock_path)
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            return
+
+    # -- paths -------------------------------------------------------------
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.data_dir, WAL_NAME)
+
+    @property
+    def mempool_path(self) -> str:
+        return os.path.join(self.data_dir, MEMPOOL_NAME)
+
+    # -- genesis -----------------------------------------------------------
+    def init_genesis(self, state: WorldState) -> bool:
+        """Write the height-0 snapshot anchor if this is a fresh store."""
+        path = os.path.join(self.data_dir, snapshot.snapshot_name(0))
+        if os.path.exists(path):
+            return False
+        snapshot.write_snapshot(self.data_dir, 0, state)
+        snapshot.sync_dir(self.data_dir)
+        return True
+
+    # -- the commit path ---------------------------------------------------
+    def append_block(self, block: Block, state: WorldState) -> None:
+        """Durably record a committed block and its post-state digest.
+
+        Runs on the execution thread *before* client futures resolve:
+        under ``fsync=always`` the record is on stable storage by the
+        time anyone is told the transaction committed. Every
+        ``snapshot_interval_blocks`` a state snapshot follows the
+        append, so recovery replays a bounded suffix.
+        """
+        registry = get_registry()
+        started = time.perf_counter()
+        payload = codec.encode_wal_payload(
+            block, codec.state_digest_bytes(state)
+        )
+        written = self._writer.append(payload)
+        self.wal_records += 1
+        self.wal_bytes += written
+
+        policy = self.config.fsync
+        self._appends_since_fsync += 1
+        if policy == FSYNC_ALWAYS or (
+            policy == FSYNC_INTERVAL
+            and self._appends_since_fsync
+            >= self.config.fsync_interval_blocks
+        ):
+            fsync_started = time.perf_counter()
+            self._writer.sync()
+            self._appends_since_fsync = 0
+            if registry.enabled:
+                registry.histogram("storage.fsync_latency_ms").observe(
+                    (time.perf_counter() - fsync_started) * 1000.0
+                )
+
+        height = block.header.height
+        if height % self.config.snapshot_interval_blocks == 0:
+            if self.fault_injector is not None:
+                # The drill window: the block is durable in the WAL but
+                # its snapshot is not — recovery must come from the
+                # previous anchor plus a longer replay.
+                self.fault_injector.crash_point("between_wal_and_snapshot")
+            snap_started = time.perf_counter()
+            snapshot.write_snapshot(self.data_dir, height, state)
+            snapshot.prune_snapshots(
+                self.data_dir, self.config.retain_snapshots
+            )
+            snapshot.sync_dir(self.data_dir)
+            self.snapshots_written += 1
+            if registry.enabled:
+                registry.counter("storage.snapshots_written").inc()
+                registry.histogram(
+                    "storage.snapshot_duration_ms"
+                ).observe(
+                    (time.perf_counter() - snap_started) * 1000.0
+                )
+
+        if registry.enabled:
+            registry.counter("storage.wal_records").inc()
+            registry.counter("storage.wal_bytes").inc(written)
+            registry.histogram("storage.commit_latency_ms").observe(
+                (time.perf_counter() - started) * 1000.0
+            )
+
+    def sync(self) -> None:
+        """Force the WAL to stable storage regardless of policy."""
+        self._writer.sync()
+        self._appends_since_fsync = 0
+
+    # -- mempool spill -----------------------------------------------------
+    def spill_mempool(self, transactions: list[Transaction]) -> int:
+        """Persist still-pending transactions on drain (atomic write)."""
+        if not transactions:
+            return 0
+        blob = codec.mempool_to_rlp(transactions)
+        snapshot.atomic_write(self.mempool_path, frame_record(blob))
+        snapshot.sync_dir(self.data_dir)
+        self.mempool_spilled += len(transactions)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("storage.mempool_spilled").inc(
+                len(transactions)
+            )
+        return len(transactions)
+
+    def load_mempool(self, delete: bool = True) -> list[Transaction]:
+        """Read (and by default consume) the spilled mempool.
+
+        The file is deleted after a successful read: once the
+        transactions are back in a live pool they either commit (and
+        must never be re-admitted by a later restart — they would
+        execute twice) or get spilled again on the next drain.
+        """
+        if not os.path.exists(self.mempool_path):
+            return []
+        with open(self.mempool_path, "rb") as fh:
+            blob = fh.read()
+        transactions = codec.mempool_from_rlp(unframe_record(blob))
+        if delete:
+            os.unlink(self.mempool_path)
+            snapshot.sync_dir(self.data_dir)
+        return transactions
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.sync()
+        except (OSError, ValueError):  # pragma: no cover - closed fd
+            pass
+        self._writer.close()
+        try:
+            with open(self._lock_path) as fh:
+                if fh.read().strip() == str(os.getpid()):
+                    os.unlink(self._lock_path)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "ChainStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

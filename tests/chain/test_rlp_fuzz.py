@@ -1,0 +1,115 @@
+"""Fuzz the RLP decoders: malformed input must raise the typed error.
+
+The WAL scanner trusts this contract — after a CRC pass, decoding a
+record either yields a value or raises ``RLPDecodingError``. Any other
+escape (IndexError, RecursionError, struct noise) would crash recovery
+on exactly the corrupted input it exists to survive.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain import rlp
+from repro.chain.block import Block, BlockHeader
+from repro.chain.receipt import Receipt
+from repro.chain.transaction import Transaction
+
+DECODERS = [
+    ("item", rlp.decode),
+    ("transaction", Transaction.from_rlp),
+    ("header", BlockHeader.from_rlp),
+    ("block", Block.from_rlp),
+    ("receipt", Receipt.from_rlp),
+]
+
+
+def assert_contained(blob: bytes) -> None:
+    """Every decoder either returns a value or raises the typed error."""
+    for name, decoder in DECODERS:
+        try:
+            decoder(blob)
+        except rlp.RLPDecodingError:
+            pass
+        except Exception as exc:  # pragma: no cover - the failure mode
+            raise AssertionError(
+                f"{name} decoder escaped with {type(exc).__name__} "
+                f"on {blob[:40].hex()}…"
+            ) from exc
+
+
+@given(st.binary(max_size=256))
+def test_arbitrary_bytes_never_escape(blob):
+    assert_contained(blob)
+
+
+@given(
+    st.data(),
+    st.sampled_from(["flip", "truncate", "insert", "delete"]),
+)
+def test_mutated_valid_encodings_never_escape(data, mutation):
+    tx = Transaction(
+        sender=0xA11CE,
+        to=0xB0B,
+        value=data.draw(st.integers(min_value=0, max_value=2**64)),
+        nonce=3,
+        data=data.draw(st.binary(max_size=32)),
+    )
+    block = Block(
+        header=BlockHeader(
+            height=5, timestamp=99, coinbase=1, difficulty=1,
+            gas_limit=10**7, parent_hash=b"\x17" * 32,
+        ),
+        transactions=[tx],
+        dag_edges=[(0, 0)],
+    )
+    blob = bytearray(block.to_rlp())
+    pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    if mutation == "flip":
+        blob[pos] ^= data.draw(st.integers(min_value=1, max_value=255))
+    elif mutation == "truncate":
+        del blob[pos:]
+    elif mutation == "insert":
+        blob.insert(pos, data.draw(st.integers(min_value=0, max_value=255)))
+    else:
+        del blob[pos]
+    assert_contained(bytes(blob))
+
+
+def test_deep_nesting_is_a_typed_error():
+    # b"\xc1" * N is N nested single-item lists; without the depth bound
+    # this would hit the interpreter recursion limit instead of raising
+    # the typed error the scanner catches.
+    hostile = b"\xc1" * 10_000 + b"\x80"
+    try:
+        rlp.decode(hostile)
+    except rlp.RLPDecodingError as exc:
+        assert "depth" in str(exc) or "nest" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("deep nesting decoded without error")
+
+
+def test_nesting_at_the_bound_still_decodes():
+    item = b""
+    for _ in range(rlp.MAX_DEPTH - 1):
+        item = [item]
+    assert rlp.decode(rlp.encode(item)) == item
+
+
+@given(st.binary(max_size=64))
+def test_trailing_bytes_rejected(blob):
+    encoded = rlp.encode(blob)
+    try:
+        rlp.decode(encoded + b"\x00")
+    except rlp.RLPDecodingError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("trailing byte accepted")
+
+
+def test_non_minimal_lengths_rejected():
+    # 0xb8 = "bytes, 1-byte length" used for a payload short enough for
+    # the compact form; canonical RLP must reject it.
+    assert rlp.encode(b"\x01" * 5) == b"\x85" + b"\x01" * 5
+    with pytest.raises(rlp.RLPDecodingError):
+        rlp.decode(b"\xb8\x05" + b"\x01" * 5)

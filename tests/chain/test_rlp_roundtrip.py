@@ -1,0 +1,145 @@
+"""Property tests: every wire format round-trips through RLP exactly.
+
+The storage layer persists blocks, receipts, and mempool transactions
+as RLP; recovery re-derives node state from those bytes alone. These
+properties are what make that safe: for every reachable value,
+``decode(encode(x)) == x`` and the encoding is canonical (re-encoding
+the decoded value is bit-identical).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain import rlp
+from repro.chain.block import Block, BlockHeader
+from repro.chain.receipt import LogEntry, Receipt
+from repro.chain.transaction import Transaction
+
+uint64 = st.integers(min_value=0, max_value=2**64 - 1)
+uint256 = st.integers(min_value=0, max_value=2**256 - 1)
+address = st.integers(min_value=0, max_value=2**160 - 1)
+hash32 = st.binary(min_size=32, max_size=32)
+
+items = st.recursive(
+    st.binary(max_size=48),
+    lambda children: st.lists(children, max_size=4),
+    max_leaves=24,
+)
+
+transactions = st.builds(
+    Transaction,
+    sender=address,
+    to=st.one_of(st.none(), address),
+    nonce=uint64,
+    gas_limit=uint64,
+    gas_price=uint64,
+    value=uint256,
+    data=st.binary(max_size=128),
+)
+
+headers = st.builds(
+    BlockHeader,
+    height=uint64,
+    timestamp=uint64,
+    coinbase=address,
+    difficulty=uint64,
+    gas_limit=uint64,
+    parent_hash=hash32,
+)
+
+blocks = st.builds(
+    Block,
+    header=headers,
+    transactions=st.lists(transactions, max_size=4),
+    dag_edges=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=15),
+        ),
+        max_size=6,
+    ),
+)
+
+log_entries = st.builds(
+    LogEntry,
+    address=address,
+    topics=st.lists(uint256, max_size=4).map(tuple),
+    data=st.binary(max_size=64),
+)
+
+receipts = st.builds(
+    Receipt,
+    tx_hash=hash32,
+    success=st.booleans(),
+    gas_used=uint64,
+    logs=st.lists(log_entries, max_size=3).map(tuple),
+    output=st.binary(max_size=64),
+    contract_address=st.one_of(st.none(), address),
+    error=st.text(max_size=40),
+)
+
+
+@given(items)
+def test_generic_item_round_trip(item):
+    encoded = rlp.encode(item)
+    assert rlp.decode(encoded) == item
+    # Canonical: one encoding per item.
+    assert rlp.encode(rlp.decode(encoded)) == encoded
+
+
+@given(uint256)
+def test_int_round_trip(value):
+    assert rlp.decode_int(rlp.encode_int(value)) == value
+
+
+@given(transactions)
+def test_transaction_round_trip(tx):
+    blob = tx.to_rlp()
+    restored = Transaction.from_rlp(blob)
+    assert restored == tx
+    assert restored.to_rlp() == blob
+    assert restored.hash() == tx.hash()
+
+
+@given(headers)
+def test_header_round_trip(header):
+    blob = header.to_rlp()
+    restored = BlockHeader.from_rlp(blob)
+    assert restored == header
+    assert restored.to_rlp() == blob
+    assert restored.hash() == header.hash()
+
+
+@given(blocks)
+def test_block_round_trip(block):
+    blob = block.to_rlp()
+    restored = Block.from_rlp(blob)
+    assert restored.header == block.header
+    assert restored.transactions == block.transactions
+    assert restored.dag_edges == block.dag_edges
+    assert restored.to_rlp() == blob
+    assert restored.hash() == block.hash()
+
+
+@given(receipts)
+def test_receipt_round_trip(receipt):
+    blob = receipt.to_rlp()
+    restored = Receipt.from_rlp(blob)
+    assert restored == receipt
+    assert restored.to_rlp() == blob
+    assert restored.hash() == receipt.hash()
+
+
+@given(log_entries)
+def test_log_entry_round_trip(entry):
+    assert LogEntry.from_rlp_item(entry.to_rlp_item()) == entry
+
+
+def test_create_vs_zero_address_distinct():
+    # The zero address and "no address" (contract creation) must stay
+    # distinguishable on the wire — a classic RLP encoding bug.
+    create = Transaction(sender=1, to=None)
+    to_zero = Transaction(sender=1, to=0)
+    assert create.to_rlp() != to_zero.to_rlp()
+    assert Transaction.from_rlp(create.to_rlp()).to is None
+    assert Transaction.from_rlp(to_zero.to_rlp()).to == 0

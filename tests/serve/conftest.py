@@ -1,0 +1,40 @@
+"""Serve-suite fixtures: optional durable variant of every serve test.
+
+Setting ``REPRO_SERVE_DATA_DIR=1`` re-runs the whole serve suite with a
+durable store attached: every ``ServeConfig`` constructed without an
+explicit ``data_dir`` gets a fresh temporary directory (fsync=never, so
+the suite's timing assumptions hold). CI runs the suite both ways; the
+tests themselves don't change.
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def serve_data_dir_variant(monkeypatch):
+    if not os.environ.get("REPRO_SERVE_DATA_DIR"):
+        yield None
+        return
+
+    from repro.serve import config as serve_config
+
+    created: list[str] = []
+    original_post_init = serve_config.ServeConfig.__post_init__
+
+    def durable_post_init(self):
+        if self.data_dir is None:
+            self.data_dir = tempfile.mkdtemp(prefix="repro-serve-t1-")
+            self.fsync = "never"
+            created.append(self.data_dir)
+        original_post_init(self)
+
+    monkeypatch.setattr(
+        serve_config.ServeConfig, "__post_init__", durable_post_init
+    )
+    yield created
+    for path in created:
+        shutil.rmtree(path, ignore_errors=True)

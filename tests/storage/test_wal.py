@@ -1,0 +1,157 @@
+"""WAL framing and scanning: torn tails, CRC damage, mid-log detection."""
+
+import zlib
+
+import pytest
+
+from repro.storage.errors import CorruptWalError
+from repro.storage.wal import (
+    MAX_RECORD_BYTES,
+    RECORD_HEADER,
+    WalWriter,
+    frame_record,
+    scan_wal,
+    truncate_wal,
+    unframe_record,
+)
+
+PAYLOADS = [b"alpha", b"", b"x" * 300, bytes(range(256))]
+
+
+def write_wal(path, payloads):
+    writer = WalWriter(str(path))
+    for payload in payloads:
+        writer.append(payload)
+    writer.sync()
+    writer.close()
+    return str(path)
+
+
+def test_frame_unframe_round_trip():
+    for payload in PAYLOADS:
+        assert unframe_record(frame_record(payload)) == payload
+
+
+def test_unframe_rejects_damage():
+    record = frame_record(b"hello world")
+    with pytest.raises(CorruptWalError):
+        unframe_record(record[:-1])  # torn payload
+    with pytest.raises(CorruptWalError):
+        unframe_record(record[:3])  # torn header
+    mutated = bytearray(record)
+    mutated[-1] ^= 0xFF
+    with pytest.raises(CorruptWalError):
+        unframe_record(bytes(mutated))  # CRC mismatch
+
+
+def test_frame_rejects_oversized_payload():
+    with pytest.raises(ValueError):
+        frame_record(b"\x00" * (MAX_RECORD_BYTES + 1))
+
+
+def test_scan_missing_file_is_empty(tmp_path):
+    scan = scan_wal(str(tmp_path / "absent.log"))
+    assert scan.clean
+    assert scan.records == []
+    assert scan.file_bytes == 0
+
+
+def test_scan_clean_log(tmp_path):
+    path = write_wal(tmp_path / "wal.log", PAYLOADS)
+    scan = scan_wal(path)
+    assert scan.clean
+    assert scan.records == PAYLOADS
+    assert scan.valid_bytes == scan.file_bytes
+    assert not scan.mid_log_corruption
+
+
+@pytest.mark.parametrize("cut", [1, 3, 100])
+def test_scan_torn_tail(tmp_path, cut):
+    path = write_wal(tmp_path / "wal.log", PAYLOADS)
+    size = (tmp_path / "wal.log").stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(size - cut)
+    scan = scan_wal(path)
+    assert not scan.clean
+    assert scan.records == PAYLOADS[:-1]
+    assert scan.truncated_bytes > 0
+    assert not scan.mid_log_corruption  # a tear is recoverable
+
+
+def test_scan_crc_damage_on_final_record_is_tail(tmp_path):
+    path = write_wal(tmp_path / "wal.log", PAYLOADS)
+    offset = sum(
+        len(p) + RECORD_HEADER.size for p in PAYLOADS[:-1]
+    ) + RECORD_HEADER.size
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    scan = scan_wal(path)
+    assert scan.records == PAYLOADS[:-1]
+    assert "CRC" in scan.corruption
+    assert not scan.mid_log_corruption
+
+
+def test_scan_mid_log_corruption_counts_suffix(tmp_path):
+    path = write_wal(tmp_path / "wal.log", PAYLOADS)
+    # Flip a byte inside record 2's payload: record 3 survives beyond
+    # the damage, which is exactly what mid-log corruption means.
+    payload_start = sum(
+        len(p) + RECORD_HEADER.size for p in PAYLOADS[:2]
+    ) + RECORD_HEADER.size
+    with open(path, "r+b") as fh:
+        fh.seek(payload_start + 10)
+        byte = fh.read(1)
+        fh.seek(payload_start + 10)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    scan = scan_wal(path)
+    assert scan.records == PAYLOADS[:2]
+    assert "CRC" in scan.corruption
+    assert scan.suffix_records == 1
+    assert scan.mid_log_corruption
+
+
+def test_scan_implausible_length_is_framing_noise(tmp_path):
+    path = tmp_path / "wal.log"
+    garbage = RECORD_HEADER.pack(MAX_RECORD_BYTES + 5, 0) + b"zz"
+    path.write_bytes(frame_record(b"ok") + garbage)
+    scan = scan_wal(str(path))
+    assert scan.records == [b"ok"]
+    assert "implausible" in scan.corruption
+    assert not scan.mid_log_corruption
+
+
+def test_fake_suffix_does_not_mask_tail_tear(tmp_path):
+    # A torn final record whose claimed extent reaches past EOF has no
+    # probe window — still a plain tear.
+    path = write_wal(tmp_path / "wal.log", [b"first"])
+    with open(path, "ab") as fh:
+        fh.write(RECORD_HEADER.pack(1000, zlib.crc32(b"never")))
+        fh.write(b"part")
+    scan = scan_wal(path)
+    assert scan.records == [b"first"]
+    assert not scan.mid_log_corruption
+
+
+def test_truncate_wal_repairs_to_valid_prefix(tmp_path):
+    path = write_wal(tmp_path / "wal.log", PAYLOADS)
+    size = (tmp_path / "wal.log").stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(size - 2)
+    scan = scan_wal(path)
+    truncate_wal(path, scan.valid_bytes)
+    repaired = scan_wal(path)
+    assert repaired.clean
+    assert repaired.records == PAYLOADS[:-1]
+
+
+def test_writer_appends_are_scannable_without_sync(tmp_path):
+    path = tmp_path / "wal.log"
+    writer = WalWriter(str(path))
+    writer.append(b"one")
+    writer.append(b"two")
+    # flush() puts bytes in the page cache; same-process readers see them.
+    assert scan_wal(str(path)).records == [b"one", b"two"]
+    writer.close()
