@@ -25,6 +25,7 @@ intentional model changes, not machine noise.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import datetime
 import json
 import pathlib
@@ -69,6 +70,18 @@ STORAGE_CONFIGS = {
                   snapshot_interval=32, receipt_history=64),
     "full": dict(recovery_blocks=1000, txs_per_block=4,
                  snapshot_interval=64, receipt_history=64),
+}
+
+#: Replication benchmark: read throughput through the proxy for growing
+#: replica fleets, replication lag, and the cost streaming imposes on
+#: the writer's own serve throughput.
+REPLICATION_CONFIGS = {
+    "quick": dict(write_txs=96, reads=600, read_clients=8,
+                  replica_counts=(1, 2, 4), block_size_target=8,
+                  efficiency_txs=256, efficiency_rounds=4),
+    "full": dict(write_txs=192, reads=1500, read_clients=8,
+                 replica_counts=(1, 2, 4), block_size_target=8,
+                 efficiency_txs=256, efficiency_rounds=4),
 }
 
 #: A run regresses when speedup falls below this fraction of baseline.
@@ -175,6 +188,272 @@ def measure_storage(name: str) -> dict:
         },
     }
 
+#: Hard gate: a writer that streams its WAL to replicas must keep at
+#: least this fraction of the no-replication serve throughput. The
+#: stream is an async tail of a file the writer already flushes — if it
+#: costs more than 10% the replication layer is on the commit path.
+REPLICATION_WRITE_EFFICIENCY_FLOOR = 0.9
+
+
+def measure_replication(name: str) -> dict:
+    """Proxy read throughput vs fleet size + replication lag + cost."""
+    import asyncio
+    import tempfile
+    import time
+
+    from repro.chain.node import Node
+    from repro.contracts import build_deployment
+    from repro.replication import (
+        BackoffPolicy,
+        ReadProxy,
+        Replica,
+        ReplicationConfig,
+    )
+    from repro.serve import RpcServer, ServeConfig
+    from repro.serve.loadgen import LoadGenerator, RpcClient
+
+    params = REPLICATION_CONFIGS[name]
+    deployment = build_deployment(16)
+
+    def replication_config() -> ReplicationConfig:
+        return ReplicationConfig(
+            poll_interval_s=0.01,
+            backoff=BackoffPolicy(base_delay_s=0.02, max_delay_s=0.5),
+            health_interval_s=0.1,
+        )
+
+    async def start_writer(data_dir: str, replicated: bool) -> RpcServer:
+        config = ServeConfig(
+            host="127.0.0.1",
+            port=0,
+            block_size_target=params["block_size_target"],
+            gas_target=None,
+            block_interval_ms=10.0,
+            data_dir=data_dir,
+            fsync="never",
+            snapshot_interval_blocks=16,
+            replication_port=0 if replicated else None,
+        )
+        node = Node(
+            state=deployment.state.copy(),
+            per_sender_cap=config.per_sender_cap,
+        )
+        server = RpcServer(node=node, config=config)
+        await server.start()
+        return server
+
+    async def start_replica(writer: RpcServer):
+        config = ServeConfig(host="127.0.0.1", port=0, role="replica")
+        node = Node(state=deployment.state.copy())
+        server = RpcServer(node=node, config=config)
+        replica = Replica(
+            node=node,
+            builder=server.builder,
+            writer_host="127.0.0.1",
+            writer_stream_port=writer.config.replication_port,
+            config=replication_config(),
+        )
+        server.replication = replica
+        await server.start()
+        replica.start()
+        return server, replica
+
+    async def write_phase(
+        writer: RpcServer, txs: int | None = None
+    ) -> float:
+        total = txs if txs is not None else params["write_txs"]
+        load = LoadGenerator(
+            "127.0.0.1", writer.config.port, deployment
+        )
+        result = await load.run_closed_loop(total, clients=8, seed=7)
+        assert result.ok == total, "write load failed"
+        return result.to_dict()["tx_per_second"]
+
+    async def read_phase(proxy_port: int) -> float:
+        addresses = [hex(a) for a in deployment.accounts]
+        per_client = params["reads"] // params["read_clients"]
+
+        async def reader(worker: int) -> None:
+            client = await RpcClient.connect("127.0.0.1", proxy_port)
+            try:
+                for i in range(per_client):
+                    await client.call(
+                        "repro_getBalance",
+                        {"address": addresses[
+                            (worker + i) % len(addresses)
+                        ]},
+                    )
+            finally:
+                await client.close()
+
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(reader(w) for w in range(params["read_clients"]))
+        )
+        elapsed = time.perf_counter() - start
+        return (
+            per_client * params["read_clients"] / elapsed
+            if elapsed else 0.0
+        )
+
+    async def measure_fleet(n_replicas: int) -> dict:
+        with tempfile.TemporaryDirectory() as data_dir:
+            writer = await start_writer(data_dir, replicated=True)
+            replicas = [
+                await start_replica(writer) for _ in range(n_replicas)
+            ]
+            try:
+                write_tps = await write_phase(writer)
+                target = len(writer.node.chain)
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    if all(r.height >= target for _, r in replicas):
+                        break
+                    await asyncio.sleep(0.01)
+                else:
+                    raise AssertionError(
+                        f"{n_replicas}-replica fleet never converged"
+                    )
+                proxy = ReadProxy(
+                    writer_addr=("127.0.0.1", writer.config.port),
+                    replica_addrs=[
+                        ("127.0.0.1", s.config.port)
+                        for s, _ in replicas
+                    ],
+                    config=replication_config(),
+                )
+                await proxy.start()
+                try:
+                    read_tps = await read_phase(proxy.port)
+                    fallback = proxy.writer_fallback_reads
+                finally:
+                    await proxy.stop()
+                lag_ms = sorted(
+                    s * 1000.0
+                    for _, r in replicas
+                    for s in r.lag_samples_s
+                )
+                p99 = (
+                    lag_ms[min(len(lag_ms) - 1,
+                               int(0.99 * len(lag_ms)))]
+                    if lag_ms else 0.0
+                )
+                return {
+                    "replicas": n_replicas,
+                    "read_tps": read_tps,
+                    "write_tps": write_tps,
+                    "lag_p99_ms": p99,
+                    "lag_samples": len(lag_ms),
+                    "writer_fallback_reads": fallback,
+                }
+            finally:
+                for server, replica in replicas:
+                    await replica.stop()
+                    await server.shutdown()
+                await writer.shutdown()
+
+    async def baseline_write() -> float:
+        with tempfile.TemporaryDirectory() as data_dir:
+            writer = await start_writer(data_dir, replicated=False)
+            try:
+                return await write_phase(
+                    writer, params["efficiency_txs"]
+                )
+            finally:
+                await writer.shutdown()
+
+    async def sink_follower(
+        stream_port: int, genesis_digest: bytes
+    ) -> asyncio.Task:
+        """A follower that consumes the stream without re-executing.
+
+        The efficiency ratio isolates what *streaming* costs the
+        writer: tailing its WAL, framing, and pushing to follower
+        sockets. Verification happens on other machines in production;
+        a co-located verifying replica would make the ratio measure
+        CPU contention on the bench box, not the writer's overhead.
+        """
+        from repro.replication import stream as rstream
+
+        reader, sock_writer = await asyncio.open_connection(
+            "127.0.0.1", stream_port
+        )
+        sock_writer.write(
+            rstream.encode_hello(0, genesis_digest, False)
+        )
+        await sock_writer.drain()
+
+        async def drain_forever() -> None:
+            # Raw byte drain, no decode: the sink must cost the bench
+            # box as little as possible so the ratio charges the
+            # *writer's* streaming work, not the consumer's.
+            try:
+                while await reader.read(1 << 16):
+                    pass
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                with contextlib.suppress(Exception):
+                    sock_writer.close()
+
+        return asyncio.get_running_loop().create_task(drain_forever())
+
+    async def replicated_write() -> float:
+        from repro.storage import codec
+
+        genesis_digest = codec.state_digest_bytes(
+            deployment.state.copy()
+        )
+        with tempfile.TemporaryDirectory() as data_dir:
+            writer = await start_writer(data_dir, replicated=True)
+            sinks = []
+            try:
+                for _ in range(2):
+                    sinks.append(await sink_follower(
+                        writer.config.replication_port,
+                        genesis_digest,
+                    ))
+                deadline = time.monotonic() + 30.0
+                while writer.streamer.connections_active < 2:
+                    if time.monotonic() > deadline:
+                        raise AssertionError(
+                            "sink followers never connected"
+                        )
+                    await asyncio.sleep(0.01)
+                return await write_phase(
+                    writer, params["efficiency_txs"]
+                )
+            finally:
+                for task in sinks:
+                    task.cancel()
+                await asyncio.gather(*sinks, return_exceptions=True)
+                await writer.shutdown()
+
+    fleets = [
+        asyncio.run(measure_fleet(n))
+        for n in params["replica_counts"]
+    ]
+    # Same pairing trick as durable_efficiency: adjacent runs share the
+    # machine's momentary load, so the best paired ratio cancels drift
+    # a lone sample of each side cannot.
+    ratios = []
+    for _ in range(params["efficiency_rounds"]):
+        base = asyncio.run(baseline_write())
+        repl = asyncio.run(replicated_write())
+        ratios.append(repl / base if base else 0.0)
+
+    return {
+        "parameters": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in params.items()
+        },
+        "fleets": fleets,
+        "write_efficiency": max(ratios),
+        "write_efficiency_samples": ratios,
+        "lag_p99_ms": max(f["lag_p99_ms"] for f in fleets),
+    }
+
+
 #: The execute-once pipeline must beat the seed's discover-then-execute
 #: sequential path by this wall-clock factor. A same-machine ratio, so
 #: the gate is portable across hardware.
@@ -189,6 +468,10 @@ def run_config(name: str) -> dict:
     serve = run_serve_load(**SERVE_CONFIGS[name])
     serve_latency = serve["load"]["latency"]
     storage = measure_storage(name)
+    replication = measure_replication(name)
+    fleet_tps = {
+        f["replicas"]: f["read_tps"] for f in replication["fleets"]
+    }
     return {
         "config": name,
         "parameters": dict(CONFIGS[name]),
@@ -222,11 +505,23 @@ def run_config(name: str) -> dict:
             "recovery_blocks_per_second": (
                 storage["recovery"]["blocks_per_second"]
             ),
+            # Writer serve throughput while streaming its WAL to two
+            # followers over the no-replication writer: same machine,
+            # same load, so the ratio is portable (1.0 = streaming
+            # costs the writer nothing).
+            "replication_write_efficiency": (
+                replication["write_efficiency"]
+            ),
+            "replication_read_tps_1": fleet_tps.get(1, 0.0),
+            "replication_read_tps_2": fleet_tps.get(2, 0.0),
+            "replication_read_tps_4": fleet_tps.get(4, 0.0),
+            "replication_lag_p99_ms": replication["lag_p99_ms"],
         },
         "report": report.to_dict(),
         "wall": wall,
         "serve": serve,
         "storage": storage,
+        "replication": replication,
     }
 
 
@@ -294,6 +589,34 @@ def check_baseline(result: dict, baseline_path: pathlib.Path) -> int:
         f"ok: durable serve efficiency {durable:.3f} "
         f"(floor {DURABLE_EFFICIENCY_FLOOR})"
     )
+    repl_efficiency = result["headline"]["replication_write_efficiency"]
+    if repl_efficiency < REPLICATION_WRITE_EFFICIENCY_FLOOR:
+        print(
+            f"REGRESSION: a streaming writer keeps only "
+            f"{repl_efficiency:.3f} of no-replication throughput — "
+            f"below the {REPLICATION_WRITE_EFFICIENCY_FLOOR} floor"
+        )
+        return 1
+    print(
+        f"ok: replication write efficiency {repl_efficiency:.3f} "
+        f"(floor {REPLICATION_WRITE_EFFICIENCY_FLOOR})"
+    )
+    baseline_repl = entry.get("replication_write_efficiency")
+    if baseline_repl:
+        repl_floor = REGRESSION_FLOOR * baseline_repl
+        if repl_efficiency < repl_floor:
+            print(
+                f"REGRESSION: replication write efficiency "
+                f"{repl_efficiency:.3f} is below {REGRESSION_FLOOR}x "
+                f"baseline ({baseline_repl:.3f} -> floor "
+                f"{repl_floor:.3f})"
+            )
+            return 1
+        print(
+            f"ok: replication write efficiency {repl_efficiency:.3f} "
+            f"vs baseline {baseline_repl:.3f} "
+            f"(floor {repl_floor:.3f})"
+        )
     return 0
 
 
@@ -361,6 +684,16 @@ def main(argv: list[str] | None = None) -> int:
         f"snapshot {storage['recovery']['snapshot_height']} + "
         f"{storage['recovery']['replayed_blocks']} replayed)"
     )
+    print(
+        f"[{config}] replication: proxy reads "
+        f"{headline['replication_read_tps_1']:.0f}/"
+        f"{headline['replication_read_tps_2']:.0f}/"
+        f"{headline['replication_read_tps_4']:.0f} tx/s "
+        f"(1/2/4 replicas), lag p99 "
+        f"{headline['replication_lag_p99_ms']:.1f} ms, writer "
+        f"efficiency {headline['replication_write_efficiency']:.3f} "
+        f"vs no replication"
+    )
 
     out_dir = args.out or pathlib.Path(__file__).resolve().parent.parent
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -383,6 +716,8 @@ def main(argv: list[str] | None = None) -> int:
                 "serve_tps", "serve_p50_ms", "serve_p99_ms",
                 "durable_tps_never", "durable_tps_interval",
                 "durable_tps_always", "recovery_blocks_per_second",
+                "replication_read_tps_1", "replication_read_tps_2",
+                "replication_read_tps_4", "replication_lag_p99_ms",
             )
         }
         args.write_baseline.write_text(

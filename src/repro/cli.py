@@ -180,6 +180,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="blocks between fsyncs under --fsync interval "
              "(default: 16)",
     )
+    serve.add_argument(
+        "--replication-port", type=int, default=None, metavar="PORT",
+        help="with --data-dir: stream the WAL to verifying replicas on "
+             "this port (0 = ephemeral; the bound port is announced on "
+             "stderr)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="drop connections silent this long (subscribers exempt; "
+             "default: never)",
+    )
+
+    replicate = sub.add_parser(
+        "replicate",
+        help="run a verifying read replica fed by a writer's WAL "
+             "stream (serves reads/subscriptions; writes get a typed "
+             "READ_ONLY error)",
+    )
+    replicate.add_argument("--host", default="127.0.0.1")
+    replicate.add_argument("--port", type=int, default=8546)
+    replicate.add_argument(
+        "--accounts", type=int, default=64,
+        help="genesis accounts (must match the writer's --accounts)",
+    )
+    replicate.add_argument(
+        "--writer-host", default="127.0.0.1",
+        help="the writer's stream host",
+    )
+    replicate.add_argument(
+        "--writer-stream-port", type=int, required=True,
+        help="the writer's --replication-port (as announced on stderr)",
+    )
+    replicate.add_argument("--seed", type=int, default=0)
+    replicate.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="drop connections silent this long (subscribers exempt)",
+    )
+    replicate.add_argument(
+        "--corrupt-at-height", type=int, default=None, metavar="H",
+        help="chaos drill: silently corrupt one balance before applying "
+             "block H — the digest assertion must detect it and heal "
+             "via snapshot resync",
+    )
+
+    proxy = sub.add_parser(
+        "proxy",
+        help="front a writer and N replicas with one read endpoint "
+             "(round-robin healthy replicas, eject on failure, fail "
+             "over to the writer)",
+    )
+    proxy.add_argument("--host", default="127.0.0.1")
+    proxy.add_argument("--port", type=int, default=8550)
+    proxy.add_argument(
+        "--writer", required=True, metavar="HOST:PORT",
+        help="the writer's RPC endpoint",
+    )
+    proxy.add_argument(
+        "--replica", action="append", default=[], metavar="HOST:PORT",
+        help="a replica RPC endpoint (repeatable)",
+    )
+    proxy.add_argument(
+        "--health-interval", type=float, default=0.25,
+        help="backend health-probe cadence in seconds (default: 0.25)",
+    )
+    proxy.add_argument(
+        "--max-lag-blocks", type=int, default=1024,
+        help="eject replicas lagging the writer by more than this "
+             "(default: 1024)",
+    )
 
     recover = sub.add_parser(
         "recover",
@@ -326,6 +395,8 @@ def _run_serve(args) -> int:
         fsync=args.fsync,
         snapshot_interval_blocks=args.snapshot_interval,
         fsync_interval_blocks=args.fsync_interval,
+        replication_port=args.replication_port,
+        idle_timeout_s=args.idle_timeout,
     )
     deployment = build_deployment(num_accounts=args.accounts)
     node = Node(state=deployment.state,
@@ -352,6 +423,12 @@ def _run_serve(args) -> int:
             f"{config.executor} executor)",
             file=sys.stderr,
         )
+        if server.streamer is not None:
+            print(
+                f"repro serve: streaming on "
+                f"{config.host}:{config.replication_port}",
+                file=sys.stderr,
+            )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -363,6 +440,129 @@ def _run_serve(args) -> int:
             print(
                 f"served {stats['txsCommitted']} transactions in "
                 f"{stats['blocksBuilt']} blocks",
+                file=sys.stderr,
+            )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_replicate(args) -> int:
+    import asyncio
+
+    from .chain.node import Node
+    from .contracts.registry import build_deployment
+    from .replication import Replica, ReplicationConfig
+    from .serve import RpcServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        role="replica",
+        idle_timeout_s=args.idle_timeout,
+    )
+    deployment = build_deployment(num_accounts=args.accounts)
+    node = Node(state=deployment.state)
+    server = RpcServer(node=node, config=config)
+    injector = None
+    if args.corrupt_at_height is not None:
+        from .faults import FaultInjector, FaultPlan, NetworkFault
+
+        injector = FaultInjector(FaultPlan(
+            seed=args.seed,
+            network=NetworkFault(
+                corrupt_at_height=args.corrupt_at_height
+            ),
+        ))
+    replica = Replica(
+        node=node,
+        builder=server.builder,
+        writer_host=args.writer_host,
+        writer_stream_port=args.writer_stream_port,
+        config=ReplicationConfig(seed=args.seed),
+        fault_injector=injector,
+    )
+    server.replication = replica
+
+    async def _serve() -> None:
+        await server.start()
+        replica.start()
+        print(
+            f"repro replica: listening on "
+            f"{config.host}:{config.port} "
+            f"(writer stream {args.writer_host}:"
+            f"{args.writer_stream_port})",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("stopping replica…", file=sys.stderr)
+            await replica.stop()
+            await server.shutdown()
+            stats = replica.stats()
+            print(
+                f"applied {stats['blocksApplied']} blocks at height "
+                f"{stats['height']} (reconnects {stats['reconnects']}, "
+                f"resyncs {stats['resyncs']}, divergences "
+                f"{stats['divergences']})",
+                file=sys.stderr,
+            )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad endpoint {value!r} (want HOST:PORT)")
+    return host, int(port)
+
+
+def _run_proxy(args) -> int:
+    import asyncio
+
+    from .replication import ReadProxy, ReplicationConfig
+
+    proxy = ReadProxy(
+        writer_addr=_parse_endpoint(args.writer),
+        replica_addrs=[_parse_endpoint(r) for r in args.replica],
+        config=ReplicationConfig(
+            health_interval_s=args.health_interval,
+            max_lag_blocks=args.max_lag_blocks,
+        ),
+        host=args.host,
+        port=args.port,
+    )
+
+    async def _serve() -> None:
+        await proxy.start()
+        print(
+            f"repro proxy: listening on {proxy.host}:{proxy.port} "
+            f"(writer {args.writer}, "
+            f"{len(args.replica)} replica(s))",
+            file=sys.stderr,
+        )
+        try:
+            await proxy._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await proxy.stop()
+            stats = proxy.stats()
+            print(
+                f"proxied {stats['readsProxied']} reads "
+                f"(failovers {stats['failovers']}, "
+                f"ejects {stats['ejects']})",
                 file=sys.stderr,
             )
 
@@ -481,6 +681,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "replicate":
+        return _run_replicate(args)
+
+    if args.command == "proxy":
+        return _run_proxy(args)
 
     if args.command == "loadgen":
         return _run_loadgen(args)

@@ -18,6 +18,7 @@ from .plan import (
     PU_STALL,
     DagCorruption,
     FaultPlan,
+    NetworkFault,
     PUFault,
     StorageCorruption,
     TxCorruption,
@@ -29,6 +30,7 @@ __all__ = [
     "DegradationReport",
     "FaultInjector",
     "FaultPlan",
+    "NetworkFault",
     "PUFault",
     "PU_DEAD",
     "PU_STALL",

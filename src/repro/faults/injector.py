@@ -210,6 +210,67 @@ class FaultInjector:
         return applied
 
     # ------------------------------------------------------------------
+    # Replication tier: network faults
+    # ------------------------------------------------------------------
+    def tear_stream(self, blocks_sent: int) -> bool:
+        """True when the writer should sever this stream connection now.
+
+        Fires once per torn connection, at most ``tear_count`` times
+        total — the drill is a flaky link the replica must survive, not
+        a permanently severed one.
+        """
+        spec = self.plan.network
+        if spec is None or spec.tear_after_blocks is None:
+            return False
+        if self.injected["stream_torn"] >= spec.tear_count:
+            return False
+        if blocks_sent >= spec.tear_after_blocks:
+            self.injected["stream_torn"] += 1
+            return True
+        return False
+
+    def stall_follower(self) -> float:
+        """Seconds the follower should sleep before applying a block."""
+        spec = self.plan.network
+        if spec is None or spec.stall_apply_s <= 0:
+            return 0.0
+        self.injected["follower_stalled"] += 1
+        return spec.stall_apply_s
+
+    def partitioned(self) -> bool:
+        """True while the partition still refuses connection attempts."""
+        spec = self.plan.network
+        if spec is None or spec.partition_connects <= 0:
+            return False
+        if self.injected["connect_refused"] < spec.partition_connects:
+            self.injected["connect_refused"] += 1
+            return True
+        return False
+
+    def corrupt_replica_state(self, state, height: int) -> bool:
+        """The divergence drill: flip one balance in applied state.
+
+        Mutates through the state's own setters so the digest cache is
+        invalidated — the corruption *will* be visible to the next
+        digest computation, which is exactly what the replica's
+        per-block assertion must catch. Fires once.
+        """
+        spec = self.plan.network
+        if spec is None or spec.corrupt_at_height != height:
+            return False
+        if self.injected["replica_state_corrupted"]:
+            return False
+        addresses = state.addresses()
+        if not addresses:
+            return False
+        victim = self.rng.choice(addresses)
+        with state.untracked():
+            state.set_balance(victim, state.get_balance(victim) + 1)
+        state.clear_journal()
+        self.injected["replica_state_corrupted"] += 1
+        return True
+
+    # ------------------------------------------------------------------
     # Idle slice: stale hotspot profiles
     # ------------------------------------------------------------------
     def poison_profiles(self, state) -> list[int]:

@@ -86,6 +86,46 @@ class StorageCorruption:
         )
 
 
+@dataclass(frozen=True)
+class NetworkFault:
+    """Replication-tier network adversity.
+
+    These are the drills the replication layer must survive without
+    operator help: a writer that drops the stream mid-block, a follower
+    that applies slowly, a partition that refuses connections for a
+    while, and — the one that must never be survivable silently — a
+    follower whose state is corrupted between blocks so its re-executed
+    digest diverges from the writer's stamp.
+    """
+
+    #: Sever the writer→replica stream after this many BLOCK messages
+    #: on a connection (None: never). The replica sees a torn stream
+    #: and must reconnect with backoff.
+    tear_after_blocks: int | None = None
+    #: How many connections to tear in total (the drill is a flaky
+    #: link, not a permanently severed one).
+    tear_count: int = 1
+    #: Sleep this long in the follower before applying each block (a
+    #: stalled follower: lag grows, the proxy must eject it).
+    stall_apply_s: float = 0.0
+    #: Refuse this many consecutive connection attempts (a partition;
+    #: the replica keeps backing off until it lifts).
+    partition_connects: int = 0
+    #: Corrupt the replica's world state just before it applies this
+    #: block height. The digest assertion must catch it — the byte is
+    #: flipped *past* the stream CRC, in applied state.
+    corrupt_at_height: int | None = None
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.tear_after_blocks is not None
+            or self.stall_apply_s > 0
+            or self.partition_connects
+            or self.corrupt_at_height is not None
+        )
+
+
 #: PU fault kinds.
 PU_DEAD = "dead"
 PU_STALL = "stall"
@@ -125,6 +165,8 @@ class FaultPlan:
     stale_profiles: tuple[int, ...] = field(default_factory=tuple)
     #: Crash faults against the durable store.
     storage: StorageCorruption | None = None
+    #: Network faults against the replication tier.
+    network: NetworkFault | None = None
 
     def __post_init__(self) -> None:
         seen: set[int] = set()
@@ -144,4 +186,5 @@ class FaultPlan:
             or self.pu_faults
             or self.stale_profiles
             or (self.storage and self.storage.active)
+            or (self.network and self.network.active)
         )

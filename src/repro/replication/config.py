@@ -1,0 +1,78 @@
+"""Replication-tier configuration: stream, backoff, and proxy knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BackoffPolicy:
+    """Jittered exponential backoff for torn streams and dead backends.
+
+    Delay for attempt *n* (0-based) is ``base * multiplier**n`` capped at
+    ``max_delay_s``, then scattered by ``jitter`` (a fraction: 0.5 means
+    the delay lands uniformly in [0.5x, 1.5x]). Jitter is what keeps a
+    fleet of replicas that lost the same writer from reconnecting in
+    lockstep and re-creating the thundering herd that tore them off.
+    """
+
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng) -> float:
+        raw = min(
+            self.max_delay_s,
+            self.base_delay_s * (self.multiplier ** max(0, attempt)),
+        )
+        if self.jitter <= 0:
+            return raw
+        spread = self.jitter
+        return raw * (1.0 + rng.uniform(-spread, spread))
+
+
+@dataclass
+class ReplicationConfig:
+    """Everything the streamer, replicas, and proxy need to know."""
+
+    # -- the writer's stream listener -------------------------------------
+    host: str = "127.0.0.1"
+    #: Writer-side WAL stream port (0: ephemeral, read back after bind).
+    stream_port: int = 0
+
+    # -- streaming --------------------------------------------------------
+    #: Writer poll cadence for new WAL records when no commit wake-up
+    #: arrives (the wake-up path makes this a fallback, not the latency).
+    poll_interval_s: float = 0.05
+    #: A replica more than this many blocks behind is caught up from the
+    #: newest snapshot instead of replaying the whole WAL suffix.
+    snapshot_catchup_blocks: int = 256
+
+    # -- replica behaviour ------------------------------------------------
+    #: Reconnect/backoff policy for torn streams.
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    #: Seed for backoff jitter (deterministic tests).
+    seed: int = 0
+    #: Replica-side read timeout on the stream; a silent writer beyond
+    #: this is treated as a torn stream (reconnect with backoff).
+    stream_read_timeout_s: float = 30.0
+
+    # -- proxy ------------------------------------------------------------
+    #: Proxy health-check cadence.
+    health_interval_s: float = 0.25
+    #: Per-backend health/read RPC timeout; a slower backend is ejected.
+    backend_timeout_s: float = 2.0
+    #: Eject a replica whose height lags the writer by more than this
+    #: many blocks (stale reads); it rejoins once it catches back up.
+    max_lag_blocks: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if self.snapshot_catchup_blocks <= 0:
+            raise ValueError("snapshot_catchup_blocks must be positive")
+        if self.health_interval_s <= 0:
+            raise ValueError("health_interval_s must be positive")
+        if self.max_lag_blocks <= 0:
+            raise ValueError("max_lag_blocks must be positive")

@@ -1,0 +1,310 @@
+"""The follower: connect, verify every block, resync on divergence.
+
+A :class:`Replica` owns the client end of the replication stream. Its
+loop is a small, explicit state machine:
+
+    CONNECT → HELLO → (SNAPSHOT?) → APPLY* → torn? → BACKOFF → CONNECT
+
+* **CONNECT/HELLO** — dial the writer's stream port and claim the
+  applied height and state digest. The writer decides incremental
+  stream vs snapshot resync from that claim.
+* **APPLY** — for each BLOCK message: re-execute the block's
+  transactions against local state (on a worker thread, under the
+  builder's state lock so concurrent reads stay consistent) and assert
+  the resulting state digest is bit-identical to the one the writer
+  stamped into its WAL. A match commits and feeds the serve layer
+  (getReceipt, newHeads subscribers); a mismatch raises
+  :class:`~repro.replication.errors.ReplicaDivergenceError` *after
+  rolling the block back* — diverged state is never committed and never
+  served.
+* **BACKOFF** — any torn stream (connection error, timeout, protocol
+  damage) reconnects with jittered exponential backoff. A divergence
+  also reconnects, but with ``need_snapshot`` set: the only acceptable
+  continuation of a diverged universe is a wholesale replacement from
+  the writer's newest snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+import time
+from collections import deque
+
+from ..chain import rlp
+from ..chain.block import BLOCKHASH_WINDOW
+from ..evm.context import BlockContext
+from ..evm.interpreter import EVM
+from ..obs import get_registry
+from ..storage import codec
+from . import stream
+from .config import ReplicationConfig
+from .errors import ReplicaDivergenceError, StreamProtocolError
+
+#: Bounded retention of per-block lag samples (bench reads these).
+_LAG_SAMPLE_CAP = 4096
+
+
+class Replica:
+    """A verifying follower bound to one read-only serve stack."""
+
+    def __init__(
+        self,
+        node,
+        builder,
+        writer_host: str,
+        writer_stream_port: int,
+        config: ReplicationConfig | None = None,
+        fault_injector=None,
+    ) -> None:
+        self.node = node
+        self.builder = builder
+        self.writer_host = writer_host
+        self.writer_stream_port = writer_stream_port
+        self.config = config or ReplicationConfig()
+        self.fault_injector = fault_injector
+        self._rng = random.Random(self.config.seed)
+        #: Applied chain height. Decoupled from ``len(node.chain)``
+        #: because a snapshot resync replaces state without replaying
+        #: the blocks below the anchor.
+        self.height = len(node.chain)
+        #: height -> block hash for the BLOCKHASH window, including the
+        #: pre-snapshot prefix a resync ships alongside the state.
+        self._hashes: dict[int, bytes] = {
+            block.header.height: block.hash() for block in node.chain
+        }
+        self._need_snapshot = False
+        self._stopping = False
+        self._task: asyncio.Task | None = None
+        self.connected = False
+        # -- counters (mirrored into repro.obs when enabled) -------------
+        self.blocks_applied = 0
+        self.reconnects = 0
+        self.resyncs = 0
+        self.divergences = 0
+        self.last_lag_s = 0.0
+        self.last_lag_blocks = 0
+        self.lag_samples_s: deque[float] = deque(maxlen=_LAG_SAMPLE_CAP)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self.run(), name="replica-stream"
+            )
+
+    async def stop(self) -> None:
+        self._stopping = True
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+
+    # -- the reconnect loop ------------------------------------------------
+    async def run(self) -> None:
+        attempt = 0
+        while not self._stopping:
+            try:
+                if (
+                    self.fault_injector is not None
+                    and self.fault_injector.partitioned()
+                ):
+                    raise ConnectionError("injected partition")
+                await self._session()
+                attempt = 0
+            except ReplicaDivergenceError:
+                self.divergences += 1
+                self._need_snapshot = True
+                attempt = 0  # resync is urgent: restart at base delay
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("replication.divergences").inc()
+            except (
+                ConnectionError,
+                StreamProtocolError,
+                asyncio.TimeoutError,
+                OSError,
+            ):
+                pass
+            if self._stopping:
+                return
+            delay = self.config.backoff.delay(attempt, self._rng)
+            attempt += 1
+            self.reconnects += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("replication.reconnects").inc()
+            await asyncio.sleep(delay)
+
+    async def _session(self) -> None:
+        reader, writer = await asyncio.open_connection(
+            self.writer_host, self.writer_stream_port
+        )
+        self.connected = True
+        try:
+            with self.builder.state_lock:
+                digest = codec.state_digest_bytes(self.node.state)
+            writer.write(stream.encode_hello(
+                self.height, digest, self._need_snapshot
+            ))
+            await writer.drain()
+            loop = asyncio.get_running_loop()
+            while not self._stopping:
+                msg_type, fields = await stream.read_message(
+                    reader, timeout=self.config.stream_read_timeout_s
+                )
+                if msg_type == stream.MSG_SNAPSHOT:
+                    payload, recent = fields
+                    await loop.run_in_executor(
+                        None, self._apply_snapshot, payload, recent
+                    )
+                elif msg_type == stream.MSG_BLOCK:
+                    await self._handle_block(loop, fields)
+                else:
+                    raise StreamProtocolError(
+                        "unexpected HELLO from writer"
+                    )
+        finally:
+            self.connected = False
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_block(self, loop, fields) -> None:
+        sent_at_us, writer_height, wal_payload = fields
+        if self.fault_injector is not None:
+            stall = self.fault_injector.stall_follower()
+            if stall > 0:
+                await asyncio.sleep(stall)
+        block, expected = codec.decode_wal_payload(wal_payload)
+        height = block.header.height
+        if height <= self.height:
+            return  # reconnect overlap: already applied
+        if height != self.height + 1:
+            raise StreamProtocolError(
+                f"stream gap: got block {height}, applied {self.height}"
+            )
+        receipts = await loop.run_in_executor(
+            None, self._apply_block, block, expected
+        )
+        # Feed the serve layer on the event loop (subscription writes
+        # and receipt indexing are loop-thread affairs, exactly as the
+        # writer's builder resolves there).
+        self.builder._resolve(block, receipts)
+        self.last_lag_s = max(0.0, time.time() - sent_at_us / 1e6)
+        self.last_lag_blocks = max(0, writer_height - height)
+        self.lag_samples_s.append(self.last_lag_s)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("replication.blocks_applied").inc()
+            registry.gauge("replication.lag_blocks").set(
+                self.last_lag_blocks
+            )
+            registry.histogram("replication.lag_ms").observe(
+                self.last_lag_s * 1000.0
+            )
+
+    # -- apply paths (worker thread, under the state lock) -----------------
+    def _context_for(self, block) -> BlockContext:
+        header = block.header
+        height = header.height
+        hashes = self._hashes
+
+        def blockhash_fn(query_height: int) -> int:
+            distance = height - query_height
+            if 1 <= distance <= BLOCKHASH_WINDOW:
+                value = hashes.get(query_height)
+                if value is not None:
+                    return int.from_bytes(value, "big")
+            return 0
+
+        return BlockContext(
+            height=height,
+            timestamp=header.timestamp,
+            coinbase=header.coinbase,
+            difficulty=header.difficulty,
+            gas_limit=header.gas_limit,
+            blockhash_fn=blockhash_fn,
+        )
+
+    def _apply_block(self, block, expected: bytes):
+        with self.builder.state_lock:
+            state = self.node.state
+            height = block.header.height
+            if self.fault_injector is not None:
+                self.fault_injector.corrupt_replica_state(state, height)
+            token = state.snapshot()
+            evm = EVM(state, block=self._context_for(block))
+            try:
+                receipts = [
+                    evm.execute_transaction(tx)
+                    for tx in block.transactions
+                ]
+            except Exception:
+                state.revert(token)
+                state.clear_journal()
+                raise
+            actual = codec.state_digest_bytes(state)
+            if actual != expected:
+                # Roll the block back *before* raising: between now and
+                # the snapshot resync, reads keep seeing the last good
+                # state — diverged state is never served.
+                state.revert(token)
+                state.clear_journal()
+                raise ReplicaDivergenceError(height, expected, actual)
+            state.clear_journal()
+            self.node.chain.append(block)
+            self.node.receipts[block.hash()] = receipts
+            self._hashes[height] = block.hash()
+            self._hashes.pop(height - BLOCKHASH_WINDOW, None)
+            self.height = height
+            self.blocks_applied += 1
+            return receipts
+
+    def _apply_snapshot(
+        self, payload: bytes, recent: list[tuple[int, bytes]]
+    ) -> None:
+        try:
+            fields = rlp.as_list(rlp.decode(payload), "snapshot", 3)
+            height = rlp.decode_int(fields[0])
+            digest = rlp.as_bytes(fields[1], "snapshot digest")
+            state = codec.state_from_rlp(
+                rlp.as_bytes(fields[2], "snapshot state")
+            )
+        except rlp.RLPDecodingError as exc:
+            raise StreamProtocolError(
+                f"undecodable snapshot: {exc}"
+            ) from None
+        if codec.state_digest_bytes(state) != digest:
+            raise StreamProtocolError(
+                "snapshot state does not match its stamped digest"
+            )
+        with self.builder.state_lock:
+            self.node.state = state
+            self.node.mempool.state = state
+            self.node.chain = []
+            self.node.receipts = {}
+            self.builder.committed.clear()
+            self.builder._history.clear()
+            self._hashes = dict(recent)
+            self.height = height
+        self._need_snapshot = False
+        self.resyncs += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("replication.resyncs").inc()
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "height": self.height,
+            "connected": self.connected,
+            "blocksApplied": self.blocks_applied,
+            "reconnects": self.reconnects,
+            "resyncs": self.resyncs,
+            "divergences": self.divergences,
+            "lagSeconds": round(self.last_lag_s, 6),
+            "lagBlocks": self.last_lag_blocks,
+        }

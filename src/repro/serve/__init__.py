@@ -18,11 +18,19 @@ from .errors import (
     DEADLINE_EXCEEDED,
     EXECUTION_FAILED,
     RATE_LIMITED,
+    READ_ONLY,
     SHUTTING_DOWN,
     ExecutionFailedError,
+    ReadOnlyError,
     RpcError,
 )
-from .loadgen import LoadGenerator, LoadResult, RpcClient, RpcClientError
+from .loadgen import (
+    LoadGenerator,
+    LoadResult,
+    RetryPolicy,
+    RpcClient,
+    RpcClientError,
+)
 from .ratelimit import RateLimiter, TokenBucket
 from .server import RpcServer
 
@@ -37,7 +45,10 @@ __all__ = [
     "LoadGenerator",
     "LoadResult",
     "RATE_LIMITED",
+    "READ_ONLY",
     "RateLimiter",
+    "ReadOnlyError",
+    "RetryPolicy",
     "RpcClient",
     "RpcClientError",
     "RpcError",

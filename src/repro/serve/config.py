@@ -20,6 +20,16 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 8545
 
+    # -- role --------------------------------------------------------------
+    #: "writer" runs the block builder and admits transactions;
+    #: "replica" serves reads/subscriptions only (sendTransaction gets a
+    #: typed READ_ONLY error) and is fed by a replication stream.
+    role: str = "writer"
+    #: Writer-side WAL stream listener for replicas (requires
+    #: ``data_dir``; 0 binds an ephemeral port, read back after start;
+    #: None: no replication stream).
+    replication_port: int | None = None
+
     # -- block cutting ----------------------------------------------------
     #: Cut a block at this many transactions.
     block_size_target: int = 128
@@ -45,6 +55,10 @@ class ServeConfig:
     default_deadline_ms: float = 30_000.0
     #: How long shutdown() waits for the drain before force-closing.
     drain_timeout_s: float = 30.0
+    #: Drop connections silent longer than this (None: never). Dead
+    #: sockets must not pin per-connection tasks forever; subscribers
+    #: are exempt (their traffic is server-push by design).
+    idle_timeout_s: float | None = None
 
     # -- retention / egress bounds ----------------------------------------
     #: Keep receipts for this many recent blocks (getReceipt and the
@@ -81,6 +95,12 @@ class ServeConfig:
     def __post_init__(self) -> None:
         if self.executor not in ("sequential", "mtpu", "parallel"):
             raise ValueError(f"unknown executor {self.executor!r}")
+        if self.role not in ("writer", "replica"):
+            raise ValueError(f"unknown role {self.role!r}")
+        if self.replication_port is not None and self.data_dir is None:
+            raise ValueError("replication_port requires data_dir")
+        if self.idle_timeout_s is not None and self.idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
         if self.block_size_target <= 0:
             raise ValueError("block_size_target must be positive")
         if self.max_pending <= 0:

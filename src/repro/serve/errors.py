@@ -33,6 +33,9 @@ SHUTTING_DOWN = -32005
 #: Block execution failed even after the sequential fallback. The
 #: transaction was dropped without committing; it is safe to resubmit.
 EXECUTION_FAILED = -32006
+#: This node is a read replica; it serves reads and subscriptions but
+#: never admits transactions. Send writes to the writer.
+READ_ONLY = -32007
 
 
 class RpcError(Exception):
@@ -78,6 +81,13 @@ class DeadlineExceededError(RpcError):
 class ShuttingDownError(RpcError):
     def __init__(self):
         super().__init__(SHUTTING_DOWN, "server is draining")
+
+
+class ReadOnlyError(RpcError):
+    def __init__(self):
+        super().__init__(
+            READ_ONLY, "node is a read replica; writes go to the writer"
+        )
 
 
 class ExecutionFailedError(RpcError):

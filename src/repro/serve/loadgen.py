@@ -20,6 +20,7 @@ requests that never got a response (the acceptance gate requires zero).
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -27,6 +28,7 @@ from ..chain.transaction import Transaction
 from ..contracts.registry import Deployment, build_deployment
 from ..obs.report import LatencyReport
 from . import protocol
+from .errors import BUSY, RATE_LIMITED
 
 
 class RpcClientError(Exception):
@@ -38,26 +40,97 @@ class RpcClientError(Exception):
         self.data = data
 
 
+@dataclass
+class RetryPolicy:
+    """Client-side resilience: when and how hard to retry.
+
+    BUSY and RATE_LIMITED are the server *telling* the client to come
+    back later — honoring its ``retry_after_s`` hint (never retrying
+    sooner than asked) with jittered exponential backoff on top.
+    Dropped connections are retried only for requests the caller marks
+    idempotent: reads can safely repeat; a sendTransaction interrupted
+    mid-flight may have committed.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.02
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, attempt: int, hint_s: float | None, rng) -> float:
+        raw = min(
+            self.max_delay_s,
+            self.base_delay_s * (self.multiplier ** max(0, attempt)),
+        )
+        if hint_s is not None:
+            raw = max(raw, float(hint_s))
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 + rng.uniform(-self.jitter, self.jitter))
+
+
 class RpcClient:
-    """Pipelined newline-delimited JSON-RPC client."""
+    """Pipelined newline-delimited JSON-RPC client.
+
+    With a :class:`RetryPolicy` attached, BUSY/RATE_LIMITED responses
+    are retried with backoff, and idempotent calls survive a dropped
+    connection by transparently reconnecting (requires construction via
+    :meth:`connect` so the endpoint is known). ``retries`` counts every
+    retry attempt, separately from failures.
+    """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter,
+                 retry_policy: "RetryPolicy | None" = None):
         self._reader = reader
         self._writer = writer
+        self._host: str | None = None
+        self._port: int | None = None
         self._next_id = 1
         self._inflight: dict[int, asyncio.Future] = {}
         self._notifications: asyncio.Queue = asyncio.Queue()
         self._pump = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(
+            retry_policy.seed if retry_policy is not None else 0
+        )
+        #: Retries performed (BUSY/RATE_LIMITED backoffs + reconnects).
+        self.retries = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "RpcClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> "RpcClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=protocol.MAX_LINE_BYTES
         )
-        return cls(reader, writer)
+        client = cls(reader, writer, retry_policy=retry_policy)
+        client._host = host
+        client._port = port
+        return client
+
+    async def _reconnect(self) -> None:
+        if self._host is None:
+            raise ConnectionError("no endpoint to reconnect to")
+        self._pump.cancel()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port, limit=protocol.MAX_LINE_BYTES
+        )
+        self._pump = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
 
     async def _read_loop(self) -> None:
         try:
@@ -80,15 +153,55 @@ class RpcClient:
                     future.set_exception(ConnectionError("closed"))
             self._inflight.clear()
 
-    async def call(self, method: str, params: dict | None = None):
+    async def call(self, method: str, params: dict | None = None,
+                   idempotent: bool = False):
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return await self._call_once(method, params)
+            except RpcClientError as err:
+                if (
+                    policy is None
+                    or err.code not in (BUSY, RATE_LIMITED)
+                    or attempt >= policy.max_attempts
+                ):
+                    raise
+                hint = None
+                if isinstance(err.data, dict):
+                    hint = err.data.get("retry_after_s")
+                delay = policy.delay(attempt, hint, self._retry_rng)
+            except ConnectionError:
+                if (
+                    policy is None
+                    or not idempotent
+                    or self._host is None
+                    or attempt >= policy.max_attempts
+                ):
+                    raise
+                delay = policy.delay(attempt, None, self._retry_rng)
+            attempt += 1
+            self.retries += 1
+            await asyncio.sleep(delay)
+            if self._writer.is_closing() or self._pump.done():
+                try:
+                    await self._reconnect()
+                except OSError:
+                    continue  # endpoint still down: next backoff round
+
+    async def _call_once(self, method: str, params: dict | None):
         request_id = self._next_id
         self._next_id += 1
         future = asyncio.get_running_loop().create_future()
         self._inflight[request_id] = future
-        self._writer.write(protocol.encode_frame(
-            protocol.request(method, params, request_id)
-        ))
-        await self._writer.drain()
+        try:
+            self._writer.write(protocol.encode_frame(
+                protocol.request(method, params, request_id)
+            ))
+            await self._writer.drain()
+        except (ConnectionError, RuntimeError) as exc:
+            self._inflight.pop(request_id, None)
+            raise ConnectionError(str(exc)) from None
         reply = await future
         if "error" in reply:
             err = reply["error"]
@@ -189,6 +302,10 @@ class LoadResult:
     errors: dict = field(default_factory=dict)
     #: Requests that never received any response.
     unanswered: int = 0
+    #: Retry attempts (client-side backoff/reconnects) — counted
+    #: separately from failures: a request that succeeded on its third
+    #: try is one ``ok`` and two ``retries``.
+    retries: int = 0
     wall_seconds: float = 0.0
     latency: LatencyReport | None = None
 
@@ -205,6 +322,7 @@ class LoadResult:
             "ok": self.ok,
             "errors": dict(self.errors),
             "unanswered": self.unanswered,
+            "retries": self.retries,
             "wall_seconds": self.wall_seconds,
             "tx_per_second": self.tx_per_second,
             "latency": (
@@ -238,6 +356,7 @@ class LoadGenerator:
         workload: str = "transfer",
         seed: int = 0,
         deadline_ms: float | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> LoadResult:
         """N clients, one request in flight each, until *total* sent."""
         txs = make_transactions(
@@ -250,7 +369,9 @@ class LoadGenerator:
         samples: list[float] = []
 
         async def worker() -> None:
-            client = await RpcClient.connect(self.host, self.port)
+            client = await RpcClient.connect(
+                self.host, self.port, retry_policy=retry_policy
+            )
             try:
                 while True:
                     try:
@@ -277,6 +398,7 @@ class LoadGenerator:
                             (time.monotonic() - started) * 1000.0
                         )
             finally:
+                result.retries += client.retries
                 await client.close()
 
         started = time.monotonic()
@@ -295,6 +417,7 @@ class LoadGenerator:
         workload: str = "transfer",
         seed: int = 0,
         deadline_ms: float | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> LoadResult:
         """Fire at *rate* tx/s for *duration_s*, regardless of replies."""
         total = max(1, int(rate * duration_s))
@@ -304,7 +427,9 @@ class LoadGenerator:
         result = LoadResult(mode="open", requested=total)
         samples: list[float] = []
         connections = [
-            await RpcClient.connect(self.host, self.port)
+            await RpcClient.connect(
+                self.host, self.port, retry_policy=retry_policy
+            )
             for _ in range(clients)
         ]
         interval = 1.0 / rate if rate > 0 else 0.0
@@ -340,6 +465,7 @@ class LoadGenerator:
             await asyncio.gather(*tasks)
         finally:
             for client in connections:
+                result.retries += client.retries
                 await client.close()
         result.wall_seconds = time.monotonic() - started
         result.latency = LatencyReport.from_samples(

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 
 from ..chain.mempool import AdmissionError
 from ..chain.node import Node
 from ..obs import get_registry
+from ..storage import codec as storage_codec
 from . import protocol
 from .batcher import BlockBuilder
 from .config import ServeConfig
@@ -38,6 +40,7 @@ from .errors import (
     BusyError,
     DeadlineExceededError,
     RateLimitedError,
+    ReadOnlyError,
     RpcError,
     ShuttingDownError,
 )
@@ -54,6 +57,7 @@ class RpcServer:
         fault_injector=None,
     ) -> None:
         self.config = config or ServeConfig()
+        self._fault_injector = fault_injector
         self.node = node or Node(
             per_sender_cap=self.config.per_sender_cap
         )
@@ -90,8 +94,21 @@ class RpcServer:
             if self.config.rate_limit is not None
             else None
         )
+        #: The writer-side :class:`repro.replication.WalStreamer` when
+        #: ``config.replication_port`` is set (started with the server).
+        self.streamer = None
+        #: The :class:`repro.replication.Replica` feeding a replica-role
+        #: server, attached by whoever wires the two together; the
+        #: health RPC and stats report through it when present.
+        self.replication = None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
+        #: Per-connection last-activity clock readings (idle reaping).
+        self._last_activity: dict[asyncio.StreamWriter, float] = {}
+        #: Injectable for fake-clock idle-timeout tests.
+        self._clock = time.monotonic
+        self._started_at = time.monotonic()
+        self._reaper: asyncio.Task | None = None
         #: In-flight request tasks (replies must flush before close).
         self._request_tasks: set[asyncio.Task] = set()
         #: subscription id -> (writer, topic).
@@ -106,11 +123,41 @@ class RpcServer:
         self.deadline_misses = 0
         self.admission_rejects = 0
         self.subscription_drops = 0
+        self.health_checks = 0
+        self.idle_drops = 0
+        self.read_only_rejects = 0
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listener and start the block builder."""
-        self.builder.start()
+        """Bind the listener and start the block builder.
+
+        A replica-role server starts no builder loop (blocks arrive
+        over the replication stream, not from a mempool); a writer with
+        ``replication_port`` set additionally starts the WAL streamer
+        and wires it to the builder's commit callback.
+        """
+        self._started_at = time.monotonic()
+        if self.config.role == "writer":
+            self.builder.start()
+        if (
+            self.config.role == "writer"
+            and self.config.replication_port is not None
+        ):
+            from ..replication import ReplicationConfig, WalStreamer
+
+            self.streamer = WalStreamer(
+                self.config.data_dir,
+                ReplicationConfig(
+                    host=self.config.host,
+                    stream_port=self.config.replication_port,
+                ),
+                fault_injector=self._fault_injector,
+            )
+            await self.streamer.start()
+            self.config.replication_port = (
+                self.streamer.config.stream_port
+            )
+            self.builder.on_new_head.append(self.streamer.notify_commit)
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -119,6 +166,10 @@ class RpcServer:
         )
         # Ephemeral-port runs (tests, smoke) read the bound port back.
         self.config.port = self._server.sockets[0].getsockname()[1]
+        if self.config.idle_timeout_s is not None:
+            self._reaper = asyncio.get_running_loop().create_task(
+                self._reap_idle_forever(), name="idle-reaper"
+            )
 
     async def shutdown(self) -> None:
         """Graceful drain-then-stop.
@@ -128,6 +179,13 @@ class RpcServer:
         listener and all connections close.
         """
         self._shutting_down = True
+        if self._reaper is not None:
+            self._reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper
+            self._reaper = None
+        if self.streamer is not None:
+            await self.streamer.stop()
         await self.builder.drain_and_stop()
         if self._request_tasks:
             # The drain resolved every pending receipt future; give the
@@ -175,6 +233,7 @@ class RpcServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections.add(writer)
+        self._last_activity[writer] = self._clock()
         lock = asyncio.Lock()  # serializes interleaved writes
         tasks: set[asyncio.Task] = set()
         try:
@@ -185,6 +244,7 @@ class RpcServer:
                     break  # oversized frame: drop the connection
                 if not line:
                     break
+                self._last_activity[writer] = self._clock()
                 if line.strip() == b"":
                     continue
                 # Handle each request in its own task so one slow
@@ -204,11 +264,44 @@ class RpcServer:
 
     def _drop_connection(self, writer: asyncio.StreamWriter) -> None:
         self._connections.discard(writer)
+        self._last_activity.pop(writer, None)
         for sub_id, sub_writer in list(self._subscriptions.items()):
             if sub_writer is writer:
                 del self._subscriptions[sub_id]
         with contextlib.suppress(Exception):
             writer.close()
+
+    # -- idle reaping --------------------------------------------------------
+    async def _reap_idle_forever(self) -> None:
+        interval = max(0.01, self.config.idle_timeout_s / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            self._reap_idle()
+
+    def _reap_idle(self) -> int:
+        """Drop every non-subscriber silent beyond ``idle_timeout_s``.
+
+        Factored out of the reaper task (and driven by the injectable
+        ``self._clock``) so tests can advance a fake clock and call this
+        directly instead of sleeping.
+        """
+        if self.config.idle_timeout_s is None:
+            return 0
+        cutoff = self._clock() - self.config.idle_timeout_s
+        subscribed = set(self._subscriptions.values())
+        reaped = 0
+        for writer, last in list(self._last_activity.items()):
+            if writer in subscribed:
+                continue  # push traffic is the point; never reap
+            if last < cutoff:
+                self._drop_connection(writer)
+                reaped += 1
+        if reaped:
+            self.idle_drops += reaped
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("serve.idle_drops").inc(reaped)
+        return reaped
 
     async def _send(
         self, writer: asyncio.StreamWriter, lock: asyncio.Lock, obj: dict
@@ -255,11 +348,16 @@ class RpcServer:
             return self._get_balance(params)
         if method == "repro_subscribe":
             return self._subscribe(params, writer)
+        if method == "repro_health":
+            return self.health()
         if method == "repro_stats":
             return self.stats()
         raise RpcError(METHOD_NOT_FOUND, f"unknown method {method!r}")
 
     async def _send_transaction(self, params: dict, writer) -> object:
+        if self.config.role != "writer":
+            self.read_only_rejects += 1
+            raise ReadOnlyError()
         if self._shutting_down or self.builder.draining:
             raise ShuttingDownError()
         if self.limiter is not None:
@@ -424,9 +522,46 @@ class RpcServer:
                 continue
             writer.write(frame)
 
+    # -- health ------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness + identity: what the read proxy routes on.
+
+        The digest is the same commitment the WAL stamps carry, so two
+        healthy nodes at the same height answering with the same digest
+        are serving bit-identical universes.
+        """
+        self.health_checks += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.health_checks").inc()
+        with self.builder.state_lock:
+            digest = storage_codec.state_digest_bytes(self.node.state)
+        height = (
+            self.replication.height
+            if self.replication is not None
+            else len(self.node.chain)
+        )
+        out = {
+            "role": self.config.role,
+            "height": height,
+            "stateDigest": digest.hex(),
+            "mempoolDepth": len(self.node.mempool),
+            "queueDepth": self.builder.depth,
+            "uptimeSeconds": round(
+                time.monotonic() - self._started_at, 3
+            ),
+            "shuttingDown": self._shutting_down,
+        }
+        if self.replication is not None:
+            out["replication"] = self.replication.stats()
+        if self.streamer is not None:
+            out["streaming"] = self.streamer.stats()
+        return out
+
     # -- stats -------------------------------------------------------------
     def stats(self) -> dict:
         return {
+            "role": self.config.role,
             "requestsServed": self.requests_served,
             "blocksBuilt": self.builder.blocks_built,
             "txsCommitted": self.builder.txs_committed,
@@ -436,9 +571,16 @@ class RpcServer:
             "deadlineMisses": self.deadline_misses,
             "admissionRejects": self.admission_rejects,
             "subscriptionDrops": self.subscription_drops,
+            "healthChecks": self.health_checks,
+            "idleDrops": self.idle_drops,
+            "readOnlyRejects": self.read_only_rejects,
             "sequentialFallbacks": self.builder.sequential_fallbacks,
             "executionFailures": self.builder.execution_failures,
-            "chainHeight": len(self.node.chain),
+            "chainHeight": (
+                self.replication.height
+                if self.replication is not None
+                else len(self.node.chain)
+            ),
             "shuttingDown": self._shutting_down,
             "durable": self.node.store is not None,
             "recoveredHeight": (

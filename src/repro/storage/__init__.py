@@ -37,6 +37,7 @@ from .recovery import (
     verify_store,
 )
 from .store import ChainStore
+from .tail import WalTailReader
 
 __all__ = [
     "FSYNC_ALWAYS",
@@ -52,6 +53,7 @@ __all__ = [
     "StorageError",
     "StoreLockedError",
     "StoreReport",
+    "WalTailReader",
     "attach",
     "has_store",
     "recover",

@@ -77,6 +77,26 @@ def read_snapshot(path: str) -> tuple[int, bytes, WorldState]:
     return height, digest, state
 
 
+def read_snapshot_stamp(path: str) -> tuple[int, bytes]:
+    """(height, digest) of a snapshot without decoding its state.
+
+    The cheap header read the replication streamer uses to validate a
+    replica's claimed digest against an anchor it is not going to ship.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    try:
+        fields = rlp.as_list(
+            rlp.decode(unframe_record(blob)), "snapshot", 3
+        )
+        return (
+            rlp.decode_int(fields[0]),
+            rlp.as_bytes(fields[1], "snapshot digest"),
+        )
+    except (rlp.RLPDecodingError, CorruptWalError, ValueError) as exc:
+        raise CorruptSnapshotError(f"{path}: {exc}") from exc
+
+
 def list_snapshots(data_dir: str) -> list[tuple[int, str]]:
     """(height, path) of every snapshot file, highest height first."""
     found: list[tuple[int, str]] = []

@@ -1,0 +1,252 @@
+"""Replica behaviour: follow, verify, diverge, resync, reconnect."""
+
+import asyncio
+
+import pytest
+
+from repro.chain.node import Node
+from repro.faults import FaultInjector, FaultPlan, NetworkFault
+from repro.replication import Replica, ReplicaDivergenceError
+from repro.serve import READ_ONLY, RpcClientError, ServeConfig
+from repro.serve.batcher import BlockBuilder
+from repro.serve.loadgen import RpcClient
+from repro.storage import codec
+
+from .conftest import (
+    digest_of,
+    eventually,
+    send_transfers,
+    start_replica,
+    start_writer,
+    stop_replica,
+)
+
+
+def test_replica_follows_writer_bit_identical(deployment, tmp_path):
+    async def run():
+        writer = await start_writer(deployment, tmp_path)
+        replica_server, replica = await start_replica(
+            deployment, writer
+        )
+        try:
+            txs = await send_transfers(
+                deployment, writer.config.port, 12, seed=21
+            )
+            await eventually(
+                lambda: replica.height == len(writer.node.chain)
+                and len(writer.node.chain) > 0,
+                desc="replica caught up",
+            )
+            assert digest_of(replica_server) == digest_of(writer)
+            # The replica's serve layer is fed: reads and receipts work.
+            client = await RpcClient.connect(
+                "127.0.0.1", replica_server.config.port
+            )
+            try:
+                balance = await client.call(
+                    "repro_getBalance",
+                    {"address": hex(txs[0].sender)},
+                )
+                receipt = await client.call(
+                    "repro_getReceipt",
+                    {"txHash": txs[0].hash().hex()},
+                )
+                health = await client.call("repro_health")
+            finally:
+                await client.close()
+            with writer.builder.state_lock, \
+                    writer.node.state.untracked():
+                writer_balance = writer.node.state.get_balance(
+                    txs[0].sender
+                )
+            assert balance == writer_balance
+            assert receipt is not None and receipt["success"] is True
+            assert health["role"] == "replica"
+            assert health["height"] == replica.height
+            assert (
+                health["stateDigest"] == digest_of(writer).hex()
+            )
+            assert health["replication"]["blocksApplied"] > 0
+        finally:
+            await stop_replica(replica_server, replica)
+            await writer.shutdown()
+
+    asyncio.run(run())
+
+
+def test_replica_rejects_writes_with_typed_error(deployment, tmp_path):
+    async def run():
+        writer = await start_writer(deployment, tmp_path)
+        replica_server, replica = await start_replica(
+            deployment, writer
+        )
+        try:
+            from repro.serve import protocol
+            from repro.serve.loadgen import make_transactions
+
+            tx = make_transactions(deployment, 1, seed=3)[0]
+            client = await RpcClient.connect(
+                "127.0.0.1", replica_server.config.port
+            )
+            try:
+                with pytest.raises(RpcClientError) as err:
+                    await client.call(
+                        "repro_sendTransaction",
+                        {"tx": protocol.tx_to_wire(tx)},
+                    )
+            finally:
+                await client.close()
+            assert err.value.code == READ_ONLY
+            assert replica_server.read_only_rejects == 1
+        finally:
+            await stop_replica(replica_server, replica)
+            await writer.shutdown()
+
+    asyncio.run(run())
+
+
+def test_injected_divergence_detected_and_healed(deployment, tmp_path):
+    """Silent state corruption must trip the digest assertion, then heal."""
+    injector = FaultInjector(FaultPlan(
+        seed=3, network=NetworkFault(corrupt_at_height=2)
+    ))
+
+    async def run():
+        writer = await start_writer(deployment, tmp_path)
+        replica_server, replica = await start_replica(
+            deployment, writer, fault_injector=injector
+        )
+        try:
+            await send_transfers(
+                deployment, writer.config.port, 16, seed=22
+            )
+            await eventually(
+                lambda: replica.divergences >= 1,
+                desc="divergence detected",
+            )
+            await eventually(
+                lambda: replica.resyncs >= 1
+                and replica.height == len(writer.node.chain)
+                and digest_of(replica_server) == digest_of(writer),
+                desc="snapshot resync reconverged",
+            )
+        finally:
+            await stop_replica(replica_server, replica)
+            await writer.shutdown()
+
+    asyncio.run(run())
+    assert injector.injected["replica_state_corrupted"] == 1
+
+
+def test_torn_stream_reconnects_with_backoff(deployment, tmp_path):
+    injector = FaultInjector(FaultPlan(
+        seed=5,
+        network=NetworkFault(tear_after_blocks=2, tear_count=1),
+    ))
+
+    async def run():
+        writer = await start_writer(
+            deployment, tmp_path, fault_injector=injector
+        )
+        replica_server, replica = await start_replica(
+            deployment, writer
+        )
+        try:
+            await send_transfers(
+                deployment, writer.config.port, 16, seed=23
+            )
+            await eventually(
+                lambda: replica.reconnects >= 1,
+                desc="reconnect after the injected tear",
+            )
+            await eventually(
+                lambda: replica.height == len(writer.node.chain)
+                and digest_of(replica_server) == digest_of(writer),
+                desc="post-reconnect reconvergence",
+            )
+        finally:
+            await stop_replica(replica_server, replica)
+            await writer.shutdown()
+
+    asyncio.run(run())
+    assert injector.injected["stream_torn"] == 1
+
+
+def test_far_behind_replica_catches_up_from_snapshot(
+    deployment, tmp_path
+):
+    async def run():
+        writer = await start_writer(
+            deployment, tmp_path, snapshot_interval_blocks=2
+        )
+        # The snapshot-vs-stream call is the WRITER's: its streamer
+        # compares the HELLO gap against its own catch-up threshold.
+        writer.streamer.config.snapshot_catchup_blocks = 2
+        try:
+            await send_transfers(
+                deployment, writer.config.port, 24, seed=24
+            )
+            height = len(writer.node.chain)
+            assert height >= 6
+            # Joins with a gap larger than snapshot_catchup_blocks, so
+            # the writer must ship a snapshot, not the whole WAL.
+            replica_server, replica = await start_replica(
+                deployment, writer, snapshot_catchup_blocks=2
+            )
+            try:
+                await eventually(
+                    lambda: replica.height == len(writer.node.chain)
+                    and digest_of(replica_server)
+                    == digest_of(writer),
+                    desc="snapshot catch-up",
+                )
+                assert replica.resyncs >= 1
+                # The pre-snapshot prefix was never replayed.
+                assert len(replica.node.chain) < replica.height
+            finally:
+                await stop_replica(replica_server, replica)
+        finally:
+            await writer.shutdown()
+
+    asyncio.run(run())
+
+
+def test_apply_block_rolls_back_on_divergence(deployment):
+    """Unit-level: a wrong digest never commits, never leaks to reads."""
+    writer_node = Node(state=deployment.state.copy())
+    from repro.serve.loadgen import make_transactions
+
+    for tx in make_transactions(deployment, 4, seed=9):
+        writer_node.hear(tx)
+    block = writer_node.propose_block(max_transactions=4)
+    writer_node.execute_block(block)
+    good_digest = codec.state_digest_bytes(writer_node.state)
+
+    replica_node = Node(state=deployment.state.copy())
+    builder = BlockBuilder(
+        replica_node,
+        ServeConfig(port=0, role="replica"),
+    )
+    replica = Replica(
+        node=replica_node,
+        builder=builder,
+        writer_host="127.0.0.1",
+        writer_stream_port=1,
+    )
+    before = codec.state_digest_bytes(replica_node.state)
+    with pytest.raises(ReplicaDivergenceError) as err:
+        replica._apply_block(block, b"\x00" * 32)
+    assert err.value.height == 1
+    # Rolled back completely: nothing committed, nothing served.
+    assert codec.state_digest_bytes(replica_node.state) == before
+    assert replica_node.chain == []
+    assert replica.height == 0
+    assert replica.blocks_applied == 0
+
+    # The same block with the honest digest applies cleanly.
+    receipts = replica._apply_block(block, good_digest)
+    assert len(receipts) == len(block.transactions)
+    assert replica.height == 1
+    assert (
+        codec.state_digest_bytes(replica_node.state) == good_digest
+    )

@@ -105,6 +105,21 @@ def test_recover_bounded_by_retention_window(tmp_path):
     assert len(result.node.receipts) == 2
 
 
+def test_recover_archival_replays_everything(tmp_path):
+    """``receipt_history_blocks=None`` anchors at genesis, keeps it all."""
+    node, digest = build_store(tmp_path, blocks=9, snapshot_interval=3)
+    result = recover(str(tmp_path), receipt_history_blocks=None)
+    assert result.height == 9
+    assert result.snapshot_height == 0  # genesis anchor, full replay
+    assert result.replayed_blocks == 9
+    assert result.state_digest == digest
+    # Every block's receipts survive — no retention eviction at all.
+    assert len(result.node.receipts) == 9
+    assert {b.hash() for b in result.node.chain} == {
+        b.hash() for b in node.chain
+    }
+
+
 def test_recover_survives_sigkill_no_close(tmp_path):
     node, digest = build_store(tmp_path, close=False)
     # Lock file still claims our live pid — same-process takeover works,

@@ -1,0 +1,78 @@
+"""Tail-follow WAL reading: live appends, torn tails, mid-log damage."""
+
+import pytest
+
+from repro.storage import CorruptWalError, WalTailReader
+from repro.storage.wal import RECORD_HEADER, WalWriter, frame_record
+
+
+def test_records_appended_after_open_are_seen(tmp_path):
+    path = str(tmp_path / "wal.log")
+    writer = WalWriter(path)
+    writer.append(b"one")
+    reader = WalTailReader(path)
+    assert reader.poll() == [b"one"]
+    assert reader.poll() == []  # parked at EOF, no spin
+
+    writer.append(b"two")
+    writer.append(b"three")
+    assert reader.poll() == [b"two", b"three"]
+    assert reader.records_read == 3
+    writer.close()
+
+
+def test_torn_tail_is_retried_not_fatal(tmp_path):
+    path = str(tmp_path / "wal.log")
+    writer = WalWriter(path)
+    writer.append(b"committed")
+    writer.close()
+
+    reader = WalTailReader(path)
+    assert reader.poll() == [b"committed"]
+
+    # An append lands in two halves — exactly what a concurrent writer
+    # (or a crash) looks like from the reader's side.
+    frame = frame_record(b"late-record")
+    with open(path, "ab") as fh:
+        fh.write(frame[: RECORD_HEADER.size + 3])
+    assert reader.poll() == []  # not there *yet*: parked, no error
+    with open(path, "ab") as fh:
+        fh.write(frame[RECORD_HEADER.size + 3:])
+    assert reader.poll() == [b"late-record"]
+
+
+def test_start_record_skips_already_applied_prefix(tmp_path):
+    path = str(tmp_path / "wal.log")
+    writer = WalWriter(path)
+    for payload in (b"a", b"b", b"c"):
+        writer.append(payload)
+    writer.close()
+
+    reader = WalTailReader(path, start_record=2)
+    assert reader.poll() == [b"c"]
+    assert reader.records_read == 1
+
+
+def test_midlog_corruption_raises_instead_of_skipping(tmp_path):
+    path = str(tmp_path / "wal.log")
+    writer = WalWriter(path)
+    writer.append(b"first-record")
+    writer.append(b"second-record")
+    writer.close()
+
+    # Flip a payload byte of the *first* record: valid data exists
+    # beyond the damage, so no amount of waiting repairs it.
+    with open(path, "r+b") as fh:
+        fh.seek(RECORD_HEADER.size)
+        byte = fh.read(1)
+        fh.seek(RECORD_HEADER.size)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+    reader = WalTailReader(path)
+    with pytest.raises(CorruptWalError):
+        reader.poll()
+
+
+def test_missing_file_polls_empty(tmp_path):
+    reader = WalTailReader(str(tmp_path / "absent.log"))
+    assert reader.poll() == []
