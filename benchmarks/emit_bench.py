@@ -459,6 +459,160 @@ def measure_replication(name: str) -> dict:
 #: the gate is portable across hardware.
 WALL_SPEEDUP_FLOOR = 1.5
 
+#: Conflict-aware packing benchmark: the same conflict-heavy
+#: (``hotburst``) transaction set cut FIFO vs packed, both chains
+#: re-executed through the optimistic (OCC) executor whose wall cost is
+#: order-sensitive (one execution per transaction plus one per abort).
+PACKING_CONFIGS = {
+    "quick": dict(transactions=192, block_size=32, lane_depth=4,
+                  aging_bound=8, seed=7, repeats=2,
+                  serve_transactions=192, serve_clients=16),
+    "full": dict(transactions=384, block_size=32, lane_depth=4,
+                 aging_bound=8, seed=7, repeats=3,
+                 serve_transactions=384, serve_clients=16),
+}
+
+#: Hard gate: packed blocks must cut the OCC executor's wall time for
+#: the conflict-heavy workload by at least this factor over FIFO blocks
+#: of the same transactions. A same-machine best-of-pairs ratio, so the
+#: gate travels across hardware.
+PACKING_SPEEDUP_FLOOR = 1.3
+
+
+def measure_packing(name: str) -> dict:
+    """Packed vs FIFO: OCC wall cost, digest parity, serve throughput."""
+    import time
+
+    from repro.chain.mempool import PackingPolicy
+    from repro.chain.node import Node
+    from repro.contracts import build_deployment
+    from repro.parallel import OptimisticBlockExecutor
+    from repro.serve.loadgen import make_transactions
+    from repro.serve.smoke import run_serve_load
+
+    params = PACKING_CONFIGS[name]
+    deployment = build_deployment(num_accounts=64)
+    txs = make_transactions(
+        deployment, params["transactions"], workload="hotburst",
+        seed=params["seed"],
+    )
+    policy = PackingPolicy(
+        lane_depth=params["lane_depth"],
+        aging_bound=params["aging_bound"],
+    )
+
+    def build_chain(packing: str):
+        node = Node(state=deployment.state.copy())
+        for at, tx in enumerate(txs):
+            node.hear(tx, at=at)
+        blocks = []
+        while len(node.mempool):
+            block = node.propose_block(
+                max_transactions=params["block_size"],
+                packing=packing,
+                packing_policy=policy if packing != "fifo" else None,
+            )
+            if not block.transactions:
+                break
+            node.execute_block(block)
+            blocks.append(block)
+        return node, blocks
+
+    fifo_node, fifo_blocks = build_chain("fifo")
+    packed_node, packed_blocks = build_chain("conflict_aware")
+    digest_parity = (
+        fifo_node.state.state_digest() == packed_node.state.state_digest()
+    )
+
+    def occ_run(blocks):
+        state = deployment.state.copy()
+        executor = OptimisticBlockExecutor(state)
+        start = time.perf_counter()
+        for block in blocks:
+            executor.execute_block(block.transactions)
+            state.clear_journal()
+        wall = time.perf_counter() - start
+        return executor.executions, executor.aborts, wall, state
+
+    # Best-of-pairs: adjacent FIFO/packed runs share the machine's
+    # momentary load, so pairing cancels drift; execution counts are
+    # deterministic and identical across repeats.
+    wall_ratios = []
+    for _ in range(params["repeats"]):
+        fifo_exec, fifo_aborts, fifo_wall, fifo_state = occ_run(fifo_blocks)
+        packed_exec, packed_aborts, packed_wall, packed_state = occ_run(
+            packed_blocks
+        )
+        wall_ratios.append(
+            fifo_wall / packed_wall if packed_wall else 0.0
+        )
+    occ_parity = (
+        fifo_state.state_digest()
+        == packed_state.state_digest()
+        == fifo_node.state.state_digest()
+    )
+
+    parallelism = [
+        block.packed_parallelism
+        for block in packed_blocks
+        if block.packed_parallelism
+    ]
+    serve_kwargs = dict(
+        transactions=params["serve_transactions"],
+        clients=params["serve_clients"],
+        block_size_target=params["block_size"],
+        workload="hotburst",
+        seed=params["seed"],
+    )
+    serve_fifo = run_serve_load(**serve_kwargs)
+    serve_packed = run_serve_load(
+        packing="conflict_aware",
+        packing_lane_depth=params["lane_depth"],
+        packing_aging_bound=params["aging_bound"],
+        **serve_kwargs,
+    )
+
+    return {
+        "parameters": dict(params),
+        "digest_parity": digest_parity,
+        "occ_digest_parity": occ_parity,
+        "serve_digest_parity": bool(
+            serve_packed.get("digest_match")
+            and serve_packed.get("fifo_digest_match", True)
+        ),
+        "fifo": {
+            "blocks": len(fifo_blocks),
+            "occ_executions": fifo_exec,
+            "occ_aborts": fifo_aborts,
+            "wall_tx_per_second": (
+                len(txs) / fifo_wall if fifo_wall else 0.0
+            ),
+            "serve_tps": serve_fifo["load"]["tx_per_second"],
+        },
+        "packed": {
+            "blocks": len(packed_blocks),
+            "occ_executions": packed_exec,
+            "occ_aborts": packed_aborts,
+            "wall_tx_per_second": (
+                len(txs) / packed_wall if packed_wall else 0.0
+            ),
+            "serve_tps": serve_packed["load"]["tx_per_second"],
+            "serve_parallelism": (
+                serve_packed["stats"]["packedParallelism"]
+            ),
+        },
+        "packing_speedup": max(wall_ratios),
+        "packing_speedup_samples": wall_ratios,
+        # Deterministic for (config, seed): total speculative executions
+        # FIFO/packed — the machine-independent form of the same win.
+        "packing_exec_ratio": (
+            fifo_exec / packed_exec if packed_exec else 0.0
+        ),
+        "packed_parallelism": (
+            sum(parallelism) / len(parallelism) if parallelism else 0.0
+        ),
+    }
+
 
 def run_config(name: str) -> dict:
     from repro.serve.smoke import run_serve_load
@@ -469,6 +623,7 @@ def run_config(name: str) -> dict:
     serve_latency = serve["load"]["latency"]
     storage = measure_storage(name)
     replication = measure_replication(name)
+    packing = measure_packing(name)
     fleet_tps = {
         f["replicas"]: f["read_tps"] for f in replication["fleets"]
     }
@@ -516,12 +671,28 @@ def run_config(name: str) -> dict:
             "replication_read_tps_2": fleet_tps.get(2, 0.0),
             "replication_read_tps_4": fleet_tps.get(4, 0.0),
             "replication_lag_p99_ms": replication["lag_p99_ms"],
+            # OCC wall time of the conflict-heavy chain, FIFO cut over
+            # packed cut: a same-machine best-of-pairs ratio, portable
+            # across hardware. The exec ratio is the deterministic form
+            # (speculative execution counts, no timing at all).
+            "packing_speedup": packing["packing_speedup"],
+            "packing_exec_ratio": packing["packing_exec_ratio"],
+            "packed_parallelism": packing["packed_parallelism"],
+            "packing_wall_tps_fifo": (
+                packing["fifo"]["wall_tx_per_second"]
+            ),
+            "packing_wall_tps_packed": (
+                packing["packed"]["wall_tx_per_second"]
+            ),
+            "packing_serve_tps_fifo": packing["fifo"]["serve_tps"],
+            "packing_serve_tps_packed": packing["packed"]["serve_tps"],
         },
         "report": report.to_dict(),
         "wall": wall,
         "serve": serve,
         "storage": storage,
         "replication": replication,
+        "packing": packing,
     }
 
 
@@ -617,6 +788,34 @@ def check_baseline(result: dict, baseline_path: pathlib.Path) -> int:
             f"vs baseline {baseline_repl:.3f} "
             f"(floor {repl_floor:.3f})"
         )
+    packing_speedup = result["headline"]["packing_speedup"]
+    if packing_speedup < PACKING_SPEEDUP_FLOOR:
+        print(
+            f"REGRESSION: conflict-aware packing speeds up the OCC "
+            f"executor only {packing_speedup:.2f}x over FIFO on the "
+            f"conflict-heavy workload — below the "
+            f"{PACKING_SPEEDUP_FLOOR}x floor"
+        )
+        return 1
+    print(
+        f"ok: packing OCC speedup {packing_speedup:.2f}x "
+        f"(floor {PACKING_SPEEDUP_FLOOR}x)"
+    )
+    baseline_packing = entry.get("packing_exec_ratio")
+    if baseline_packing:
+        exec_ratio = result["headline"]["packing_exec_ratio"]
+        packing_floor = REGRESSION_FLOOR * baseline_packing
+        if exec_ratio < packing_floor:
+            print(
+                f"REGRESSION: packing exec ratio {exec_ratio:.2f} is "
+                f"below {REGRESSION_FLOOR}x baseline "
+                f"({baseline_packing:.2f} -> floor {packing_floor:.2f})"
+            )
+            return 1
+        print(
+            f"ok: packing exec ratio {exec_ratio:.2f} vs baseline "
+            f"{baseline_packing:.2f} (floor {packing_floor:.2f})"
+        )
     return 0
 
 
@@ -694,6 +893,26 @@ def main(argv: list[str] | None = None) -> int:
         f"efficiency {headline['replication_write_efficiency']:.3f} "
         f"vs no replication"
     )
+    packing = result["packing"]
+    print(
+        f"[{config}] packing: OCC wall "
+        f"{headline['packing_wall_tps_fifo']:.0f} -> "
+        f"{headline['packing_wall_tps_packed']:.0f} tx/s "
+        f"({headline['packing_speedup']:.2f}x, exec ratio "
+        f"{headline['packing_exec_ratio']:.2f}, parallelism "
+        f"{headline['packed_parallelism']:.1f}); serve "
+        f"{headline['packing_serve_tps_fifo']:.0f} -> "
+        f"{headline['packing_serve_tps_packed']:.0f} tx/s; "
+        f"digest parity: "
+        f"{packing['digest_parity'] and packing['occ_digest_parity']}"
+    )
+    if not (
+        packing["digest_parity"]
+        and packing["occ_digest_parity"]
+        and packing["serve_digest_parity"]
+    ):
+        print("FAIL: packed chain diverged from FIFO replay")
+        return 1
 
     out_dir = args.out or pathlib.Path(__file__).resolve().parent.parent
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -718,6 +937,8 @@ def main(argv: list[str] | None = None) -> int:
                 "durable_tps_always", "recovery_blocks_per_second",
                 "replication_read_tps_1", "replication_read_tps_2",
                 "replication_read_tps_4", "replication_lag_p99_ms",
+                "packing_wall_tps_fifo", "packing_wall_tps_packed",
+                "packing_serve_tps_fifo", "packing_serve_tps_packed",
             )
         }
         args.write_baseline.write_text(

@@ -6,12 +6,15 @@ from .state import AccessSet, WorldState
 from .transaction import Transaction
 from .receipt import LogEntry, Receipt
 from .block import Block, BlockHeader
+from .bloom import AccessBloom, AccessEstimator, bloom_for_transaction
 from .mempool import (
     AdmissionError,
     DuplicateTransactionError,
     InsufficientFundsError,
     IntrinsicGasError,
     Mempool,
+    PackedTake,
+    PackingPolicy,
     SenderLimitError,
 )
 
@@ -28,8 +31,11 @@ def __getattr__(name: str):
 
 __all__ = [
     "Account",
+    "AccessBloom",
+    "AccessEstimator",
     "AccessSet",
     "AdmissionError",
+    "bloom_for_transaction",
     "WorldState",
     "Transaction",
     "LogEntry",
@@ -42,6 +48,8 @@ __all__ = [
     "IntrinsicGasError",
     "Mempool",
     "Node",
+    "PackedTake",
+    "PackingPolicy",
     "SenderLimitError",
     "StageClock",
 ]

@@ -77,6 +77,18 @@ class Block:
     #: (:class:`~repro.chain.journal.ExecutionArtifact`). Node-local —
     #: never serialized; executors use them for execute-once replay.
     artifacts: list | None = field(default=None, repr=False, compare=False)
+    #: Conflict-aware packing lanes: index lists partitioning
+    #: ``transactions`` into serial chains with no conflicts between
+    #: lanes (``Mempool.take_packed``). Node-local — never serialized;
+    #: the DAG in ``dag_edges`` stays the portable dependency encoding.
+    packed_lanes: list[list[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Width of the packed cut (transactions ÷ longest lane); ``None``
+    #: for FIFO-packed blocks.
+    packed_parallelism: float | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def to_rlp(self) -> bytes:
         return rlp.encode(

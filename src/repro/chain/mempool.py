@@ -14,11 +14,26 @@ so an attacker cannot grow the pool without bound. Re-announcing an
 already-pooled hash raises :class:`DuplicateTransactionError`, and an
 optional per-sender pending cap (:class:`SenderLimitError`) stops one
 sender from flooding everyone else out through the capacity eviction.
+
+Storage is insertion-ordered (Python dicts preserve insertion order and
+``heard_at`` stamps are monotone in live operation), so ``take`` /
+``take_packed`` / ``pending`` / eviction all walk arrival order without
+re-sorting the pool; an explicit out-of-order ``heard_at`` (tests,
+gossip replays) just marks the order dirty for one lazy re-sort.
+
+Admission also builds each transaction's access-set bloom filter
+(:mod:`repro.chain.bloom`), which :meth:`take_packed` uses for
+FAFO-style conflict-aware block packing: greedily fill the cut with
+mutually non-conflicting transactions grouped into parallel *lanes*,
+deferring conflicters — bounded by an aging rule so nothing starves.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..obs import get_registry
+from .bloom import AccessBloom, AccessEstimator, bloom_for_transaction
 from .transaction import Transaction
 
 
@@ -42,6 +57,70 @@ class SenderLimitError(AdmissionError):
     """The sender already has the maximum pending transactions."""
 
 
+class _PoolEntry:
+    __slots__ = ("tx", "heard_at", "bloom", "deferrals")
+
+    def __init__(self, tx: Transaction, heard_at: int, bloom: AccessBloom):
+        self.tx = tx
+        self.heard_at = heard_at
+        self.bloom = bloom
+        #: Consecutive packed cuts that skipped this transaction.
+        self.deferrals = 0
+
+
+@dataclass(frozen=True)
+class PackingPolicy:
+    """Knobs for :meth:`Mempool.take_packed`.
+
+    *lane_depth* caps how many transactions one conflict chain (lane)
+    contributes per block once a second lane exists — it balances lanes
+    for parallel dispatch; ``None`` leaves chains unbounded. With
+    *aging_bound* deferrals behind it, a transaction is force-included
+    (its conflicting lanes merge) rather than skipped again.
+    *scan_window* bounds how far past the cut size the packer looks for
+    non-conflicting fill (``None``: 8× the cut size).
+    """
+
+    lane_depth: int | None = None
+    aging_bound: int = 8
+    scan_window: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.lane_depth is not None and self.lane_depth <= 0:
+            raise ValueError("lane_depth must be positive")
+        if self.aging_bound < 0:
+            raise ValueError("aging_bound must be >= 0")
+        if self.scan_window is not None and self.scan_window <= 0:
+            raise ValueError("scan_window must be positive")
+
+
+@dataclass
+class PackedTake:
+    """One conflict-aware cut: transactions, lanes, deferral stats.
+
+    ``transactions`` preserves arrival order (the cut is a FIFO
+    *subsequence*); ``lanes`` partitions its indices into serial
+    conflict chains with no bloom conflicts *between* lanes, so the
+    discovered DAG never crosses lanes and :mod:`repro.parallel` can
+    dispatch them concurrently.
+    """
+
+    transactions: list[Transaction] = field(default_factory=list)
+    lanes: list[list[int]] = field(default_factory=list)
+    #: Transactions scanned but pushed to a later block this cut.
+    deferred: int = 0
+    #: Aged transactions force-included by merging their lanes.
+    forced: int = 0
+
+    @property
+    def parallelism(self) -> float:
+        """Width of the cut: transactions over the longest lane."""
+        if not self.transactions:
+            return 0.0
+        longest = max(len(lane) for lane in self.lanes)
+        return len(self.transactions) / longest
+
+
 class Mempool:
     """Pending transactions, ordered by arrival."""
 
@@ -50,13 +129,18 @@ class Mempool:
         capacity: int | None = None,
         state=None,
         per_sender_cap: int | None = None,
+        estimator: AccessEstimator | None = None,
+        trust_estimates: bool = False,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("mempool capacity must be positive")
         if per_sender_cap is not None and per_sender_cap <= 0:
             raise ValueError("per-sender cap must be positive")
-        self._pool: dict[bytes, tuple[Transaction, int]] = {}
+        self._pool: dict[bytes, _PoolEntry] = {}
         self._arrival_counter = 0
+        #: Set when an explicit out-of-order ``heard_at`` broke the
+        #: dict's insertion order; the next ordered walk re-sorts once.
+        self._order_dirty = False
         #: Maximum pooled transactions; oldest are evicted beyond it.
         self.capacity = capacity
         #: Maximum pending transactions per sender; the sender's further
@@ -64,8 +148,15 @@ class Mempool:
         self.per_sender_cap = per_sender_cap
         #: Pending-transaction count per sender address.
         self._by_sender: dict[int, int] = {}
-        #: Optional world state used for balance-aware admission.
+        #: Optional world state used for balance-aware admission and the
+        #: pure-transfer bloom derivation.
         self.state = state
+        #: Optional last-seen access estimator for undeclared calls.
+        self.estimator = estimator
+        #: Reorder on heuristic (estimator) blooms too. Off by default:
+        #: undeclared contract calls then get opaque blooms and are
+        #: never reordered relative to anything.
+        self.trust_estimates = trust_estimates
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -95,13 +186,21 @@ class Mempool:
                     f"value-bearing transaction"
                 )
 
-    def add(self, tx: Transaction, heard_at: int | None = None) -> bool:
+    def add(
+        self,
+        tx: Transaction,
+        heard_at: int | None = None,
+        bloom: AccessBloom | None = None,
+    ) -> bool:
         """Record a disseminated transaction (unique by hash).
 
         Returns True when newly pooled. Raises :class:`AdmissionError`
         when the transaction fails intrinsic checks, is a duplicate of a
         pooled hash, or would push its sender past the per-sender cap
-        (in every case it is not pooled).
+        (in every case it is not pooled). *bloom* carries a previously
+        derived access bloom across a spill/readmit cycle; by default
+        one is built here, at admission, where the caller already holds
+        whatever lock guards :attr:`state`.
         """
         registry = get_registry()
         tx_hash = tx.hash()
@@ -127,8 +226,19 @@ class Mempool:
             raise
         if heard_at is None:
             heard_at = self._arrival_counter
+        elif self._pool and heard_at < next(
+            reversed(self._pool.values())
+        ).heard_at:
+            self._order_dirty = True
         self._arrival_counter = max(self._arrival_counter, heard_at) + 1
-        self._pool[tx_hash] = (tx, heard_at)
+        if bloom is None:
+            bloom = bloom_for_transaction(
+                tx,
+                state=self.state,
+                estimator=self.estimator,
+                trust_estimates=self.trust_estimates,
+            )
+        self._pool[tx_hash] = _PoolEntry(tx, heard_at, bloom)
         self._by_sender[tx.sender] = self._by_sender.get(tx.sender, 0) + 1
         registry.counter("mempool.added").inc()
         if self.capacity is not None and len(self._pool) > self.capacity:
@@ -136,17 +246,33 @@ class Mempool:
         registry.gauge("mempool.size").set(len(self._pool))
         return True
 
+    def _ordered(self) -> dict[bytes, _PoolEntry]:
+        """The pool in arrival order; re-sorts only after an
+        out-of-order ``heard_at`` dirtied the insertion order."""
+        if self._order_dirty:
+            self._pool = dict(
+                sorted(
+                    self._pool.items(), key=lambda item: item[1].heard_at
+                )
+            )
+            self._order_dirty = False
+        return self._pool
+
     def _forget(self, tx_hash: bytes) -> None:
-        tx, _ = self._pool.pop(tx_hash)
-        remaining = self._by_sender.get(tx.sender, 0) - 1
+        entry = self._pool.pop(tx_hash)
+        remaining = self._by_sender.get(entry.tx.sender, 0) - 1
         if remaining > 0:
-            self._by_sender[tx.sender] = remaining
+            self._by_sender[entry.tx.sender] = remaining
         else:
-            self._by_sender.pop(tx.sender, None)
+            self._by_sender.pop(entry.tx.sender, None)
 
     def _evict_oldest(self, count: int) -> None:
-        ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
-        for tx_hash, _ in ordered[:count]:
+        victims = []
+        for tx_hash in self._ordered():
+            if len(victims) >= count:
+                break
+            victims.append(tx_hash)
+        for tx_hash in victims:
             self._forget(tx_hash)
         get_registry().counter("mempool.evicted").inc(count)
 
@@ -165,7 +291,7 @@ class Mempool:
     def known_before(self, tx: Transaction, time: int) -> bool:
         """Was *tx* disseminated to this node before *time*?"""
         entry = self._pool.get(tx.hash())
-        return entry is not None and entry[1] < time
+        return entry is not None and entry.heard_at < time
 
     def take(
         self, count: int, gas_target: int | None = None
@@ -177,21 +303,157 @@ class Mempool:
         very first transaction is always taken (a single over-budget
         transaction must not wedge block building forever).
         """
-        ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
         taken: list[Transaction] = []
         gas = 0
-        for _, (tx, _) in ordered[:count]:
+        for entry in self._ordered().values():
+            if len(taken) >= count:
+                break
             if (
                 gas_target is not None
                 and taken
-                and gas + tx.gas_limit > gas_target
+                and gas + entry.tx.gas_limit > gas_target
             ):
                 break
-            taken.append(tx)
-            gas += tx.gas_limit
+            taken.append(entry.tx)
+            gas += entry.tx.gas_limit
         for tx in taken:
             self._forget(tx.hash())
         return taken
+
+    def take_packed(
+        self,
+        count: int,
+        gas_target: int | None = None,
+        policy: PackingPolicy | None = None,
+    ) -> PackedTake:
+        """Cut up to *count* transactions, conflict-aware (FAFO-style).
+
+        Scans arrival order and greedily groups transactions into
+        parallel *lanes* via their access blooms:
+
+        * no conflict with any lane → opens a new lane;
+        * conflict with exactly one lane with room → joins it (a serial
+          chain);
+        * conflict with several lanes → deferred to a later block —
+          unless it has already been deferred ``aging_bound`` times, in
+          which case the lanes merge and it is included (no starvation).
+
+        **Skipped-set rule** (the pack-equivalence invariant): once a
+        transaction is deferred, every later transaction whose bloom
+        conflicts with the deferred set is deferred too. The cut is
+        therefore a FIFO subsequence in which every pair of potentially
+        conflicting transactions keeps its arrival order — across the
+        whole chain the packed history is a conflict-preserving
+        permutation of FIFO, so receipts and state digest are
+        bit-identical to FIFO replay (property-tested).
+
+        The oldest pooled transaction is always selected (scanned first,
+        nothing deferred yet), so every transaction's backlog rank
+        strictly shrinks each cut: inclusion within (rank + 1) cuts is
+        structural, the aging bound just tightens it.
+
+        Gas accounting matches :meth:`take`: the scan stops before the
+        transaction that would exceed *gas_target* (first always fits).
+        """
+        policy = policy or PackingPolicy()
+        scan_window = policy.scan_window or count * 8
+        ordered = self._ordered()
+
+        # A group is [aggregate bloom, indices, member blooms]: the
+        # aggregate is the no-conflict fast path (no false negatives);
+        # on a hit the member list is checked pairwise, so aggregate
+        # saturation costs time, never packing quality.
+        def hits(bloom: AccessBloom, group: list) -> bool:
+            return bloom.may_conflict(group[0]) and any(
+                bloom.may_conflict(member) for member in group[2]
+            )
+
+        def absorb(group: list, bloom: AccessBloom) -> None:
+            group[0].merge(bloom)
+            group[2].append(bloom)
+
+        def new_group(bloom: AccessBloom) -> list:
+            return [AccessBloom(bits=bloom.bits, hashes=bloom.hashes),
+                    [], []]
+
+        selected: list[Transaction] = []
+        lanes: list[list] = []
+        skipped: list | None = None
+        deferred = forced = scanned = 0
+        gas = 0
+        for entry in ordered.values():
+            if len(selected) >= count or scanned >= scan_window:
+                break
+            scanned += 1
+            bloom = entry.bloom
+            if (
+                gas_target is not None
+                and selected
+                and gas + entry.tx.gas_limit > gas_target
+            ):
+                break
+            if skipped is not None and hits(bloom, skipped):
+                # Skipped-set rule: never jump the queue past a deferred
+                # conflicter — that would reorder a conflicting pair.
+                entry.deferrals += 1
+                absorb(skipped, bloom)
+                deferred += 1
+                continue
+            conflicting = [lane for lane in lanes if hits(bloom, lane)]
+            if not conflicting:
+                lane = new_group(bloom)
+                lanes.append(lane)
+            elif len(conflicting) == 1 and (
+                policy.lane_depth is None
+                or len(conflicting[0][1]) < policy.lane_depth
+            ):
+                lane = conflicting[0]
+            elif entry.deferrals >= policy.aging_bound:
+                # Aged out: merge every conflicting lane into one and
+                # include the transaction — it never conflicts with the
+                # deferred set (checked above), so FIFO order among
+                # conflicters is still intact.
+                lane = conflicting[0]
+                for other in conflicting[1:]:
+                    lane[0].merge(other[0])
+                    lane[1].extend(other[1])
+                    lane[2].extend(other[2])
+                    lanes.remove(other)
+                lane[1].sort()
+                forced += 1
+            else:
+                entry.deferrals += 1
+                if skipped is None:
+                    skipped = new_group(bloom)
+                absorb(skipped, bloom)
+                deferred += 1
+                continue
+            absorb(lane, bloom)
+            lane[1].append(len(selected))
+            selected.append(entry.tx)
+            gas += entry.tx.gas_limit
+
+        for tx in selected:
+            self._forget(tx.hash())
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("mempool.packed_deferred").inc(deferred)
+            if forced:
+                registry.counter("mempool.packed_forced").inc(forced)
+            registry.gauge("mempool.size").set(len(self._pool))
+        return PackedTake(
+            transactions=selected,
+            lanes=[lane[1] for lane in lanes],
+            deferred=deferred,
+            forced=forced,
+        )
+
+    def observe_block(self, artifacts) -> None:
+        """Feed committed execution artifacts to the access estimator."""
+        if self.estimator is None or not artifacts:
+            return
+        for artifact in artifacts:
+            self.estimator.observe(artifact)
 
     def remove(self, transactions: list[Transaction]) -> None:
         """Drop transactions that were included in a block."""
@@ -202,5 +464,16 @@ class Mempool:
 
     def pending(self) -> list[Transaction]:
         """All pooled transactions, oldest first (non-destructive)."""
-        ordered = sorted(self._pool.items(), key=lambda item: item[1][1])
-        return [tx for _, (tx, _) in ordered]
+        return [entry.tx for entry in self._ordered().values()]
+
+    def spill_entries(self) -> list[tuple[Transaction, bytes]]:
+        """(transaction, serialized bloom) pairs for the spill file.
+
+        Blooms ride along so declared-access filters (whose tags are
+        not on the wire) survive a drain/restart cycle; arrival order is
+        preserved.
+        """
+        return [
+            (entry.tx, entry.bloom.to_bytes())
+            for entry in self._ordered().values()
+        ]

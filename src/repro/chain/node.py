@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from ..evm.context import BlockContext
 from ..evm.interpreter import EVM
+from ..obs import get_registry
 from .block import BLOCKHASH_WINDOW, Block, BlockHeader
 from .dag import build_dag_edges, discover_access_sets, transitive_reduction
 from .mempool import DuplicateTransactionError, Mempool
@@ -141,6 +142,8 @@ class Node:
         max_transactions: int = 200,
         gas_target: int | None = None,
         transactions: list[Transaction] | None = None,
+        packing: str = "fifo",
+        packing_policy=None,
     ) -> Block:
         """Package mempool transactions into a block with its DAG.
 
@@ -150,16 +153,33 @@ class Node:
         *transactions* skips the mempool take (the serve loop cuts on
         the event loop and proposes on a worker thread).
 
+        ``packing="conflict_aware"`` cuts via
+        :meth:`~repro.chain.mempool.Mempool.take_packed` instead:
+        mutually conflicting transactions are spread across blocks (and
+        grouped into parallel lanes within one), with *packing_policy*
+        (:class:`~repro.chain.mempool.PackingPolicy`) controlling lane
+        depth and the anti-starvation aging bound. The cut rides on
+        ``Block.packed_lanes`` / ``packed_parallelism``.
+
         The dependency DAG is discovered by speculative execution on a
         state copy and stored (transitively reduced) in the block, as the
         paper's consensus-stage nodes do; the pre-execution artifacts
         ride along on ``Block.artifacts`` for execute-once replay.
         """
-        txs = (
-            transactions
-            if transactions is not None
-            else self.mempool.take(max_transactions, gas_target=gas_target)
-        )
+        if packing not in ("fifo", "conflict_aware"):
+            raise ValueError(f"unknown packing {packing!r}")
+        packed = None
+        if transactions is not None:
+            txs = transactions
+        elif packing == "conflict_aware":
+            packed = self.mempool.take_packed(
+                max_transactions,
+                gas_target=gas_target,
+                policy=packing_policy,
+            )
+            txs = packed.transactions
+        else:
+            txs = self.mempool.take(max_transactions, gas_target=gas_target)
         height = len(self.chain) + 1
         context = self.block_context(height)
         artifacts = discover_access_sets(txs, self.state, context)
@@ -176,13 +196,22 @@ class Node:
             parent_hash=parent_hash,
         )
         recent = [b.hash() for b in reversed(self.chain)][:BLOCKHASH_WINDOW]
-        return Block(
+        block = Block(
             header=header,
             transactions=txs,
             dag_edges=edges,
             recent_hashes=recent,
             artifacts=artifacts,
         )
+        if packed is not None:
+            block.packed_lanes = packed.lanes
+            block.packed_parallelism = packed.parallelism
+            registry = get_registry()
+            if registry.enabled and packed.transactions:
+                registry.histogram("block.packed_parallelism").observe(
+                    packed.parallelism
+                )
+        return block
 
     # -- execution stage ----------------------------------------------------------
     def execute_block(self, block: Block) -> list[Receipt]:
@@ -214,6 +243,9 @@ class Node:
         self.chain.append(block)
         self.receipts[block.hash()] = receipts
         self.mempool.remove(block.transactions)
+        # Committed access sets feed the pack-time estimator (when one
+        # is attached) for future undeclared calls of the same shape.
+        self.mempool.observe_block(block.artifacts)
 
     def verify_block(
         self, block: Block, claimed_root: bytes

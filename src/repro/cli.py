@@ -191,6 +191,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop connections silent this long (subscribers exempt; "
              "default: never)",
     )
+    serve.add_argument(
+        "--packing", choices=("fifo", "conflict_aware"), default="fifo",
+        help="block cut policy: fifo (arrival order) or conflict_aware "
+             "(spread conflicting transactions across blocks and "
+             "parallel lanes; state stays bit-identical to fifo)",
+    )
+    serve.add_argument(
+        "--packing-lane-depth", type=int, default=None, metavar="N",
+        help="max transactions one conflict chain contributes per "
+             "packed block (default: block size / workers)",
+    )
+    serve.add_argument(
+        "--packing-aging-bound", type=int, default=8, metavar="N",
+        help="deferred cuts before a conflicting transaction is "
+             "force-included (default: 8)",
+    )
 
     replicate = sub.add_parser(
         "replicate",
@@ -311,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="open loop: seconds to sustain --rate (default: 5)",
     )
     loadgen.add_argument(
-        "--workload", choices=("transfer", "erc20", "mixed"),
+        "--workload", choices=("transfer", "hotburst", "erc20", "mixed"),
         default="transfer",
     )
     loadgen.add_argument("--seed", type=int, default=0)
@@ -397,6 +413,9 @@ def _run_serve(args) -> int:
         fsync_interval_blocks=args.fsync_interval,
         replication_port=args.replication_port,
         idle_timeout_s=args.idle_timeout,
+        packing=args.packing,
+        packing_lane_depth=args.packing_lane_depth,
+        packing_aging_bound=args.packing_aging_bound,
     )
     deployment = build_deployment(num_accounts=args.accounts)
     node = Node(state=deployment.state,

@@ -16,9 +16,12 @@ from .executor import (
     ParallelBlockExecutor,
     ParallelBlockResult,
 )
+from .occ import OccBlockResult, OptimisticBlockExecutor
 
 __all__ = [
     "AccessMismatch",
+    "OccBlockResult",
+    "OptimisticBlockExecutor",
     "ParallelBlockExecutor",
     "ParallelBlockResult",
 ]

@@ -20,9 +20,11 @@ import threading
 import time
 from collections import deque
 
+from ..chain.bloom import AccessEstimator
 from ..chain.mempool import (  # noqa: F401  (AdmissionError re-export)
     AdmissionError,
     DuplicateTransactionError,
+    PackingPolicy,
 )
 from ..chain.node import Node
 from ..chain.receipt import Receipt
@@ -84,6 +86,25 @@ class BlockBuilder:
         self.txs_committed = 0
         self.sequential_fallbacks = 0
         self.execution_failures = 0
+        self.packed_blocks = 0
+        self.packed_parallelism_sum = 0.0
+        self.packed_deferred_total = 0
+        #: Resolved lane-depth/aging policy under conflict-aware packing.
+        self.packing_policy: PackingPolicy | None = None
+        if self.config.packing == "conflict_aware":
+            depth = self.config.packing_lane_depth or max(
+                1,
+                self.config.block_size_target
+                // max(1, self.config.num_workers),
+            )
+            self.packing_policy = PackingPolicy(
+                lane_depth=depth,
+                aging_bound=self.config.packing_aging_bound,
+            )
+            if self.config.packing_trust_estimates:
+                if self.node.mempool.estimator is None:
+                    self.node.mempool.estimator = AccessEstimator()
+                self.node.mempool.trust_estimates = True
 
     # -- ingress -----------------------------------------------------------
     @property
@@ -242,16 +263,28 @@ class BlockBuilder:
 
     async def _cut_and_execute(self) -> None:
         config = self.config
-        txs = self.node.mempool.take(
-            config.block_size_target, gas_target=config.gas_target
-        )
+        packed = None
+        if self.packing_policy is not None:
+            # take_packed reads only admission-time blooms — never the
+            # shared world state — so it is safe here on the event loop
+            # without state_lock, exactly like take().
+            packed = self.node.mempool.take_packed(
+                config.block_size_target,
+                gas_target=config.gas_target,
+                policy=self.packing_policy,
+            )
+            txs = packed.transactions
+        else:
+            txs = self.node.mempool.take(
+                config.block_size_target, gas_target=config.gas_target
+            )
         if not txs:
             return
         self._in_flight = len(txs)
         loop = asyncio.get_running_loop()
         try:
             block, receipts = await loop.run_in_executor(
-                None, self._build_and_execute, txs
+                None, self._build_and_execute, txs, packed
             )
         except asyncio.CancelledError:
             raise
@@ -285,12 +318,23 @@ class BlockBuilder:
                 future.exception()
 
     # -- execution (worker thread; one block at a time) --------------------
-    def _build_and_execute(self, txs):
+    def _build_and_execute(self, txs, packed=None):
         with self.state_lock:
-            return self._build_and_execute_locked(txs)
+            return self._build_and_execute_locked(txs, packed)
 
-    def _build_and_execute_locked(self, txs):
+    def _build_and_execute_locked(self, txs, packed=None):
         block = self.node.propose_block(transactions=txs)
+        if packed is not None:
+            block.packed_lanes = packed.lanes
+            block.packed_parallelism = packed.parallelism
+            self.packed_blocks += 1
+            self.packed_parallelism_sum += packed.parallelism
+            self.packed_deferred_total += packed.deferred
+            registry = get_registry()
+            if registry.enabled:
+                registry.histogram("block.packed_parallelism").observe(
+                    packed.parallelism
+                )
         token = self.node.state.snapshot()
         try:
             receipts = self._execute(block)

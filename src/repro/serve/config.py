@@ -92,9 +92,35 @@ class ServeConfig:
     #: PUs (mtpu) or worker processes (parallel).
     num_workers: int = 4
 
+    # -- block packing ----------------------------------------------------
+    #: "fifo" cuts blocks in arrival order; "conflict_aware" cuts via
+    #: :meth:`Mempool.take_packed` — FAFO-style: conflicting
+    #: transactions spread across blocks and lanes, receipts and state
+    #: digest bit-identical to FIFO (the pack-equivalence property).
+    packing: str = "fifo"
+    #: Cap on one conflict chain's transactions per block (None:
+    #: ``max(1, block_size_target // num_workers)``, sized so every
+    #: worker gets a lane).
+    packing_lane_depth: int | None = None
+    #: Deferred cuts before a conflicting transaction is force-included
+    #: (the anti-starvation bound).
+    packing_aging_bound: int = 8
+    #: Also reorder on heuristic last-seen access estimates. Off by
+    #: default: undeclared contract calls then stay in FIFO order.
+    packing_trust_estimates: bool = False
+
     def __post_init__(self) -> None:
         if self.executor not in ("sequential", "mtpu", "parallel"):
             raise ValueError(f"unknown executor {self.executor!r}")
+        if self.packing not in ("fifo", "conflict_aware"):
+            raise ValueError(f"unknown packing {self.packing!r}")
+        if (
+            self.packing_lane_depth is not None
+            and self.packing_lane_depth <= 0
+        ):
+            raise ValueError("packing_lane_depth must be positive")
+        if self.packing_aging_bound < 0:
+            raise ValueError("packing_aging_bound must be >= 0")
         if self.role not in ("writer", "replica"):
             raise ValueError(f"unknown role {self.role!r}")
         if self.replication_port is not None and self.data_dir is None:

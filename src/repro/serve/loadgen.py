@@ -236,9 +236,13 @@ def make_transactions(
     """*count* unique transactions valid against *deployment*'s genesis.
 
     ``transfer`` is plain value movement between funded accounts (the
-    cheapest traffic, for throughput ceilings); ``erc20`` and ``mixed``
-    route through :class:`~repro.workload.actions.ActionLibrary` for
-    contract-heavy traffic. Per-sender nonces make every hash unique.
+    cheapest traffic, for throughput ceilings); ``hotburst`` is the
+    conflict-heavy packing workload — bursts of transfers all crediting
+    one hot account, separated by independent transfers, so FIFO blocks
+    carry long serial conflict chains that conflict-aware packing
+    spreads across lanes; ``erc20`` and ``mixed`` route through
+    :class:`~repro.workload.actions.ActionLibrary` for contract-heavy
+    traffic. Per-sender nonces make every hash unique.
     """
     import random
 
@@ -259,6 +263,31 @@ def make_transactions(
         for i in range(count):
             sender = accounts[i % len(accounts)]
             recipient = accounts[(i * 7 + 3) % len(accounts)]
+            txs.append(Transaction(
+                sender=sender, to=recipient,
+                nonce=next_nonce(sender),
+                value=rng.randint(1, 1000), gas_limit=50_000,
+            ))
+        return txs
+
+    if workload == "hotburst":
+        # Locally bursty, globally sustainable: 16-transfer bursts all
+        # crediting one hot account (alternating between two), separated
+        # by 48 independent transfers. A FIFO cut of ~32 carries one
+        # 16-long serial chain; a packed cut caps chains at lane_depth
+        # and backfills from the independent tail.
+        burst, gap = 16, 48
+        hot = [0xB0057_0000 + k for k in range(2)]
+        burst_index = 0
+        for i in range(count):
+            sender = accounts[i % len(accounts)]
+            phase = i % (burst + gap)
+            if phase == 0:
+                burst_index += 1
+            if phase < burst:
+                recipient = hot[burst_index % len(hot)]
+            else:
+                recipient = 0xC01D_0000 + i
             txs.append(Transaction(
                 sender=sender, to=recipient,
                 nonce=next_nonce(sender),

@@ -214,7 +214,7 @@ class RpcServer:
             # admissions never cut) would silently vanish with the
             # process — spill it so the next start re-admits it.
             with self.builder.state_lock:
-                leftover = self.node.mempool.pending()
+                leftover = self.node.mempool.spill_entries()
             if leftover:
                 self.node.store.spill_mempool(leftover)
             self.node.store.close()
@@ -576,6 +576,15 @@ class RpcServer:
             "readOnlyRejects": self.read_only_rejects,
             "sequentialFallbacks": self.builder.sequential_fallbacks,
             "executionFailures": self.builder.execution_failures,
+            "packing": self.config.packing,
+            "packedBlocks": self.builder.packed_blocks,
+            "packedDeferred": self.builder.packed_deferred_total,
+            "packedParallelism": (
+                self.builder.packed_parallelism_sum
+                / self.builder.packed_blocks
+                if self.builder.packed_blocks
+                else 0.0
+            ),
             "chainHeight": (
                 self.replication.height
                 if self.replication is not None

@@ -42,6 +42,20 @@ async def _run(
     deployment = build_deployment(num_accounts=num_accounts)
     node = Node(state=deployment.state.copy(),
                 per_sender_cap=config.per_sender_cap)
+    arrival: list = []
+    if config.packing == "conflict_aware" and check_digest:
+        # Record admission order (the event loop admits serially), so
+        # the reference below can replay the *FIFO* history the packed
+        # server reordered — the pack-equivalence check over sockets.
+        original_add = node.mempool.add
+
+        def recording_add(tx, heard_at=None, bloom=None):
+            admitted = original_add(tx, heard_at=heard_at, bloom=bloom)
+            if admitted:
+                arrival.append(tx)
+            return admitted
+
+        node.mempool.add = recording_add
     server = RpcServer(node=node, config=config)
     await server.start()
     try:
@@ -88,6 +102,19 @@ async def _run(
             and node.state.state_digest()
             == reference.state.state_digest()
         )
+        if arrival:
+            # Pack-equivalence: a fresh node executing the admitted
+            # transactions in strict arrival (FIFO) order must land on
+            # the same state the packed server committed.
+            fifo = Node(state=deployment.state.copy())
+            for start in range(0, len(arrival), config.block_size_target):
+                chunk = arrival[start:start + config.block_size_target]
+                fifo.execute_block(
+                    fifo.propose_block(transactions=chunk)
+                )
+            out["fifo_digest_match"] = (
+                fifo.state.state_digest() == node.state.state_digest()
+            )
     return out
 
 
@@ -102,6 +129,9 @@ def run_serve_load(
     check_digest: bool = True,
     data_dir: str | None = None,
     fsync: str = "always",
+    packing: str = "fifo",
+    packing_lane_depth: int | None = None,
+    packing_aging_bound: int = 8,
 ) -> dict:
     """Boot + load + drain, synchronously; returns the result dict."""
     config = ServeConfig(
@@ -112,6 +142,9 @@ def run_serve_load(
         executor=executor,
         data_dir=data_dir,
         fsync=fsync,
+        packing=packing,
+        packing_lane_depth=packing_lane_depth,
+        packing_aging_bound=packing_aging_bound,
     )
     return asyncio.run(_run(
         transactions, clients, config, workload, seed,
@@ -134,8 +167,17 @@ def main(argv: list[str] | None = None) -> int:
         default="sequential",
     )
     parser.add_argument(
-        "--workload", choices=("transfer", "erc20", "mixed"),
+        "--workload", choices=("transfer", "hotburst", "erc20", "mixed"),
         default="transfer",
+    )
+    parser.add_argument(
+        "--packing", choices=("fifo", "conflict_aware"), default="fifo",
+    )
+    parser.add_argument("--packing-lane-depth", type=int, default=None)
+    parser.add_argument("--packing-aging-bound", type=int, default=8)
+    parser.add_argument(
+        "--min-parallelism", type=float, default=None,
+        help="fail when the mean packed-block parallelism is below this",
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
@@ -155,6 +197,9 @@ def main(argv: list[str] | None = None) -> int:
         workload=args.workload,
         seed=args.seed,
         block_size_target=args.block_size_target,
+        packing=args.packing,
+        packing_lane_depth=args.packing_lane_depth,
+        packing_aging_bound=args.packing_aging_bound,
     )
     print(json.dumps(result, indent=2, sort_keys=True))
 
@@ -169,6 +214,15 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(f"typed errors under closed loop: {load['errors']}")
     if not result.get("digest_match", True):
         failures.append("serve state/receipts diverged from offline")
+    if not result.get("fifo_digest_match", True):
+        failures.append("packed state diverged from FIFO replay")
+    if args.min_parallelism is not None:
+        parallelism = result["stats"]["packedParallelism"]
+        if parallelism < args.min_parallelism:
+            failures.append(
+                f"packed parallelism {parallelism:.2f} "
+                f"< floor {args.min_parallelism:.2f}"
+            )
     if load["tx_per_second"] < args.min_tps:
         failures.append(
             f"throughput {load['tx_per_second']:.0f} tx/s "

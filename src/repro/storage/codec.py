@@ -132,14 +132,51 @@ def decode_wal_payload(payload: bytes) -> tuple[Block, bytes]:
     return block, digest
 
 
-def mempool_to_rlp(transactions: list[Transaction]) -> bytes:
-    """Encode a spilled mempool (a list of transaction wire blobs)."""
-    return rlp.encode([tx.to_rlp() for tx in transactions])
+def mempool_to_rlp(entries) -> bytes:
+    """Encode a spilled mempool.
+
+    *entries* is a list of bare :class:`Transaction` objects or of
+    ``(transaction, bloom_bytes)`` pairs (the
+    :meth:`Mempool.spill_entries` shape — access blooms ride along so
+    declared-access filters, whose tags are not on the wire, survive a
+    restart). Each pair encodes as a 2-list; a bare transaction encodes
+    as its wire blob, which keeps old spill files decodable.
+    """
+    items = []
+    for entry in entries:
+        if isinstance(entry, Transaction):
+            items.append(entry.to_rlp())
+        else:
+            tx, bloom_bytes = entry
+            items.append([tx.to_rlp(), bytes(bloom_bytes)])
+    return rlp.encode(items)
 
 
-def mempool_from_rlp(blob: bytes) -> list[Transaction]:
-    """Decode a spilled mempool back into transactions."""
-    return [
-        Transaction.from_rlp(rlp.as_bytes(item, "spilled transaction"))
-        for item in rlp.as_list(rlp.decode(blob), "spilled mempool")
-    ]
+def mempool_from_rlp(blob: bytes) -> list[tuple[Transaction, bytes | None]]:
+    """Decode a spilled mempool into ``(transaction, bloom_bytes)`` pairs.
+
+    ``bloom_bytes`` is ``None`` for legacy records that spilled the bare
+    transaction; the re-admitting mempool then rebuilds the bloom.
+    """
+    entries: list[tuple[Transaction, bytes | None]] = []
+    for item in rlp.as_list(rlp.decode(blob), "spilled mempool"):
+        if isinstance(item, list):
+            fields = rlp.as_list(item, "spilled entry", 2)
+            entries.append(
+                (
+                    Transaction.from_rlp(
+                        rlp.as_bytes(fields[0], "spilled transaction")
+                    ),
+                    rlp.as_bytes(fields[1], "spilled bloom"),
+                )
+            )
+        else:
+            entries.append(
+                (
+                    Transaction.from_rlp(
+                        rlp.as_bytes(item, "spilled transaction")
+                    ),
+                    None,
+                )
+            )
+    return entries

@@ -21,6 +21,7 @@ import dataclasses
 import os
 from dataclasses import dataclass, field
 
+from ..chain.bloom import AccessBloom
 from ..chain.node import Node
 from ..chain.state import WorldState
 from ..core.hotspot.tracker import HotspotTracker
@@ -298,13 +299,19 @@ def attach(
     store.init_genesis(node.state)
 
     respilled = 0
-    for tx in store.load_mempool(delete=True):
+    for tx, bloom_bytes in store.load_mempool(delete=True):
+        bloom = (
+            AccessBloom.from_bytes(bloom_bytes)
+            if bloom_bytes is not None
+            else None
+        )
         try:
-            if node.hear(tx):
+            if node.mempool.add(tx, bloom=bloom):
                 respilled += 1
         except AdmissionError:
             # Stale against the recovered state (nonce consumed,
-            # balance spent): drop it, exactly as live admission would.
+            # balance spent) or a gossip duplicate: drop it, exactly
+            # as live admission would.
             continue
     if respilled:
         registry = get_registry()

@@ -184,38 +184,45 @@ class ChainStore:
         self._appends_since_fsync = 0
 
     # -- mempool spill -----------------------------------------------------
-    def spill_mempool(self, transactions: list[Transaction]) -> int:
-        """Persist still-pending transactions on drain (atomic write)."""
-        if not transactions:
+    def spill_mempool(self, entries) -> int:
+        """Persist still-pending transactions on drain (atomic write).
+
+        *entries*: bare transactions or ``(transaction, bloom_bytes)``
+        pairs (:meth:`Mempool.spill_entries` — carries the admission-time
+        access blooms across the restart).
+        """
+        if not entries:
             return 0
-        blob = codec.mempool_to_rlp(transactions)
+        blob = codec.mempool_to_rlp(entries)
         snapshot.atomic_write(self.mempool_path, frame_record(blob))
         snapshot.sync_dir(self.data_dir)
-        self.mempool_spilled += len(transactions)
+        self.mempool_spilled += len(entries)
         registry = get_registry()
         if registry.enabled:
-            registry.counter("storage.mempool_spilled").inc(
-                len(transactions)
-            )
-        return len(transactions)
+            registry.counter("storage.mempool_spilled").inc(len(entries))
+        return len(entries)
 
-    def load_mempool(self, delete: bool = True) -> list[Transaction]:
+    def load_mempool(
+        self, delete: bool = True
+    ) -> list[tuple[Transaction, bytes | None]]:
         """Read (and by default consume) the spilled mempool.
 
-        The file is deleted after a successful read: once the
-        transactions are back in a live pool they either commit (and
-        must never be re-admitted by a later restart — they would
-        execute twice) or get spilled again on the next drain.
+        Returns ``(transaction, bloom_bytes)`` pairs, ``bloom_bytes``
+        ``None`` for legacy bare-transaction spill files. The file is
+        deleted after a successful read: once the transactions are back
+        in a live pool they either commit (and must never be re-admitted
+        by a later restart — they would execute twice) or get spilled
+        again on the next drain.
         """
         if not os.path.exists(self.mempool_path):
             return []
         with open(self.mempool_path, "rb") as fh:
             blob = fh.read()
-        transactions = codec.mempool_from_rlp(unframe_record(blob))
+        entries = codec.mempool_from_rlp(unframe_record(blob))
         if delete:
             os.unlink(self.mempool_path)
             snapshot.sync_dir(self.data_dir)
-        return transactions
+        return entries
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:

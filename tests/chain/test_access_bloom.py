@@ -1,0 +1,230 @@
+"""Access-set bloom filters: the conflict summaries packing trusts.
+
+The load-bearing property is **no false negatives**: whenever two real
+access sets conflict, their blooms must report ``may_conflict`` — a
+missed conflict would let the packer reorder a dependent pair and fork
+the packed chain from FIFO. False positives only cost packing quality,
+but the measured pairwise rate must stay small at the default geometry
+or conflict-aware packing degenerates to FIFO.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.bloom import (
+    DEFAULT_BITS,
+    DEFAULT_HASHES,
+    AccessBloom,
+    AccessEstimator,
+    bloom_for_transaction,
+)
+from repro.chain.dag import discover_access_sets
+from repro.chain.state import (
+    BALANCE_KEY,
+    CODE_KEY,
+    NONCE_KEY,
+    WorldState,
+)
+from repro.chain.transaction import Transaction
+
+# A compact strategy over (address, slot) keys: small spaces force both
+# real overlaps and near-misses.
+keys = st.tuples(st.integers(0, 40), st.integers(0, 10))
+key_sets = st.frozensets(keys, max_size=12)
+
+
+def real_conflict(r1, w1, r2, w2) -> bool:
+    return bool((w1 & w2) | (w1 & r2) | (r1 & w2))
+
+
+@settings(max_examples=300, deadline=None)
+@given(r1=key_sets, w1=key_sets, r2=key_sets, w2=key_sets)
+def test_no_false_negatives_by_construction(r1, w1, r2, w2):
+    """A real access-set conflict is always visible in the blooms —
+    at every geometry, including pathologically small ones."""
+    for bits, hashes in ((8, 1), (64, 2), (DEFAULT_BITS, DEFAULT_HASHES)):
+        a = AccessBloom.from_keys(r1, w1, bits=bits, hashes=hashes)
+        b = AccessBloom.from_keys(r2, w2, bits=bits, hashes=hashes)
+        if real_conflict(r1, w1, r2, w2):
+            assert a.may_conflict(b)
+            assert b.may_conflict(a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(reads=key_sets, writes=key_sets)
+def test_membership_has_no_false_negatives(reads, writes):
+    bloom = AccessBloom.from_keys(reads, writes)
+    assert all(bloom.may_read(key) for key in reads)
+    assert all(bloom.may_write(key) for key in writes)
+
+
+def test_measured_false_positive_rate_at_default_geometry():
+    """Pairwise FP rate for *disjoint* access sets stays under 2% at the
+    default bits/hashes (the packing-quality budget the module docstring
+    promises; ~(k·n₁)(k·n₂)/m ≈ 75/8192 ≈ 0.9% for these set sizes)."""
+    rng = random.Random(1234)
+    trials, false_positives = 2_000, 0
+    for trial in range(trials):
+        # Two disjoint key sets of typical transaction size (4-10 keys).
+        pool = rng.sample(range(1_000_000), 20)
+        left = [(addr, BALANCE_KEY) for addr in pool[:10]]
+        right = [(addr, BALANCE_KEY) for addr in pool[10:]]
+        a = AccessBloom.from_keys(left[:5], left[5:])
+        b = AccessBloom.from_keys(right[:5], right[5:])
+        if a.may_conflict(b):
+            false_positives += 1
+    assert false_positives / trials < 0.02
+
+
+def test_serialization_round_trip_and_stability():
+    bloom = AccessBloom.from_keys(
+        reads=[(1, BALANCE_KEY), (2, 7)],
+        writes=[(1, NONCE_KEY)],
+        bits=64,
+        hashes=2,
+        exact=False,
+    )
+    blob = bloom.to_bytes()
+    assert AccessBloom.from_bytes(blob) == bloom
+    # The encoding is the spill-file format: byte-stable across runs
+    # (blake2b key hashing, big-endian masks). A change here silently
+    # invalidates every spilled mempool — pin it.
+    assert blob.hex() == (
+        "010200" + "0004000200001100" + "0004000000020000"
+    )
+
+
+def test_serialization_rejects_garbage():
+    import pytest
+
+    with pytest.raises(ValueError):
+        AccessBloom.from_bytes(b"")
+    with pytest.raises(ValueError):
+        AccessBloom.from_bytes(b"\x02\x01\x01" + b"\x00" * 16)
+    with pytest.raises(ValueError):
+        AccessBloom.from_bytes(b"\x01\x01\x01" + b"\x00" * 15)
+
+
+def test_opaque_conflicts_with_everything_and_survives_serialization():
+    opaque = AccessBloom.opaque(bits=64)
+    assert opaque.is_opaque and not opaque.exact
+    empty = AccessBloom(bits=64)
+    assert opaque.may_conflict(opaque)
+    assert not opaque.may_conflict(empty)  # nothing writes in `empty`
+    touched = AccessBloom.from_keys([], [(1, BALANCE_KEY)], bits=64)
+    assert opaque.may_conflict(touched)
+    restored = AccessBloom.from_bytes(opaque.to_bytes())
+    assert restored.is_opaque and restored == opaque
+
+
+def test_merge_unions_masks_and_demotes_exactness():
+    a = AccessBloom.from_keys([(1, 1)], [(2, 2)], bits=64)
+    b = AccessBloom.from_keys([(3, 3)], [(4, 4)], bits=64, exact=False)
+    a.merge(b)
+    assert a.may_read((1, 1)) and a.may_read((3, 3))
+    assert a.may_write((2, 2)) and a.may_write((4, 4))
+    assert not a.exact
+
+
+def test_declared_sets_build_exact_bloom_with_sender_keys():
+    tx = Transaction(
+        sender=0xAA, to=0xBB, data=b"\x01\x02\x03\x04",
+        gas_limit=100_000,
+        tags={"reads": [(0xBB, 5)], "writes": [(0xBB, 5)]},
+    )
+    bloom = bloom_for_transaction(tx)
+    assert bloom.exact and not bloom.is_opaque
+    assert bloom.may_read((0xBB, 5)) and bloom.may_write((0xBB, 5))
+    # Implicit fee/nonce keys: two declared-set txs from one sender must
+    # always conflict so their nonce order survives packing.
+    sibling = bloom_for_transaction(Transaction(
+        sender=0xAA, to=0xCC, nonce=1, data=b"\x05\x06\x07\x08",
+        gas_limit=100_000, tags={"reads": [], "writes": []},
+    ))
+    assert bloom.may_conflict(sibling)
+
+
+def test_transfer_bloom_covers_discovered_access_set():
+    """The closed-form pure-transfer bloom is a superset of what the EVM
+    actually touches — checked against discover_access_sets itself."""
+    state = WorldState()
+    state.set_balance(0xA1, 10**18)
+    state.clear_journal()
+    tx = Transaction(sender=0xA1, to=0xB2, value=5, gas_limit=50_000)
+    bloom = bloom_for_transaction(tx, state=state)
+    assert bloom.exact and not bloom.is_opaque
+    [artifact] = discover_access_sets([tx], state)
+    for key in artifact.access.reads:
+        assert bloom.may_read(key), key
+    for key in artifact.access.writes:
+        assert bloom.may_write(key), key
+
+
+def test_contract_call_without_declaration_gets_opaque_bloom():
+    state = WorldState()
+    state.set_balance(0xA1, 10**18)
+    state.set_code(0xB2, b"\x00\x01\x02")
+    state.clear_journal()
+    call = Transaction(
+        sender=0xA1, to=0xB2, data=b"\xAA\xBB\xCC\xDD",
+        gas_limit=100_000,
+    )
+    assert bloom_for_transaction(call, state=state).is_opaque
+    # Transfers *to* the contract are not pure either (its code runs).
+    to_contract = Transaction(sender=0xA1, to=0xB2, value=1,
+                              gas_limit=50_000)
+    assert bloom_for_transaction(to_contract, state=state).is_opaque
+
+
+def test_estimator_path_is_opt_in_and_marked_inexact():
+    state = WorldState()
+    state.set_balance(0xA1, 10**18)
+    state.set_code(0xB2, b"\x00\x01\x02")
+    state.clear_journal()
+    call = Transaction(
+        sender=0xA1, to=0xB2, data=b"\xAA\xBB\xCC\xDD",
+        gas_limit=100_000,
+    )
+
+    class FakeArtifact:
+        tx = call
+        reads = {(0xB2, 3), (0xB2, CODE_KEY)}
+        writes = {(0xB2, 3)}
+
+    estimator = AccessEstimator()
+    estimator.observe(FakeArtifact())
+    assert len(estimator) == 1
+    # Without trust, the estimate is ignored: opaque (never reordered).
+    conservative = bloom_for_transaction(
+        call, state=state, estimator=estimator
+    )
+    assert conservative.is_opaque
+    trusted = bloom_for_transaction(
+        call, state=state, estimator=estimator, trust_estimates=True
+    )
+    assert not trusted.is_opaque and not trusted.exact
+    assert trusted.may_write((0xB2, 3))
+    assert trusted.may_read((0xA1, BALANCE_KEY))
+
+
+def test_estimator_evicts_oldest_shape_at_capacity():
+    estimator = AccessEstimator(max_shapes=2)
+
+    def artifact(to, selector):
+        class A:
+            tx = Transaction(sender=1, to=to, data=selector,
+                             gas_limit=100_000)
+            reads = {(to, 1)}
+            writes = {(to, 1)}
+        return A()
+
+    estimator.observe(artifact(0xB1, b"\x01\x01\x01\x01"))
+    estimator.observe(artifact(0xB2, b"\x02\x02\x02\x02"))
+    estimator.observe(artifact(0xB3, b"\x03\x03\x03\x03"))
+    assert len(estimator) == 2
+    assert estimator.estimate(
+        Transaction(sender=9, to=0xB1, data=b"\x01\x01\x01\x01",
+                    gas_limit=100_000)
+    ) is None

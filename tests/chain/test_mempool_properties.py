@@ -161,6 +161,83 @@ def test_take_respects_gas_target(gas_limits, gas_target, count):
         assert total + leftover[0].gas_limit > gas_target
 
 
+@settings(max_examples=80, deadline=None)
+@given(
+    stamps=st.lists(st.integers(0, 50), min_size=1, max_size=25),
+    chunk=st.integers(1, 5),
+)
+def test_arrival_order_survives_out_of_order_heard_at(stamps, chunk):
+    """`pending`/`take` order equals a stable sort on heard_at — the
+    regression guard for the insertion-ordered pool: in-order gossip
+    must never re-sort, and late (out-of-order) stamps must still land
+    in their historical position."""
+    pool = Mempool()
+    for nonce, stamp in enumerate(stamps):
+        pool.add(tx(nonce=nonce), heard_at=stamp)
+    expected = [
+        nonce for nonce, _ in sorted(
+            enumerate(stamps), key=lambda item: item[1]
+        )
+    ]
+    assert [t.nonce for t in pool.pending()] == expected
+    taken: list[int] = []
+    while len(pool):
+        got = pool.take(chunk)
+        assert got, "take must always make progress"
+        taken.extend(t.nonce for t in got)
+    assert taken == expected
+
+
+def test_monotonic_arrivals_never_dirty_the_order():
+    """The common case — gossip arriving in stamp order — must keep the
+    lazy re-sort switched off (the O(n log n)-per-take regression)."""
+    pool = Mempool()
+    for nonce in range(20):
+        pool.add(tx(nonce=nonce))
+    assert not pool._order_dirty
+    pool.add(tx(nonce=99), heard_at=3)  # a late straggler
+    assert pool._order_dirty
+    pool.pending()
+    assert not pool._order_dirty  # one re-sort, then clean again
+
+
+def test_spill_entries_round_trip_preserves_order_and_blooms():
+    """Drain → spill → readmit keeps arrival order and reuses the
+    spilled blooms verbatim (no re-derivation on restart)."""
+    from repro.chain.bloom import AccessBloom
+    from repro.chain.state import WorldState
+
+    state = WorldState()
+    for sender in (0xA1, 0xA2):
+        state.set_balance(sender, 10**9)
+    state.clear_journal()
+    pool = Mempool(state=state)
+    txs = [
+        Transaction(sender=0xA1, to=0xB1, value=1, nonce=1,
+                    gas_limit=50_000),
+        Transaction(sender=0xA2, to=0xB2, value=1, nonce=1,
+                    gas_limit=50_000,
+                    tags={"reads": [(0xB2, 5)], "writes": [(0xB2, 5)]}),
+        Transaction(sender=0xA1, to=0xB1, value=2, nonce=2,
+                    gas_limit=50_000),
+    ]
+    for t in txs:
+        pool.add(t)
+    spilled = pool.spill_entries()
+    assert [t.hash() for t, _ in spilled] == [t.hash() for t in txs]
+    fresh = Mempool(state=state)
+    for t, blob in spilled:
+        fresh.add(t, bloom=AccessBloom.from_bytes(blob))
+    assert [t.hash() for t in fresh.pending()] == [t.hash() for t in txs]
+    # The declared-access bloom (tags are not on the wire) survived:
+    # it still conflicts with a sibling touching the declared key.
+    readmitted = fresh.spill_entries()
+    declared = AccessBloom.from_bytes(readmitted[1][1])
+    assert declared.exact and not declared.is_opaque
+    assert declared.may_write((0xB2, 5))
+    assert readmitted[1][1] == spilled[1][1]
+
+
 def test_propose_block_gas_target_matches_mempool_take():
     """The offline proposal path cuts on gas exactly like the serve loop."""
     node = Node()

@@ -1,0 +1,276 @@
+"""Pack-equivalence property harness for conflict-aware block packing.
+
+The tentpole invariant: a chain cut by ``Mempool.take_packed`` commits
+**bit-identical state** to FIFO replay of the same transaction set. The
+workloads here are deliberately order-*sensitive* — senders with tight
+balances whose transfers succeed or fail depending on credits from
+earlier transactions — so any reordering of a conflicting pair would
+change which transfers fail and fork the digest. Alongside it:
+
+* lanes never contain a cross-lane real conflict (blooms have no false
+  negatives, so bloom-disjoint lanes are really disjoint);
+* no starvation: every transaction is included within (rank + 1) cuts
+  even under a continuous hot-key flood, and the aging bound holds;
+* the parity survives the MTPU executor with injected PU faults.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.mempool import Mempool, PackingPolicy
+from repro.chain.node import Node
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.core.mtpu import MTPUExecutor
+from repro.core.scheduler import run_spatial_temporal
+from repro.faults import PU_DEAD, FaultInjector, FaultPlan, PUFault
+
+#: Small, overlapping account pool with tight balances: transfers
+#: frequently conflict AND the conflict order decides which ones fail.
+ACCOUNTS = [0x100 + i for i in range(6)]
+
+transfer_specs = st.lists(
+    st.tuples(
+        st.integers(0, len(ACCOUNTS) - 1),  # sender index
+        st.integers(0, len(ACCOUNTS) - 1),  # recipient index
+        st.integers(1, 30),                 # value (can exceed balance)
+    ),
+    min_size=2,
+    max_size=24,
+)
+
+policies = st.builds(
+    PackingPolicy,
+    lane_depth=st.one_of(st.none(), st.integers(1, 4)),
+    aging_bound=st.integers(0, 4),
+)
+
+
+def seed_state(balances) -> WorldState:
+    state = WorldState()
+    for account, balance in zip(ACCOUNTS, balances):
+        state.set_balance(account, balance)
+    state.clear_journal()
+    return state
+
+
+def make_txs(specs) -> list[Transaction]:
+    nonces: dict[int, int] = {}
+    txs = []
+    for sender_idx, recipient_idx, value in specs:
+        sender = ACCOUNTS[sender_idx]
+        nonces[sender] = nonces.get(sender, 0) + 1
+        txs.append(Transaction(
+            sender=sender,
+            to=ACCOUNTS[recipient_idx],
+            value=value,
+            nonce=nonces[sender],
+            gas_limit=50_000,
+        ))
+    return txs
+
+
+def build_chain(balances, txs, packing, policy=None, block_size=4,
+                executor=None):
+    node = Node(state=seed_state(balances))
+    for at, tx in enumerate(txs):
+        node.hear(tx, at=at)
+    blocks = []
+    while len(node.mempool):
+        block = node.propose_block(
+            max_transactions=block_size,
+            packing=packing,
+            packing_policy=policy,
+        )
+        assert block.transactions, "a cut must always make progress"
+        if executor is None:
+            node.execute_block(block)
+        else:
+            executor(node, block)
+        blocks.append(block)
+    return node, blocks
+
+
+def receipts_by_hash(node):
+    out = {}
+    for block in node.chain:
+        for tx, receipt in zip(
+            block.transactions, node.receipts[block.hash()]
+        ):
+            out[tx.hash()] = receipt
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    balances=st.lists(
+        st.integers(1, 40),
+        min_size=len(ACCOUNTS), max_size=len(ACCOUNTS),
+    ),
+    specs=transfer_specs,
+    policy=policies,
+    block_size=st.integers(1, 6),
+)
+def test_packed_chain_is_digest_identical_to_fifo(
+    balances, specs, policy, block_size
+):
+    txs = make_txs(specs)
+    fifo, _ = build_chain(balances, txs, "fifo", block_size=block_size)
+    packed, packed_blocks = build_chain(
+        balances, txs, "conflict_aware", policy=policy,
+        block_size=block_size,
+    )
+    assert (fifo.state.state_digest()
+            == packed.state.state_digest())
+    # Same per-transaction receipts, not just the same final state.
+    assert receipts_by_hash(fifo) == receipts_by_hash(packed)
+    # Every transaction committed exactly once.
+    committed = [
+        tx.hash() for b in packed_blocks for tx in b.transactions
+    ]
+    assert sorted(committed) == sorted(tx.hash() for tx in txs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    balances=st.lists(
+        st.integers(1, 40),
+        min_size=len(ACCOUNTS), max_size=len(ACCOUNTS),
+    ),
+    specs=transfer_specs,
+    policy=policies,
+)
+def test_lanes_never_share_a_real_conflict(balances, specs, policy):
+    """Cross-lane pairs are disjoint in their *executed* access sets —
+    the contract that lets a dispatcher run lanes with no DAG edges
+    between them."""
+    txs = make_txs(specs)
+    _, blocks = build_chain(
+        balances, txs, "conflict_aware", policy=policy, block_size=6
+    )
+    for block in blocks:
+        assert block.packed_lanes is not None
+        # The lanes partition the block.
+        flat = sorted(i for lane in block.packed_lanes for i in lane)
+        assert flat == list(range(len(block.transactions)))
+        lane_of = {
+            i: lane_idx
+            for lane_idx, lane in enumerate(block.packed_lanes)
+            for i in lane
+        }
+        artifacts = block.artifacts
+        for i in range(len(block.transactions)):
+            for j in range(i + 1, len(block.transactions)):
+                if lane_of[i] != lane_of[j]:
+                    assert not artifacts[i].access.conflicts_with(
+                        artifacts[j].access
+                    ), (i, j)
+
+
+def test_cold_transaction_rides_past_a_hot_prefix():
+    """A non-conflicting transaction is never deferred — it fills the
+    block the hot chain cannot."""
+    state = WorldState()
+    for account in (0xA, 0xB):
+        state.set_balance(account, 10**9)
+    state.clear_journal()
+    pool = Mempool(state=state)
+    hot = 0xAB00
+    for i in range(10):
+        pool.add(Transaction(sender=0xA, to=hot, value=1, nonce=i + 1,
+                             gas_limit=50_000))
+    cold = Transaction(sender=0xB, to=0xCD00, value=1, nonce=1,
+                       gas_limit=50_000)
+    pool.add(cold)
+    take = pool.take_packed(
+        4, policy=PackingPolicy(lane_depth=2, aging_bound=8)
+    )
+    hashes = [tx.hash() for tx in take.transactions]
+    assert cold.hash() in hashes
+    assert len(take.lanes) == 2 and take.deferred > 0
+
+
+def test_every_deferred_tx_included_within_rank_plus_one_cuts():
+    """Anti-starvation under continuous flood: a transaction at backlog
+    rank r commits within r+1 cuts, however much newer hot traffic
+    keeps arriving behind it."""
+    hot = 0xAB00
+    state = WorldState()
+    senders = [0x500 + i for i in range(4)]
+    for sender in senders:
+        state.set_balance(sender, 10**9)
+    state.clear_journal()
+    pool = Mempool(state=state)
+    nonces = dict.fromkeys(senders, 0)
+
+    def hot_tx(i):
+        sender = senders[i % len(senders)]
+        nonces[sender] += 1
+        return Transaction(sender=sender, to=hot, value=1,
+                           nonce=nonces[sender], gas_limit=50_000)
+
+    victim_rank = 19
+    for i in range(victim_rank):
+        pool.add(hot_tx(i))
+    victim = hot_tx(victim_rank)
+    pool.add(victim)
+    policy = PackingPolicy(lane_depth=2, aging_bound=3)
+    cuts = 0
+    while pool.contains(victim):
+        cuts += 1
+        assert cuts <= victim_rank + 1, "victim starved"
+        take = pool.take_packed(8, policy=policy)
+        assert take.transactions, "cuts must always make progress"
+        # The flood: more conflicting traffic lands behind the victim.
+        for i in range(8):
+            pool.add(hot_tx(1000 + cuts * 8 + i))
+    assert cuts <= victim_rank + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    balances=st.lists(
+        st.integers(1, 40),
+        min_size=len(ACCOUNTS), max_size=len(ACCOUNTS),
+    ),
+    specs=transfer_specs,
+    dead=st.lists(st.integers(0, 3), min_size=1, max_size=3,
+                  unique=True),
+    at_cycle=st.integers(0, 2_000),
+)
+def test_packed_chain_survives_pu_faults(balances, specs, dead, at_cycle):
+    """Packed blocks through the MTPU with dead PUs still land on the
+    FIFO digest — degradation, never divergence."""
+    txs = make_txs(specs)
+    fifo, _ = build_chain(balances, txs, "fifo")
+
+    def mtpu_execute(node, block):
+        injector = FaultInjector(FaultPlan(
+            seed=7,
+            pu_faults=tuple(
+                PUFault(pu_id=p, kind=PU_DEAD, at_cycle=at_cycle)
+                for p in dead
+            ),
+        ))
+        context = node.block_context(block.header.height)
+        executor = MTPUExecutor(
+            node.state, block=context, num_pus=4,
+            artifacts={
+                a.tx.hash(): a for a in (block.artifacts or [])
+            },
+        )
+        schedule = run_spatial_temporal(
+            executor, block.transactions, block.dag_edges,
+            fault_injector=injector,
+        )
+        receipts = schedule.receipts_in_block_order(block.transactions)
+        node.commit_block(block, receipts)
+
+    packed, _ = build_chain(
+        balances, txs, "conflict_aware",
+        policy=PackingPolicy(lane_depth=2, aging_bound=2),
+        executor=mtpu_execute,
+    )
+    assert (fifo.state.state_digest()
+            == packed.state.state_digest())
+    assert receipts_by_hash(fifo) == receipts_by_hash(packed)

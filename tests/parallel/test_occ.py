@@ -1,0 +1,137 @@
+"""Optimistic (OCC) block executor: determinism and cost accounting.
+
+The packing benchmark leans on two facts proved here: OCC commits are
+bit-identical to sequential execution (so the speedup it measures is
+never bought with divergence), and its abort count is exactly the
+intra-block conflict structure (so conflict chains cost Θ(L²/2) — the
+quantity conflict-aware packing removes).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.node import Node
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.parallel.occ import OptimisticBlockExecutor
+
+ACCOUNTS = [0x700 + i for i in range(6)]
+
+transfer_specs = st.lists(
+    st.tuples(
+        st.integers(0, len(ACCOUNTS) - 1),
+        st.integers(0, len(ACCOUNTS) - 1),
+        st.integers(1, 30),  # values can exceed tight balances → failures
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+def seed_state(balances) -> WorldState:
+    state = WorldState()
+    for account, balance in zip(ACCOUNTS, balances):
+        state.set_balance(account, balance)
+    state.clear_journal()
+    return state
+
+
+def make_txs(specs) -> list[Transaction]:
+    nonces: dict[int, int] = {}
+    txs = []
+    for sender_idx, recipient_idx, value in specs:
+        sender = ACCOUNTS[sender_idx]
+        nonces[sender] = nonces.get(sender, 0) + 1
+        txs.append(Transaction(
+            sender=sender, to=ACCOUNTS[recipient_idx], value=value,
+            nonce=nonces[sender], gas_limit=50_000,
+        ))
+    return txs
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    balances=st.lists(
+        st.integers(1, 40),
+        min_size=len(ACCOUNTS), max_size=len(ACCOUNTS),
+    ),
+    specs=transfer_specs,
+)
+def test_occ_is_bit_identical_to_sequential(balances, specs):
+    """Order-sensitive workload (tight balances → order decides which
+    transfers fail): OCC must land on the sequential digest anyway."""
+    txs = make_txs(specs)
+    node = Node(state=seed_state(balances))
+    for tx in txs:
+        node.hear(tx)
+    block = node.propose_block(max_transactions=len(txs))
+    sequential = node.execute_block(block)
+
+    occ_state = seed_state(balances)
+    occ = OptimisticBlockExecutor(
+        occ_state, block=Node(state=seed_state(balances)).block_context()
+    )
+    result = occ.execute_block(txs)
+    assert result.receipts == sequential
+    assert occ_state.state_digest() == node.state.state_digest()
+    # Cost accounting sanity: work = commits + aborts, bounded rounds.
+    assert result.executions == len(txs) + result.aborts
+    assert 1 <= result.rounds <= len(txs)
+
+
+def test_disjoint_block_costs_one_round_and_no_aborts():
+    state = WorldState()
+    for i in range(8):
+        state.set_balance(0x900 + i, 10**9)
+    state.clear_journal()
+    txs = [
+        Transaction(sender=0x900 + i, to=0xA00 + i, value=1, nonce=1,
+                    gas_limit=50_000)
+        for i in range(8)
+    ]
+    result = OptimisticBlockExecutor(state).execute_block(txs)
+    assert result.aborts == 0 and result.rounds == 1
+    assert result.executions == len(txs)
+
+
+def test_hot_chain_of_length_n_costs_quadratic_aborts():
+    """A length-L serial conflict chain aborts L(L-1)/2 times over L
+    rounds — the FIFO cost that packing's speedup comes from."""
+    length = 6
+    state = WorldState()
+    for i in range(length):
+        state.set_balance(0x900 + i, 10**9)
+    state.clear_journal()
+    hot = 0xAB00
+    txs = [
+        Transaction(sender=0x900 + i, to=hot, value=1, nonce=1,
+                    gas_limit=50_000)
+        for i in range(length)
+    ]
+    result = OptimisticBlockExecutor(state).execute_block(txs)
+    assert result.rounds == length
+    assert result.aborts == length * (length - 1) // 2
+    assert result.executions == length + result.aborts
+
+
+def test_executor_accumulates_cost_across_blocks():
+    state = WorldState()
+    for i in range(4):
+        state.set_balance(0x900 + i, 10**9)
+    state.clear_journal()
+    occ = OptimisticBlockExecutor(state)
+    hot = 0xAB00
+    block = [
+        Transaction(sender=0x900 + i, to=hot, value=1, nonce=1,
+                    gas_limit=50_000)
+        for i in range(4)
+    ]
+    first = occ.execute_block(block)
+    cold = [
+        Transaction(sender=0x900 + i, to=0xA00 + i, value=1, nonce=2,
+                    gas_limit=50_000)
+        for i in range(4)
+    ]
+    second = occ.execute_block(cold)
+    assert occ.executions == first.executions + second.executions
+    assert occ.aborts == first.aborts + second.aborts

@@ -26,6 +26,9 @@ def run_serve_path(
     num_workers=4,
     fault_injector=None,
     sabotage=False,
+    packing="fifo",
+    packing_lane_depth=None,
+    packing_aging_bound=8,
 ):
     """Push *txs* through a BlockBuilder; returns (node, committed, builder)."""
 
@@ -37,6 +40,9 @@ def run_serve_path(
             block_interval_ms=5.0,
             executor=executor,
             num_workers=num_workers,
+            packing=packing,
+            packing_lane_depth=packing_lane_depth,
+            packing_aging_bound=packing_aging_bound,
         )
         node = Node(state=deployment.state.copy(),
                     per_sender_cap=config.per_sender_cap)
@@ -121,6 +127,94 @@ def test_serve_path_survives_pu_faults(deployment, seed, dead, at_cycle):
     # Whether the scheduler drained onto survivors or the builder fell
     # back to sequential, every transaction still committed exactly once.
     assert builder.txs_committed == len(txs)
+
+
+def assert_matches_fifo_replay(deployment, node, txs, block_size):
+    """The pack-equivalence property, end to end: the packed serve
+    chain's final state equals a FIFO replay of the *submission* order
+    (``run_serve_path`` submits serially, so arrival order = txs)."""
+    fifo = Node(state=deployment.state.copy())
+    remaining = list(txs)
+    while remaining:
+        chunk, remaining = (remaining[:block_size],
+                            remaining[block_size:])
+        fifo.execute_block(fifo.propose_block(transactions=chunk))
+    assert node.state.state_digest() == fifo.state.state_digest()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    executor=st.sampled_from(["sequential", "mtpu", "parallel"]),
+    workload=st.sampled_from(["transfer", "mixed", "hotburst"]),
+    seed=st.integers(0, 2**16),
+    count=st.integers(1, 12),
+    block_size=st.integers(1, 5),
+    lane_depth=st.one_of(st.none(), st.integers(1, 3)),
+)
+def test_packed_serve_path_matches_offline_and_fifo(
+    deployment, executor, workload, seed, count, block_size, lane_depth
+):
+    txs = make_transactions(
+        deployment, count, workload=workload, seed=seed
+    )
+    node, committed, builder = run_serve_path(
+        deployment, txs,
+        executor=executor, block_size_target=block_size,
+        packing="conflict_aware", packing_lane_depth=lane_depth,
+    )
+    assert_matches_offline(deployment, node, committed, txs)
+    assert_matches_fifo_replay(deployment, node, txs, block_size)
+    assert builder.packing_policy is not None
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    dead=st.lists(
+        st.integers(0, 3), min_size=1, max_size=4, unique=True
+    ),
+    at_cycle=st.integers(0, 2_000),
+)
+def test_packed_serve_path_survives_pu_faults(
+    deployment, seed, dead, at_cycle
+):
+    """Conflict-aware packing composed with PU deaths: still FIFO-exact."""
+    plan = FaultPlan(
+        seed=seed,
+        pu_faults=tuple(
+            PUFault(pu_id=p, kind=PU_DEAD, at_cycle=at_cycle)
+            for p in dead
+        ),
+    )
+    txs = make_transactions(deployment, 10, workload="hotburst",
+                            seed=seed)
+    node, committed, builder = run_serve_path(
+        deployment, txs,
+        executor="mtpu", block_size_target=4,
+        fault_injector=FaultInjector(plan),
+        packing="conflict_aware", packing_lane_depth=2,
+    )
+    assert_matches_offline(deployment, node, committed, txs)
+    assert_matches_fifo_replay(deployment, node, txs, 4)
+    assert builder.txs_committed == len(txs)
+
+
+def test_drain_flushes_deferred_transactions(deployment):
+    """A drain must commit every admitted transaction even when packing
+    keeps deferring most of them: lane_depth=1 with a hot conflicting
+    workload forces a deferral on every cut."""
+    txs = make_transactions(deployment, 16, workload="hotburst", seed=3)
+    node, committed, builder = run_serve_path(
+        deployment, txs,
+        block_size_target=4,
+        packing="conflict_aware", packing_lane_depth=1,
+        packing_aging_bound=100,  # aging never forces inclusion here
+    )
+    assert len(committed) == len(txs)
+    assert len(node.mempool) == 0
+    assert builder.txs_committed == len(txs)
+    assert_matches_offline(deployment, node, committed, txs)
+    assert_matches_fifo_replay(deployment, node, txs, 4)
 
 
 @settings(max_examples=6, deadline=None)

@@ -340,9 +340,9 @@ def test_resubmission_of_in_flight_block_executes_once(deployment):
         release = threading.Event()
         real = server.builder._build_and_execute
 
-        def gated(txs):
+        def gated(txs, *args, **kwargs):
             release.wait(timeout=5.0)
-            return real(txs)
+            return real(txs, *args, **kwargs)
 
         server.builder._build_and_execute = gated
         try:

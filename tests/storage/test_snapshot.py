@@ -172,5 +172,13 @@ def test_mempool_codec_round_trip():
         Transaction(sender=0xA11CE, to=0xB0B, value=7, nonce=n)
         for n in range(3)
     ]
+    # Bare transactions (legacy spill shape) decode as (tx, None) pairs;
+    # the re-admitting mempool rebuilds blooms for None entries.
     restored = codec.mempool_from_rlp(codec.mempool_to_rlp(txs))
-    assert restored == txs
+    assert restored == [(tx, None) for tx in txs]
+
+    blob = b"\x00" * 16
+    paired = codec.mempool_from_rlp(
+        codec.mempool_to_rlp([(tx, blob) for tx in txs])
+    )
+    assert paired == [(tx, blob) for tx in txs]
