@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..evm.context import BlockContext
+from ..evm.decoded import warm_code
 from ..evm.interpreter import EVM
 from ..obs import get_registry
 from .block import BLOCKHASH_WINDOW, Block, BlockHeader
@@ -242,6 +243,15 @@ class Node:
             self.store.append_block(block, self.state)
         self.chain.append(block)
         self.receipts[block.hash()] = receipts
+        # Warm the decoded-program cache for code deployed in this block
+        # so the very next call to a fresh contract skips the AOT decode.
+        # Raw account reads: no access tracking, no journal.
+        accounts = self.state._accounts
+        for receipt in receipts:
+            if receipt.success and receipt.contract_address is not None:
+                account = accounts.get(receipt.contract_address)
+                if account is not None and account.code:
+                    warm_code(account.code)
         self.mempool.remove(block.transactions)
         # Committed access sets feed the pack-time estimator (when one
         # is attached) for future undeclared calls of the same shape.

@@ -1,9 +1,24 @@
 """EVM substrate: the smart-contract instruction set and a reference
 sequential interpreter with dataflow tracing."""
 
-from . import abi, opcodes
-from .code import Instruction, decode, valid_jumpdests
+from . import abi, decoded, opcodes
+from .code import (
+    Instruction,
+    clear_jumpdest_cache,
+    decode,
+    jumpdest_cache_stats,
+    set_jumpdest_cache_limit,
+    valid_jumpdests,
+)
 from .context import BlockContext, CallKind, CallResult, Message
+from .decoded import (
+    DECODE_CACHE,
+    DecodeCache,
+    DecodedProgram,
+    build_program,
+    warm_code,
+    warm_state_codes,
+)
 from .errors import (
     EVMError,
     ExceptionalHalt,
@@ -23,10 +38,20 @@ from .tracer import CallRecord, NullTracer, Tracer, TraceStep
 
 __all__ = [
     "abi",
+    "decoded",
     "opcodes",
     "Instruction",
     "decode",
     "valid_jumpdests",
+    "clear_jumpdest_cache",
+    "jumpdest_cache_stats",
+    "set_jumpdest_cache_limit",
+    "DECODE_CACHE",
+    "DecodeCache",
+    "DecodedProgram",
+    "build_program",
+    "warm_code",
+    "warm_state_codes",
     "BlockContext",
     "CallKind",
     "CallResult",

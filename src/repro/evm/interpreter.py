@@ -23,7 +23,20 @@ from ..crypto import (
     create2_address,
     keccak256_int,
 )
-from . import opcodes
+from . import decoded, opcodes
+from .alu import (  # noqa: F401  (re-exported: tests and tools import from here)
+    _ARITH_FN,
+    _LOGIC_FN,
+    _byte,
+    _div,
+    _mod,
+    _sar,
+    _sdiv,
+    _signextend,
+    _smod,
+    _to_signed,
+    _to_unsigned,
+)
 from .code import valid_jumpdests
 from .context import BlockContext, CallKind, CallResult, Message
 from .errors import (
@@ -51,14 +64,6 @@ if sys.getrecursionlimit() < 16 * MAX_CALL_DEPTH:
     sys.setrecursionlimit(16 * MAX_CALL_DEPTH)
 
 
-def _to_signed(value: int) -> int:
-    return value - (1 << 256) if value & SIGN_BIT else value
-
-
-def _to_unsigned(value: int) -> int:
-    return value & WORD_MASK
-
-
 @dataclass
 class Frame:
     """One message-call execution frame (an entry of the Call_Contract
@@ -76,6 +81,10 @@ class Frame:
     halted: bool = False
     # Shadow stack: trace index of the step that produced each stack slot.
     shadow: list[int] = field(default_factory=list)
+    # Per-frame jump-destination cache: set once per frame (by the decoded
+    # fast path at program bind, by op_branch lazily) so repeated jumps
+    # skip even the memo lookup in repro.evm.code.
+    jumpdests: frozenset[int] | None = None
 
 
 class _StopFrame(Exception):
@@ -91,6 +100,7 @@ class EVM:
         block: BlockContext | None = None,
         schedule: GasSchedule | None = None,
         tracer: Tracer | None = None,
+        fast_path: bool | None = None,
     ) -> None:
         self.state = state
         self.block = block or BlockContext()
@@ -98,6 +108,11 @@ class EVM:
         # Note: "tracer or ..." would misfire — an empty Tracer has
         # __len__() == 0 and is falsy.
         self.tracer = tracer if tracer is not None else NullTracer()
+        # The decoded fast path (repro.evm.decoded) is only sound when no
+        # tracer observes individual steps; fast_path=False forces the
+        # legacy loop even under NullTracer (differential tests, benches).
+        untraced = isinstance(self.tracer, NullTracer)
+        self._fast = untraced if fast_path is None else (fast_path and untraced)
 
     # ------------------------------------------------------------------
     # Transaction-level entry point
@@ -216,6 +231,8 @@ class EVM:
         registry.counter("evm.gas_used").inc(receipt.gas_used)
         if not receipt.success:
             registry.counter("evm.failures").inc()
+        if self._fast:
+            registry.counter("evm.fast_path_txs").inc()
         steps = self.tracer.steps
         if not steps:
             return
@@ -340,16 +357,26 @@ class EVM:
     # ------------------------------------------------------------------
     def _run(self, frame: Frame) -> None:
         code = frame.code
+        if not code:
+            frame.halted = True  # empty code: implicit STOP
+            return
+        if self._fast:
+            decoded.run_program(self, frame, decoded.DECODE_CACHE.get(code))
+            return
+        code_len = len(code)
+        infos = opcodes.INFO_BY_BYTE
+        handlers = _HANDLERS_BY_BYTE
         while not frame.halted:
-            if frame.pc >= len(code):
+            pc = frame.pc
+            if pc >= code_len:
                 frame.halted = True  # implicit STOP
                 return
-            opcode_byte = code[frame.pc]
-            info = opcodes.info(opcode_byte)
-            if info is None or info.name == "INVALID":
+            opcode_byte = code[pc]
+            handler = handlers[opcode_byte]
+            if handler is None:
                 raise InvalidOpcode(f"invalid opcode 0x{opcode_byte:02x}")
             try:
-                self._step(frame, info)
+                handler(self, frame, infos[opcode_byte])
             except _StopFrame:
                 frame.halted = True
                 return
@@ -708,7 +735,9 @@ class EVM:
     # Branch ---------------------------------------------------------------------
     def op_branch(self, frame: Frame, info) -> None:
         pc = frame.pc
-        dests = valid_jumpdests(frame.code)
+        dests = frame.jumpdests
+        if dests is None:
+            dests = frame.jumpdests = valid_jumpdests(frame.code)
         if info.name == "JUMP":
             (target,), producers = self._pop(frame, 1)
             frame.gas.consume(info.gas, "JUMP")
@@ -998,89 +1027,6 @@ class EVM:
         raise _StopFrame
 
 
-# ---------------------------------------------------------------------------
-# Pure arithmetic / logic implementations
-# ---------------------------------------------------------------------------
-def _div(a: int, b: int) -> int:
-    return 0 if b == 0 else a // b
-
-
-def _sdiv(a: int, b: int) -> int:
-    if b == 0:
-        return 0
-    sa, sb = _to_signed(a), _to_signed(b)
-    quotient = abs(sa) // abs(sb)
-    if (sa < 0) != (sb < 0):
-        quotient = -quotient
-    return _to_unsigned(quotient)
-
-
-def _mod(a: int, b: int) -> int:
-    return 0 if b == 0 else a % b
-
-
-def _smod(a: int, b: int) -> int:
-    if b == 0:
-        return 0
-    sa, sb = _to_signed(a), _to_signed(b)
-    remainder = abs(sa) % abs(sb)
-    return _to_unsigned(-remainder if sa < 0 else remainder)
-
-
-def _signextend(size_byte: int, value: int) -> int:
-    if size_byte >= 31:
-        return value
-    bit = 8 * (size_byte + 1) - 1
-    if value & (1 << bit):
-        return value | (WORD_MASK ^ ((1 << (bit + 1)) - 1))
-    return value & ((1 << (bit + 1)) - 1)
-
-
-def _byte(position: int, value: int) -> int:
-    if position >= 32:
-        return 0
-    return (value >> (8 * (31 - position))) & 0xFF
-
-
-def _sar(shift: int, value: int) -> int:
-    signed = _to_signed(value)
-    if shift >= 256:
-        return _to_unsigned(-1) if signed < 0 else 0
-    return _to_unsigned(signed >> shift)
-
-
-_ARITH_FN = {
-    "ADD": lambda a, b: (a + b) & WORD_MASK,
-    "MUL": lambda a, b: (a * b) & WORD_MASK,
-    "SUB": lambda a, b: (a - b) & WORD_MASK,
-    "DIV": _div,
-    "SDIV": _sdiv,
-    "MOD": _mod,
-    "SMOD": _smod,
-    "ADDMOD": lambda a, b, n: 0 if n == 0 else (a + b) % n,
-    "MULMOD": lambda a, b, n: 0 if n == 0 else (a * b) % n,
-    "EXP": lambda a, b: pow(a, b, 1 << 256),
-    "SIGNEXTEND": _signextend,
-}
-
-_LOGIC_FN = {
-    "LT": lambda a, b: 1 if a < b else 0,
-    "GT": lambda a, b: 1 if a > b else 0,
-    "SLT": lambda a, b: 1 if _to_signed(a) < _to_signed(b) else 0,
-    "SGT": lambda a, b: 1 if _to_signed(a) > _to_signed(b) else 0,
-    "EQ": lambda a, b: 1 if a == b else 0,
-    "ISZERO": lambda a: 1 if a == 0 else 0,
-    "AND": lambda a, b: a & b,
-    "OR": lambda a, b: a | b,
-    "XOR": lambda a, b: a ^ b,
-    "NOT": lambda a: a ^ WORD_MASK,
-    "BYTE": _byte,
-    "SHL": lambda shift, value: 0 if shift >= 256 else (value << shift) & WORD_MASK,
-    "SHR": lambda shift, value: 0 if shift >= 256 else value >> shift,
-    "SAR": _sar,
-}
-
-
 def _build_handlers() -> dict:
     from .opcodes import OPCODES, Category
 
@@ -1111,4 +1057,25 @@ def _build_handlers() -> dict:
     return handlers
 
 
+# Mnemonic-keyed table (kept: external tools and _step dispatch by name).
 _HANDLERS = _build_handlers()
+
+
+def _build_handlers_by_byte() -> tuple:
+    """256-entry dispatch table for the legacy loop.
+
+    Built once at import so the traced path pays one tuple index per step
+    instead of an ``opcodes.info`` call plus a string-keyed dict lookup.
+    INVALID and undefined bytes map to None (the loop raises
+    :class:`InvalidOpcode`).
+    """
+    table: list = [None] * 256
+    for value in range(256):
+        info = opcodes.INFO_BY_BYTE[value]
+        if info is None or info.name == "INVALID":
+            continue
+        table[value] = _HANDLERS[info.name]
+    return tuple(table)
+
+
+_HANDLERS_BY_BYTE = _build_handlers_by_byte()

@@ -220,10 +220,20 @@ OPCODES: dict[int, OpcodeInfo] = dict(_TABLE)
 #: Opcode table indexed by mnemonic.
 BY_NAME: dict[str, OpcodeInfo] = {info.name: info for info in OPCODES.values()}
 
+#: 256-entry dispatch table indexed directly by the opcode byte (``None``
+#: for undefined bytes). The interpreter's per-step fetch indexes this
+#: tuple instead of probing the :data:`OPCODES` dict — one C-level
+#: ``tuple.__getitem__`` per instruction on the hottest path in the tree.
+INFO_BY_BYTE: tuple[OpcodeInfo | None, ...] = tuple(
+    _TABLE.get(value) for value in range(256)
+)
+
 
 def info(value: int) -> OpcodeInfo | None:
     """Return the :class:`OpcodeInfo` for a byte value, or None if undefined."""
-    return OPCODES.get(value)
+    if 0 <= value < 256:
+        return INFO_BY_BYTE[value]
+    return None
 
 
 def is_push(opcode: OpcodeInfo) -> bool:

@@ -48,11 +48,16 @@ def init_worker(accounts_blob: bytes, ctx_args: dict) -> None:
     """Pool initializer: install the base state and block context."""
     global _BASE, _CONTEXT
     from ..evm.context import BlockContext
+    from ..evm.decoded import warm_state_codes
 
     state = WorldState()
     state._accounts = pickle.loads(accounts_blob)
     _BASE = state
     _CONTEXT = BlockContext(**ctx_args)
+    # Pre-decode every deployed contract once per *worker process*: each
+    # transaction executed by this worker then hits the decoded-program
+    # cache instead of re-running the AOT pass per task.
+    warm_state_codes(state)
 
 
 def apply_overlay(state: WorldState, overlay: dict) -> None:

@@ -35,6 +35,7 @@ from collections import deque
 from ..chain import rlp
 from ..chain.block import BLOCKHASH_WINDOW
 from ..evm.context import BlockContext
+from ..evm.decoded import warm_code, warm_state_codes
 from ..evm.interpreter import EVM
 from ..obs import get_registry
 from ..storage import codec
@@ -257,6 +258,14 @@ class Replica:
             state.clear_journal()
             self.node.chain.append(block)
             self.node.receipts[block.hash()] = receipts
+            # Keep the replica's decoded-program cache warm for code the
+            # block deployed (mirrors Node.commit_block on the primary).
+            accounts = state._accounts
+            for receipt in receipts:
+                if receipt.success and receipt.contract_address is not None:
+                    account = accounts.get(receipt.contract_address)
+                    if account is not None and account.code:
+                        warm_code(account.code)
             self._hashes[height] = block.hash()
             self._hashes.pop(height - BLOCKHASH_WINDOW, None)
             self.height = height
@@ -284,6 +293,9 @@ class Replica:
         with self.builder.state_lock:
             self.node.state = state
             self.node.mempool.state = state
+            # A snapshot may carry contracts this replica never executed;
+            # pre-decode them so post-resync blocks replay at full speed.
+            warm_state_codes(state)
             self.node.chain = []
             self.node.receipts = {}
             self.builder.committed.clear()

@@ -28,6 +28,7 @@ from ..chain.mempool import (  # noqa: F401  (AdmissionError re-export)
 )
 from ..chain.node import Node
 from ..chain.receipt import Receipt
+from ..evm.decoded import warm_state_codes
 from ..obs import get_registry
 from .config import ServeConfig
 from .errors import ExecutionFailedError
@@ -81,6 +82,9 @@ class BlockBuilder:
         self._task: asyncio.Task | None = None
         #: Callbacks fired with (block, receipts) after each commit.
         self.on_new_head: list = []
+        # Serve nodes start warm: pre-decode every contract already in
+        # state so the first block never pays the AOT decode pass.
+        warm_state_codes(node.state)
         # -- cumulative stats (mirrored into repro.obs when enabled) ----
         self.blocks_built = 0
         self.txs_committed = 0

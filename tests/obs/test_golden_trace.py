@@ -24,6 +24,7 @@ import random
 import pytest
 
 from repro.core.validator import AcceleratedValidator
+from repro.evm.decoded import DECODE_CACHE
 from repro.obs import LogicalClock, SpanTracer, use_registry, use_tracing
 from repro.workload import ActionLibrary
 
@@ -38,6 +39,9 @@ SEED = 11
 
 def run_erc20_block(deployment) -> dict:
     """Deterministic instrumented run; returns the golden payload."""
+    # The decoded-program cache is process-global; start cold so the
+    # evm.decode_cache_* counters don't depend on which tests ran before.
+    DECODE_CACHE.clear()
     tracer = SpanTracer(clock=LogicalClock())
     with use_registry() as registry, use_tracing(tracer):
         validator = AcceleratedValidator(
