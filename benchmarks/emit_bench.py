@@ -454,6 +454,77 @@ def measure_replication(name: str) -> dict:
     }
 
 
+#: Merkleized-state benchmark: the same durable serve load run with the
+#: incremental trie on and off (paired rounds), plus proof/witness size
+#: and verify-latency stats from the authenticated-state smoke drill.
+MERKLE_CONFIGS = {
+    "quick": dict(rounds=3, smoke_blocks=6, smoke_transactions=32),
+    "full": dict(rounds=4, smoke_blocks=8, smoke_transactions=32),
+}
+
+#: Hard gate: durable serve throughput with per-block Merkleization must
+#: keep at least this fraction of the flat-digest baseline. First-touch
+#: capture makes each block cost O(touched · depth) — if the trie eats
+#: more than 15% of serve throughput the incremental path is broken.
+MERKLE_EFFICIENCY_FLOOR = 0.85
+
+
+def measure_merkle(name: str) -> dict:
+    """Merkleized vs flat-digest durable serve + proof/witness stats."""
+    import tempfile
+
+    from repro.serve.smoke import run_serve_load
+    from repro.trie.smoke import run_smoke
+
+    params = MERKLE_CONFIGS[name]
+    serve_kwargs = dict(SERVE_CONFIGS[name])
+
+    def durable_run(merkleize: bool) -> float:
+        with tempfile.TemporaryDirectory() as data_dir:
+            run = run_serve_load(
+                data_dir=data_dir, fsync="never",
+                merkleize=merkleize, **serve_kwargs,
+            )
+            return run["load"]["tx_per_second"]
+
+    # Best-of-pairs, same trick as durable_efficiency: adjacent runs
+    # share the machine's momentary load, so pairing cancels drift.
+    ratios = []
+    merkleized_samples = []
+    for _ in range(params["rounds"]):
+        flat = durable_run(merkleize=False)
+        merkleized = durable_run(merkleize=True)
+        merkleized_samples.append(merkleized)
+        ratios.append(merkleized / flat if flat else 0.0)
+
+    smoke = run_smoke(
+        blocks=params["smoke_blocks"],
+        transactions=params["smoke_transactions"],
+        workload="mixed",
+        seed=7,
+    )
+    failures = smoke.pop("failures")
+    assert not failures, f"trie smoke failed inside the bench: {failures}"
+    proofs = smoke["proved_accounts"] + smoke["proved_slots"]
+
+    return {
+        "parameters": dict(params),
+        "merkle_efficiency": max(ratios),
+        "merkle_efficiency_samples": ratios,
+        "durable_tps_merkleized": max(merkleized_samples),
+        "proof": {
+            "count": proofs,
+            "max_bytes": smoke["proof_bytes_max"],
+            "verify_ms_avg": (
+                smoke["verify_ms_total"] / proofs if proofs else 0.0
+            ),
+            "mutations_rejected": smoke["mutations_checked"],
+        },
+        "witness_max_bytes": smoke["witness_bytes_max"],
+        "nodes_rehashed": smoke["nodes_rehashed"],
+    }
+
+
 #: The execute-once pipeline must beat the seed's discover-then-execute
 #: sequential path by this wall-clock factor. A same-machine ratio, so
 #: the gate is portable across hardware.
@@ -703,6 +774,7 @@ def run_config(name: str) -> dict:
     replication = measure_replication(name)
     packing = measure_packing(name)
     evm = measure_evm(name)
+    merkle = measure_merkle(name)
     fleet_tps = {
         f["replicas"]: f["read_tps"] for f in replication["fleets"]
     }
@@ -772,6 +844,13 @@ def run_config(name: str) -> dict:
             "evm_decoded_speedup": evm["decoded_speedup"],
             "evm_fast_tps": evm["fast_tps"],
             "evm_legacy_tps": evm["legacy_tps"],
+            # Durable serve throughput with per-block Merkleization over
+            # the flat-digest durable baseline: same machine, same load,
+            # so the ratio is portable (1.0 = the trie costs nothing).
+            "merkle_efficiency": merkle["merkle_efficiency"],
+            "merkle_proof_max_bytes": merkle["proof"]["max_bytes"],
+            "merkle_witness_max_bytes": merkle["witness_max_bytes"],
+            "merkle_verify_ms_avg": merkle["proof"]["verify_ms_avg"],
         },
         "report": report.to_dict(),
         "wall": wall,
@@ -780,6 +859,7 @@ def run_config(name: str) -> dict:
         "replication": replication,
         "packing": packing,
         "evm": evm,
+        "merkle": merkle,
     }
 
 
@@ -919,6 +999,18 @@ def check_baseline(result: dict, baseline_path: pathlib.Path) -> int:
         f"ok: evm decoded speedup {evm_speedup:.2f}x "
         f"(floor {EVM_SPEEDUP_FLOOR}x)"
     )
+    merkle_efficiency = result["headline"]["merkle_efficiency"]
+    if merkle_efficiency < MERKLE_EFFICIENCY_FLOOR:
+        print(
+            f"REGRESSION: Merkleized durable serve keeps only "
+            f"{merkle_efficiency:.3f} of flat-digest throughput — "
+            f"below the {MERKLE_EFFICIENCY_FLOOR} floor"
+        )
+        return 1
+    print(
+        f"ok: merkle efficiency {merkle_efficiency:.3f} "
+        f"(floor {MERKLE_EFFICIENCY_FLOOR})"
+    )
     return 0
 
 
@@ -1029,6 +1121,17 @@ def main(argv: list[str] | None = None) -> int:
     if not (evm["receipt_parity"] and evm["digest_parity"]):
         print("FAIL: decoded fast path diverged from the legacy loop")
         return 1
+    merkle = result["merkle"]
+    print(
+        f"[{config}] merkle: durable serve keeps "
+        f"{headline['merkle_efficiency']:.3f} of flat-digest throughput "
+        f"({merkle['durable_tps_merkleized']:.0f} tx/s Merkleized); "
+        f"proofs {merkle['proof']['count']} verified, max "
+        f"{headline['merkle_proof_max_bytes']}B, "
+        f"{headline['merkle_verify_ms_avg']:.3f} ms avg; witness max "
+        f"{headline['merkle_witness_max_bytes']}B, "
+        f"{merkle['proof']['mutations_rejected']} corruptions rejected"
+    )
 
     out_dir = args.out or pathlib.Path(__file__).resolve().parent.parent
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -1056,6 +1159,7 @@ def main(argv: list[str] | None = None) -> int:
                 "packing_wall_tps_fifo", "packing_wall_tps_packed",
                 "packing_serve_tps_fifo", "packing_serve_tps_packed",
                 "evm_fast_tps", "evm_legacy_tps",
+                "merkle_verify_ms_avg",
             )
         }
         args.write_baseline.write_text(

@@ -13,12 +13,14 @@ an idle budget for offline optimization (paper section 2.2.4).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..evm.context import BlockContext
 from ..evm.decoded import warm_code
 from ..evm.interpreter import EVM
 from ..obs import get_registry
+from ..trie import StateRootMismatchError, StateTrie, build_witness
 from .block import BLOCKHASH_WINDOW, Block, BlockHeader
 from .dag import build_dag_edges, discover_access_sets, transitive_reduction
 from .mempool import DuplicateTransactionError, Mempool
@@ -82,6 +84,8 @@ class Node:
         mempool_capacity: int | None = None,
         per_sender_cap: int | None = None,
         store=None,
+        merkleize: bool = True,
+        emit_witness: bool = False,
     ) -> None:
         self.state = state or WorldState()
         self.mempool = Mempool(
@@ -98,6 +102,34 @@ class Node:
         #: mutating in-memory structures, so anything the node claims to
         #: have committed is at least as durable as the fsync policy.
         self.store = store
+        #: Authenticated state (repro.trie). With ``merkleize`` on (the
+        #: default; the flat digest remains alongside during the
+        #: deprecation window) every committed header is sealed with the
+        #: incremental trie's root; ``emit_witness`` additionally builds
+        #: a stateless-validation witness per block.
+        self.emit_witness = emit_witness
+        self.trie: StateTrie | None = None
+        #: height -> witness blob, bounded to the BLOCKHASH window.
+        self.witnesses: dict[int, bytes] = {}
+        if merkleize:
+            self.attach_trie()
+        elif emit_witness:
+            raise ValueError("emit_witness requires merkleize")
+
+    def attach_trie(self) -> bytes:
+        """(Re)build the state trie over the current state and enable
+        first-touch capture; returns the current root. Call again after
+        wholesale state replacement (snapshot resync, recovery attach)."""
+        self.trie = StateTrie()
+        root = self.trie.attach(self.state)
+        if self.emit_witness:
+            self.state._track_reads = True
+        return root
+
+    @property
+    def state_root(self) -> bytes:
+        """Current trie root (empty bytes when not Merkleizing)."""
+        return self.trie.root() if self.trie is not None else b""
 
     # -- dissemination stage -------------------------------------------------
     def hear(self, tx: Transaction, at: int | None = None) -> bool:
@@ -237,11 +269,24 @@ class Node:
         is the one shared commit path. With a store attached the WAL
         append (and, per policy, the fsync) happens first — a crash
         after this method returns costs nothing that was committed.
+
+        When Merkleizing, the witness (which needs the *pre-block* trie
+        shape and the undrained touch capture) is built first, then the
+        header is sealed with the post-block root, so the WAL record and
+        the chain both carry the sealed header.
         """
+        witness = None
+        if self.trie is not None and self.emit_witness:
+            witness = build_witness(self.trie, self.state, block)
+        self.seal_state_root(block)
         self.state.clear_journal()
         if self.store is not None:
-            self.store.append_block(block, self.state)
+            self.store.append_block(block, self.state, witness=witness)
         self.chain.append(block)
+        if witness is not None:
+            height = block.header.height
+            self.witnesses[height] = witness
+            self.witnesses.pop(height - BLOCKHASH_WINDOW, None)
         self.receipts[block.hash()] = receipts
         # Warm the decoded-program cache for code deployed in this block
         # so the very next call to a fresh contract skips the AOT decode.
@@ -256,6 +301,33 @@ class Node:
         # Committed access sets feed the pack-time estimator (when one
         # is attached) for future undeclared calls of the same shape.
         self.mempool.observe_block(block.artifacts)
+
+    def seal_state_root(self, block: Block) -> None:
+        """Fold the block's state effects into the trie and seal (or
+        check) the header's ``state_root``.
+
+        A header that already carries a root — replication, recovery
+        replay — is *checked*: disagreement raises
+        :class:`~repro.trie.StateRootMismatchError` and nothing is
+        stamped. An empty header is stamped in place (the ``Block`` is
+        mutable; its frozen header is replaced), so the block's hash
+        from here on commits to the post-state root.
+        """
+        if self.trie is None:
+            return
+        root = self.trie.update(self.state)
+        claimed = block.header.state_root
+        if claimed:
+            if claimed != root:
+                raise StateRootMismatchError(
+                    f"block {block.header.height} claims state root "
+                    f"{claimed.hex()[:16]}…, local trie computed "
+                    f"{root.hex()[:16]}…"
+                )
+        else:
+            block.header = dataclasses.replace(
+                block.header, state_root=root
+            )
 
     def verify_block(
         self, block: Block, claimed_root: bytes

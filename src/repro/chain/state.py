@@ -71,6 +71,40 @@ class AccessSet:
         self.writes |= other.writes
 
 
+class _TriePre:
+    """First-touch pre-image of one account within the current block.
+
+    Captured lazily by ``WorldState._mark_dirty`` the first time a block
+    touches an address, before the mutation lands. The captured fields
+    are what the address looked like at block start; ``slots`` maps each
+    first-touched storage slot to its old value (0 = absent), and
+    ``storage_full`` snapshots the whole storage dict when an operation
+    replaces it wholesale (SELFDESTRUCT, snapshot transplant) — after
+    that, per-slot olds stop being recorded because block-start storage
+    is already fully determined.
+
+    The dict of these (``WorldState._trie_pre``) doubles as the Merkle
+    trie's dirty set: :meth:`repro.trie.StateTrie.update` drains it.
+    """
+
+    __slots__ = ("exists", "nonce", "balance", "code", "slots",
+                 "storage_full")
+
+    def __init__(self, account: Account | None) -> None:
+        if account is None:
+            self.exists = False
+            self.nonce = 0
+            self.balance = 0
+            self.code = b""
+        else:
+            self.exists = True
+            self.nonce = account.nonce
+            self.balance = account.balance
+            self.code = account.code
+        self.slots: dict[int, int] = {}
+        self.storage_full: dict[int, int] | None = None
+
+
 class WorldState:
     """Mutable account store backing transaction execution."""
 
@@ -85,20 +119,44 @@ class WorldState:
         # digest costs O(touched accounts), not O(total state).
         self._digest_dirty: set[int] = set()
         self._leaf_hashes: dict[int, bytes] = {}
+        # First-touch pre-image capture for the authenticated state trie
+        # (see _TriePre). Off by default; StateTrie.attach enables
+        # mutation capture, witness-emitting nodes also enable read
+        # capture so block witnesses cover every address execution saw.
+        self._track_trie = False
+        self._track_reads = False
+        self._trie_pre: dict[int, _TriePre] = {}
+
+    def _mark_dirty(self, address: int) -> _TriePre | None:
+        """Dirty *address* for the digest and (when tracking) capture its
+        first-touch pre-image. Call *before* mutating the account."""
+        self._digest_dirty.add(address)
+        if not self._track_trie:
+            return None
+        pre = self._trie_pre.get(address)
+        if pre is None:
+            pre = _TriePre(self._accounts.get(address))
+            self._trie_pre[address] = pre
+        return pre
+
+    def _mark_read(self, address: int) -> None:
+        if self._track_reads and address not in self._trie_pre:
+            self._trie_pre[address] = _TriePre(self._accounts.get(address))
 
     # -- account lifecycle -------------------------------------------------
     def account(self, address: int) -> Account:
         """Fetch (creating lazily) the account at *address*."""
         acct = self._accounts.get(address)
         if acct is None:
+            self._mark_dirty(address)
             acct = Account()
             self._accounts[address] = acct
             self._journal.append(("created", address))
-            self._digest_dirty.add(address)
         return acct
 
     def account_exists(self, address: int) -> bool:
         """True if the account exists and is non-empty."""
+        self._mark_read(address)
         acct = self._accounts.get(address)
         return acct is not None and not acct.is_empty
 
@@ -108,10 +166,17 @@ class WorldState:
 
     def delete_account(self, address: int) -> None:
         """SELFDESTRUCT: remove the account entirely."""
+        pre = self._mark_dirty(address)
         acct = self._accounts.pop(address, None)
+        if pre is not None and pre.storage_full is None:
+            # Wholesale storage replacement: the per-slot diff log stops
+            # here; block-start storage = this snapshot + earlier olds.
+            pre.storage_full = dict(acct.storage) if acct else {}
         if acct is not None:
             self._journal.append(("deleted", address, acct))
-        self._digest_dirty.add(address)
+        # The cached digest leaf must die with the account, or a
+        # tombstoned address could resurface in a later digest.
+        self._leaf_hashes.pop(address, None)
         self._record_write(address, CODE_KEY)
         self._record_write(address, BALANCE_KEY)
 
@@ -122,6 +187,7 @@ class WorldState:
     # -- balances ------------------------------------------------------------
     def get_balance(self, address: int) -> int:
         self._record_read(address, BALANCE_KEY)
+        self._mark_read(address)
         acct = self._accounts.get(address)
         return acct.balance if acct else 0
 
@@ -130,8 +196,8 @@ class WorldState:
         old = acct.balance
         if old != value:
             self._journal.append(("balance", address, old))
+            self._mark_dirty(address)
             acct.balance = value
-            self._digest_dirty.add(address)
         self._record_write(address, BALANCE_KEY)
 
     def transfer(self, sender: int, recipient: int, value: int) -> None:
@@ -145,6 +211,7 @@ class WorldState:
 
     # -- nonces ----------------------------------------------------------------
     def get_nonce(self, address: int) -> int:
+        self._mark_read(address)
         acct = self._accounts.get(address)
         return acct.nonce if acct else 0
 
@@ -152,8 +219,8 @@ class WorldState:
         acct = self.account(address)
         old = acct.nonce
         self._journal.append(("nonce", address, old))
+        self._mark_dirty(address)
         acct.nonce = old + 1
-        self._digest_dirty.add(address)
 
     def set_nonce(self, address: int, value: int) -> None:
         """Directly set a nonce (journal replay; not an EVM operation)."""
@@ -161,12 +228,13 @@ class WorldState:
         old = acct.nonce
         if old != value:
             self._journal.append(("nonce", address, old))
+            self._mark_dirty(address)
             acct.nonce = value
-            self._digest_dirty.add(address)
 
     # -- code -------------------------------------------------------------------
     def get_code(self, address: int) -> bytes:
         self._record_read(address, CODE_KEY)
+        self._mark_read(address)
         acct = self._accounts.get(address)
         return acct.code if acct else b""
 
@@ -174,13 +242,14 @@ class WorldState:
         acct = self.account(address)
         old = acct.code
         self._journal.append(("code", address, old))
+        self._mark_dirty(address)
         acct.code = code
-        self._digest_dirty.add(address)
         self._record_write(address, CODE_KEY)
 
     # -- storage ------------------------------------------------------------------
     def get_storage(self, address: int, slot: int) -> int:
         self._record_read(address, slot)
+        self._mark_read(address)
         acct = self._accounts.get(address)
         if acct is None:
             return 0
@@ -190,11 +259,13 @@ class WorldState:
         acct = self.account(address)
         old = acct.storage.get(slot)
         self._journal.append(("storage", address, slot, old))
+        pre = self._mark_dirty(address)
+        if pre is not None and pre.storage_full is None:
+            pre.slots.setdefault(slot, old or 0)
         if value == 0:
             acct.storage.pop(slot, None)
         else:
             acct.storage[slot] = value
-        self._digest_dirty.add(address)
         self._record_write(address, slot)
 
     # -- journaling -------------------------------------------------------------
@@ -291,12 +362,20 @@ class WorldState:
         Bypasses the journal and access tracking — this is bulk state
         loading by the storage layer, not an EVM-visible mutation.
         """
+        pre = self._mark_dirty(address)
+        if pre is not None and pre.storage_full is None:
+            old = self._accounts.get(address)
+            pre.storage_full = dict(old.storage) if old else {}
         self._accounts[address] = account
-        self._digest_dirty.add(address)
 
     # -- copying -------------------------------------------------------------------
     def copy(self) -> "WorldState":
-        """Deep copy with a fresh (empty) journal."""
+        """Deep copy with a fresh (empty) journal.
+
+        Trie pre-image tracking does not carry over: a clone has no
+        attached trie, and speculative copies (DAG discovery) must not
+        feed captures back into the original's dirty set.
+        """
         clone = WorldState()
         clone._accounts = {
             addr: acct.copy() for addr, acct in self._accounts.items()

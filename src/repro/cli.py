@@ -207,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="deferred cuts before a conflicting transaction is "
              "force-included (default: 8)",
     )
+    serve.add_argument(
+        "--no-merkleize", action="store_true",
+        help="skip the incremental Merkle trie (no sealed state roots, "
+             "no repro_getProof; legacy flat-digest operation)",
+    )
+    serve.add_argument(
+        "--emit-witness", action="store_true",
+        help="emit a stateless-validation witness per block (rides in "
+             "the WAL; lets witness-mode replicas skip full state)",
+    )
 
     replicate = sub.add_parser(
         "replicate",
@@ -229,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="the writer's --replication-port (as announced on stderr)",
     )
     replicate.add_argument("--seed", type=int, default=0)
+    replicate.add_argument(
+        "--mode", choices=("execute", "witness"), default="execute",
+        help="execute: re-run every block against full local state; "
+             "witness: validate statelessly from block witnesses "
+             "(writer must run --emit-witness)",
+    )
     replicate.add_argument(
         "--idle-timeout", type=float, default=None, metavar="SECONDS",
         help="drop connections silent this long (subscribers exempt)",
@@ -295,6 +311,27 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--json", action="store_true",
         help="print the full report as JSON",
+    )
+
+    proof = sub.add_parser(
+        "proof",
+        help="fetch a Merkle proof from a running server and verify it "
+             "locally against the served state root (the light-client "
+             "quickstart)",
+    )
+    proof.add_argument("--host", default="127.0.0.1")
+    proof.add_argument("--port", type=int, default=8545)
+    proof.add_argument(
+        "--address", required=True,
+        help="account address (hex)",
+    )
+    proof.add_argument(
+        "--slot", default=None,
+        help="storage slot (hex); omitted: prove the account itself",
+    )
+    proof.add_argument(
+        "--json", action="store_true",
+        help="print the server response as JSON",
     )
 
     loadgen = sub.add_parser(
@@ -416,10 +453,14 @@ def _run_serve(args) -> int:
         packing=args.packing,
         packing_lane_depth=args.packing_lane_depth,
         packing_aging_bound=args.packing_aging_bound,
+        merkleize=not args.no_merkleize,
+        emit_witness=args.emit_witness,
     )
     deployment = build_deployment(num_accounts=args.accounts)
     node = Node(state=deployment.state,
-                per_sender_cap=args.per_sender_cap)
+                per_sender_cap=args.per_sender_cap,
+                merkleize=config.merkleize,
+                emit_witness=config.emit_witness)
     server = RpcServer(node=node, config=config)
     if server.recovery is not None:
         recovery = server.recovery
@@ -503,6 +544,7 @@ def _run_replicate(args) -> int:
         writer_stream_port=args.writer_stream_port,
         config=ReplicationConfig(seed=args.seed),
         fault_injector=injector,
+        mode=args.mode,
     )
     server.replication = replica
 
@@ -626,6 +668,79 @@ def _run_loadgen(args) -> int:
     return 1 if result.unanswered else 0
 
 
+def _run_proof(args) -> int:
+    """Fetch + locally verify a Merkle proof — the light-client path.
+
+    Only :mod:`repro.trie.verify` touches the proof bytes, exactly as a
+    vendored light client would: the server is trusted for nothing but
+    the blob and the root it claims.
+    """
+    import asyncio
+
+    from .serve.loadgen import RpcClient, RpcClientError
+    from .trie.errors import ProofDecodingError
+    from .trie.verify import verify_proof_blob
+
+    async def _fetch() -> int:
+        client = await RpcClient.connect(args.host, args.port)
+        try:
+            params = {"address": args.address}
+            method = "repro_getProof"
+            if args.slot is not None:
+                params["slot"] = args.slot
+                method = "repro_getStorageProof"
+            try:
+                result = await client.call(method, params)
+            except RpcClientError as exc:
+                print(f"proof refused: {exc}", file=sys.stderr)
+                return 1
+            head = await client.call(
+                "repro_getBlock", {"height": "latest"}
+            )
+        finally:
+            await client.close()
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        state_root = bytes.fromhex(result["stateRoot"])
+        blob = bytes.fromhex(result["proof"])
+        try:
+            proof, ok = verify_proof_blob(blob, state_root)
+        except ProofDecodingError as exc:
+            print(f"malformed proof: {exc}", file=sys.stderr)
+            return 1
+        if not ok:
+            print("proof does NOT verify against the served root",
+                  file=sys.stderr)
+            return 1
+        if head is not None and head.get("stateRoot"):
+            anchored = head["stateRoot"] == result["stateRoot"]
+            anchor_note = (
+                "anchored to the latest sealed header"
+                if anchored
+                else f"NOTE: head at height {head['height']} seals a "
+                     f"different root (chain advanced mid-request)"
+            )
+        else:
+            anchor_note = "no sealed header to anchor against"
+        if args.slot is not None:
+            print(
+                f"verified: slot {result['slot']} of "
+                f"{result['address']} = {result['value']} under root "
+                f"{result['stateRoot'][:16]}… ({len(blob)} proof "
+                f"bytes; {anchor_note})"
+            )
+        else:
+            print(
+                f"verified: account {result['address']} balance "
+                f"{result['balance']} nonce {result['nonce']} under "
+                f"root {result['stateRoot'][:16]}… ({len(blob)} proof "
+                f"bytes; {anchor_note})"
+            )
+        return 0
+
+    return asyncio.run(_fetch())
+
+
 def _run_recover(args) -> int:
     from .storage import StorageError, recover
 
@@ -706,6 +821,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "proxy":
         return _run_proxy(args)
+
+    if args.command == "proof":
+        return _run_proof(args)
 
     if args.command == "loadgen":
         return _run_loadgen(args)

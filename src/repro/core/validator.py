@@ -330,11 +330,20 @@ class AcceleratedValidator:
         self.node.state.clear_journal()
         hotspots: list[int] = []
         if committed:
+            # Seal before append: the chain must hold the hash the
+            # sealed header commits to.
+            self.node.seal_state_root(block)
             self.node.chain.append(block)
             self.node.receipts[block.hash()] = receipts
             self.node.mempool.remove(block.transactions)
             self.tracker.observe_block(block.transactions)
             hotspots = self.idle_slice()
+        elif self.node.trie is not None:
+            # Rejected block: state is rolled back, but the first-touch
+            # capture still lists what execution touched. Drain it now
+            # (values re-read from the restored state leave the root
+            # unchanged) so the buffer never carries across blocks.
+            self.node.trie.update(self.node.state)
         self.total_degradation.merge(report)
         perf: BlockPerfReport | None = None
         if registry.enabled:

@@ -32,7 +32,15 @@ from ..serve.loadgen import RpcClient, RpcClientError
 from .config import ReplicationConfig
 
 #: Read methods that are safe to serve from any healthy replica.
-_READ_METHODS = ("repro_getBalance", "repro_getReceipt")
+#: Proofs round-robin too: any replica at the same height serves the
+#: same state root, so a proof verifies no matter who cut it.
+_READ_METHODS = (
+    "repro_getBalance",
+    "repro_getReceipt",
+    "repro_getProof",
+    "repro_getStorageProof",
+    "repro_getBlock",
+)
 
 
 class _Backend:

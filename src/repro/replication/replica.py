@@ -39,6 +39,12 @@ from ..evm.decoded import warm_code, warm_state_codes
 from ..evm.interpreter import EVM
 from ..obs import get_registry
 from ..storage import codec
+from ..trie import (
+    StatelessValidator,
+    StateRootMismatchError,
+    StateTrie,
+    WitnessError,
+)
 from . import stream
 from .config import ReplicationConfig
 from .errors import ReplicaDivergenceError, StreamProtocolError
@@ -58,13 +64,30 @@ class Replica:
         writer_stream_port: int,
         config: ReplicationConfig | None = None,
         fault_injector=None,
+        mode: str = "execute",
     ) -> None:
+        if mode not in ("execute", "witness"):
+            raise ValueError(f"unknown replica mode {mode!r}")
         self.node = node
         self.builder = builder
         self.writer_host = writer_host
         self.writer_stream_port = writer_stream_port
         self.config = config or ReplicationConfig()
         self.fault_injector = fault_injector
+        #: ``execute`` re-runs every block against full local state (and,
+        #: when Merkleizing, additionally asserts the sealed header
+        #: root). ``witness`` validates statelessly: each block must
+        #: arrive with a witness, is re-executed from it alone, and only
+        #: the root chain is maintained — the full state is never
+        #: updated, so witness replicas serve receipts and validation,
+        #: not balance reads.
+        self.mode = mode
+        self._validator = StatelessValidator()
+        #: Witness-mode chain anchors: the last verified root, and the
+        #: writer's echoed digest stamp (our HELLO claim — we cannot
+        #: recompute a flat digest without full state).
+        self._last_root: bytes | None = None
+        self._last_digest: bytes | None = None
         self._rng = random.Random(self.config.seed)
         #: Applied chain height. Decoupled from ``len(node.chain)``
         #: because a snapshot resync replaces state without replaying
@@ -146,9 +169,23 @@ class Replica:
         self.connected = True
         try:
             with self.builder.state_lock:
-                digest = codec.state_digest_bytes(self.node.state)
+                if self.mode == "witness":
+                    # A witness replica's state is frozen at its last
+                    # anchor; its claim is the writer's own echoed stamp
+                    # plus the root chain it has verified itself.
+                    digest = self._last_digest or codec.state_digest_bytes(
+                        self.node.state
+                    )
+                    root = self._last_root or b""
+                else:
+                    digest = codec.state_digest_bytes(self.node.state)
+                    root = (
+                        self.node.state_root
+                        if getattr(self.node, "trie", None) is not None
+                        else b""
+                    )
             writer.write(stream.encode_hello(
-                self.height, digest, self._need_snapshot
+                self.height, digest, self._need_snapshot, root
             ))
             await writer.drain()
             loop = asyncio.get_running_loop()
@@ -179,7 +216,8 @@ class Replica:
             stall = self.fault_injector.stall_follower()
             if stall > 0:
                 await asyncio.sleep(stall)
-        block, expected = codec.decode_wal_payload(wal_payload)
+        record = codec.decode_wal_record(wal_payload)
+        block = record.block
         height = block.header.height
         if height <= self.height:
             return  # reconnect overlap: already applied
@@ -187,9 +225,11 @@ class Replica:
             raise StreamProtocolError(
                 f"stream gap: got block {height}, applied {self.height}"
             )
-        receipts = await loop.run_in_executor(
-            None, self._apply_block, block, expected
-        )
+        if self.mode == "witness":
+            apply = self._apply_block_witness
+        else:
+            apply = self._apply_block
+        receipts = await loop.run_in_executor(None, apply, record)
         # Feed the serve layer on the event loop (subscription writes
         # and receipt indexing are loop-thread affairs, exactly as the
         # writer's builder resolves there).
@@ -230,7 +270,8 @@ class Replica:
             blockhash_fn=blockhash_fn,
         )
 
-    def _apply_block(self, block, expected: bytes):
+    def _apply_block(self, record):
+        block, expected = record.block, record.digest
         with self.builder.state_lock:
             state = self.node.state
             height = block.header.height
@@ -255,6 +296,22 @@ class Replica:
                 state.revert(token)
                 state.clear_journal()
                 raise ReplicaDivergenceError(height, expected, actual)
+            if getattr(self.node, "trie", None) is not None:
+                try:
+                    # Compare-or-stamp: a header the writer sealed must
+                    # re-seal bit-identically from our replayed state.
+                    self.node.seal_state_root(block)
+                except StateRootMismatchError:
+                    state.revert(token)
+                    state.clear_journal()
+                    # The trie now disagrees with the reverted state,
+                    # but divergence forces a snapshot resync which
+                    # re-attaches it from scratch.
+                    raise ReplicaDivergenceError(
+                        height,
+                        block.header.state_root or b"",
+                        self.node.state_root,
+                    ) from None
             state.clear_journal()
             self.node.chain.append(block)
             self.node.receipts[block.hash()] = receipts
@@ -272,16 +329,66 @@ class Replica:
             self.blocks_applied += 1
             return receipts
 
+    def _apply_block_witness(self, record):
+        """Stateless apply: re-execute from the block witness alone.
+
+        The full world state is never touched — only the verified root
+        chain (and the writer's echoed digest stamp, for HELLO claims)
+        advances. Any witness damage or root mismatch is a divergence:
+        the only continuation is a snapshot resync.
+        """
+        block = record.block
+        height = block.header.height
+        if not record.witness or not block.header.state_root:
+            raise StreamProtocolError(
+                f"block {height} carries no witness/state root; a "
+                "witness-mode replica needs a writer running with "
+                "--emit-witness"
+            )
+        try:
+            result = self._validator.validate(
+                block,
+                record.witness,
+                context=self._context_for(block),
+                pre_root=self._last_root,
+            )
+        except (WitnessError, StateRootMismatchError) as exc:
+            raise ReplicaDivergenceError(
+                height, block.header.state_root, b""
+            ) from exc
+        with self.builder.state_lock:
+            self._last_root = result.post_root
+            self._last_digest = record.digest
+            self.node.chain.append(block)
+            self.node.receipts[block.hash()] = result.receipts
+            self._hashes[height] = block.hash()
+            self._hashes.pop(height - BLOCKHASH_WINDOW, None)
+            self.height = height
+            self.blocks_applied += 1
+        return result.receipts
+
     def _apply_snapshot(
         self, payload: bytes, recent: list[tuple[int, bytes]]
     ) -> None:
         try:
-            fields = rlp.as_list(rlp.decode(payload), "snapshot", 3)
+            fields = rlp.as_list(rlp.decode(payload), "snapshot")
+            if len(fields) not in (3, 4):
+                raise rlp.RLPDecodingError(
+                    f"snapshot must be a 3- or 4-item list, "
+                    f"got {len(fields)}"
+                )
             height = rlp.decode_int(fields[0])
             digest = rlp.as_bytes(fields[1], "snapshot digest")
             state = codec.state_from_rlp(
                 rlp.as_bytes(fields[2], "snapshot state")
             )
+            root = b""
+            if len(fields) == 4:
+                root = rlp.as_bytes(fields[3], "snapshot state root")
+                if root and len(root) != 32:
+                    raise rlp.RLPDecodingError(
+                        "snapshot state root must be 32 bytes"
+                    )
         except rlp.RLPDecodingError as exc:
             raise StreamProtocolError(
                 f"undecodable snapshot: {exc}"
@@ -289,6 +396,10 @@ class Replica:
         if codec.state_digest_bytes(state) != digest:
             raise StreamProtocolError(
                 "snapshot state does not match its stamped digest"
+            )
+        if root and StateTrie.rebuild_root(state) != root:
+            raise StreamProtocolError(
+                "snapshot state does not match its stamped state root"
             )
         with self.builder.state_lock:
             self.node.state = state
@@ -302,6 +413,15 @@ class Replica:
             self.builder._history.clear()
             self._hashes = dict(recent)
             self.height = height
+            if getattr(self.node, "trie", None) is not None:
+                self.node.attach_trie()
+            # Re-anchor the witness-mode chain at the snapshot.
+            self._last_digest = digest
+            self._last_root = root or (
+                self.node.state_root
+                if getattr(self.node, "trie", None) is not None
+                else None
+            )
         self._need_snapshot = False
         self.resyncs += 1
         registry = get_registry()

@@ -7,10 +7,12 @@ cut mid-message is indistinguishable from EOF (both mean "reconnect").
 
 Message payloads are RLP lists tagged with a type byte:
 
-* ``HELLO``    (replica → writer): ``[type, height, digest, need_snapshot]``
-  — "I have applied blocks through *height* and my state digest is
-  *digest*; start me from there (or send a snapshot if I asked, or if
-  you cannot vouch for my digest)".
+* ``HELLO``    (replica → writer): ``[type, height, digest, need_snapshot,
+  state_root?]`` — "I have applied blocks through *height* and my state
+  digest is *digest*; start me from there (or send a snapshot if I
+  asked, or if you cannot vouch for my digest)". Merkleizing replicas
+  append their applied trie root; the writer cross-checks it against
+  its WAL stamps exactly like the digest.
 * ``SNAPSHOT`` (writer → replica): ``[type, snapshot_payload,
   recent_hashes]`` — the exact payload of a snapshot file
   (``RLP([height, digest, state])``) plus the hashes of up to the 256
@@ -41,13 +43,23 @@ MSG_BLOCK = 3
 MAX_MESSAGE_BYTES = 1 << 30
 
 
-def encode_hello(height: int, digest: bytes, need_snapshot: bool) -> bytes:
-    return frame_record(rlp.encode([
+def encode_hello(
+    height: int,
+    digest: bytes,
+    need_snapshot: bool,
+    state_root: bytes = b"",
+) -> bytes:
+    """HELLO claim. A Merkleizing replica appends its applied state
+    root as a 5th field; legacy replicas keep the 4-field form."""
+    fields = [
         rlp.encode_int(MSG_HELLO),
         rlp.encode_int(height),
         digest,
         rlp.encode_int(1 if need_snapshot else 0),
-    ]))
+    ]
+    if state_root:
+        fields.append(state_root)
+    return frame_record(rlp.encode(fields))
 
 
 def encode_snapshot(
@@ -83,13 +95,25 @@ def decode_message(payload: bytes) -> tuple[int, tuple]:
             raise rlp.RLPDecodingError("empty stream message")
         msg_type = rlp.decode_int(rlp.as_bytes(fields[0], "message type"))
         if msg_type == MSG_HELLO:
-            wanted = rlp.as_list(fields, "hello", 4)
+            if len(fields) not in (4, 5):
+                raise rlp.RLPDecodingError(
+                    f"hello must be a 4- or 5-item list, "
+                    f"got {len(fields)}"
+                )
+            state_root = b""
+            if len(fields) == 5:
+                state_root = rlp.as_bytes(fields[4], "hello state root")
+                if state_root and len(state_root) != 32:
+                    raise rlp.RLPDecodingError(
+                        "hello state root must be 32 bytes"
+                    )
             return MSG_HELLO, (
-                rlp.decode_int(rlp.as_bytes(wanted[1], "hello height")),
-                rlp.as_bytes(wanted[2], "hello digest"),
+                rlp.decode_int(rlp.as_bytes(fields[1], "hello height")),
+                rlp.as_bytes(fields[2], "hello digest"),
                 bool(rlp.decode_int(
-                    rlp.as_bytes(wanted[3], "hello need_snapshot")
+                    rlp.as_bytes(fields[3], "hello need_snapshot")
                 )),
+                state_root,
             )
         if msg_type == MSG_SNAPSHOT:
             wanted = rlp.as_list(fields, "snapshot", 3)

@@ -67,6 +67,7 @@ class _WalIndex:
         self._tail = WalTailReader(wal_path)
         self.stamps: list[bytes] = []
         self.hashes: list[bytes] = []
+        self.roots: list[bytes] = []
         self.frames: dict[int, bytes] = {}
 
     @property
@@ -75,9 +76,10 @@ class _WalIndex:
 
     def refresh(self) -> None:
         for payload in self._tail.poll():
-            block, digest = codec.decode_wal_payload(payload)
-            self.stamps.append(digest)
-            self.hashes.append(block.hash())
+            record = codec.decode_wal_record(payload)
+            self.stamps.append(record.digest)
+            self.hashes.append(record.block.hash())
+            self.roots.append(record.block.header.state_root)
             index = len(self.stamps) - 1
             self.frames[index] = stream.encode_block(
                 int(time.time() * 1e6), len(self.stamps), payload
@@ -88,6 +90,13 @@ class _WalIndex:
         """The writer's digest after block *height* (None if unknown)."""
         if 1 <= height <= len(self.stamps):
             return self.stamps[height - 1]
+        return None
+
+    def root(self, height: int) -> bytes | None:
+        """The sealed state root of block *height* (None if unknown or
+        written by an un-Merkleized node)."""
+        if 1 <= height <= len(self.roots):
+            return self.roots[height - 1] or None
         return None
 
     def recent_hashes(self, height: int) -> list[tuple[int, bytes]]:
@@ -165,7 +174,11 @@ class WalStreamer:
         return self._genesis_digest
 
     def _needs_snapshot(
-        self, height: int, digest: bytes, asked: bool
+        self,
+        height: int,
+        digest: bytes,
+        asked: bool,
+        state_root: bytes = b"",
     ) -> bool:
         """Whether a follower's HELLO claim forces a snapshot resync."""
         if asked or height > self._index.height:
@@ -176,6 +189,13 @@ class WalStreamer:
                 return True
         elif self._index.stamp(height) != digest:
             return True  # divergence: never extend a wrong universe
+        if state_root and height > 0:
+            # A claimed Merkle root is validated exactly like the
+            # digest; a WAL written without roots vouches for nothing
+            # and stays silent.
+            stamped = self._index.root(height)
+            if stamped is not None and stamped != state_root:
+                return True
         return (
             self._index.height - height
             > self.config.snapshot_catchup_blocks
@@ -239,15 +259,29 @@ class WalStreamer:
         if msg_type != stream.MSG_HELLO:
             self.rejected_hellos += 1
             raise StreamProtocolError("expected HELLO")
-        height, digest, need_snapshot = fields
+        height, digest, need_snapshot, claimed_root = fields
         self._index.refresh()
         start_height = height
-        if self._needs_snapshot(height, digest, need_snapshot):
+        stamped_root = (
+            self._index.root(height) if claimed_root and height > 0 else None
+        )
+        if height == 0:
+            genesis = self._genesis_stamp()
+            diverged = genesis is not None and digest != genesis
+        else:
+            diverged = height <= self._index.height and (
+                self._index.stamp(height) != digest
+                or (
+                    stamped_root is not None
+                    and stamped_root != claimed_root
+                )
+            )
+        if self._needs_snapshot(
+            height, digest, need_snapshot, claimed_root
+        ):
             newest = self._newest_snapshot()
             if newest is not None and (
-                newest[0] > height
-                or self._index.stamp(height) != digest
-                or need_snapshot
+                newest[0] > height or diverged or need_snapshot
             ):
                 snap_height, payload = newest
                 writer.write(stream.encode_snapshot(

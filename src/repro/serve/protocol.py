@@ -118,13 +118,23 @@ def receipt_from_wire(obj: dict) -> Receipt:
 
 
 def header_to_wire(block) -> dict:
-    """The ``newHeads`` notification payload for a committed block."""
+    """The ``newHeads`` notification payload for a committed block.
+
+    ``stateRoot`` is the sealed Merkle root ("" from a non-Merkleizing
+    writer); the packed-lane stats describe the conflict-aware cut when
+    the block was packed (absent for FIFO blocks).
+    """
     header = block.header
-    return {
+    obj = {
         "height": header.height,
         "hash": block.hash().hex(),
         "parentHash": header.parent_hash.hex(),
+        "stateRoot": header.state_root.hex(),
         "timestamp": header.timestamp,
         "gasLimit": header.gas_limit,
         "transactions": len(block.transactions),
     }
+    if block.packed_lanes is not None:
+        obj["packedLanes"] = len(block.packed_lanes)
+        obj["packedParallelism"] = block.packed_parallelism
+    return obj

@@ -32,11 +32,13 @@ from ..storage import codec as storage_codec
 from . import protocol
 from .batcher import BlockBuilder
 from .config import ServeConfig
+from ..trie import encode_proof
 from .errors import (
     ADMISSION_REJECTED,
     INTERNAL_ERROR,
     INVALID_PARAMS,
     METHOD_NOT_FOUND,
+    PROOF_UNAVAILABLE,
     BusyError,
     DeadlineExceededError,
     RateLimitedError,
@@ -59,7 +61,9 @@ class RpcServer:
         self.config = config or ServeConfig()
         self._fault_injector = fault_injector
         self.node = node or Node(
-            per_sender_cap=self.config.per_sender_cap
+            per_sender_cap=self.config.per_sender_cap,
+            merkleize=self.config.merkleize,
+            emit_witness=self.config.emit_witness,
         )
         if self.config.per_sender_cap is not None:
             self.node.mempool.per_sender_cap = self.config.per_sender_cap
@@ -346,6 +350,12 @@ class RpcServer:
             return self._get_receipt(params)
         if method == "repro_getBalance":
             return self._get_balance(params)
+        if method == "repro_getProof":
+            return self._get_proof(params)
+        if method == "repro_getStorageProof":
+            return self._get_storage_proof(params)
+        if method == "repro_getBlock":
+            return self._get_block(params)
         if method == "repro_subscribe":
             return self._subscribe(params, writer)
         if method == "repro_health":
@@ -484,6 +494,118 @@ class RpcServer:
         with self.builder.state_lock, self.node.state.untracked():
             return self.node.state.get_balance(address)
 
+    @staticmethod
+    def _parse_address(params: dict, key: str = "address") -> int:
+        value = params.get(key)
+        if isinstance(value, str):
+            try:
+                value = int(value, 16)
+            except ValueError:
+                raise RpcError(
+                    INVALID_PARAMS, f"{key} is not hex"
+                ) from None
+        if not isinstance(value, int) or value < 0:
+            raise RpcError(INVALID_PARAMS, f"{key} required")
+        return value
+
+    def _require_trie(self):
+        trie = self.node.trie
+        if trie is None:
+            raise RpcError(
+                PROOF_UNAVAILABLE,
+                "node is not Merkleizing (started with merkleize off)",
+                {"reason": "not_merkleizing"},
+            )
+        return trie
+
+    def _observe_proof(self, blob: bytes) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram("trie.proof_bytes").observe(len(blob))
+
+    def _get_proof(self, params: dict) -> dict:
+        """Inclusion proof binding an account to the current state root.
+
+        Absence is not provable (no exclusion proofs); an account not in
+        the trie gets a typed PROOF_UNAVAILABLE error instead.
+        """
+        address = self._parse_address(params)
+        trie = self._require_trie()
+        with self.builder.state_lock:
+            try:
+                proof = trie.account_proof(address)
+            except KeyError:
+                raise RpcError(
+                    PROOF_UNAVAILABLE,
+                    f"account {address:#x} is not in the trie",
+                    {"reason": "absent"},
+                ) from None
+            state_root = trie.root()
+        blob = encode_proof(proof)
+        self._observe_proof(blob)
+        return {
+            "address": f"{address:x}",
+            "stateRoot": state_root.hex(),
+            "balance": proof.balance,
+            "nonce": proof.nonce,
+            "proof": blob.hex(),
+        }
+
+    def _get_storage_proof(self, params: dict) -> dict:
+        """Inclusion proof binding one storage slot to the state root."""
+        address = self._parse_address(params)
+        slot = self._parse_address(params, key="slot")
+        trie = self._require_trie()
+        with self.builder.state_lock:
+            with self.node.state.untracked():
+                value = self.node.state.get_storage(address, slot)
+            try:
+                proof = trie.storage_proof(address, slot, value)
+            except (KeyError, ValueError):
+                raise RpcError(
+                    PROOF_UNAVAILABLE,
+                    f"slot {slot:#x} of {address:#x} is empty or the "
+                    "account is not in the trie",
+                    {"reason": "absent"},
+                ) from None
+            state_root = trie.root()
+        blob = encode_proof(proof)
+        self._observe_proof(blob)
+        return {
+            "address": f"{address:x}",
+            "slot": f"{slot:x}",
+            "value": value,
+            "stateRoot": state_root.hex(),
+            "proof": blob.hex(),
+        }
+
+    def _get_block(self, params: dict) -> object:
+        """Header fields of one committed block (None when unknown).
+
+        ``height`` is an integer or ``"latest"``. Replicas answer from
+        their replicated chain, which may start past genesis after a
+        snapshot resync — heights below the anchor return None.
+        """
+        height = params.get("height", "latest")
+        with self.builder.state_lock:
+            chain = self.node.chain
+            if height == "latest":
+                block = chain[-1] if chain else None
+            else:
+                if not isinstance(height, int) or height < 0:
+                    raise RpcError(
+                        INVALID_PARAMS,
+                        'height must be an integer or "latest"',
+                    )
+                block = None
+                if chain:
+                    index = height - chain[0].header.height
+                    if 0 <= index < len(chain):
+                        block = chain[index]
+            if block is None:
+                return None
+            return protocol.header_to_wire(block)
+
     def _subscribe(self, params: dict, writer) -> dict:
         topic = params.get("topic", "newHeads")
         if topic != "newHeads":
@@ -545,6 +667,7 @@ class RpcServer:
             "role": self.config.role,
             "height": height,
             "stateDigest": digest.hex(),
+            "stateRoot": self.node.state_root.hex(),
             "mempoolDepth": len(self.node.mempool),
             "queueDepth": self.builder.depth,
             "uptimeSeconds": round(

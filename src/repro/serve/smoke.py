@@ -41,7 +41,9 @@ async def _run(
 ) -> dict:
     deployment = build_deployment(num_accounts=num_accounts)
     node = Node(state=deployment.state.copy(),
-                per_sender_cap=config.per_sender_cap)
+                per_sender_cap=config.per_sender_cap,
+                merkleize=config.merkleize,
+                emit_witness=config.emit_witness)
     arrival: list = []
     if config.packing == "conflict_aware" and check_digest:
         # Record admission order (the event loop admits serially), so
@@ -84,7 +86,11 @@ async def _run(
         # and final state must be bit-identical.
         from ..chain.receipt import receipts_root
 
-        reference = Node(state=deployment.state.copy())
+        # Same merkleize setting as the server: a Merkleizing reference
+        # *checks* the sealed roots as it replays; an un-Merkleized one
+        # must not stamp (and re-hash) the server's header in place.
+        reference = Node(state=deployment.state.copy(),
+                         merkleize=config.merkleize)
         started = time.perf_counter()
         roots_match = True
         for block in node.chain:
@@ -132,6 +138,8 @@ def run_serve_load(
     packing: str = "fifo",
     packing_lane_depth: int | None = None,
     packing_aging_bound: int = 8,
+    merkleize: bool = True,
+    emit_witness: bool = False,
 ) -> dict:
     """Boot + load + drain, synchronously; returns the result dict."""
     config = ServeConfig(
@@ -145,6 +153,8 @@ def run_serve_load(
         packing=packing,
         packing_lane_depth=packing_lane_depth,
         packing_aging_bound=packing_aging_bound,
+        merkleize=merkleize,
+        emit_witness=emit_witness,
     )
     return asyncio.run(_run(
         transactions, clients, config, workload, seed,

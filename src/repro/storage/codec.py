@@ -15,6 +15,8 @@ WAL records and recovery re-derives.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..chain import rlp
 from ..chain.account import Account
 from ..chain.block import Block
@@ -98,8 +100,12 @@ def state_digest_bytes(state: WorldState) -> bytes:
     accounts = state._accounts
     leaves = state._leaf_hashes
     dirty = state._digest_dirty
-    for address in [a for a in leaves if a not in accounts]:
-        del leaves[address]
+    # Dirty-driven eviction: an address whose account went away (delete,
+    # or revert of a creation) is in the dirty set, so only touched
+    # leaves are ever inspected — O(touched), not O(leaves).
+    for address in dirty:
+        if address not in accounts:
+            leaves.pop(address, None)
     for address, account in accounts.items():
         if address in dirty or address not in leaves:
             if account.is_empty:
@@ -117,19 +123,71 @@ def state_digest_bytes(state: WorldState) -> bytes:
     )
 
 
-def encode_wal_payload(block: Block, post_state_digest: bytes) -> bytes:
-    """One WAL record payload: the block plus its post-state digest."""
-    return rlp.encode([block.to_rlp(), post_state_digest])
+@dataclass(frozen=True)
+class WalRecord:
+    """One fully decoded WAL record (all wire generations)."""
+
+    block: Block
+    digest: bytes
+    #: Post-block Merkle state root; empty for legacy records and for
+    #: writers running with Merkleization off.
+    state_root: bytes = b""
+    #: Block witness blob (see repro.trie.witness); empty unless the
+    #: writer was started with witness emission on.
+    witness: bytes = b""
 
 
-def decode_wal_payload(payload: bytes) -> tuple[Block, bytes]:
-    """Inverse of :func:`encode_wal_payload`."""
-    fields = rlp.as_list(rlp.decode(payload), "wal record", 2)
+def encode_wal_payload(
+    block: Block,
+    post_state_digest: bytes,
+    state_root: bytes = b"",
+    witness: bytes = b"",
+) -> bytes:
+    """One WAL record payload: block, flat digest, and (when the writer
+    Merkleizes) the state root and optional witness.
+
+    The field count grows only as far as needed — 2 (legacy), 3 (root),
+    4 (root + witness) — so records written by an un-Merkleized node are
+    byte-identical to the previous wire generation.
+    """
+    fields: list = [block.to_rlp(), post_state_digest]
+    if state_root or witness:
+        fields.append(state_root)
+    if witness:
+        fields.append(witness)
+    return rlp.encode(fields)
+
+
+def decode_wal_record(payload: bytes) -> WalRecord:
+    """Decode any wire generation of a WAL record."""
+    fields = rlp.as_list(rlp.decode(payload), "wal record")
+    if len(fields) not in (2, 3, 4):
+        raise rlp.RLPDecodingError(
+            f"wal record must be a 2-, 3- or 4-item list, "
+            f"got {len(fields)}"
+        )
     digest = rlp.as_bytes(fields[1], "wal state digest")
     if len(digest) != 32:
         raise rlp.RLPDecodingError("wal state digest must be 32 bytes")
+    state_root = b""
+    if len(fields) >= 3:
+        state_root = rlp.as_bytes(fields[2], "wal state root")
+        if state_root and len(state_root) != 32:
+            raise rlp.RLPDecodingError("wal state root must be 32 bytes")
+    witness = (
+        rlp.as_bytes(fields[3], "wal witness") if len(fields) == 4 else b""
+    )
     block = Block.from_rlp(rlp.as_bytes(fields[0], "wal block"))
-    return block, digest
+    return WalRecord(
+        block=block, digest=digest, state_root=state_root, witness=witness
+    )
+
+
+def decode_wal_payload(payload: bytes) -> tuple[Block, bytes]:
+    """Decode a WAL record to its (block, digest) core — the shape every
+    pre-Merkle call site consumes; newer fields are simply ignored."""
+    record = decode_wal_record(payload)
+    return record.block, record.digest
 
 
 def mempool_to_rlp(entries) -> bytes:

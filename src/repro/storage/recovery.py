@@ -26,6 +26,7 @@ from ..chain.node import Node
 from ..chain.state import WorldState
 from ..core.hotspot.tracker import HotspotTracker
 from ..obs import get_registry
+from ..trie import StateRootMismatchError
 from . import codec, snapshot as snapshots
 from .errors import CorruptSnapshotError, CorruptWalError, RecoveryError
 from .store import MEMPOOL_NAME, WAL_NAME
@@ -207,12 +208,28 @@ def recover(
     for path in skipped:
         warnings.append(f"skipped damaged/inconsistent snapshot {path}")
 
-    node = (node_factory or Node)(state=state)
+    # The replay node is deliberately *not* Merkleizing: re-sealing
+    # would stamp legacy (rootless) headers in place, changing their
+    # hashes and poisoning parent linkage for blocks appended after
+    # recovery. Roots are verified once at the tip instead, and the
+    # caller's node re-attaches its own trie after the transplant.
+    if node_factory is None:
+        def node_factory(state):
+            return Node(state=state, merkleize=False)
+    node = node_factory(state=state)
     node.chain = [block for block, _ in pairs[:anchor_height]]
 
     replayed = 0
     for block, stamped in pairs[anchor_height:]:
-        node.execute_block(block)
+        try:
+            # A Merkleizing node re-seals as it replays, so a header
+            # whose WAL-stamped state root cannot be reproduced is
+            # caught here, before the digest comparison.
+            node.execute_block(block)
+        except StateRootMismatchError as exc:
+            raise RecoveryError(
+                f"replay diverged at block {block.header.height}: {exc}"
+            ) from None
         actual = codec.state_digest_bytes(node.state)
         if actual != stamped:
             raise RecoveryError(
@@ -221,6 +238,19 @@ def recover(
                 f"{stamped.hex()[:16]}…"
             )
         replayed += 1
+
+    if pairs and pairs[-1][0].header.state_root:
+        # The WAL tip was sealed by a Merkleizing writer: the recovered
+        # state must reproduce that root bit-identically.
+        from ..trie import StateTrie
+
+        rebuilt = StateTrie.rebuild_root(node.state)
+        claimed = pairs[-1][0].header.state_root
+        if rebuilt != claimed:
+            raise RecoveryError(
+                f"recovered state root {rebuilt.hex()[:16]}… does not "
+                f"match the sealed tip root {claimed.hex()[:16]}…"
+            )
 
     # Receipt retention: replay may have gone further back than the
     # window (anchor granularity); trim to the newest N blocks.
@@ -294,9 +324,14 @@ def attach(
         node.mempool.state = node.state
         node.chain = result.node.chain
         node.receipts = result.node.receipts
+        if node.trie is not None:
+            # The transplant replaced the state object wholesale; the
+            # trie must re-bind (and re-enable first-touch capture) on
+            # the recovered state.
+            node.attach_trie()
 
     store = ChainStore(data_dir, config, fault_injector=fault_injector)
-    store.init_genesis(node.state)
+    store.init_genesis(node.state, state_root=node.state_root)
 
     respilled = 0
     for tx, bloom_bytes in store.load_mempool(delete=True):

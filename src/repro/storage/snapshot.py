@@ -40,12 +40,34 @@ def atomic_write(path: str, blob: bytes) -> None:
     os.replace(tmp, path)
 
 
-def write_snapshot(data_dir: str, height: int, state: WorldState) -> str:
-    """Atomically persist *state* at *height*; returns the file path."""
+def _snapshot_fields(path: str, blob: bytes) -> list:
+    """Decode a snapshot payload to its 3 (legacy) or 4 field list."""
+    try:
+        fields = rlp.as_list(rlp.decode(unframe_record(blob)), "snapshot")
+    except (rlp.RLPDecodingError, CorruptWalError, ValueError) as exc:
+        raise CorruptSnapshotError(f"{path}: {exc}") from exc
+    if len(fields) not in (3, 4):
+        raise CorruptSnapshotError(
+            f"{path}: snapshot must be a 3- or 4-item list, "
+            f"got {len(fields)}"
+        )
+    return fields
+
+
+def write_snapshot(
+    data_dir: str, height: int, state: WorldState, state_root: bytes = b""
+) -> str:
+    """Atomically persist *state* at *height*; returns the file path.
+
+    With a Merkleizing writer the trie's *state_root* rides along as a
+    4th field; legacy 3-field snapshots keep being written (and read)
+    when no root is supplied.
+    """
     digest = codec.state_digest_bytes(state)
-    payload = rlp.encode(
-        [rlp.encode_int(height), digest, codec.state_to_rlp(state)]
-    )
+    fields = [rlp.encode_int(height), digest, codec.state_to_rlp(state)]
+    if state_root:
+        fields.append(state_root)
+    payload = rlp.encode(fields)
     path = os.path.join(data_dir, snapshot_name(height))
     atomic_write(path, frame_record(payload))
     return path
@@ -59,10 +81,8 @@ def read_snapshot(path: str) -> tuple[int, bytes, WorldState]:
     """
     with open(path, "rb") as fh:
         blob = fh.read()
+    fields = _snapshot_fields(path, blob)
     try:
-        fields = rlp.as_list(
-            rlp.decode(unframe_record(blob)), "snapshot", 3
-        )
         height = rlp.decode_int(fields[0])
         digest = rlp.as_bytes(fields[1], "snapshot digest")
         state = codec.state_from_rlp(
@@ -85,16 +105,33 @@ def read_snapshot_stamp(path: str) -> tuple[int, bytes]:
     """
     with open(path, "rb") as fh:
         blob = fh.read()
+    fields = _snapshot_fields(path, blob)
     try:
-        fields = rlp.as_list(
-            rlp.decode(unframe_record(blob)), "snapshot", 3
-        )
         return (
             rlp.decode_int(fields[0]),
             rlp.as_bytes(fields[1], "snapshot digest"),
         )
     except (rlp.RLPDecodingError, CorruptWalError, ValueError) as exc:
         raise CorruptSnapshotError(f"{path}: {exc}") from exc
+
+
+def read_snapshot_root(path: str) -> bytes:
+    """The Merkle state root a snapshot was stamped with (b"" for
+    legacy 3-field snapshots or un-Merkleized writers)."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    fields = _snapshot_fields(path, blob)
+    if len(fields) < 4:
+        return b""
+    try:
+        root = rlp.as_bytes(fields[3], "snapshot state root")
+    except rlp.RLPDecodingError as exc:
+        raise CorruptSnapshotError(f"{path}: {exc}") from exc
+    if root and len(root) != 32:
+        raise CorruptSnapshotError(
+            f"{path}: snapshot state root must be 32 bytes"
+        )
+    return root
 
 
 def list_snapshots(data_dir: str) -> list[tuple[int, str]]:

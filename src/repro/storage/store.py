@@ -106,17 +106,21 @@ class ChainStore:
         return os.path.join(self.data_dir, MEMPOOL_NAME)
 
     # -- genesis -----------------------------------------------------------
-    def init_genesis(self, state: WorldState) -> bool:
+    def init_genesis(
+        self, state: WorldState, state_root: bytes = b""
+    ) -> bool:
         """Write the height-0 snapshot anchor if this is a fresh store."""
         path = os.path.join(self.data_dir, snapshot.snapshot_name(0))
         if os.path.exists(path):
             return False
-        snapshot.write_snapshot(self.data_dir, 0, state)
+        snapshot.write_snapshot(self.data_dir, 0, state, state_root)
         snapshot.sync_dir(self.data_dir)
         return True
 
     # -- the commit path ---------------------------------------------------
-    def append_block(self, block: Block, state: WorldState) -> None:
+    def append_block(
+        self, block: Block, state: WorldState, witness: bytes | None = None
+    ) -> None:
         """Durably record a committed block and its post-state digest.
 
         Runs on the execution thread *before* client futures resolve:
@@ -124,11 +128,18 @@ class ChainStore:
         time anyone is told the transaction committed. Every
         ``snapshot_interval_blocks`` a state snapshot follows the
         append, so recovery replays a bounded suffix.
+
+        A Merkleizing node's header carries its sealed ``state_root``;
+        the record echoes it (and the block *witness*, when emitted) so
+        replicas and recovery can validate roots without re-deriving.
         """
         registry = get_registry()
         started = time.perf_counter()
         payload = codec.encode_wal_payload(
-            block, codec.state_digest_bytes(state)
+            block,
+            codec.state_digest_bytes(state),
+            state_root=block.header.state_root,
+            witness=witness or b"",
         )
         written = self._writer.append(payload)
         self.wal_records += 1
@@ -157,7 +168,9 @@ class ChainStore:
                 # previous anchor plus a longer replay.
                 self.fault_injector.crash_point("between_wal_and_snapshot")
             snap_started = time.perf_counter()
-            snapshot.write_snapshot(self.data_dir, height, state)
+            snapshot.write_snapshot(
+                self.data_dir, height, state, block.header.state_root
+            )
             snapshot.prune_snapshots(
                 self.data_dir, self.config.retain_snapshots
             )

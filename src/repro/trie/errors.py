@@ -1,0 +1,33 @@
+"""Typed errors of the authenticated-state subsystem.
+
+Everything that decodes untrusted bytes (proofs, witnesses) raises a
+subclass of :class:`ValueError`, mirroring the discipline of
+:class:`repro.chain.rlp.RLPDecodingError`: hostile input produces a
+typed, catchable error — never an ``IndexError``/``TypeError`` escaping
+from the middle of a parser, and never a silently "verified" result.
+"""
+
+from __future__ import annotations
+
+
+class ProofDecodingError(ValueError):
+    """Proof bytes are malformed (structure, widths, bounds, RLP)."""
+
+
+class WitnessError(ValueError):
+    """A block witness is malformed, insufficient, or inconsistent.
+
+    Raised both by the witness decoder (structural damage) and by the
+    stateless validator when execution needs state the witness did not
+    cover (a traversal crossing an unexpanded subtree stub).
+    """
+
+
+class StateRootMismatchError(RuntimeError):
+    """A block's claimed ``state_root`` disagrees with the recomputed one.
+
+    This is the Merkleized analogue of a WAL digest mismatch: raised by
+    :meth:`repro.chain.node.Node.seal_state_root` when a header already
+    carries a root (replication, recovery replay) that the local trie
+    update does not reproduce bit-identically.
+    """

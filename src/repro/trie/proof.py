@@ -1,0 +1,191 @@
+"""Wire encoding for account and storage inclusion proofs.
+
+Proofs travel as RLP blobs over JSON-RPC (hex-encoded by the transport).
+The decoder is hardened against hostile bytes in the style of
+:mod:`repro.chain.rlp`: every structural violation — wrong tag, wrong
+field count, oversized blob, out-of-range integers, non-monotonic step
+bits, mis-sized hashes — raises :class:`ProofDecodingError`, never a
+bare ``IndexError``/``TypeError``, and a decoded proof is always
+*shaped* correctly (verification against a root is a separate step in
+:mod:`repro.trie.verify`).
+
+Layout (RLP item lists; integers are minimal big-endian):
+
+* account proof: ``[0x01, address, nonce, balance, code_hash,
+  storage_root, [[bit, sibling], ...]]``
+* storage proof: ``[0x02, <account proof list>, slot, value,
+  [[bit, sibling], ...]]``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain import rlp
+from .errors import ProofDecodingError
+from .verify import KEY_BITS
+
+__all__ = [
+    "AccountProof",
+    "MAX_PROOF_BYTES",
+    "ProofStep",
+    "StorageProof",
+    "decode_proof",
+    "encode_proof",
+]
+
+#: Upper bound on an encoded proof. A real proof is ≤ 256 steps of
+#: ~35 bytes plus a small header; 1 MiB is orders of magnitude above
+#: that and simply stops a hostile peer from forcing a huge decode.
+MAX_PROOF_BYTES = 1 << 20
+
+_ACCOUNT_PROOF_TAG = 1
+_STORAGE_PROOF_TAG = 2
+
+_UINT256_LIMIT = 1 << 256
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One branch on the root→leaf path: its bit and the off-path hash."""
+
+    bit: int
+    sibling: bytes
+
+
+@dataclass(frozen=True)
+class AccountProof:
+    """An account leaf plus the sibling chain binding it to a root."""
+
+    address: int
+    nonce: int
+    balance: int
+    code_hash: bytes
+    storage_root: bytes
+    steps: tuple[ProofStep, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class StorageProof:
+    """A storage slot bound to its account's ``storage_root``, which the
+    embedded :class:`AccountProof` in turn binds to the state root."""
+
+    account: AccountProof
+    slot: int
+    value: int
+    steps: tuple[ProofStep, ...] = field(default=())
+
+
+def _steps_to_rlp(steps) -> list:
+    return [[rlp.encode_int(s.bit), s.sibling] for s in steps]
+
+
+def _account_to_rlp(proof: AccountProof) -> list:
+    return [
+        rlp.encode_int(_ACCOUNT_PROOF_TAG),
+        rlp.encode_int(proof.address),
+        rlp.encode_int(proof.nonce),
+        rlp.encode_int(proof.balance),
+        proof.code_hash,
+        proof.storage_root,
+        _steps_to_rlp(proof.steps),
+    ]
+
+
+def encode_proof(proof: AccountProof | StorageProof) -> bytes:
+    """Encode a proof to its RLP wire form."""
+    if isinstance(proof, AccountProof):
+        return rlp.encode(_account_to_rlp(proof))
+    if isinstance(proof, StorageProof):
+        return rlp.encode(
+            [
+                rlp.encode_int(_STORAGE_PROOF_TAG),
+                _account_to_rlp(proof.account),
+                rlp.encode_int(proof.slot),
+                rlp.encode_int(proof.value),
+                _steps_to_rlp(proof.steps),
+            ]
+        )
+    raise TypeError(f"cannot encode {type(proof).__name__} as a proof")
+
+
+def _decode_uint(item, what: str, limit: int = _UINT256_LIMIT) -> int:
+    value = rlp.decode_int(rlp.as_bytes(item, what))
+    if value >= limit:
+        raise ProofDecodingError(f"{what} out of range")
+    return value
+
+
+def _decode_hash(item, what: str) -> bytes:
+    data = rlp.as_bytes(item, what)
+    if len(data) != 32:
+        raise ProofDecodingError(f"{what} must be 32 bytes")
+    return data
+
+
+def _decode_steps(item, what: str) -> tuple[ProofStep, ...]:
+    items = rlp.as_list(item, what)
+    if len(items) > KEY_BITS:
+        raise ProofDecodingError(f"{what} has more than {KEY_BITS} steps")
+    steps = []
+    previous = -1
+    for entry in items:
+        bit_item, sibling_item = rlp.as_list(entry, f"{what} step", 2)
+        bit = _decode_uint(bit_item, f"{what} step bit", KEY_BITS)
+        if bit <= previous:
+            raise ProofDecodingError(
+                f"{what} step bits must strictly increase"
+            )
+        previous = bit
+        steps.append(
+            ProofStep(bit, _decode_hash(sibling_item, f"{what} sibling"))
+        )
+    return tuple(steps)
+
+
+def _decode_account(items) -> AccountProof:
+    fields = rlp.as_list(items, "account proof", 7)
+    if _decode_uint(fields[0], "proof tag", 256) != _ACCOUNT_PROOF_TAG:
+        raise ProofDecodingError("embedded proof is not an account proof")
+    return AccountProof(
+        address=_decode_uint(fields[1], "address"),
+        nonce=_decode_uint(fields[2], "nonce"),
+        balance=_decode_uint(fields[3], "balance"),
+        code_hash=_decode_hash(fields[4], "code hash"),
+        storage_root=_decode_hash(fields[5], "storage root"),
+        steps=_decode_steps(fields[6], "account steps"),
+    )
+
+
+def decode_proof(blob: bytes) -> AccountProof | StorageProof:
+    """Decode wire bytes into a proof, or raise :class:`ProofDecodingError`.
+
+    Any malformation — RLP damage, wrong shape, out-of-range values —
+    surfaces as the one typed error; nothing else escapes.
+    """
+    if not isinstance(blob, (bytes, bytearray)):
+        raise ProofDecodingError("proof blob must be bytes")
+    if len(blob) > MAX_PROOF_BYTES:
+        raise ProofDecodingError(
+            f"proof blob exceeds {MAX_PROOF_BYTES} bytes"
+        )
+    try:
+        items = rlp.as_list(rlp.decode(bytes(blob)), "proof")
+        if not items:
+            raise ProofDecodingError("proof list is empty")
+        tag = _decode_uint(items[0], "proof tag", 256)
+        if tag == _ACCOUNT_PROOF_TAG:
+            return _decode_account(items)
+        if tag == _STORAGE_PROOF_TAG:
+            fields = rlp.as_list(items, "storage proof", 5)
+            return StorageProof(
+                account=_decode_account(fields[1]),
+                slot=_decode_uint(fields[2], "slot"),
+                value=_decode_uint(fields[3], "value"),
+                steps=_decode_steps(fields[4], "storage steps"),
+            )
+        raise ProofDecodingError(f"unknown proof tag {tag}")
+    except ProofDecodingError:
+        raise
+    except rlp.RLPDecodingError as exc:
+        raise ProofDecodingError(str(exc)) from exc

@@ -1,0 +1,227 @@
+"""Authenticated-state smoke test: trie, proofs, witnesses, end to end.
+
+``python -m repro.trie.smoke`` drives a witness-emitting node through a
+contract-heavy workload and asserts the subsystem's load-bearing
+properties over real blocks:
+
+* **Incremental = from-scratch** — after every committed block the
+  incrementally maintained root is bit-identical to a full rebuild from
+  the flat state (:meth:`StateTrie.rebuild_root`).
+* **Stateless re-execution** — every block's witness replays through
+  :class:`StatelessValidator` with no access to full state, landing on
+  the sealed post-root bit-identically and reproducing the receipts.
+* **Proofs verify — and only honest ones** — account and storage proofs
+  cut from the live trie verify against the sealed root; every
+  single-byte corruption of the wire blob either raises the typed
+  :class:`ProofDecodingError` or fails verification. No corruption may
+  verify; none may escape as an untyped exception.
+
+The CI ``trie-smoke`` job runs exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..chain.node import Node
+from ..chain.receipt import receipts_root
+from ..contracts.registry import build_deployment
+from ..serve.loadgen import make_transactions
+from .errors import ProofDecodingError, WitnessError
+from .proof import decode_proof, encode_proof
+from .state_trie import StateTrie
+from .verify import (
+    verify_account_proof,
+    verify_proof_blob,
+    verify_storage_proof,
+)
+from .witness import StatelessValidator
+
+
+def _check_proof_mutations(blob: bytes, state_root: bytes,
+                           failures: list[str], stride: int) -> int:
+    """Flip/truncate/extend the blob; nothing mutated may verify."""
+    checked = 0
+    variants = [blob[:cut] for cut in range(0, len(blob), stride)]
+    variants.append(blob + b"\x00")
+    for index in range(0, len(blob), stride):
+        for flip in (0x01, 0x80, 0xFF):
+            mutated = bytearray(blob)
+            mutated[index] ^= flip
+            if bytes(mutated) != blob:
+                variants.append(bytes(mutated))
+    for variant in variants:
+        checked += 1
+        try:
+            _, ok = verify_proof_blob(variant, state_root)
+        except ProofDecodingError:
+            continue
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            failures.append(
+                f"proof mutation escaped as {type(exc).__name__}: {exc}"
+            )
+            continue
+        if ok:
+            failures.append(
+                f"corrupted proof ({len(variant)} bytes) verified"
+            )
+    return checked
+
+
+def run_smoke(blocks: int = 8, transactions: int = 32,
+              seed: int = 7, workload: str = "mixed") -> dict:
+    """Run the whole drill; returns the stats dict (see ``main``)."""
+    deployment = build_deployment(num_accounts=32)
+    node = Node(state=deployment.state.copy(), emit_witness=True)
+    validator = StatelessValidator()
+    failures: list[str] = []
+    txs = make_transactions(
+        deployment, blocks * transactions, workload=workload, seed=seed
+    )
+    last_root = node.state_root
+    proof_bytes: list[int] = []
+    witness_bytes: list[int] = []
+    verify_seconds = 0.0
+    mutations_checked = 0
+
+    for height in range(blocks):
+        chunk = txs[height * transactions:(height + 1) * transactions]
+        for tx in chunk:
+            node.hear(tx)
+        block = node.propose_block(max_transactions=transactions)
+        receipts = node.execute_block(block)
+
+        sealed = block.header.state_root
+        rebuilt = StateTrie.rebuild_root(node.state)
+        if sealed != rebuilt:
+            failures.append(
+                f"block {block.header.height}: incremental root "
+                f"{sealed.hex()[:16]}… != rebuilt {rebuilt.hex()[:16]}…"
+            )
+
+        witness = node.witnesses[block.header.height]
+        witness_bytes.append(len(witness))
+        try:
+            result = validator.validate(
+                block, witness, pre_root=last_root
+            )
+        except WitnessError as exc:
+            failures.append(
+                f"block {block.header.height}: witness rejected: {exc}"
+            )
+        else:
+            if result.post_root != sealed:
+                failures.append(
+                    f"block {block.header.height}: stateless post-root "
+                    f"diverged"
+                )
+            if receipts_root(result.receipts) != receipts_root(receipts):
+                failures.append(
+                    f"block {block.header.height}: stateless receipts "
+                    f"diverged"
+                )
+        last_root = sealed
+
+    # -- proofs over the final state ------------------------------------
+    assert node.trie is not None
+    root = node.state_root
+    proved_accounts = 0
+    proved_slots = 0
+    for address, account in sorted(node.state._accounts.items()):
+        if account.is_empty:
+            continue
+        proof = node.trie.account_proof(address)
+        blob = encode_proof(proof)
+        proof_bytes.append(len(blob))
+        started = time.perf_counter()
+        decoded = decode_proof(blob)
+        ok = verify_account_proof(decoded, root)
+        verify_seconds += time.perf_counter() - started
+        if not ok:
+            failures.append(f"account proof for {address:#x} rejected")
+        if verify_account_proof(decoded, bytes(32)):
+            failures.append("account proof verified under a wrong root")
+        proved_accounts += 1
+        if proved_accounts <= 4:
+            mutations_checked += _check_proof_mutations(
+                blob, root, failures, stride=max(1, len(blob) // 64)
+            )
+        for slot, value in sorted(account.storage.items()):
+            if not value or proved_slots >= 8:
+                break
+            sproof = node.trie.storage_proof(address, slot, value)
+            sblob = encode_proof(sproof)
+            proof_bytes.append(len(sblob))
+            started = time.perf_counter()
+            sdecoded = decode_proof(sblob)
+            sok = verify_storage_proof(sdecoded, root)
+            verify_seconds += time.perf_counter() - started
+            if not sok:
+                failures.append(
+                    f"storage proof {address:#x}[{slot:#x}] rejected"
+                )
+            proved_slots += 1
+            if proved_slots <= 2:
+                mutations_checked += _check_proof_mutations(
+                    sblob, root, failures,
+                    stride=max(1, len(sblob) // 64),
+                )
+
+    return {
+        "blocks": len(node.chain),
+        "transactions": sum(len(b.transactions) for b in node.chain),
+        "proved_accounts": proved_accounts,
+        "proved_slots": proved_slots,
+        "proof_bytes_max": max(proof_bytes, default=0),
+        "witness_bytes_max": max(witness_bytes, default=0),
+        "verify_ms_total": verify_seconds * 1000.0,
+        "mutations_checked": mutations_checked,
+        "nodes_rehashed": node.trie.nodes_rehashed,
+        "failures": failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--blocks", type=int, default=8)
+    parser.add_argument("--transactions", type=int, default=32,
+                        help="transactions per block")
+    parser.add_argument(
+        "--workload", choices=("transfer", "hotburst", "erc20", "mixed"),
+        default="mixed",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    stats = run_smoke(
+        blocks=args.blocks,
+        transactions=args.transactions,
+        seed=args.seed,
+        workload=args.workload,
+    )
+    failures = stats.pop("failures")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"trie-smoke FAILED ({len(failures)} failures)",
+              file=sys.stderr)
+        return 1
+    print(
+        f"trie-smoke ok: {stats['blocks']} blocks / "
+        f"{stats['transactions']} txs, roots incremental==rebuilt, "
+        f"stateless replay bit-identical, "
+        f"{stats['proved_accounts']} account + {stats['proved_slots']} "
+        f"storage proofs verified "
+        f"({stats['proof_bytes_max']}B max, "
+        f"{stats['verify_ms_total']:.1f} ms), "
+        f"{stats['mutations_checked']} corruptions rejected, "
+        f"witness max {stats['witness_bytes_max']}B",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

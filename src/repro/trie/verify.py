@@ -1,0 +1,189 @@
+"""Light-client proof verification — the trie's canonical hashing spec.
+
+This module is deliberately dependency-free: its verification core uses
+only ``hashlib`` from the standard library, so a client can vendor this
+one file and check balances against a served ``state_root`` without
+importing the node. It is also the *normative* definition of the trie's
+hashing scheme — the server-side tree (:mod:`repro.trie.tree`) and state
+trie import their domain constants from here, so prover and verifier
+cannot drift apart.
+
+Hashing scheme (all hashes are SHA3-256, the repo's keccak stand-in;
+every preimage is domain-separated by a leading tag byte):
+
+* key(account)   = H(address as 32 big-endian bytes)
+* key(slot)      = H(slot as 32 big-endian bytes)
+* value(account) = H(0x02 ‖ nonce₃₂ ‖ balance₃₂ ‖ code_hash ‖ storage_root)
+* value(slot)    = H(0x03 ‖ value₃₂)
+* leaf           = H(0x00 ‖ key ‖ value_hash)
+* branch(bit)    = H(0x01 ‖ bit as 2 big-endian bytes ‖ left ‖ right)
+* empty tree     = H(0x04)
+
+The tree is a crit-bit (path-compressed binary Patricia) trie over
+32-byte keys: each branch names the first bit position at which its two
+subtrees' keys diverge, and bit positions strictly increase from root to
+leaf. That structure is *canonical* — determined by the key set alone —
+so an inclusion proof is just the (bit, sibling_hash) pairs along the
+path, foldable bottom-up with nothing but the key.
+
+Only inclusion proofs are supported. Exclusion proofs (proving a key is
+*absent*) would need the neighbouring leaf and are out of scope; the RPC
+answers "no such account / empty slot" with a typed error instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_LEAF_TAG = b"\x00"
+_BRANCH_TAG = b"\x01"
+_ACCOUNT_TAG = b"\x02"
+_SLOT_TAG = b"\x03"
+_EMPTY_TAG = b"\x04"
+
+#: Number of bits in a key (32-byte hashed keys).
+KEY_BITS = 256
+
+
+def keccak(data: bytes) -> bytes:
+    """The digest the whole repo calls keccak256 (see repro.crypto)."""
+    return hashlib.sha3_256(data).digest()
+
+
+#: Root hash of the empty tree.
+EMPTY_ROOT = keccak(_EMPTY_TAG)
+
+#: Code hash of an account with no code.
+EMPTY_CODE_HASH = keccak(b"")
+
+
+def account_key(address: int) -> bytes:
+    return keccak(address.to_bytes(32, "big"))
+
+
+def slot_key(slot: int) -> bytes:
+    return keccak(slot.to_bytes(32, "big"))
+
+
+def account_value_hash(
+    nonce: int, balance: int, code_hash: bytes, storage_root: bytes
+) -> bytes:
+    return keccak(
+        _ACCOUNT_TAG
+        + nonce.to_bytes(32, "big")
+        + balance.to_bytes(32, "big")
+        + code_hash
+        + storage_root
+    )
+
+
+def storage_value_hash(value: int) -> bytes:
+    return keccak(_SLOT_TAG + value.to_bytes(32, "big"))
+
+
+def leaf_hash(key: bytes, value_hash: bytes) -> bytes:
+    return keccak(_LEAF_TAG + key + value_hash)
+
+
+def branch_hash(bit: int, left: bytes, right: bytes) -> bytes:
+    return keccak(_BRANCH_TAG + bit.to_bytes(2, "big") + left + right)
+
+
+def key_bit(key: bytes, index: int) -> int:
+    """Bit *index* of *key*, MSB-first (bit 0 = top bit of byte 0)."""
+    return (key[index >> 3] >> (7 - (index & 7))) & 1
+
+
+def fold_steps(key: bytes, leaf: bytes, steps) -> bytes:
+    """Fold proof *steps* bottom-up from a *leaf* hash into a root.
+
+    *steps* is the root→leaf sequence of ``(bit, sibling_hash)`` pairs;
+    the key's own bit at each branch position decides which side the
+    running hash sits on. Bits must strictly increase root→leaf (the
+    crit-bit canonical-structure invariant) — a proof violating that
+    could not have come from a well-formed tree and raises
+    :class:`ValueError`.
+    """
+    current = leaf
+    previous_bit = KEY_BITS
+    for bit, sibling in reversed(list(steps)):
+        if not 0 <= bit < previous_bit:
+            raise ValueError(
+                "proof step bits must strictly increase root to leaf"
+            )
+        if len(sibling) != 32:
+            raise ValueError("proof sibling hashes must be 32 bytes")
+        previous_bit = bit
+        if key_bit(key, bit):
+            current = branch_hash(bit, sibling, current)
+        else:
+            current = branch_hash(bit, current, sibling)
+    return current
+
+
+def verify_account_proof(proof, state_root: bytes) -> bool:
+    """True iff *proof* binds its account data to *state_root*.
+
+    *proof* is anything shaped like
+    :class:`repro.trie.proof.AccountProof` (duck-typed: ``address``,
+    ``nonce``, ``balance``, ``code_hash``, ``storage_root``, and
+    ``steps`` of ``(bit, sibling)``-shaped objects). Malformed values
+    return False — a verifier never throws on a bad proof.
+    """
+    try:
+        key = account_key(proof.address)
+        leaf = leaf_hash(
+            key,
+            account_value_hash(
+                proof.nonce,
+                proof.balance,
+                proof.code_hash,
+                proof.storage_root,
+            ),
+        )
+        root = fold_steps(
+            key, leaf, [(step.bit, step.sibling) for step in proof.steps]
+        )
+    except (ValueError, OverflowError, AttributeError, TypeError):
+        return False
+    return root == state_root
+
+
+def verify_storage_proof(proof, state_root: bytes) -> bool:
+    """True iff *proof* binds ``slot == value`` to *state_root*.
+
+    Verifies the embedded account proof against *state_root*, then the
+    storage step chain against that account's ``storage_root``. Zero
+    values are never in the trie, so a zero-valued "proof" is invalid
+    by construction.
+    """
+    if not verify_account_proof(proof.account, state_root):
+        return False
+    try:
+        if not 0 < proof.value < (1 << 256):
+            return False
+        key = slot_key(proof.slot)
+        leaf = leaf_hash(key, storage_value_hash(proof.value))
+        root = fold_steps(
+            key, leaf, [(step.bit, step.sibling) for step in proof.steps]
+        )
+    except (ValueError, OverflowError, AttributeError, TypeError):
+        return False
+    return root == proof.account.storage_root
+
+
+def verify_proof_blob(blob: bytes, state_root: bytes):
+    """Decode a wire proof and verify it against *state_root*.
+
+    Returns ``(proof, ok)``. Decoding raises
+    :class:`~repro.trie.errors.ProofDecodingError` on malformed bytes;
+    a well-formed proof that does not bind to *state_root* returns
+    ``ok=False``. (This convenience helper imports the wire codec and is
+    therefore not part of the dependency-free core above.)
+    """
+    from .proof import StorageProof, decode_proof
+
+    proof = decode_proof(blob)
+    if isinstance(proof, StorageProof):
+        return proof, verify_storage_proof(proof, state_root)
+    return proof, verify_account_proof(proof, state_root)

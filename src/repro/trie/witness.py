@@ -1,0 +1,444 @@
+"""Block witnesses and stateless (witness-only) validation.
+
+A witness is everything a node with *no state at all* needs to re-execute
+one block and recompute the post-state root bit-identically:
+
+* the pre-state root it starts from,
+* the account tree expanded along every touched address's path (all
+  other subtrees collapsed to hash stubs),
+* the pre-block contents of every touched account (fields + storage),
+  which are the preimages of the expanded leaves.
+
+Wire form (RLP, nesting kept flat so arbitrarily deep tries stay within
+:data:`repro.chain.rlp.MAX_DEPTH`):
+
+    [version=1, pre_root, tree_items, account_entries]
+
+``tree_items`` is the flat post-order node list of
+:meth:`~repro.trie.tree.MerkleTree.serialize_expanded`, each item one of
+``[0x00, key, value]`` (leaf), ``[0x01, bit]`` (branch: pops right then
+left off the decode stack), ``[0x02, hash]`` (stub), ``[0x03]`` (empty
+tree, sole item). ``account_entries`` is
+``[address, exists, nonce, balance, code, [[slot, value], ...]]``
+sorted by address with nonzero slot values only.
+
+The :class:`StatelessValidator` checks every entry against the decoded
+partial tree (whose root must equal ``pre_root``), executes the block on
+a state built from the entries alone, folds the resulting accounts back
+into the partial tree, and compares the new root against the header's
+claim. Execution that strays outside the witness crosses a stub and
+fails with :class:`~repro.trie.errors.WitnessError` — under-provisioned
+witnesses are detected, never silently accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chain import rlp
+from ..chain.account import Account
+from ..chain.receipt import Receipt
+from ..chain.state import WorldState
+from ..evm.context import BlockContext
+from ..evm.interpreter import EVM
+from ..obs import get_registry
+from .errors import StateRootMismatchError, WitnessError
+from .tree import MerkleTree
+from .verify import (
+    EMPTY_CODE_HASH,
+    account_key,
+    account_value_hash,
+    keccak,
+    slot_key,
+    storage_value_hash,
+)
+
+__all__ = [
+    "MAX_WITNESS_BYTES",
+    "StatelessResult",
+    "StatelessValidator",
+    "Witness",
+    "WitnessAccount",
+    "build_witness",
+    "decode_witness",
+]
+
+#: Upper bound on an encoded witness blob (hostile-input backstop; the
+#: writer's own witnesses are a few KB per block at repro scale).
+MAX_WITNESS_BYTES = 1 << 26
+
+WITNESS_VERSION = 1
+
+_NODE_LEAF = b"\x00"
+_NODE_BRANCH = b"\x01"
+_NODE_STUB = b"\x02"
+_NODE_EMPTY = b"\x03"
+
+_UINT256_LIMIT = 1 << 256
+
+
+@dataclass(frozen=True)
+class WitnessAccount:
+    """Pre-block contents of one touched account (absent when not
+    ``exists``: the entry then only pins the address's non-membership)."""
+
+    address: int
+    exists: bool
+    nonce: int = 0
+    balance: int = 0
+    code: bytes = b""
+    slots: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A decoded block witness."""
+
+    pre_root: bytes
+    nodes: tuple[tuple, ...]
+    accounts: tuple[WitnessAccount, ...]
+
+
+@dataclass(frozen=True)
+class StatelessResult:
+    """Outcome of a witness-only re-execution."""
+
+    pre_root: bytes
+    post_root: bytes
+    receipts: list[Receipt]
+
+
+# -- building (writer side) --------------------------------------------------
+
+def _pre_account(state, address: int):
+    """Reconstruct the pre-block (nonce, balance, code, storage) of
+    *address* from the state's first-touch capture; None when the
+    account was absent or empty (not a trie member) pre-block."""
+    pre = state._trie_pre.get(address)
+    if pre is None:
+        # Untouched this block: current contents *are* the pre-block
+        # contents (the address was pulled in as a belt-and-braces
+        # member of the touched set, e.g. a zero-value recipient).
+        account = state._accounts.get(address)
+        if account is None or account.is_empty:
+            return None
+        return account.nonce, account.balance, account.code, dict(
+            account.storage
+        )
+    if not pre.exists or (
+        pre.nonce == 0 and pre.balance == 0 and not pre.code
+    ):
+        return None
+    if pre.storage_full is not None:
+        storage = dict(pre.storage_full)
+    else:
+        account = state._accounts.get(address)
+        storage = dict(account.storage) if account is not None else {}
+        # First-touch slot olds overlay the current dict back to its
+        # block-start contents (0 = the slot was absent).
+        for slot, old in pre.slots.items():
+            if old:
+                storage[slot] = old
+            else:
+                storage.pop(slot, None)
+    return pre.nonce, pre.balance, pre.code, storage
+
+
+def build_witness(trie, state, block) -> bytes:
+    """Encode the witness for *block*, just executed against *state*.
+
+    Must run *before* ``trie.update`` drains the state's capture buffer
+    (i.e. before the post-root is sealed): the trie is still at its
+    pre-block shape and ``state._trie_pre`` still holds the touched set.
+    """
+    touched = set(state._trie_pre)
+    touched.add(block.header.coinbase)
+    for tx in block.transactions:
+        touched.add(tx.sender)
+        if tx.to is not None:
+            touched.add(tx.to)
+    addresses = sorted(touched)
+    entries = []
+    for address in addresses:
+        pre = _pre_account(state, address)
+        if pre is None:
+            entries.append(
+                [rlp.encode_int(address), b"", b"", b"", b"", []]
+            )
+            continue
+        nonce, balance, code, storage = pre
+        entries.append(
+            [
+                rlp.encode_int(address),
+                rlp.encode_int(1),
+                rlp.encode_int(nonce),
+                rlp.encode_int(balance),
+                code,
+                [
+                    [rlp.encode_int(slot), rlp.encode_int(value)]
+                    for slot, value in sorted(storage.items())
+                    if value
+                ],
+            ]
+        )
+    items = []
+    for node in trie.expanded_nodes(addresses):
+        tag = node[0]
+        if tag == "leaf":
+            items.append([_NODE_LEAF, node[1], node[2]])
+        elif tag == "branch":
+            items.append([_NODE_BRANCH, rlp.encode_int(node[1])])
+        elif tag == "stub":
+            items.append([_NODE_STUB, node[1]])
+        else:
+            items.append([_NODE_EMPTY])
+    blob = rlp.encode(
+        [rlp.encode_int(WITNESS_VERSION), trie.root(), items, entries]
+    )
+    registry = get_registry()
+    if registry.enabled:
+        registry.histogram("trie.witness_bytes").observe(len(blob))
+    return blob
+
+
+# -- decoding (hardened) ------------------------------------------------------
+
+def _decode_uint(item, what: str, limit: int = _UINT256_LIMIT) -> int:
+    try:
+        value = rlp.decode_int(rlp.as_bytes(item, what))
+    except rlp.RLPDecodingError as exc:
+        raise WitnessError(str(exc)) from exc
+    if value >= limit:
+        raise WitnessError(f"{what} out of range")
+    return value
+
+
+def _decode_hash(item, what: str) -> bytes:
+    try:
+        data = rlp.as_bytes(item, what)
+    except rlp.RLPDecodingError as exc:
+        raise WitnessError(str(exc)) from exc
+    if len(data) != 32:
+        raise WitnessError(f"{what} must be 32 bytes")
+    return data
+
+
+def decode_witness(blob: bytes) -> Witness:
+    """Decode witness bytes; :class:`WitnessError` on any malformation."""
+    if not isinstance(blob, (bytes, bytearray)):
+        raise WitnessError("witness blob must be bytes")
+    if len(blob) > MAX_WITNESS_BYTES:
+        raise WitnessError(f"witness exceeds {MAX_WITNESS_BYTES} bytes")
+    try:
+        fields = rlp.as_list(rlp.decode(bytes(blob)), "witness", 4)
+        raw_items = rlp.as_list(fields[2], "witness tree")
+        raw_entries = rlp.as_list(fields[3], "witness accounts")
+    except rlp.RLPDecodingError as exc:
+        raise WitnessError(str(exc)) from exc
+    if _decode_uint(fields[0], "witness version", 256) != WITNESS_VERSION:
+        raise WitnessError("unsupported witness version")
+    pre_root = _decode_hash(fields[1], "witness pre-root")
+    nodes: list[tuple] = []
+    for raw in raw_items:
+        try:
+            item = rlp.as_list(raw, "witness tree node")
+            if not item:
+                raise WitnessError("empty witness tree node")
+            tag = rlp.as_bytes(item[0], "witness node tag")
+        except rlp.RLPDecodingError as exc:
+            raise WitnessError(str(exc)) from exc
+        if tag == _NODE_LEAF and len(item) == 3:
+            nodes.append(
+                (
+                    "leaf",
+                    _decode_hash(item[1], "leaf key"),
+                    _decode_hash(item[2], "leaf value"),
+                )
+            )
+        elif tag == _NODE_BRANCH and len(item) == 2:
+            nodes.append(
+                ("branch", _decode_uint(item[1], "branch bit", 256))
+            )
+        elif tag == _NODE_STUB and len(item) == 2:
+            nodes.append(("stub", _decode_hash(item[1], "stub hash")))
+        elif tag == _NODE_EMPTY and len(item) == 1:
+            nodes.append(("empty",))
+        else:
+            raise WitnessError("malformed witness tree node")
+    accounts: list[WitnessAccount] = []
+    previous = -1
+    for raw in raw_entries:
+        try:
+            entry = rlp.as_list(raw, "witness account", 6)
+            raw_slots = rlp.as_list(entry[5], "witness slots")
+            code = rlp.as_bytes(entry[4], "witness code")
+        except rlp.RLPDecodingError as exc:
+            raise WitnessError(str(exc)) from exc
+        address = _decode_uint(entry[0], "witness address")
+        if address <= previous:
+            raise WitnessError(
+                "witness accounts must be strictly address-sorted"
+            )
+        previous = address
+        exists = _decode_uint(entry[1], "witness exists flag", 2) == 1
+        slots: list[tuple[int, int]] = []
+        last_slot = -1
+        for raw_slot in raw_slots:
+            try:
+                pair = rlp.as_list(raw_slot, "witness slot", 2)
+            except rlp.RLPDecodingError as exc:
+                raise WitnessError(str(exc)) from exc
+            slot = _decode_uint(pair[0], "witness slot key")
+            value = _decode_uint(pair[1], "witness slot value")
+            if slot <= last_slot:
+                raise WitnessError("witness slots must be sorted")
+            if value == 0:
+                raise WitnessError("witness slot values must be nonzero")
+            last_slot = slot
+            slots.append((slot, value))
+        if not exists and (
+            _decode_uint(entry[2], "witness nonce")
+            or _decode_uint(entry[3], "witness balance")
+            or code
+            or slots
+        ):
+            raise WitnessError("non-member witness entry carries data")
+        accounts.append(
+            WitnessAccount(
+                address=address,
+                exists=exists,
+                nonce=_decode_uint(entry[2], "witness nonce"),
+                balance=_decode_uint(entry[3], "witness balance"),
+                code=code,
+                slots=tuple(slots),
+            )
+        )
+    return Witness(
+        pre_root=pre_root, nodes=tuple(nodes), accounts=tuple(accounts)
+    )
+
+
+# -- stateless validation -----------------------------------------------------
+
+def _storage_tree(slots) -> MerkleTree:
+    tree = MerkleTree()
+    for slot, value in slots:
+        tree.set(slot_key(slot), storage_value_hash(value))
+    return tree
+
+
+def _default_context(header) -> BlockContext:
+    # No chain, no BLOCKHASH ancestry: queries answer 0, exactly like a
+    # fresh node. Callers that track hashes pass their own context.
+    return BlockContext(
+        height=header.height,
+        timestamp=header.timestamp,
+        coinbase=header.coinbase,
+        difficulty=header.difficulty,
+        gas_limit=header.gas_limit,
+    )
+
+
+class StatelessValidator:
+    """Re-execute blocks from witnesses alone — no resident state."""
+
+    def validate(
+        self,
+        block,
+        witness_blob: bytes,
+        *,
+        context: BlockContext | None = None,
+        pre_root: bytes | None = None,
+    ) -> StatelessResult:
+        """Check *witness_blob*, re-execute *block*, recompute the root.
+
+        Raises :class:`WitnessError` when the witness is malformed,
+        inconsistent with its own pre-root, or insufficient for the
+        block's execution; :class:`StateRootMismatchError` when *pre_root*
+        (the expected chain tip) or the header's claimed ``state_root``
+        disagrees with what the witness reproduces.
+        """
+        witness = decode_witness(witness_blob)
+        if pre_root is not None and witness.pre_root != pre_root:
+            raise StateRootMismatchError(
+                f"witness pre-root {witness.pre_root.hex()[:16]}… does "
+                f"not extend the expected tip {pre_root.hex()[:16]}…"
+            )
+        tree = MerkleTree.from_nodes(list(witness.nodes))
+        if tree.root() != witness.pre_root:
+            raise WitnessError(
+                "witness tree does not hash to its claimed pre-root"
+            )
+        state = WorldState()
+        for entry in witness.accounts:
+            key = account_key(entry.address)
+            if entry.exists:
+                storage_root = _storage_tree(entry.slots).root()
+                code_hash = (
+                    keccak(entry.code) if entry.code else EMPTY_CODE_HASH
+                )
+                expected = account_value_hash(
+                    entry.nonce, entry.balance, code_hash, storage_root
+                )
+                if tree.get(key) != expected:
+                    raise WitnessError(
+                        f"witness account {entry.address:#x} does not "
+                        "match its leaf in the pre-state tree"
+                    )
+                state.load_account(
+                    entry.address,
+                    Account(
+                        nonce=entry.nonce,
+                        balance=entry.balance,
+                        code=entry.code,
+                        storage=dict(entry.slots),
+                    ),
+                )
+            elif tree.get(key) is not None:
+                raise WitnessError(
+                    f"witness claims {entry.address:#x} absent but the "
+                    "pre-state tree has a leaf for it"
+                )
+        evm = EVM(state, block=context or _default_context(block.header))
+        receipts = [
+            evm.execute_transaction(tx) for tx in block.transactions
+        ]
+        state.clear_journal()
+        # Fold the post-state back into the partial tree. Execution that
+        # escaped the witness crosses a stub here (or did so already,
+        # inside the EVM) and fails loudly.
+        addresses = {entry.address for entry in witness.accounts}
+        addresses.update(state._accounts)
+        for address in sorted(addresses):
+            key = account_key(address)
+            account = state._accounts.get(address)
+            if account is None or account.is_empty:
+                tree.delete(key)
+                continue
+            storage_tree = _storage_tree(
+                (slot, value)
+                for slot, value in account.storage.items()
+                if value
+            )
+            tree.set(
+                key,
+                account_value_hash(
+                    account.nonce,
+                    account.balance,
+                    account.code_hash,
+                    storage_tree.root(),
+                ),
+            )
+        post_root = tree.root()
+        claimed = getattr(block.header, "state_root", b"")
+        if claimed and claimed != post_root:
+            raise StateRootMismatchError(
+                f"stateless re-execution of block {block.header.height} "
+                f"produced root {post_root.hex()[:16]}…, header claims "
+                f"{claimed.hex()[:16]}…"
+            )
+        return StatelessResult(
+            pre_root=witness.pre_root,
+            post_root=post_root,
+            receipts=receipts,
+        )

@@ -84,6 +84,13 @@ def test_erc20_block_matches_golden_trace(deployment, request):
     assert payload["config"] == golden["config"]
 
 
+def test_merkleization_is_metered(deployment):
+    """Committing a block Merkleizes: trie.* counters must appear."""
+    counters = run_erc20_block(deployment)["counters"]
+    assert counters["trie.root_updates"] == 1
+    assert counters["trie.nodes_rehashed"] > 0
+
+
 def test_run_is_reproducible(deployment):
     """The golden payload is identical across back-to-back runs."""
     assert run_erc20_block(deployment) == run_erc20_block(deployment)

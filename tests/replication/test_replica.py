@@ -235,7 +235,7 @@ def test_apply_block_rolls_back_on_divergence(deployment):
     )
     before = codec.state_digest_bytes(replica_node.state)
     with pytest.raises(ReplicaDivergenceError) as err:
-        replica._apply_block(block, b"\x00" * 32)
+        replica._apply_block(codec.WalRecord(block, b"\x00" * 32))
     assert err.value.height == 1
     # Rolled back completely: nothing committed, nothing served.
     assert codec.state_digest_bytes(replica_node.state) == before
@@ -244,7 +244,7 @@ def test_apply_block_rolls_back_on_divergence(deployment):
     assert replica.blocks_applied == 0
 
     # The same block with the honest digest applies cleanly.
-    receipts = replica._apply_block(block, good_digest)
+    receipts = replica._apply_block(codec.WalRecord(block, good_digest))
     assert len(receipts) == len(block.transactions)
     assert replica.height == 1
     assert (

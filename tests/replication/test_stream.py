@@ -31,7 +31,7 @@ def test_hello_round_trip():
     frame = stream.encode_hello(17, digest, need_snapshot=True)
     msg_type, fields = read_one(frame)
     assert msg_type == stream.MSG_HELLO
-    assert fields == (17, digest, True)
+    assert fields == (17, digest, True, b"")
 
 
 def test_snapshot_round_trip_with_recent_hashes():

@@ -1,0 +1,17 @@
+"""The trie smoke drill itself stays honest (it is a CI gate)."""
+
+from repro.trie.smoke import main, run_smoke
+
+
+def test_smoke_drill_passes_clean():
+    stats = run_smoke(blocks=2, transactions=8, seed=3, workload="mixed")
+    assert stats["failures"] == []
+    assert stats["blocks"] == 2
+    assert stats["proved_accounts"] > 0
+    assert stats["proof_bytes_max"] > 0
+    assert stats["witness_bytes_max"] > 0
+    assert stats["mutations_checked"] > 0
+
+
+def test_smoke_cli_exit_code():
+    assert main(["--blocks", "1", "--transactions", "4"]) == 0

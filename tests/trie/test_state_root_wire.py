@@ -1,0 +1,135 @@
+"""State roots on the wire: every format keeps its legacy generation.
+
+Headers, WAL records, snapshots and replication HELLOs all grew an
+optional state-root field. A writer with Merkleization off must emit
+byte-identical legacy encodings, and every decoder must accept both
+generations for the deprecation window.
+"""
+
+import pytest
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.node import Node
+from repro.chain.rlp import RLPDecodingError
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.replication import stream
+from repro.storage import codec
+from repro.storage.snapshot import (
+    read_snapshot,
+    read_snapshot_root,
+    write_snapshot,
+)
+from repro.trie import StateRootMismatchError, StateTrie
+
+
+def _sealed_block():
+    node = Node()
+    node.state.set_balance(1, 10**9)
+    node.trie.update(node.state)
+    node.hear(Transaction(sender=1, to=2, value=3))
+    block = node.propose_block()
+    node.execute_block(block)
+    return node, block
+
+
+def test_header_rlp_keeps_legacy_shape_when_unsealed():
+    node = Node(merkleize=False)
+    node.state.set_balance(1, 10**9)
+    node.hear(Transaction(sender=1, to=2, value=3))
+    block = node.propose_block()
+    node.execute_block(block)
+    assert block.header.state_root == b""
+    decoded = BlockHeader.from_rlp(block.header.to_rlp())
+    assert decoded == block.header
+
+
+def test_header_rlp_round_trips_state_root():
+    _, block = _sealed_block()
+    assert len(block.header.state_root) == 32
+    decoded = Block.from_rlp(block.to_rlp())
+    assert decoded.header.state_root == block.header.state_root
+    assert decoded.hash() == block.hash()
+
+
+def test_sealing_changes_the_block_hash():
+    _, block = _sealed_block()
+    import dataclasses
+
+    unsealed = dataclasses.replace(
+        block, header=dataclasses.replace(block.header, state_root=b"")
+    )
+    assert unsealed.hash() != block.hash()
+
+
+def test_seal_state_root_rejects_a_wrong_stamp():
+    node, block = _sealed_block()
+    import dataclasses
+
+    forged = dataclasses.replace(
+        block,
+        header=dataclasses.replace(block.header, state_root=bytes(32)),
+    )
+    with pytest.raises(StateRootMismatchError):
+        node.seal_state_root(forged)
+
+
+def test_wal_record_decodes_every_generation():
+    node, block = _sealed_block()
+    digest = codec.state_digest_bytes(node.state)
+    root = node.state_root
+    legacy = codec.encode_wal_payload(block, digest)
+    rooted = codec.encode_wal_payload(block, digest, state_root=root)
+    full = codec.encode_wal_payload(
+        block, digest, state_root=root, witness=b"w" * 40
+    )
+    assert (
+        len(codec.encode_wal_payload(block, digest))
+        < len(rooted)
+        < len(full)
+    )
+    for payload, expect_root, expect_witness in (
+        (legacy, b"", b""),
+        (rooted, root, b""),
+        (full, root, b"w" * 40),
+    ):
+        record = codec.decode_wal_record(payload)
+        assert record.block.hash() == block.hash()
+        assert record.digest == digest
+        assert record.state_root == expect_root
+        assert record.witness == expect_witness
+    with pytest.raises(RLPDecodingError):
+        codec.decode_wal_record(
+            codec.encode_wal_payload(block, digest, state_root=b"short")
+        )
+
+
+def test_snapshot_round_trips_root(tmp_path):
+    state = WorldState()
+    state.set_balance(7, 123)
+    state.set_storage(7, 1, 9)
+    root = StateTrie.rebuild_root(state)
+    digest = codec.state_digest_bytes(state)
+
+    rooted = write_snapshot(str(tmp_path), 5, state, state_root=root)
+    assert read_snapshot_root(rooted) == root
+    height, read_digest, restored = read_snapshot(rooted)
+    assert (height, read_digest) == (5, digest)
+    assert StateTrie.rebuild_root(restored) == root
+
+    legacy = write_snapshot(str(tmp_path), 6, state)
+    assert read_snapshot_root(legacy) == b""
+    assert read_snapshot(legacy)[0] == 6
+
+
+def test_hello_decodes_both_generations():
+    digest = b"\xab" * 32
+    root = b"\xcd" * 32
+    for state_root, expected in ((b"", b""), (root, root)):
+        from repro.storage.wal import RECORD_HEADER
+
+        frame = stream.encode_hello(9, digest, False, state_root=state_root)
+        payload = frame[RECORD_HEADER.size:]  # strip the frame header
+        msg_type, fields = stream.decode_message(payload)
+        assert msg_type == stream.MSG_HELLO
+        assert fields == (9, digest, False, expected)
