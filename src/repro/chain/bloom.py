@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from hashlib import blake2b
 
+from ..obs import get_registry
 from .state import BALANCE_KEY, CODE_KEY, NONCE_KEY
 
 #: Default filter geometry. Conflict tests are *mask intersections*, so
@@ -215,9 +216,15 @@ class AccessEstimator:
     heuristic — callers must treat the result as ``exact=False``.
     """
 
-    def __init__(self, max_shapes: int = 4096) -> None:
+    def __init__(self, max_shapes: int = 4096, decay: int = 4) -> None:
         self.max_shapes = max_shapes
+        #: Consecutive mispredictions (missed keys or OCC aborts) per
+        #: shape before the stale union is *replaced* by the latest
+        #: actual access set instead of widened further.
+        self.decay = decay
         self._shapes: dict[tuple, tuple[set, set]] = {}
+        #: shape -> current misprediction streak.
+        self._stale: dict[tuple, int] = {}
 
     def __len__(self) -> int:
         return len(self._shapes)
@@ -236,11 +243,51 @@ class AccessEstimator:
         entry = self._shapes.get(shape)
         if entry is None:
             if len(self._shapes) >= self.max_shapes:
-                self._shapes.pop(next(iter(self._shapes)))
+                evicted = next(iter(self._shapes))
+                self._shapes.pop(evicted)
+                self._stale.pop(evicted, None)
             entry = (set(), set())
             self._shapes[shape] = entry
         entry[0].update(artifact.reads)
         entry[1].update(artifact.writes)
+
+    def observe_actual(self, artifact, aborts: int = 0) -> None:
+        """Record an *OCC outcome*: actual access set plus conflict cost.
+
+        Where :meth:`observe` only ever widens a shape's union (safe for
+        reorder-soundness, but unions drift stale as contracts change
+        behaviour), this closes the loop from the speculative engine: a
+        shape whose estimate keeps mispredicting — the actual execution
+        touched keys the estimate missed, or the transaction kept
+        aborting under OCC — is *replaced* by the latest actual access
+        set after :attr:`decay` consecutive mispredictions. Each
+        misprediction increments the ``packing.estimate_corrections``
+        counter so the drift is visible in ``repro obs-report``.
+        """
+        shape = self._shape(artifact.tx)
+        if shape is None:
+            return
+        entry = self._shapes.get(shape)
+        if entry is None:
+            self.observe(artifact)
+            return
+        reads, writes = set(artifact.reads), set(artifact.writes)
+        missed = not (reads <= entry[0] and writes <= entry[1])
+        if missed or aborts:
+            self._stale[shape] = self._stale.get(shape, 0) + 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("packing.estimate_corrections").inc()
+            if self._stale[shape] >= self.decay:
+                # The accumulated union is stale: start over from what
+                # the engine actually observed.
+                self._shapes[shape] = (reads, writes)
+                self._stale[shape] = 0
+                return
+        else:
+            self._stale.pop(shape, None)
+        entry[0].update(reads)
+        entry[1].update(writes)
 
     def estimate(self, tx) -> tuple[set, set] | None:
         """(reads, writes) last seen for this call shape, or None."""

@@ -455,6 +455,19 @@ class Mempool:
         for artifact in artifacts:
             self.estimator.observe(artifact)
 
+    def observe_outcomes(self, artifacts, abort_counts=None) -> None:
+        """Feed OCC outcomes (actual access sets + per-transaction abort
+        counts from the speculative engine) to the access estimator —
+        the online-correction path that decays stale estimates (see
+        :meth:`AccessEstimator.observe_actual`)."""
+        if self.estimator is None or not artifacts:
+            return
+        for index, artifact in enumerate(artifacts):
+            if artifact is None:
+                continue
+            aborts = abort_counts[index] if abort_counts else 0
+            self.estimator.observe_actual(artifact, aborts=aborts)
+
     def remove(self, transactions: list[Transaction]) -> None:
         """Drop transactions that were included in a block."""
         for tx in transactions:

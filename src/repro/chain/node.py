@@ -177,6 +177,7 @@ class Node:
         transactions: list[Transaction] | None = None,
         packing: str = "fifo",
         packing_policy=None,
+        executor: str | None = None,
     ) -> Block:
         """Package mempool transactions into a block with its DAG.
 
@@ -198,6 +199,12 @@ class Node:
         state copy and stored (transitively reduced) in the block, as the
         paper's consensus-stage nodes do; the pre-execution artifacts
         ride along on ``Block.artifacts`` for execute-once replay.
+
+        ``executor="occ"`` skips discovery entirely: the block carries no
+        DAG and no artifacts, and the speculative engine
+        (:meth:`execute_block_occ`) finds conflicts at run time — the
+        path for dynamic-storage-key workloads whose access sets cannot
+        be declared or discovered ahead of reordering.
         """
         if packing not in ("fifo", "conflict_aware"):
             raise ValueError(f"unknown packing {packing!r}")
@@ -215,10 +222,13 @@ class Node:
             txs = self.mempool.take(max_transactions, gas_target=gas_target)
         height = len(self.chain) + 1
         context = self.block_context(height)
-        artifacts = discover_access_sets(txs, self.state, context)
-        edges = transitive_reduction(
-            len(txs), build_dag_edges(txs, artifacts)
-        )
+        if executor == "occ":
+            artifacts, edges = None, []
+        else:
+            artifacts = discover_access_sets(txs, self.state, context)
+            edges = transitive_reduction(
+                len(txs), build_dag_edges(txs, artifacts)
+            )
         parent_hash = self.chain[-1].hash() if self.chain else b"\x00" * 32
         header = BlockHeader(
             height=height,
@@ -260,6 +270,44 @@ class Node:
         receipts = [evm.execute_transaction(tx) for tx in block.transactions]
         self.commit_block(block, receipts)
         return receipts
+
+    def execute_block_occ(
+        self,
+        block: Block,
+        num_workers: int = 4,
+        backend: str = "process",
+        max_retries: int = 8,
+    ):
+        """Execute a block speculatively (Block-STM OCC) and commit it.
+
+        No declared access sets, DAG, or pre-execution artifacts are
+        needed — conflicts are discovered by read-set validation at
+        commit time, and receipts/state stay bit-identical to
+        :meth:`execute_block` (the engine guarantees it, falling back to
+        sequential execution past the retry budget). The engine's
+        *actual* access sets and abort counts feed the mempool's
+        :class:`~repro.chain.bloom.AccessEstimator`, so conflict-aware
+        packing of future blocks improves from observed behaviour.
+
+        Node contexts carry a live BLOCKHASH service, which cannot cross
+        the process boundary — the engine degrades to its ``serial``
+        backend here. Returns the engine's
+        :class:`~repro.parallel.speculate.SpeculativeBlockResult`.
+        """
+        from ..parallel.speculate import SpeculativeBlockExecutor
+
+        context = self.block_context(block.header.height)
+        with SpeculativeBlockExecutor(
+            self.state,
+            block=context,
+            num_workers=num_workers,
+            backend=backend,
+            max_retries=max_retries,
+        ) as executor:
+            result = executor.execute_block(block.transactions)
+        self.mempool.observe_outcomes(result.artifacts, result.abort_counts)
+        self.commit_block(block, result.receipts)
+        return result
 
     def commit_block(self, block: Block, receipts: list[Receipt]) -> None:
         """Append an executed block: chain, receipts, mempool, journal.

@@ -109,6 +109,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="process",
         help="parallel backend for --parallel-workers (default: process)",
     )
+    obs.add_argument(
+        "--occ-workers", type=int, default=None, metavar="N",
+        help=(
+            "also measure the speculative (OCC) executor on the "
+            "dynamic-storage-key workload with N workers: sequential "
+            "(discover-then-execute) vs declared-DAG vs OCC wall tx/s"
+        ),
+    )
+    obs.add_argument(
+        "--occ-backend", choices=("process", "serial"), default=None,
+        help="OCC backend for --occ-workers (default: process when "
+             "more than one core is available, else serial)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -122,9 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="genesis accounts (loadgen must use the same value)",
     )
     serve.add_argument(
-        "--executor", choices=("sequential", "mtpu", "parallel"),
+        "--executor", choices=("sequential", "mtpu", "parallel", "occ"),
         default="sequential",
-        help="block execution backend (default: sequential)",
+        help="block execution backend (default: sequential); occ is "
+             "speculative Block-STM execution with no access-set "
+             "discovery — dynamic-storage-key contracts run undeclared",
     )
     serve.add_argument(
         "--workers", type=int, default=4,
@@ -364,7 +379,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="open loop: seconds to sustain --rate (default: 5)",
     )
     loadgen.add_argument(
-        "--workload", choices=("transfer", "hotburst", "erc20", "mixed"),
+        "--workload",
+        choices=("transfer", "hotburst", "erc20", "mixed", "dynamic"),
         default="transfer",
     )
     loadgen.add_argument("--seed", type=int, default=0)
@@ -420,6 +436,26 @@ def _run_obs_report(args) -> int:
             f"{wall['num_workers']} workers, {wall['backend']} backend, "
             f"{wall['pipeline']['replayed']} replayed / "
             f"{wall['pipeline']['dispatched']} dispatched)]",
+            file=sys.stderr,
+        )
+    if args.occ_workers is not None:
+        from .experiments import measure_occ_wall_clock
+
+        occ = measure_occ_wall_clock(
+            num_transactions=args.transactions,
+            num_workers=args.occ_workers,
+            seed=args.seed,
+            backend=args.occ_backend,
+        )
+        print(
+            f"[occ (dynamic keys, no access sets): sequential "
+            f"{occ['sequential']['tx_per_second']:.0f} tx/s, "
+            f"declared-DAG {occ['dag']['tx_per_second']:.0f} tx/s, "
+            f"occ {occ['occ']['tx_per_second']:.0f} tx/s "
+            f"({occ['occ_speedup']:.2f}x, {occ['backend']} backend, "
+            f"{occ['occ']['executions']} executions / "
+            f"{occ['occ']['aborts']} aborts / "
+            f"{occ['occ']['rounds']} rounds)]",
             file=sys.stderr,
         )
     return 0

@@ -14,6 +14,7 @@ from ..chain.state import WorldState
 from .ballot import make_ballot
 from .collectible import make_cryptocat
 from .dex import make_swap_router, make_uniswap_router
+from .dynamic import make_airdrop_distributor, make_path_router
 from .erc20 import (
     make_dai,
     make_link_token,
@@ -39,6 +40,12 @@ GATEWAY_PROXY = 0x1008
 WETH = 0x1009
 BALLOT = 0x100A
 CRYPTOCAT = 0x100B
+#: Dynamic-storage-key archetypes (repro.contracts.dynamic): their hot
+#: slots are calldata-derived, so they run undeclared — the speculative
+#: (OCC) executor's workloads.
+PATH_ROUTER = 0x100C
+AIRDROP = 0x100D
+ROUTER_PROXY = 0x100E
 TOKEN_A = 0x2001
 TOKEN_B = 0x2002
 ORACLE_RECEIVER = 0x2003
@@ -177,6 +184,9 @@ def compile_suite() -> dict[str, CompiledContract]:
         "TokenA": make_plain_erc20("TokenA"),
         "TokenB": make_plain_erc20("TokenB"),
         "OracleReceiver": make_oracle_receiver(),
+        "PathRouter": make_path_router(),
+        "AirdropDistributor": make_airdrop_distributor(),
+        "RouterProxy": make_proxy("RouterProxy"),
     }
 
 
@@ -205,6 +215,9 @@ def build_deployment(
         "TokenA": TOKEN_A,
         "TokenB": TOKEN_B,
         "OracleReceiver": ORACLE_RECEIVER,
+        "PathRouter": PATH_ROUTER,
+        "AirdropDistributor": AIRDROP,
+        "RouterProxy": ROUTER_PROXY,
     }
     contracts: dict[str, DeployedContract] = {}
     for name, artifact in artifacts.items():
@@ -222,6 +235,7 @@ def build_deployment(
     contracts["MainchainGatewayProxy"].storage_artifact = artifacts[
         "MainchainGatewayManager"
     ]
+    contracts["RouterProxy"].storage_artifact = artifacts["PathRouter"]
 
     deployment = Deployment(
         state=state, contracts=contracts, accounts=accounts
@@ -245,6 +259,10 @@ def _seed_genesis(d: Deployment) -> None:
     d.set_scalar("FiatTokenProxy", "admin", d.admin)
     d.set_scalar("MainchainGatewayProxy", "implementation", GATEWAY_IMPL)
     d.set_scalar("MainchainGatewayProxy", "admin", d.admin)
+    # RouterProxy delegates straight to the standalone PathRouter code
+    # (proxy storage, router logic — the delegatecall hot path).
+    d.set_scalar("RouterProxy", "implementation", PATH_ROUTER)
+    d.set_scalar("RouterProxy", "admin", d.admin)
 
     # Tether configuration: owner, 10bp fee, unpaused.
     d.set_scalar("TetherToken", "owner", d.admin)
@@ -255,8 +273,11 @@ def _seed_genesis(d: Deployment) -> None:
     d.set_token_balance("TetherToken", 0xBADD1E, 1000)
     d.set_mapping("FiatTokenProxy", "minters", d.admin, 1)
 
-    # Token balances and allowances.
-    spenders = (UNISWAP_ROUTER, SWAP_ROUTER, GATEWAY_PROXY)
+    # Token balances and allowances. The dynamic-archetype spenders
+    # (path router, its proxy, the airdrop distributor) get the same
+    # pre-approval so undeclared OCC workloads execute successfully.
+    spenders = (UNISWAP_ROUTER, SWAP_ROUTER, GATEWAY_PROXY,
+                PATH_ROUTER, ROUTER_PROXY, AIRDROP)
     for token in ("TetherToken", "Dai", "LinkToken", "FiatTokenProxy",
                   "TokenA", "TokenB"):
         for account in parties:
@@ -274,7 +295,7 @@ def _seed_genesis(d: Deployment) -> None:
             d.set_token_balance(token, holder, TOKEN_SUPPLY * 1000)
         d.set_scalar(
             token, "total_supply",
-            TOKEN_SUPPLY * (len(parties) + 3000),
+            TOKEN_SUPPLY * (len(parties) + 1000 * len(spenders)),
         )
 
     # AMM reserves for the trading pairs used by workloads.
@@ -288,6 +309,17 @@ def _seed_genesis(d: Deployment) -> None:
         for left, right in pairs:
             d.set_mapping2(router, "reserves", left, right, 10**13)
             d.set_mapping2(router, "reserves", right, left, 10**13)
+
+    # Path-router reserves: every ordered pair of the four route tokens
+    # holds liquidity, so any caller-chosen two-hop path is viable. The
+    # proxy holds its *own* reserves (delegatecalled code addresses
+    # proxy storage).
+    route_tokens = (TETHER, DAI, TOKEN_A, TOKEN_B)
+    for router in ("PathRouter", "RouterProxy"):
+        for left in route_tokens:
+            for right in route_tokens:
+                if left != right:
+                    d.set_mapping2(router, "reserves", left, right, 10**13)
 
     # WETH: users start with wrapped balance (native escrow is above),
     # plus the same ring allowance as the other tokens.

@@ -35,7 +35,11 @@ from .ablations import (
     ablation_unit_capacity,
     ablation_window_size,
 )
-from .perf import measure_block, measure_wall_clock
+from .perf import (
+    measure_block,
+    measure_occ_wall_clock,
+    measure_wall_clock,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -59,5 +63,6 @@ __all__ = [
     "ablation_unit_capacity",
     "ablation_window_size",
     "measure_block",
+    "measure_occ_wall_clock",
     "measure_wall_clock",
 ]

@@ -197,3 +197,148 @@ def measure_wall_clock(
         ),
         "digest_match": True,
     }
+
+
+def default_occ_backend() -> str:
+    """Pool speculation needs real cores; degrade to serial on one."""
+    import os
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        cores = os.cpu_count() or 1
+    return "process" if cores >= 2 else "serial"
+
+
+def measure_occ_wall_clock(
+    num_transactions: int = 192,
+    num_workers: int = 4,
+    seed: int = 11,
+    backend: str | None = None,
+    repeats: int = 4,
+) -> dict:
+    """Dynamic-storage-key wall clock: sequential vs declared-DAG vs OCC.
+
+    The workload is the one declared access sets cannot describe —
+    path-router swaps, batch airdrops and proxy hot paths whose storage
+    keys derive from calldata. Three lanes execute the same block:
+
+    * **sequential** — the seed pipeline's real cost (one speculative
+      pass for access discovery, DAG construction, then the full
+      in-order execution), exactly as in :func:`measure_wall_clock`;
+    * **dag** — discovery plus the execute-once
+      :class:`~repro.parallel.ParallelBlockExecutor` replay;
+    * **occ** — :class:`~repro.parallel.SpeculativeBlockExecutor` with
+      *no access sets anywhere*: speculate, validate, commit in order.
+
+    Lanes run interleaved per repeat so adjacent timings share the
+    machine's momentary load, and each lane reports its best-of-repeats;
+    the quoted speedups are same-machine ratios. Receipts and
+    ``state_digest()`` parity across all three lanes is asserted, never
+    assumed. *backend* defaults to :func:`default_occ_backend`.
+    """
+    from ..workload.generator import generate_dynamic_block
+
+    backend = backend or default_occ_backend()
+    block = generate_dynamic_block(
+        num_transactions=num_transactions, seed=seed,
+    )
+    transactions = block.transactions
+    base_state = block.deployment.state
+
+    def run_sequential_lane():
+        state = base_state.copy()
+        start = time.perf_counter()
+        artifacts = discover_access_sets(transactions, state)
+        build_dag_edges(transactions, artifacts)
+        evm = EVM(state)
+        receipts = [evm.execute_transaction(tx) for tx in transactions]
+        return time.perf_counter() - start, receipts, state.state_digest()
+
+    def run_dag_lane():
+        state = base_state.copy()
+        with ParallelBlockExecutor(
+            state, num_workers=num_workers, backend=backend,
+        ) as executor:
+            start = time.perf_counter()
+            artifacts = discover_access_sets(transactions, state)
+            edges = build_dag_edges(transactions, artifacts)
+            result = executor.execute_block(
+                transactions, edges, artifacts, artifacts=artifacts,
+            )
+            elapsed = time.perf_counter() - start
+        return elapsed, result.receipts, state.state_digest()
+
+    def run_occ_lane():
+        from ..parallel import SpeculativeBlockExecutor
+
+        state = base_state.copy()
+        with SpeculativeBlockExecutor(
+            state, num_workers=num_workers, backend=backend,
+        ) as executor:
+            executor.warm()  # pool spawn outside the timed region
+            start = time.perf_counter()
+            result = executor.execute_block(transactions)
+            elapsed = time.perf_counter() - start
+        return elapsed, result, state.state_digest()
+
+    lanes: dict[str, list] = {"sequential": [], "dag": [], "occ": []}
+    for _ in range(repeats):
+        lanes["sequential"].append(run_sequential_lane())
+        lanes["dag"].append(run_dag_lane())
+        lanes["occ"].append(run_occ_lane())
+
+    seq_seconds, seq_receipts, seq_digest = min(
+        lanes["sequential"], key=lambda item: item[0]
+    )
+    dag_seconds, dag_receipts, dag_digest = min(
+        lanes["dag"], key=lambda item: item[0]
+    )
+    occ_seconds, occ_result, occ_digest = min(
+        lanes["occ"], key=lambda item: item[0]
+    )
+    if not (seq_digest == dag_digest == occ_digest):
+        raise AssertionError(
+            "occ/dag state digest diverged from sequential execution"
+        )
+    if [r.to_rlp() for r in occ_result.receipts] != [
+        r.to_rlp() for r in seq_receipts
+    ] or [r.to_rlp() for r in dag_receipts] != [
+        r.to_rlp() for r in seq_receipts
+    ]:
+        raise AssertionError(
+            "occ/dag receipts diverged from sequential execution"
+        )
+
+    def lane(seconds: float) -> dict:
+        return {
+            "seconds": seconds,
+            "tx_per_second": (
+                num_transactions / seconds if seconds > 0 else 0.0
+            ),
+        }
+
+    seq_tps = lane(seq_seconds)["tx_per_second"]
+    occ_tps = lane(occ_seconds)["tx_per_second"]
+    dag_tps = lane(dag_seconds)["tx_per_second"]
+    return {
+        "num_transactions": num_transactions,
+        "num_workers": num_workers,
+        "seed": seed,
+        "backend": occ_result.backend,
+        "repeats": repeats,
+        "sequential": lane(seq_seconds),
+        "dag": lane(dag_seconds),
+        "occ": {
+            **lane(occ_seconds),
+            "executions": occ_result.executions,
+            "aborts": occ_result.aborts,
+            "validations": occ_result.validations,
+            "retries": occ_result.retries,
+            "rounds": occ_result.rounds,
+            "fell_back": occ_result.fell_back,
+        },
+        "occ_speedup": occ_tps / seq_tps if seq_tps > 0 else 0.0,
+        "dag_speedup": dag_tps / seq_tps if seq_tps > 0 else 0.0,
+        "digest_match": True,
+    }

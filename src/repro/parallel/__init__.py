@@ -17,11 +17,19 @@ from .executor import (
     ParallelBlockResult,
 )
 from .occ import OccBlockResult, OptimisticBlockExecutor
+from .speculate import (
+    MultiVersionStore,
+    SpeculativeBlockExecutor,
+    SpeculativeBlockResult,
+)
 
 __all__ = [
     "AccessMismatch",
+    "MultiVersionStore",
     "OccBlockResult",
     "OptimisticBlockExecutor",
     "ParallelBlockExecutor",
     "ParallelBlockResult",
+    "SpeculativeBlockExecutor",
+    "SpeculativeBlockResult",
 ]

@@ -1,0 +1,107 @@
+"""Speculative-executor smoke check (the CI ``occ-smoke`` job).
+
+Executes one dynamic-storage-key block — path-router swaps, batch
+airdrops and proxy hot paths whose storage keys derive from calldata,
+so *no* access sets are declared anywhere — through the speculative
+(OCC) executor and asserts:
+
+* receipts, logs and ``state_digest()`` bit-identical to plain
+  sequential execution, on both the serial and the process backend;
+* identical cost accounting across backends (the engine's abort and
+  retry decisions may not depend on where speculation physically ran);
+* the OCC wall throughput clears ``--min-speedup`` × the seed
+  sequential pipeline (discover-then-execute) on the same machine.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.parallel.occ_smoke --transactions 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transactions", type=int, default=128)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.3,
+        help="fail when OCC wall tx/s is below this multiple of the "
+             "sequential (discover-then-execute) lane",
+    )
+    args = parser.parse_args(argv)
+
+    from ..evm.interpreter import EVM
+    from ..experiments.perf import measure_occ_wall_clock
+    from ..workload.generator import generate_dynamic_block
+    from .speculate import SpeculativeBlockExecutor
+
+    block = generate_dynamic_block(
+        num_transactions=args.transactions, seed=args.seed,
+    )
+    transactions = block.transactions
+    seq_state = block.deployment.state.copy()
+    evm = EVM(seq_state)
+    seq_receipts = [evm.execute_transaction(tx) for tx in transactions]
+    seq_rlp = [r.to_rlp() for r in seq_receipts]
+
+    ok = True
+    accounting = {}
+    for backend in ("serial", "process"):
+        state = block.deployment.state.copy()
+        with SpeculativeBlockExecutor(
+            state, num_workers=args.workers, backend=backend,
+        ) as executor:
+            result = executor.execute_block(transactions)
+        accounting[backend] = (
+            result.executions, result.aborts, result.rounds,
+            result.validations,
+        )
+        if state.state_digest() != seq_state.state_digest():
+            print(f"FAIL[{backend}]: occ state digest != sequential")
+            ok = False
+        if [r.to_rlp() for r in result.receipts] != seq_rlp:
+            print(f"FAIL[{backend}]: occ receipts != sequential")
+            ok = False
+        print(
+            f"{'ok' if ok else 'FAIL'}[{backend}]: "
+            f"{len(transactions)} txs undeclared: "
+            f"{result.executions} executions, {result.aborts} aborts, "
+            f"{result.retries} retries, {result.rounds} rounds, "
+            f"fell_back={result.fell_back}"
+        )
+    if accounting["serial"] != accounting["process"]:
+        print(
+            f"FAIL: backend-dependent accounting: "
+            f"serial={accounting['serial']} "
+            f"process={accounting['process']}"
+        )
+        ok = False
+
+    wall = measure_occ_wall_clock(
+        num_transactions=args.transactions,
+        num_workers=args.workers,
+        seed=args.seed,
+        repeats=2,
+    )
+    speedup = wall["occ_speedup"]
+    line = (
+        f"occ {wall['occ']['tx_per_second']:.0f} tx/s vs sequential "
+        f"{wall['sequential']['tx_per_second']:.0f} tx/s "
+        f"({speedup:.2f}x, floor {args.min_speedup}x, "
+        f"{wall['backend']} backend)"
+    )
+    if speedup < args.min_speedup:
+        print(f"FAIL: {line}")
+        ok = False
+    else:
+        print(f"ok: {line}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,11 @@ def apply_overlay(state: WorldState, overlay: dict) -> None:
                 state.set_storage(address, slot, value)
 
 
+def ping() -> bool:
+    """No-op task: forces a pool worker to spawn and run its initializer."""
+    return _BASE is not None
+
+
 def execute_task(
     tx: Transaction, overlay: dict
 ) -> tuple:
@@ -81,6 +86,20 @@ def execute_task(
 
     Returns ``(receipt, access, ops)`` where *ops* is the transaction's
     write journal (tagged tuples, see :mod:`repro.chain.journal`).
+    """
+    receipt, access, ops, _ = speculate_task(tx, overlay)
+    return receipt, access, ops
+
+
+def speculate_task(
+    tx: Transaction, overlay: dict
+) -> tuple:
+    """Like :func:`execute_task`, but also return the versioned read set.
+
+    Returns ``(receipt, access, ops, read_values)`` — *read_values* maps
+    each ``(address, slot)`` the transaction read to the value it
+    observed, which the speculative (OCC) coordinator validates against
+    the authoritative state at commit time.
     """
     from ..evm.interpreter import EVM
 
@@ -99,7 +118,7 @@ def execute_task(
             state.changes_since(tx_token),
             coinbase=_CONTEXT.coinbase,
         )
-        return receipt, access, artifact.journal.ops
+        return receipt, access, artifact.journal.ops, artifact.read_values
     finally:
         state.access = None
         state.revert(token)

@@ -327,7 +327,9 @@ class BlockBuilder:
             return self._build_and_execute_locked(txs, packed)
 
     def _build_and_execute_locked(self, txs, packed=None):
-        block = self.node.propose_block(transactions=txs)
+        block = self.node.propose_block(
+            transactions=txs, executor=self.config.executor
+        )
         if packed is not None:
             block.packed_lanes = packed.lanes
             block.packed_parallelism = packed.parallelism
@@ -364,7 +366,19 @@ class BlockBuilder:
             return self.node.execute_block(block)
         if self.config.executor == "mtpu":
             return self._execute_mtpu(block)
+        if self.config.executor == "occ":
+            return self._execute_occ(block)
         return self._execute_parallel(block)
+
+    def _execute_occ(self, block) -> list[Receipt]:
+        # Speculative (Block-STM) execution: the block was proposed with
+        # no discovery pass, so this is the only serve path that never
+        # pre-executes — conflicts surface as commit-time aborts and the
+        # actual access sets feed the packing estimator.
+        result = self.node.execute_block_occ(
+            block, num_workers=self.config.num_workers
+        )
+        return result.receipts
 
     def _execute_mtpu(self, block) -> list[Receipt]:
         from ..core.mtpu import MTPUExecutor

@@ -96,8 +96,11 @@ class ServeConfig:
 
     # -- execution --------------------------------------------------------
     #: "sequential" (Node.execute_block), "mtpu" (spatio-temporal
-    #: schedule on the MTPU simulator) or "parallel" (the multicore
-    #: repro.parallel backend).
+    #: schedule on the MTPU simulator), "parallel" (the multicore
+    #: repro.parallel backend) or "occ" (Block-STM speculative
+    #: execution — no access-set discovery at propose time, conflicts
+    #: found by read-set validation; dynamic-storage-key contracts run
+    #: without declarations).
     executor: str = "sequential"
     #: PUs (mtpu) or worker processes (parallel).
     num_workers: int = 4
@@ -120,7 +123,7 @@ class ServeConfig:
     packing_trust_estimates: bool = False
 
     def __post_init__(self) -> None:
-        if self.executor not in ("sequential", "mtpu", "parallel"):
+        if self.executor not in ("sequential", "mtpu", "parallel", "occ"):
             raise ValueError(f"unknown executor {self.executor!r}")
         if self.packing not in ("fifo", "conflict_aware"):
             raise ValueError(f"unknown packing {self.packing!r}")

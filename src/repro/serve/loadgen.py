@@ -296,6 +296,24 @@ def make_transactions(
         return txs
 
     library = ActionLibrary(deployment, rng)
+    if workload == "dynamic":
+        # Dynamic-storage-key traffic (path swaps, delegatecall proxy
+        # swaps, batch airdrops): no declarable access sets — pair with
+        # ``--executor occ``, which needs none.
+        dynamic_names = ["AirdropDistributor", "AirdropDistributor",
+                         "PathRouter", "RouterProxy"]
+        for i in range(count):
+            sender = accounts[i % len(accounts)]
+            call = library.plan(dynamic_names[i % len(dynamic_names)],
+                                sender=sender)
+            tx = library.to_transaction(call)
+            txs.append(Transaction(
+                sender=tx.sender, to=tx.to, nonce=next_nonce(tx.sender),
+                gas_limit=tx.gas_limit, gas_price=tx.gas_price,
+                value=tx.value, data=tx.data,
+            ))
+        return txs
+
     names = list(TOP8_NAMES)
     sampler = ZipfSampler(len(names), 1.0)
     for i in range(count):

@@ -173,11 +173,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--block-size-target", type=int, default=16)
     parser.add_argument(
-        "--executor", choices=("sequential", "mtpu", "parallel"),
+        "--executor", choices=("sequential", "mtpu", "parallel", "occ"),
         default="sequential",
     )
     parser.add_argument(
-        "--workload", choices=("transfer", "hotburst", "erc20", "mixed"),
+        "--workload",
+        choices=("transfer", "hotburst", "erc20", "mixed", "dynamic"),
         default="transfer",
     )
     parser.add_argument(

@@ -7,6 +7,7 @@ from .generator import (
     all_entry_function_calls,
     generate_block,
     generate_dependency_block,
+    generate_dynamic_block,
     generate_erc20_block,
 )
 from .zipf import ZipfSampler
@@ -19,6 +20,7 @@ __all__ = [
     "all_entry_function_calls",
     "generate_block",
     "generate_dependency_block",
+    "generate_dynamic_block",
     "generate_erc20_block",
     "ZipfSampler",
 ]

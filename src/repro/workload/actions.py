@@ -307,6 +307,58 @@ class ActionLibrary:
             (withdrawal_id, token, self.rng.randint(1, 10**5)),
         )
 
+    # -- dynamic-storage-key archetypes (repro.contracts.dynamic) ------
+    def _plan_path_swap(self, contract: str,
+                        sender: int | None) -> PlannedCall:
+        """Two-hop path swap: the route (and so every reserve slot) is
+        picked at plan time — undeclarable at admission time."""
+        from ..contracts import registry
+
+        sender = self._pick_sender(sender)
+        route_tokens = [registry.TETHER, registry.DAI,
+                        registry.TOKEN_A, registry.TOKEN_B]
+        path = self.rng.sample(route_tokens, 3)
+        amount_in = self.rng.randint(10**3, 10**6)
+        if self.rng.random() < 0.85:
+            return PlannedCall(
+                contract, sender,
+                "swapExactPath(uint256,uint256,address,address,address)",
+                (amount_in, 0, *path),
+            )
+        return PlannedCall(
+            contract, sender,
+            "quotePath(uint256,address,address,address)",
+            (amount_in, *path),
+        )
+
+    def _plan_pathrouter(self, sender: int | None) -> PlannedCall:
+        return self._plan_path_swap("PathRouter", sender)
+
+    def _plan_routerproxy(self, sender: int | None) -> PlannedCall:
+        # Same call shape, but through the DELEGATECALL fallback — the
+        # touched storage belongs to the proxy, keyed by the
+        # implementation's layout.
+        return self._plan_path_swap("RouterProxy", sender)
+
+    def _plan_airdropdistributor(self, sender: int | None) -> PlannedCall:
+        """Batch airdrop to a run of fresh recipients: the write-set size
+        and members come from calldata (count, firstRecipient + i)."""
+        from ..contracts import registry
+
+        sender = self._pick_sender(sender)
+        # Fee-less tokens only: a Tether airdrop would write the owner's
+        # fee slot on every leg, serializing all airdrops on one key.
+        token = self.rng.choice(
+            [registry.DAI, registry.TOKEN_A, registry.TOKEN_B]
+        )
+        first = 0xA0_0000 + self.rng.randrange(1 << 20) * 16
+        count = self.rng.randint(3, 8)
+        return PlannedCall(
+            "AirdropDistributor", sender,
+            "airdrop(address,address,uint256,uint256)",
+            (token, first, count, self.rng.randint(1, 10**4)),
+        )
+
     def _plan_ballot(self, sender: int | None) -> PlannedCall:
         if self._unvoted and self.rng.random() < 0.8:
             voter = self._unvoted.pop()
@@ -396,6 +448,26 @@ class ActionLibrary:
 
             return plain(signature, rng.randint(10**3, 10**6), 10**30,
                          registry.TOKEN_A, registry.TOKEN_B)
+        if name == "swapExactPath":
+            from ..contracts import registry
+
+            return plain(signature, rng.randint(10**3, 10**6), 0,
+                         registry.TOKEN_A, registry.TETHER,
+                         registry.TOKEN_B)
+        if name == "quotePath":
+            from ..contracts import registry
+
+            return plain(signature, rng.randint(10**3, 10**6),
+                         registry.TOKEN_A, registry.DAI,
+                         registry.TOKEN_B)
+        if name == "airdrop":
+            from ..contracts import registry
+
+            first = 0xA0_0000 + rng.randrange(1 << 20) * 16
+            return plain(signature, registry.TETHER, first,
+                         rng.randint(3, 8), rng.randint(1, 10**4))
+        if name == "dropsOf":
+            return plain(signature, other)
         if name == "getAmountOut":
             from ..contracts import registry
 

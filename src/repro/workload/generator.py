@@ -206,6 +206,56 @@ def generate_dependency_block(
     return _finalize(deployment, transactions)
 
 
+def generate_dynamic_block(
+    deployment: Deployment | None = None,
+    num_transactions: int = 64,
+    seed: int = 0,
+    swap_fraction: float = 0.15,
+    proxy_fraction: float = 0.10,
+    declare: bool = False,
+) -> GeneratedBlock:
+    """Block of dynamic-storage-key traffic with *no declared access sets*.
+
+    Every transaction's hot slots are calldata-derived (multi-hop path
+    swaps, delegatecall proxy swaps, batch airdrops to computed
+    recipient runs — see :mod:`repro.contracts.dynamic`), so the
+    declared-set pipeline sees them as opaque. By default the returned
+    block carries **empty** ``access_sets``/``dag_edges`` — the shape
+    the speculative (OCC) executor consumes; ``declare=True`` runs the
+    usual discovery pass instead, for head-to-head comparisons against
+    the declared-DAG pipeline.
+
+    Senders are assigned round-robin over distinct accounts, and
+    airdrops dominate the default mix, so the workload's *actual*
+    conflict graph is sparse — the parallelism is real, just invisible
+    to any admission-time declaration.
+    """
+    rng = random.Random(seed)
+    if deployment is None:
+        deployment = build_deployment(
+            num_accounts=max(64, num_transactions + 8)
+        )
+    library = ActionLibrary(deployment, rng)
+    senders = list(deployment.accounts)
+    rng.shuffle(senders)
+
+    transactions: list[Transaction] = []
+    for i in range(num_transactions):
+        sender = senders[i % len(senders)]
+        roll = rng.random()
+        if roll < swap_fraction:
+            contract = "PathRouter"
+        elif roll < swap_fraction + proxy_fraction:
+            contract = "RouterProxy"
+        else:
+            contract = "AirdropDistributor"
+        call = library.plan(contract, sender=sender)
+        transactions.append(planned_call_to_transaction(deployment, call))
+    if declare:
+        return _finalize(deployment, transactions)
+    return GeneratedBlock(deployment=deployment, transactions=transactions)
+
+
 def generate_erc20_block(
     deployment: Deployment | None = None,
     num_transactions: int = 64,

@@ -228,3 +228,111 @@ def test_estimator_evicts_oldest_shape_at_capacity():
         Transaction(sender=9, to=0xB1, data=b"\x01\x01\x01\x01",
                     gas_limit=100_000)
     ) is None
+
+
+def _artifact(to, selector, reads, writes, sender=1):
+    class A:
+        pass
+    A.tx = Transaction(sender=sender, to=to, data=selector,
+                       gas_limit=100_000)
+    A.reads = set(reads)
+    A.writes = set(writes)
+    return A()
+
+
+def test_observe_actual_widens_until_decay_then_replaces():
+    """Occasional mispredictions widen the union; *decay* consecutive
+    ones replace it with the latest actual set (drift correction)."""
+    from repro.obs import use_registry
+
+    estimator = AccessEstimator(decay=3)
+    sel = b"\xAA\xAA\xAA\xAA"
+    estimator.observe(_artifact(0xB1, sel, {(0xB1, 1)}, {(0xB1, 1)}))
+
+    with use_registry() as registry:
+        # Two mispredictions in a row: union widens, streak builds.
+        for slot in (2, 3):
+            estimator.observe_actual(
+                _artifact(0xB1, sel, {(0xB1, slot)}, {(0xB1, slot)})
+            )
+        reads, writes = estimator._shapes[(0xB1, sel)]
+        assert (0xB1, 1) in reads and (0xB1, 3) in reads
+        # Third consecutive miss hits the decay bound: the stale union
+        # is dropped, only the latest actual set survives.
+        estimator.observe_actual(
+            _artifact(0xB1, sel, {(0xB1, 9)}, {(0xB1, 9)})
+        )
+        reads, writes = estimator._shapes[(0xB1, sel)]
+        assert reads == {(0xB1, 9)} and writes == {(0xB1, 9)}
+        corrections = registry.counter("packing.estimate_corrections")
+        assert corrections.value == 3
+
+
+def test_observe_actual_accurate_estimate_resets_streak():
+    estimator = AccessEstimator(decay=2)
+    sel = b"\xBB\xBB\xBB\xBB"
+    estimator.observe(_artifact(0xB1, sel, {(0xB1, 1)}, {(0xB1, 1)}))
+    # Miss (streak 1), then an accurate prediction (streak resets), then
+    # another miss (streak 1 again) — never reaches decay=2, so the
+    # union keeps every key it ever saw.
+    estimator.observe_actual(_artifact(0xB1, sel, {(0xB1, 2)}, set()))
+    estimator.observe_actual(_artifact(0xB1, sel, {(0xB1, 1)}, set()))
+    estimator.observe_actual(_artifact(0xB1, sel, {(0xB1, 3)}, set()))
+    reads, _ = estimator._shapes[(0xB1, sel)]
+    assert {(0xB1, 1), (0xB1, 2), (0xB1, 3)} <= reads
+
+
+def test_observe_actual_aborts_alone_count_as_misprediction():
+    """A shape whose transactions keep aborting under OCC decays even
+    when its access-set estimate was a superset of the actual keys."""
+    estimator = AccessEstimator(decay=2)
+    sel = b"\xCC\xCC\xCC\xCC"
+    estimator.observe(
+        _artifact(0xB1, sel, {(0xB1, 1), (0xB1, 2)}, {(0xB1, 1)})
+    )
+    accurate = _artifact(0xB1, sel, {(0xB1, 1)}, {(0xB1, 1)})
+    estimator.observe_actual(accurate, aborts=1)
+    estimator.observe_actual(accurate, aborts=2)
+    reads, writes = estimator._shapes[(0xB1, sel)]
+    assert reads == {(0xB1, 1)} and writes == {(0xB1, 1)}
+
+
+def test_observe_actual_unknown_shape_falls_back_to_observe():
+    estimator = AccessEstimator()
+    estimator.observe_actual(
+        _artifact(0xB9, b"\xDD\xDD\xDD\xDD", {(0xB9, 1)}, set())
+    )
+    assert len(estimator) == 1
+
+
+def test_eviction_drops_the_stale_streak_with_the_shape():
+    """Regression: evicting a shape at capacity must also drop its
+    misprediction streak, or a re-learned shape would inherit a stale
+    streak and decay on its first miss."""
+    estimator = AccessEstimator(max_shapes=1, decay=2)
+    sel_a, sel_b = b"\x01\x01\x01\x01", b"\x02\x02\x02\x02"
+    estimator.observe(_artifact(0xB1, sel_a, {(0xB1, 1)}, set()))
+    # Build a streak of 1 on shape A (one short of decay).
+    estimator.observe_actual(_artifact(0xB1, sel_a, {(0xB1, 2)}, set()))
+    assert estimator._stale.get((0xB1, sel_a)) == 1
+    # Shape B evicts shape A — streak must go with it.
+    estimator.observe(_artifact(0xB2, sel_b, {(0xB2, 1)}, set()))
+    assert (0xB1, sel_a) not in estimator._stale
+    # Re-learn shape A: a single miss must widen, not replace.
+    estimator.observe(_artifact(0xB1, sel_a, {(0xB1, 1)}, set()))
+    estimator.observe_actual(_artifact(0xB1, sel_a, {(0xB1, 5)}, set()))
+    reads, _ = estimator._shapes[(0xB1, sel_a)]
+    assert {(0xB1, 1), (0xB1, 5)} <= reads
+
+
+def test_mempool_observe_outcomes_feeds_estimator():
+    from repro.chain.mempool import Mempool
+
+    pool = Mempool(estimator=AccessEstimator(decay=2))
+    art = _artifact(0xB1, b"\xEE\xEE\xEE\xEE", {(0xB1, 1)}, {(0xB1, 1)})
+    pool.observe_outcomes([art])
+    assert len(pool.estimator) == 1
+    # None slots (faulted / never-executed) are skipped; abort counts
+    # line up by index.
+    pool.observe_outcomes([None, art], abort_counts=[0, 1])
+    assert pool.estimator._stale.get((0xB1, b"\xEE\xEE\xEE\xEE")) == 1

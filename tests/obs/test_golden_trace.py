@@ -24,8 +24,10 @@ import random
 import pytest
 
 from repro.core.validator import AcceleratedValidator
+from repro.evm.context import BlockContext
 from repro.evm.decoded import DECODE_CACHE
 from repro.obs import LogicalClock, SpanTracer, use_registry, use_tracing
+from repro.parallel import SpeculativeBlockExecutor
 from repro.workload import ActionLibrary
 
 GOLDEN = pathlib.Path(__file__).parent / "golden" / "erc20_block.json"
@@ -54,7 +56,23 @@ def run_erc20_block(deployment) -> dict:
             validator.hear(library.to_transaction(library.plan(contract)))
         block = validator.propose_block()
         outcome = validator.validate(block)
+        # Speculative (OCC) lane: the same deterministic library drives
+        # a small block through the Block-STM-shaped engine so the
+        # speculate.* counters are pinned by the fixture too. Serial
+        # backend — identical accounting to the pool, no nondeterminism.
+        occ_state = deployment.state.copy()
+        occ_txs = [
+            library.to_transaction(
+                library.plan(("Dai", "TetherToken")[i % 2])
+            )
+            for i in range(NUM_TRANSACTIONS)
+        ]
+        with SpeculativeBlockExecutor(
+            occ_state, block=BlockContext(height=1), backend="serial"
+        ) as speculator:
+            occ_result = speculator.execute_block(occ_txs)
     assert outcome.committed
+    assert len(occ_result.receipts) == NUM_TRANSACTIONS
     return {
         "config": {
             "transactions": NUM_TRANSACTIONS,
@@ -82,6 +100,20 @@ def test_erc20_block_matches_golden_trace(deployment, request):
     assert payload["counters"] == golden["counters"]
     assert payload["spans"] == golden["spans"]
     assert payload["config"] == golden["config"]
+
+
+def test_speculation_is_metered(deployment):
+    """The OCC lane publishes its cost accounting: executions cover the
+    block, and every validation/abort/retry series is present."""
+    counters = run_erc20_block(deployment)["counters"]
+    assert counters["speculate.executions"] >= NUM_TRANSACTIONS
+    assert counters["speculate.validations"] >= NUM_TRANSACTIONS
+    assert counters["speculate.executions"] == (
+        NUM_TRANSACTIONS + counters["speculate.aborts"]
+    )
+    for name in ("speculate.aborts", "speculate.retries",
+                 "speculate.deferrals"):
+        assert name in counters
 
 
 def test_merkleization_is_metered(deployment):
